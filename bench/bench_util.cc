@@ -1,0 +1,55 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xptc {
+namespace bench {
+
+void PrintHeader(const std::string& id, const std::string& claim,
+                 const std::string& protocol) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("Claim reproduced : %s\n", claim.c_str());
+  std::printf("Protocol         : %s\n", protocol.c_str());
+  std::printf("================================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells, int width) {
+  for (const std::string& cell : cells) {
+    std::printf("%*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+double MedianSeconds(const std::function<void()>& fn, int reps) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(end - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
+               uint64_t seed, int num_labels) {
+  Rng rng(seed);
+  const std::vector<Symbol> labels = DefaultLabels(alphabet, num_labels);
+  TreeGenOptions options;
+  options.num_nodes = num_nodes;
+  options.shape = shape;
+  return GenerateTree(options, labels, &rng);
+}
+
+std::string Fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace xptc

@@ -1,0 +1,41 @@
+#ifndef XPTC_BENCH_BENCH_UTIL_H_
+#define XPTC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/rng.h"
+#include "tree/generate.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+namespace bench {
+
+/// Prints the experiment banner: id, the paper claim being reproduced, and
+/// the protocol, so `bench_output.txt` reads as a self-contained report.
+void PrintHeader(const std::string& id, const std::string& claim,
+                 const std::string& protocol);
+
+/// Prints a table row of the form "  col1  col2 ..." from preformatted
+/// cells (experiment reports are plain fixed-width text).
+void PrintRow(const std::vector<std::string>& cells, int width = 14);
+
+/// Wall-clock seconds for one invocation of `fn` (median of `reps` runs).
+double MedianSeconds(const std::function<void()>& fn, int reps = 3);
+
+/// Deterministic tree for benchmarks.
+Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
+               uint64_t seed, int num_labels = 3);
+
+/// Formats a double with fixed precision.
+std::string Fmt(double value, int precision = 2);
+
+}  // namespace bench
+}  // namespace xptc
+
+#endif  // XPTC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// E2 — Core XPath evaluation is linear-time in |T| (Gottlob–Koch–Pichler,
+// cited as the baseline complexity in the paper); the naive relational
+// semantics is cubic.
+//
+// Shape to observe: ns/node roughly flat for the set-based evaluator as n
+// grows; the naive evaluator's per-node cost grows superlinearly until it
+// is unusable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xpath/eval.h"
+#include "xpath/eval_naive.h"
+#include "xpath/parser.h"
+
+namespace xptc {
+namespace {
+
+// The queries deliberately contain path compositions, so the naive
+// evaluator pays full relation-composition cost (its Θ(n³) term).
+const char* kQueries[] = {
+    "<desc[a]/foll[b]>",
+    "<child[a]/desc[b]/anc[c]>",
+    "not <anc/desc[a]> and <dos[b]>",
+};
+
+void ScalingReport() {
+  std::printf("\nPer-node evaluation cost (3 Core XPath queries, uniform "
+              "random trees):\n");
+  bench::PrintRow({"n", "set ns/node", "naive ns/node", "naive/set"});
+  Alphabet alphabet;
+  std::vector<NodePtr> queries;
+  for (const char* text : kQueries) {
+    queries.push_back(ParseNode(text, &alphabet).ValueOrDie());
+  }
+  for (int n : {64, 256, 1024, 4096, 16384}) {
+    const Tree tree = bench::BenchTree(&alphabet, n,
+                                       TreeShape::kUniformRecursive, 5);
+    const double set_seconds = bench::MedianSeconds([&] {
+      for (const auto& query : queries) EvalNodeSet(tree, *query);
+    });
+    double naive_seconds = -1;
+    if (n <= 1024) {
+      naive_seconds = bench::MedianSeconds([&] {
+        for (const auto& query : queries) EvalNodeNaive(tree, *query);
+      });
+    }
+    const double set_ns = set_seconds / 3 / n * 1e9;
+    const double naive_ns = naive_seconds < 0 ? -1 : naive_seconds / 3 / n * 1e9;
+    bench::PrintRow({std::to_string(n), bench::Fmt(set_ns, 1),
+                     naive_ns < 0 ? "(skipped)" : bench::Fmt(naive_ns, 1),
+                     naive_ns < 0 ? "-" : bench::Fmt(naive_ns / set_ns, 1)});
+  }
+  std::printf("Expected shape: flat set-evaluator column (linear combined "
+              "complexity); the naive per-node cost and the naive/set ratio "
+              "grow with n (superlinear total), until naive is unusable.\n");
+}
+
+void BM_SetEval(benchmark::State& state) {
+  Alphabet alphabet;
+  NodePtr query = ParseNode(kQueries[0], &alphabet).ValueOrDie();
+  const Tree tree = bench::BenchTree(&alphabet, static_cast<int>(state.range(0)),
+                                     TreeShape::kUniformRecursive, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalNodeSet(tree, *query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SetEval)->RangeMultiplier(4)->Range(64, 16384)->Complexity();
+
+void BM_NaiveEval(benchmark::State& state) {
+  Alphabet alphabet;
+  NodePtr query = ParseNode(kQueries[0], &alphabet).ValueOrDie();
+  const Tree tree = bench::BenchTree(&alphabet, static_cast<int>(state.range(0)),
+                                     TreeShape::kUniformRecursive, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalNodeNaive(tree, *query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaiveEval)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+void BM_SetEvalByShape(benchmark::State& state) {
+  Alphabet alphabet;
+  NodePtr query = ParseNode(kQueries[1], &alphabet).ValueOrDie();
+  const Tree tree =
+      bench::BenchTree(&alphabet, 4096,
+                       static_cast<TreeShape>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalNodeSet(tree, *query));
+  }
+}
+BENCHMARK(BM_SetEvalByShape)
+    ->Arg(static_cast<int>(TreeShape::kUniformRecursive))
+    ->Arg(static_cast<int>(TreeShape::kChain))
+    ->Arg(static_cast<int>(TreeShape::kStar))
+    ->Arg(static_cast<int>(TreeShape::kFullBinary));
+
+}  // namespace
+}  // namespace xptc
+
+int main(int argc, char** argv) {
+  xptc::bench::PrintHeader(
+      "E2: evaluation complexity of Core XPath",
+      "Core XPath evaluates in O(|Q| * |T|) combined complexity [T2]; the "
+      "naive relational semantics is Theta(|T|^3)",
+      "fixed query set, trees n = 64..16384, per-node cost for the "
+      "set-based evaluator vs. the naive reference evaluator");
+  xptc::ScalingReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

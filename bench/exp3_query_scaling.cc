@@ -1,0 +1,69 @@
+// E3 — combined complexity is linear in |Q| as well: growing step-chain
+// queries on a fixed tree should evaluate in time proportional to their
+// size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xpath/eval.h"
+
+namespace xptc {
+namespace {
+
+// child[a]/desc[b]/child[a]/... — a chain of `steps` filtered steps.
+NodePtr ChainQuery(int steps, const std::vector<Symbol>& labels) {
+  PathPtr path = MakeAxis(Axis::kChild);
+  for (int i = 0; i < steps; ++i) {
+    const Axis axis = i % 2 == 0 ? Axis::kChild : Axis::kDescendant;
+    path = MakeSeq(path, MakeFilter(MakeAxis(axis),
+                                    MakeLabel(labels[i % labels.size()])));
+  }
+  return MakeSome(std::move(path));
+}
+
+void QuerySizeReport() {
+  std::printf("\nEvaluation time vs. query size (fixed tree n = 4096):\n");
+  bench::PrintRow({"steps", "|query|", "time us", "us/step"});
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const Tree tree =
+      bench::BenchTree(&alphabet, 4096, TreeShape::kUniformRecursive, 11);
+  for (int steps : {4, 8, 16, 32, 64, 128, 256}) {
+    NodePtr query = ChainQuery(steps, labels);
+    const double seconds =
+        bench::MedianSeconds([&] { EvalNodeSet(tree, *query); }, 5);
+    bench::PrintRow({std::to_string(steps), std::to_string(NodeSize(*query)),
+                     bench::Fmt(seconds * 1e6, 1),
+                     bench::Fmt(seconds * 1e6 / steps, 2)});
+  }
+  std::printf("Expected shape: us/step roughly constant (linear in |Q|).\n");
+}
+
+void BM_ChainQuery(benchmark::State& state) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const Tree tree =
+      bench::BenchTree(&alphabet, 4096, TreeShape::kUniformRecursive, 11);
+  NodePtr query = ChainQuery(static_cast<int>(state.range(0)), labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvalNodeSet(tree, *query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChainQuery)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+}  // namespace
+}  // namespace xptc
+
+int main(int argc, char** argv) {
+  xptc::bench::PrintHeader(
+      "E3: combined complexity, query side",
+      "Core XPath evaluation is linear in |Q| on a fixed tree [T2]",
+      "step-chain queries of 4..256 filtered steps on a 4096-node tree");
+  xptc::QuerySizeReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

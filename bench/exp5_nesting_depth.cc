@@ -1,0 +1,93 @@
+// E5 — cost of nesting: evaluating a nested TWA costs one subtree-oracle
+// pass per automaton in the hierarchy (O(|Q| * n^2) per level), so total
+// evaluation time is linear in nesting depth and quadratic in tree size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "twa/twa.h"
+
+namespace xptc {
+namespace {
+
+// Level 0 searches for label[0]; level i searches for a node labelled
+// labels[i % |labels|] whose subtree is accepted by level i-1.
+NestedTwa MakeChainNested(int levels, const std::vector<Symbol>& labels) {
+  NestedTwa nested;
+  int below = nested.Add(MakeReachLabelTwa(labels[0]));
+  for (int i = 1; i < levels; ++i) {
+    Twa level;
+    level.num_states = 2;
+    level.initial_state = 0;
+    level.accepting_states = {1};
+    level.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+    level.transitions.push_back({0, Guard{}, Move::kRight, 0});
+    Guard found;
+    found.labels = {labels[static_cast<size_t>(i) % labels.size()]};
+    found.tests = {{below, true}};
+    level.transitions.push_back({0, found, Move::kStay, 1});
+    below = nested.Add(std::move(level));
+  }
+  return nested;
+}
+
+void NestingReport() {
+  std::printf("\nFull-oracle evaluation time (us) per nesting depth:\n");
+  bench::PrintRow({"depth \\ n", "64", "256", "1024"});
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  std::vector<Tree> trees;
+  for (int n : {64, 256, 1024}) {
+    trees.push_back(
+        bench::BenchTree(&alphabet, n, TreeShape::kUniformRecursive, 23));
+  }
+  for (int depth : {1, 2, 3, 4, 6, 8}) {
+    const NestedTwa nested = MakeChainNested(depth, labels);
+    std::vector<std::string> row = {std::to_string(depth)};
+    for (const Tree& tree : trees) {
+      const double seconds =
+          bench::MedianSeconds([&] { nested.ComputeOracle(tree); }, 3);
+      row.push_back(bench::Fmt(seconds * 1e6, 0));
+    }
+    bench::PrintRow(row);
+  }
+  std::printf("Expected shape: each column grows linearly with depth; each "
+              "row grows ~quadratically with n.\n");
+}
+
+void BM_NestedOracle(benchmark::State& state) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const NestedTwa nested =
+      MakeChainNested(static_cast<int>(state.range(0)), labels);
+  const Tree tree = bench::BenchTree(&alphabet, static_cast<int>(state.range(1)),
+                                     TreeShape::kUniformRecursive, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nested.ComputeOracle(tree));
+  }
+}
+BENCHMARK(BM_NestedOracle)
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({8, 256})
+    ->Args({4, 64})
+    ->Args({4, 1024});
+
+}  // namespace
+}  // namespace xptc
+
+int main(int argc, char** argv) {
+  xptc::bench::PrintHeader(
+      "E5: nested TWA evaluation vs. nesting depth",
+      "nested TWA membership is polynomial: one subtree-acceptance pass per "
+      "hierarchy level [T1/T2 machinery]",
+      "constructed k-level hierarchies (each level tests the one below on "
+      "subtrees) evaluated on trees of 64..1024 nodes");
+  xptc::NestingReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E9 — membership cost across the three automaton classes built here:
+// bottom-up (regular) automata are linear, plain TWA cost O(|Q| * n)
+// configuration search, nested TWA pay one subtree pass per level
+// (O(|Q| * n^2)). The ordering bottom-up < walking < nested should be
+// visible at every size, with the predicted growth rates.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "bta/bta.h"
+#include "bta/languages.h"
+#include "twa/twa.h"
+
+namespace xptc {
+namespace {
+
+NestedTwa MakeTwoLevel(const std::vector<Symbol>& labels) {
+  NestedTwa nested;
+  const int inner = nested.Add(MakeReachLabelTwa(labels[0]));
+  Twa outer;
+  outer.num_states = 2;
+  outer.initial_state = 0;
+  outer.accepting_states = {1};
+  outer.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+  outer.transitions.push_back({0, Guard{}, Move::kRight, 0});
+  Guard found;
+  found.labels = {labels[1]};
+  found.tests = {{inner, true}};
+  outer.transitions.push_back({0, found, Move::kStay, 1});
+  nested.Add(std::move(outer));
+  return nested;
+}
+
+void MembershipReport() {
+  std::printf("\nMembership time (us) by automaton class and tree size:\n");
+  bench::PrintRow({"n", "bottom-up", "walking", "nested(2)"});
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const Dfta dfta = HasLabelDfta(labels, labels[0]);
+  const Twa twa = MakeReachLabelTwa(labels[0]);
+  const NestedTwa nested = MakeTwoLevel(labels);
+  for (int n : {64, 256, 1024, 4096}) {
+    const Tree tree =
+        bench::BenchTree(&alphabet, n, TreeShape::kUniformRecursive, 31);
+    const double bu = bench::MedianSeconds([&] { dfta.Accepts(tree); }, 5);
+    const double walk =
+        bench::MedianSeconds([&] { RunTwa(twa, tree, 0, nullptr); }, 5);
+    const double nest =
+        bench::MedianSeconds([&] { nested.Accepts(tree); }, 3);
+    bench::PrintRow({std::to_string(n), bench::Fmt(bu * 1e6, 1),
+                     bench::Fmt(walk * 1e6, 1), bench::Fmt(nest * 1e6, 1)});
+  }
+  std::printf("Expected shape: bottom-up and walking grow linearly "
+              "(bottom-up cheapest); nested grows ~quadratically.\n");
+}
+
+void BM_BottomUpMembership(benchmark::State& state) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const Dfta dfta = HasLabelDfta(labels, labels[0]);
+  const Tree tree = bench::BenchTree(&alphabet, static_cast<int>(state.range(0)),
+                                     TreeShape::kUniformRecursive, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfta.Accepts(tree));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BottomUpMembership)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_WalkingMembership(benchmark::State& state) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const Twa twa = MakeAllLabelsTwa({labels[0], labels[1], labels[2]});
+  const Tree tree = bench::BenchTree(&alphabet, static_cast<int>(state.range(0)),
+                                     TreeShape::kUniformRecursive, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunTwa(twa, tree, 0, nullptr));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WalkingMembership)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_NestedMembership(benchmark::State& state) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const NestedTwa nested = MakeTwoLevel(labels);
+  const Tree tree = bench::BenchTree(&alphabet, static_cast<int>(state.range(0)),
+                                     TreeShape::kUniformRecursive, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nested.Accepts(tree));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NestedMembership)->RangeMultiplier(4)->Range(64, 1024)->Complexity();
+
+}  // namespace
+}  // namespace xptc
+
+int main(int argc, char** argv) {
+  xptc::bench::PrintHeader(
+      "E9: membership cost across automaton classes",
+      "bottom-up automata evaluate in O(n); plain TWA in O(|Q|n); nested "
+      "TWA in O(|Q|n^2) via the subtree oracle",
+      "same 'reachability' style language in all three models, trees "
+      "64..4096 nodes");
+  xptc::MembershipReport();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

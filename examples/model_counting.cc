@@ -1,0 +1,76 @@
+// Model counting: how many documents satisfy a schema rule? The downward
+// pipeline (query → nested TWA → bottom-up automaton) turns counting
+// satisfying trees per size into dynamic programming over automaton
+// states — no enumeration.
+
+#include <cstdio>
+
+#include "xptc.h"
+
+int main() {
+  xptc::Alphabet alphabet;
+  const std::vector<xptc::Symbol> labels = xptc::DefaultLabels(&alphabet, 2);
+
+  struct Rule {
+    const char* description;
+    const char* query;
+  };
+  const Rule rules[] = {
+      {"root is labelled a", "a"},
+      {"some a below the root", "<desc[a]>"},
+      {"every leaf in the subtree is a", "not <dos[leaf and b]>"},
+      {"an a-chain of length 3 from the root",
+       "<child[a]/child[a]/child[a]>"},
+      {"a and b both occur", "<dos[a]> and <dos[b]>"},
+      {"no two adjacent a's (parent/child)", "not <dos[a and <child[a]>]>"},
+  };
+
+  std::printf("Documents over labels {a, b} whose ROOT satisfies each rule, "
+              "counted exactly per document size:\n\n");
+  std::printf("%-44s %10s %12s %14s\n", "rule", "n<=5", "n<=8", "n<=11");
+  // Baseline: all trees (Catalan(n-1) * 2^n).
+  int64_t all5 = 0, all8 = 0, all11 = 0;
+  for (int n = 1; n <= 11; ++n) {
+    const int64_t shapes = xptc::CountTreeShapes(n);
+    int64_t labelings = 1;
+    for (int i = 0; i < n; ++i) labelings *= 2;
+    const int64_t total = shapes * labelings;
+    if (n <= 5) all5 += total;
+    if (n <= 8) all8 += total;
+    all11 += total;
+  }
+  std::printf("%-44s %10lld %12lld %14lld\n", "(all documents)",
+              static_cast<long long>(all5), static_cast<long long>(all8),
+              static_cast<long long>(all11));
+
+  for (const Rule& rule : rules) {
+    xptc::NodePtr query =
+        xptc::ParseNode(rule.query, &alphabet).ValueOrDie();
+    xptc::Result<xptc::Dfta> dfta =
+        xptc::DownwardQueryToDfta(*query, &alphabet, labels);
+    if (!dfta.ok()) {
+      std::printf("%-44s %s\n", rule.description,
+                  dfta.status().ToString().c_str());
+      continue;
+    }
+    const std::vector<int64_t> counts = dfta->CountAcceptedTrees(11);
+    auto cumulative = [&](int up_to) {
+      int64_t total = 0;
+      for (int n = 0; n <= up_to; ++n) total += counts[static_cast<size_t>(n)];
+      return total;
+    };
+    std::printf("%-44s %10lld %12lld %14lld\n", rule.description,
+                static_cast<long long>(cumulative(5)),
+                static_cast<long long>(cumulative(8)),
+                static_cast<long long>(cumulative(11)));
+  }
+
+  std::printf("\nSanity: the counts for 'root is labelled a' must be exactly "
+              "half of all documents — %s.\n",
+              "check the first row against the baseline");
+  std::printf("Counts are computed by DP over DFTA states (E10 pipeline), "
+              "so the n<=11 column covers %lld documents without "
+              "enumerating any of them.\n",
+              static_cast<long long>(all11));
+  return 0;
+}

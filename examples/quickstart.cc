@@ -1,0 +1,80 @@
+// Quickstart: load an XML document, run Core XPath / Regular XPath(W)
+// queries against it, and inspect the results.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "xptc.h"
+
+namespace {
+
+// Every XML talk needs its own example document.
+const char* kDocument = R"(<?xml version="1.0" encoding="UTF-8"?>
+<talk date="15-Dec-2010">
+  <speaker uni="Leicester">T. Litak</speaker>
+  <title><i>XPath</i> from a Logical Point of View</title>
+  <location><i>ATT LT3</i><b>Leicester</b></location>
+</talk>)";
+
+void RunQuery(const xptc::Tree& tree, xptc::Alphabet* alphabet,
+              const std::string& query_text) {
+  xptc::Result<xptc::NodePtr> query = xptc::ParseNode(query_text, alphabet);
+  if (!query.ok()) {
+    std::printf("  %-42s  parse error: %s\n", query_text.c_str(),
+                query.status().ToString().c_str());
+    return;
+  }
+  const xptc::Bitset answers = xptc::EvalNodeSet(tree, **query);
+  std::string nodes;
+  for (int v = answers.FindFirst(); v >= 0; v = answers.FindNext(v)) {
+    if (!nodes.empty()) nodes += ", ";
+    nodes += alphabet->Name(tree.Label(v)) + "@" + std::to_string(v);
+  }
+  std::printf("  %-42s  -> {%s}\n", query_text.c_str(), nodes.c_str());
+}
+
+}  // namespace
+
+int main() {
+  xptc::Alphabet alphabet;
+  xptc::Result<xptc::Tree> document = xptc::ParseXml(kDocument, &alphabet);
+  if (!document.ok()) {
+    std::printf("XML error: %s\n", document.status().ToString().c_str());
+    return 1;
+  }
+  const xptc::Tree& tree = *document;
+
+  std::printf("Document structure: %s\n", tree.ToTerm(alphabet).c_str());
+  std::printf("%d nodes, height %d\n\n", tree.size(), tree.Height());
+
+  std::printf("Node-expression queries (answer = set of matching nodes):\n");
+  // Which elements are <i>?
+  RunQuery(tree, &alphabet, "i");
+  // Elements with an <i> child.
+  RunQuery(tree, &alphabet, "<child[i]>");
+  // Elements somewhere under <talk> that are leaves.
+  RunQuery(tree, &alphabet, "<anc[talk]> and leaf");
+  // Elements with a following sibling <b>.
+  RunQuery(tree, &alphabet, "<fsib[b]>");
+  // Regular XPath: nodes reachable from a <talk> ancestor by alternating
+  // child steps landing on <i>.
+  RunQuery(tree, &alphabet, "<(child)*[i]> and not i");
+  // Regular XPath(W): nodes whose own subtree contains both <i> and <b>.
+  RunQuery(tree, &alphabet, "W(<desc[i]> and <desc[b]>)");
+
+  std::printf("\nPath-expression query from the root (document order):\n");
+  xptc::PathPtr path =
+      xptc::ParsePath("desc[location]/child", &alphabet).ValueOrDie();
+  const std::vector<xptc::NodeId> reachable =
+      xptc::EvalPathFrom(tree, *path, tree.root());
+  std::printf("  desc[location]/child from root ->");
+  for (xptc::NodeId v : reachable) {
+    std::printf(" %s@%d", alphabet.Name(tree.Label(v)).c_str(), v);
+  }
+  std::printf("\n\nRe-serialized document:\n%s",
+              xptc::WriteXml(tree, alphabet).c_str());
+  return 0;
+}

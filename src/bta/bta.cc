@@ -1,0 +1,537 @@
+#include "bta/bta.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+
+namespace xptc {
+
+namespace {
+
+// Bottom-up possible-state sets over the FCNS encoding. Nodes are processed
+// in reverse preorder: both the first child and the next sibling of a node
+// have larger preorder ids, so their sets are ready.
+std::vector<std::set<int>> PossibleStates(const Nfta& nfta, const Tree& tree) {
+  std::vector<std::set<int>> states(static_cast<size_t>(tree.size()));
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {
+    const NodeId fc = tree.FirstChild(v);
+    const NodeId ns = tree.NextSibling(v);
+    const Symbol label = tree.Label(v);
+    std::set<int>& out = states[static_cast<size_t>(v)];
+    for (const NftaTransition& t : nfta.transitions) {
+      if (t.label != label) continue;
+      const bool left_ok =
+          t.left == kNilLeg
+              ? fc == kNoNode
+              : fc != kNoNode &&
+                    states[static_cast<size_t>(fc)].count(t.left) > 0;
+      if (!left_ok) continue;
+      const bool right_ok =
+          t.right == kNilLeg
+              ? ns == kNoNode
+              : ns != kNoNode &&
+                    states[static_cast<size_t>(ns)].count(t.right) > 0;
+      if (!right_ok) continue;
+      out.insert(t.target);
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+Status Nfta::Validate() const {
+  if (num_states <= 0) {
+    return Status::InvalidArgument("NFTA must have at least one state");
+  }
+  auto state_ok = [this](int state) {
+    return state >= 0 && state < num_states;
+  };
+  auto leg_ok = [&](int leg) { return leg == kNilLeg || state_ok(leg); };
+  for (int state : accepting_states) {
+    if (!state_ok(state)) {
+      return Status::InvalidArgument("accepting state out of range");
+    }
+  }
+  for (const NftaTransition& t : transitions) {
+    if (!leg_ok(t.left) || !leg_ok(t.right) || !state_ok(t.target)) {
+      return Status::InvalidArgument("transition state out of range");
+    }
+    if (std::find(alphabet.begin(), alphabet.end(), t.label) ==
+        alphabet.end()) {
+      return Status::InvalidArgument("transition label not in alphabet");
+    }
+  }
+  return Status::OK();
+}
+
+bool Nfta::Accepts(const Tree& tree) const {
+  const std::vector<std::set<int>> states = PossibleStates(*this, tree);
+  // The root's next sibling is nil by construction, so transitions with a
+  // non-nil right leg never fired there — PossibleStates handles it.
+  const std::set<int>& root_states = states[0];
+  for (int state : accepting_states) {
+    if (root_states.count(state) > 0) return true;
+  }
+  return false;
+}
+
+bool Nfta::IsEmpty() const {
+  // Saturate the set D of states derivable at some node (in any context).
+  std::vector<bool> derivable(static_cast<size_t>(num_states), false);
+  bool changed = true;
+  auto leg_satisfiable = [&](int leg) {
+    return leg == kNilLeg || derivable[static_cast<size_t>(leg)];
+  };
+  while (changed) {
+    changed = false;
+    for (const NftaTransition& t : transitions) {
+      if (derivable[static_cast<size_t>(t.target)]) continue;
+      if (leg_satisfiable(t.left) && leg_satisfiable(t.right)) {
+        derivable[static_cast<size_t>(t.target)] = true;
+        changed = true;
+      }
+    }
+  }
+  // A tree exists iff some accepting state is derivable at a root position:
+  // via a transition whose right leg is nil (the root has no sibling).
+  for (const NftaTransition& t : transitions) {
+    if (t.right != kNilLeg) continue;
+    if (!leg_satisfiable(t.left)) continue;
+    if (std::find(accepting_states.begin(), accepting_states.end(),
+                  t.target) != accepting_states.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Dfta Nfta::Determinize() const {
+  // Subset construction. Subset index 0 is reserved for NIL (the absent
+  // child); node subsets (including the empty "dead" subset) follow.
+  std::map<std::set<int>, int> subset_index;
+  std::vector<std::set<int>> subsets;
+  auto intern = [&](const std::set<int>& subset) {
+    auto it = subset_index.find(subset);
+    if (it != subset_index.end()) return it->second;
+    const int index = static_cast<int>(subsets.size()) + 1;  // 0 = NIL
+    subset_index.emplace(subset, index);
+    subsets.push_back(subset);
+    return index;
+  };
+
+  // δ̂(A, B, label) where A/B are subset indices (0 = NIL).
+  auto image = [&](int a_index, int b_index, Symbol label) {
+    std::set<int> out;
+    for (const NftaTransition& t : transitions) {
+      if (t.label != label) continue;
+      const bool left_ok =
+          t.left == kNilLeg
+              ? a_index == 0
+              : a_index != 0 &&
+                    subsets[static_cast<size_t>(a_index - 1)].count(t.left) >
+                        0;
+      if (!left_ok) continue;
+      const bool right_ok =
+          t.right == kNilLeg
+              ? b_index == 0
+              : b_index != 0 &&
+                    subsets[static_cast<size_t>(b_index - 1)].count(t.right) >
+                        0;
+      if (!right_ok) continue;
+      out.insert(t.target);
+    }
+    return out;
+  };
+
+  // Discover reachable subsets to a fixpoint, recording transitions.
+  struct Entry {
+    int left, right, label_idx, target;
+  };
+  std::vector<Entry> entries;
+  int discovered = 1;  // NIL
+  size_t processed_pairs = 0;
+  // Pair worklist grows as subsets are discovered; iterate until stable.
+  std::vector<std::pair<int, int>> pairs;
+  auto refresh_pairs = [&]() {
+    pairs.clear();
+    for (int a = 0; a < discovered; ++a) {
+      for (int b = 0; b < discovered; ++b) pairs.emplace_back(a, b);
+    }
+  };
+  refresh_pairs();
+  while (processed_pairs < pairs.size()) {
+    const auto [a, b] = pairs[processed_pairs++];
+    for (size_t li = 0; li < alphabet.size(); ++li) {
+      const int target = intern(image(a, b, alphabet[li]));
+      entries.push_back({a, b, static_cast<int>(li), target});
+      if (target >= discovered) {
+        discovered = target + 1;
+        refresh_pairs();
+        processed_pairs = 0;  // conservative: reprocess (small automata)
+        entries.clear();
+      }
+    }
+  }
+
+  Dfta dfta(discovered, alphabet);
+  dfta.set_nil_state(0);
+  for (const Entry& entry : entries) {
+    dfta.SetDelta(entry.left, entry.right, alphabet[entry.label_idx],
+                  entry.target);
+  }
+  for (int i = 1; i < discovered; ++i) {
+    const std::set<int>& subset = subsets[static_cast<size_t>(i - 1)];
+    const bool accepting =
+        std::any_of(accepting_states.begin(), accepting_states.end(),
+                    [&](int q) { return subset.count(q) > 0; });
+    dfta.SetAccepting(i, accepting);
+  }
+  return dfta;
+}
+
+Dfta::Dfta(int num_states, std::vector<Symbol> alphabet)
+    : num_states_(num_states),
+      accepting_(static_cast<size_t>(num_states), false),
+      alphabet_(std::move(alphabet)) {
+  XPTC_CHECK_GT(num_states, 0);
+  XPTC_CHECK(!alphabet_.empty());
+  for (size_t i = 0; i < alphabet_.size(); ++i) {
+    label_index_.emplace(alphabet_[i], static_cast<int>(i));
+  }
+  delta_.assign(static_cast<size_t>(num_states) * num_states *
+                    alphabet_.size(),
+                -1);
+}
+
+int Dfta::LabelIndex(Symbol label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? -1 : it->second;
+}
+
+int Dfta::Delta(int left, int right, Symbol label) const {
+  const int li = LabelIndex(label);
+  if (li < 0) return -1;
+  return delta_[TableIndex(left, right, li)];
+}
+
+void Dfta::SetDelta(int left, int right, Symbol label, int target) {
+  const int li = LabelIndex(label);
+  XPTC_CHECK_GE(li, 0);
+  XPTC_CHECK(target >= -1 && target < num_states_);
+  delta_[TableIndex(left, right, li)] = target;
+}
+
+Status Dfta::Validate() const {
+  if (nil_state_ < 0 || nil_state_ >= num_states_) {
+    return Status::InvalidArgument("nil state out of range");
+  }
+  if (accepting_[static_cast<size_t>(nil_state_)]) {
+    return Status::InvalidArgument(
+        "the nil state cannot be accepting (no tree maps to it)");
+  }
+  return Status::OK();
+}
+
+bool Dfta::Accepts(const Tree& tree) const {
+  std::vector<int> state(static_cast<size_t>(tree.size()));
+  for (NodeId v = tree.size() - 1; v >= 0; --v) {
+    const NodeId fc = tree.FirstChild(v);
+    const NodeId ns = tree.NextSibling(v);
+    const int left = fc == kNoNode ? nil_state_
+                                   : state[static_cast<size_t>(fc)];
+    const int right = ns == kNoNode ? nil_state_
+                                    : state[static_cast<size_t>(ns)];
+    if (left < 0 || right < 0) {
+      state[static_cast<size_t>(v)] = -1;
+      continue;
+    }
+    state[static_cast<size_t>(v)] = Delta(left, right, tree.Label(v));
+  }
+  const int root_state = state[0];
+  return root_state >= 0 && accepting_[static_cast<size_t>(root_state)];
+}
+
+Nfta Dfta::ToNfta() const {
+  Nfta nfta;
+  nfta.num_states = num_states_;
+  nfta.alphabet = alphabet_;
+  for (int q = 0; q < num_states_; ++q) {
+    if (accepting_[static_cast<size_t>(q)]) nfta.accepting_states.push_back(q);
+  }
+  for (int l = 0; l < num_states_; ++l) {
+    for (int r = 0; r < num_states_; ++r) {
+      for (size_t li = 0; li < alphabet_.size(); ++li) {
+        const int target = delta_[TableIndex(l, r, static_cast<int>(li))];
+        if (target < 0) continue;
+        // In the DFTA, nil children contribute nil_state_; in the NFTA,
+        // absent children match kNilLeg. A leg equal to nil_state_ can mean
+        // either an absent child or a real node in that state.
+        std::vector<int> lefts = {l};
+        if (l == nil_state_) lefts.push_back(kNilLeg);
+        std::vector<int> rights = {r};
+        if (r == nil_state_) rights.push_back(kNilLeg);
+        for (int ll : lefts) {
+          for (int rr : rights) {
+            nfta.transitions.push_back({ll, rr, alphabet_[li], target});
+          }
+        }
+      }
+    }
+  }
+  return nfta;
+}
+
+bool Dfta::IsEmpty() const { return ToNfta().IsEmpty(); }
+
+Dfta Dfta::Complete() const {
+  bool missing = false;
+  for (int value : delta_) {
+    if (value < 0) {
+      missing = true;
+      break;
+    }
+  }
+  if (!missing) return *this;
+  Dfta out(num_states_ + 1, alphabet_);
+  out.nil_state_ = nil_state_;
+  const int sink = num_states_;
+  for (int q = 0; q < num_states_; ++q) {
+    out.accepting_[static_cast<size_t>(q)] = accepting_[static_cast<size_t>(q)];
+  }
+  for (int l = 0; l <= num_states_; ++l) {
+    for (int r = 0; r <= num_states_; ++r) {
+      for (const Symbol label : alphabet_) {
+        int target = sink;
+        if (l < num_states_ && r < num_states_) {
+          const int original = Delta(l, r, label);
+          target = original < 0 ? sink : original;
+        }
+        out.SetDelta(l, r, label, target);
+      }
+    }
+  }
+  return out;
+}
+
+Dfta Dfta::Complement() const {
+  Dfta total = Complete();
+  for (int q = 0; q < total.num_states_; ++q) {
+    if (q == total.nil_state_) continue;  // nil never labels a subtree
+    total.accepting_[static_cast<size_t>(q)] =
+        !total.accepting_[static_cast<size_t>(q)];
+  }
+  return total;
+}
+
+Dfta Dfta::Product(const Dfta& a_in, const Dfta& b_in, BoolOp op) {
+  XPTC_CHECK(a_in.alphabet_ == b_in.alphabet_)
+      << "product requires identical alphabets";
+  const Dfta a = a_in.Complete();
+  const Dfta b = b_in.Complete();
+  const int na = a.num_states_;
+  const int nb = b.num_states_;
+  Dfta out(na * nb, a.alphabet_);
+  auto pair_index = [nb](int qa, int qb) { return qa * nb + qb; };
+  out.nil_state_ = pair_index(a.nil_state_, b.nil_state_);
+  for (int qa = 0; qa < na; ++qa) {
+    for (int qb = 0; qb < nb; ++qb) {
+      const bool in_a = a.accepting_[static_cast<size_t>(qa)];
+      const bool in_b = b.accepting_[static_cast<size_t>(qb)];
+      bool accepting = false;
+      switch (op) {
+        case BoolOp::kAnd:
+          accepting = in_a && in_b;
+          break;
+        case BoolOp::kOr:
+          accepting = in_a || in_b;
+          break;
+        case BoolOp::kXor:
+          accepting = in_a != in_b;
+          break;
+        case BoolOp::kDiff:
+          accepting = in_a && !in_b;
+          break;
+      }
+      out.accepting_[static_cast<size_t>(pair_index(qa, qb))] = accepting;
+    }
+  }
+  // The nil pair must not be accepting even under kXor of asymmetric
+  // automata — no tree evaluates to it.
+  out.accepting_[static_cast<size_t>(out.nil_state_)] = false;
+  for (int la = 0; la < na; ++la) {
+    for (int lb = 0; lb < nb; ++lb) {
+      for (int ra = 0; ra < na; ++ra) {
+        for (int rb = 0; rb < nb; ++rb) {
+          for (const Symbol label : a.alphabet_) {
+            const int ta = a.Delta(la, ra, label);
+            const int tb = b.Delta(lb, rb, label);
+            XPTC_DCHECK(ta >= 0 && tb >= 0);
+            out.SetDelta(pair_index(la, lb), pair_index(ra, rb), label,
+                         pair_index(ta, tb));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool Dfta::Equivalent(const Dfta& a, const Dfta& b) {
+  return Product(a, b, BoolOp::kXor).IsEmpty();
+}
+
+std::vector<int64_t> Dfta::CountAcceptedTrees(int max_nodes) const {
+  XPTC_CHECK_GE(max_nodes, 0);
+  static constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  auto saturating_add = [](int64_t a, int64_t b) {
+    return a > kMax - b ? kMax : a + b;
+  };
+  auto saturating_mul = [](int64_t a, int64_t b) -> int64_t {
+    if (a == 0 || b == 0) return 0;
+    if (a > kMax / b) return kMax;
+    return a * b;
+  };
+  const int n = num_states_;
+  // forest[q][m] = number of sibling forests with m nodes in total whose
+  // head node evaluates to state q. Built by increasing m: the head node
+  // contributes 1 node, its child forest mc nodes and its sibling tail mt
+  // nodes (mc + mt = m - 1), each independently counted (or absent = nil).
+  std::vector<std::vector<int64_t>> forest(
+      static_cast<size_t>(n),
+      std::vector<int64_t>(static_cast<size_t>(max_nodes) + 1, 0));
+  auto count_leg = [&](int state, int m) -> int64_t {
+    // Number of ways a leg in `state` consumes m nodes: the nil state
+    // additionally admits the empty (absent) option at m == 0.
+    int64_t ways = forest[static_cast<size_t>(state)][static_cast<size_t>(m)];
+    if (state == nil_state_ && m == 0) ways = saturating_add(ways, 1);
+    return ways;
+  };
+  for (int m = 1; m <= max_nodes; ++m) {
+    for (int l = 0; l < n; ++l) {
+      for (int r = 0; r < n; ++r) {
+        for (const Symbol label : alphabet_) {
+          const int target = Delta(l, r, label);
+          if (target < 0) continue;
+          int64_t ways = 0;
+          for (int mc = 0; mc <= m - 1; ++mc) {
+            ways = saturating_add(
+                ways, saturating_mul(count_leg(l, mc),
+                                     count_leg(r, m - 1 - mc)));
+          }
+          auto& cell =
+              forest[static_cast<size_t>(target)][static_cast<size_t>(m)];
+          cell = saturating_add(cell, ways);
+        }
+      }
+    }
+  }
+  // A tree is a forest whose head has no sibling tail: its state was
+  // produced with the right leg consuming 0 nodes via nil. That is not
+  // directly recoverable from `forest`, so recompute the tree counts with
+  // the right leg pinned to nil.
+  std::vector<int64_t> accepted(static_cast<size_t>(max_nodes) + 1, 0);
+  for (int m = 1; m <= max_nodes; ++m) {
+    for (int l = 0; l < n; ++l) {
+      for (const Symbol label : alphabet_) {
+        const int target = Delta(l, nil_state_, label);
+        if (target < 0 || !accepting_[static_cast<size_t>(target)]) continue;
+        accepted[static_cast<size_t>(m)] = saturating_add(
+            accepted[static_cast<size_t>(m)], count_leg(l, m - 1));
+      }
+    }
+  }
+  return accepted;
+}
+
+Dfta Dfta::Minimize() const {
+  const Dfta total = Complete();
+  const int n = total.num_states_;
+  // 1. Restrict to bottom-up reachable states (nil is reachable by
+  // definition; others via closure under the transition table).
+  std::vector<bool> reachable(static_cast<size_t>(n), false);
+  reachable[static_cast<size_t>(total.nil_state_)] = true;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (int l = 0; l < n; ++l) {
+      if (!reachable[static_cast<size_t>(l)]) continue;
+      for (int r = 0; r < n; ++r) {
+        if (!reachable[static_cast<size_t>(r)]) continue;
+        for (const Symbol label : total.alphabet_) {
+          const int target = total.Delta(l, r, label);
+          if (!reachable[static_cast<size_t>(target)]) {
+            reachable[static_cast<size_t>(target)] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  std::vector<int> live;
+  for (int q = 0; q < n; ++q) {
+    if (reachable[static_cast<size_t>(q)]) live.push_back(q);
+  }
+
+  // 2. Moore-style partition refinement over the live states: split by
+  // acceptance, then by the class of every one-step context until stable.
+  std::vector<int> klass(static_cast<size_t>(n), -1);
+  for (int q : live) {
+    klass[static_cast<size_t>(q)] =
+        total.accepting_[static_cast<size_t>(q)] ? 1 : 0;
+  }
+  int num_classes = 2;
+  for (bool changed = true; changed;) {
+    changed = false;
+    std::map<std::vector<int>, int> signature_class;
+    std::vector<int> next_class(static_cast<size_t>(n), -1);
+    for (int q : live) {
+      std::vector<int> signature;
+      signature.push_back(klass[static_cast<size_t>(q)]);
+      for (int s : live) {
+        for (const Symbol label : total.alphabet_) {
+          signature.push_back(
+              klass[static_cast<size_t>(total.Delta(q, s, label))]);
+          signature.push_back(
+              klass[static_cast<size_t>(total.Delta(s, q, label))]);
+        }
+      }
+      auto [it, inserted] = signature_class.emplace(
+          std::move(signature), static_cast<int>(signature_class.size()));
+      next_class[static_cast<size_t>(q)] = it->second;
+      (void)inserted;
+    }
+    const int new_count = static_cast<int>(signature_class.size());
+    if (new_count != num_classes) changed = true;
+    klass = std::move(next_class);
+    num_classes = new_count;
+  }
+
+  // 3. Quotient automaton.
+  Dfta out(num_classes, total.alphabet_);
+  out.nil_state_ = klass[static_cast<size_t>(total.nil_state_)];
+  std::vector<int> representative(static_cast<size_t>(num_classes), -1);
+  for (int q : live) {
+    const int c = klass[static_cast<size_t>(q)];
+    if (representative[static_cast<size_t>(c)] < 0) {
+      representative[static_cast<size_t>(c)] = q;
+      out.accepting_[static_cast<size_t>(c)] =
+          total.accepting_[static_cast<size_t>(q)];
+    }
+  }
+  for (int lc = 0; lc < num_classes; ++lc) {
+    for (int rc = 0; rc < num_classes; ++rc) {
+      for (const Symbol label : total.alphabet_) {
+        const int target =
+            total.Delta(representative[static_cast<size_t>(lc)],
+                        representative[static_cast<size_t>(rc)], label);
+        out.SetDelta(lc, rc, label, klass[static_cast<size_t>(target)]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xptc

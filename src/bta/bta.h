@@ -1,0 +1,143 @@
+#ifndef XPTC_BTA_BTA_H_
+#define XPTC_BTA_BTA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace xptc {
+
+class Dfta;
+
+/// Bottom-up automata over unranked trees via the first-child/next-sibling
+/// (FCNS) binary encoding: each tree node's state is a function of the
+/// state of its first child (or nil), the state of its next sibling (or
+/// nil), and its label. Bottom-up automata capture exactly the regular
+/// (≡ MSO-definable) tree languages — the yardstick class against which the
+/// paper separates nested tree-walking automata (Theorem T3).
+struct NftaTransition {
+  int left;      // state at the first child, or kNilLeg
+  int right;     // state at the next sibling, or kNilLeg
+  Symbol label;  // node label
+  int target;
+};
+
+/// Sentinel leg meaning "the nil child": matches when the corresponding
+/// child is absent *and* additionally any state in `nil_states` matches if
+/// listed explicitly.
+inline constexpr int kNilLeg = -1;
+
+/// Nondeterministic bottom-up tree automaton. A run assigns each node a
+/// state consistent with some transition whose legs match the first child /
+/// next sibling (kNilLeg when absent); the tree is accepted iff the root
+/// can be assigned an accepting state (the root's next-sibling leg is nil
+/// by construction).
+class Nfta {
+ public:
+  int num_states = 0;
+  std::vector<int> accepting_states;
+  std::vector<NftaTransition> transitions;
+  /// The label universe the automaton is total over; labels outside it
+  /// never match any transition.
+  std::vector<Symbol> alphabet;
+
+  Status Validate() const;
+
+  /// Membership in O(|Δ| · n) by bottom-up possible-state sets.
+  bool Accepts(const Tree& tree) const;
+
+  /// Language emptiness by derivable-state saturation.
+  bool IsEmpty() const;
+
+  /// Subset construction; the result is total over `alphabet`.
+  Dfta Determinize() const;
+};
+
+/// Deterministic bottom-up tree automaton, total over its alphabet (a dense
+/// transition table with an implicit-reject entry of -1; `Complete()`
+/// materializes a sink making it truly total, which complementation
+/// requires and performs automatically).
+class Dfta {
+ public:
+  Dfta() = default;
+  Dfta(int num_states, std::vector<Symbol> alphabet);
+
+  int num_states() const { return num_states_; }
+  const std::vector<Symbol>& alphabet() const { return alphabet_; }
+  int nil_state() const { return nil_state_; }
+  void set_nil_state(int state) { nil_state_ = state; }
+  bool IsAccepting(int state) const {
+    return accepting_[static_cast<size_t>(state)];
+  }
+  void SetAccepting(int state, bool accepting) {
+    accepting_[static_cast<size_t>(state)] = accepting;
+  }
+
+  /// Transition entry; -1 means "no transition" (implicit reject).
+  int Delta(int left, int right, Symbol label) const;
+  void SetDelta(int left, int right, Symbol label, int target);
+
+  Status Validate() const;
+
+  /// Membership in O(n). Labels outside the alphabet reject.
+  bool Accepts(const Tree& tree) const;
+
+  /// True iff no tree is accepted.
+  bool IsEmpty() const;
+
+  /// Adds an explicit sink so every (left, right, label) has a transition.
+  Dfta Complete() const;
+
+  /// Complement over the automaton's alphabet (completes first).
+  Dfta Complement() const;
+
+  /// Boolean combiner for `Product`.
+  enum class BoolOp { kAnd, kOr, kXor, kDiff };
+
+  /// Product automaton; acceptance combined with `op`. Both automata must
+  /// share the same alphabet (completion is applied internally).
+  static Dfta Product(const Dfta& a, const Dfta& b, BoolOp op);
+
+  /// Language equivalence over the shared alphabet (symmetric difference
+  /// emptiness).
+  static bool Equivalent(const Dfta& a, const Dfta& b);
+
+  /// Myhill–Nerode style minimization by partition refinement: merges
+  /// states indistinguishable in every one-step context, after restricting
+  /// to states reachable bottom-up. The result accepts the same language
+  /// with the minimum number of live states (plus a possible sink).
+  Dfta Minimize() const;
+
+  /// Model counting: result[n] is the number of accepted trees with
+  /// exactly n nodes (labels drawn from the automaton's alphabet), for
+  /// n = 0..max_nodes. Dynamic programming over the FCNS encoding;
+  /// saturates at INT64_MAX on overflow.
+  std::vector<int64_t> CountAcceptedTrees(int max_nodes) const;
+
+  /// View as an NFTA (for emptiness via the shared saturation routine).
+  Nfta ToNfta() const;
+
+ private:
+  int LabelIndex(Symbol label) const;
+  size_t TableIndex(int left, int right, int label_index) const {
+    return (static_cast<size_t>(left) * static_cast<size_t>(num_states_) +
+            static_cast<size_t>(right)) *
+               alphabet_.size() +
+           static_cast<size_t>(label_index);
+  }
+
+  int num_states_ = 0;
+  int nil_state_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<Symbol> alphabet_;
+  std::unordered_map<Symbol, int> label_index_;
+  std::vector<int> delta_;  // dense (left, right, label) → state or -1
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_BTA_BTA_H_

@@ -1,0 +1,112 @@
+#include "bta/languages.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xptc {
+
+Dfta HasLabelDfta(const std::vector<Symbol>& universe, Symbol target) {
+  // States: 0 = not found (in the subtree-plus-right-siblings region),
+  // 1 = found, 2 = nil.
+  Dfta dfta(3, universe);
+  dfta.set_nil_state(2);
+  dfta.SetAccepting(1, true);
+  for (int l = 0; l < 3; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      for (const Symbol label : universe) {
+        const bool found = label == target || l == 1 || r == 1;
+        dfta.SetDelta(l, r, label, found ? 1 : 0);
+      }
+    }
+  }
+  return dfta;
+}
+
+Dfta AllLabelsDfta(const std::vector<Symbol>& universe,
+                   const std::vector<Symbol>& allowed) {
+  // States: 0 = all allowed so far, 1 = some forbidden label, 2 = nil.
+  Dfta dfta(3, universe);
+  dfta.set_nil_state(2);
+  dfta.SetAccepting(0, true);
+  for (int l = 0; l < 3; ++l) {
+    for (int r = 0; r < 3; ++r) {
+      for (const Symbol label : universe) {
+        const bool label_ok = std::find(allowed.begin(), allowed.end(),
+                                        label) != allowed.end();
+        const bool good = label_ok && l != 1 && r != 1;
+        dfta.SetDelta(l, r, label, good ? 0 : 1);
+      }
+    }
+  }
+  return dfta;
+}
+
+Dfta CountModuloDfta(const std::vector<Symbol>& universe, Symbol target,
+                     int modulus, int residue) {
+  XPTC_CHECK_GT(modulus, 1);
+  XPTC_CHECK(residue >= 0 && residue < modulus);
+  // States 0..modulus-1 = count (mod modulus) of target labels in the
+  // region; state modulus = nil (counts as 0).
+  Dfta dfta(modulus + 1, universe);
+  dfta.set_nil_state(modulus);
+  dfta.SetAccepting(residue, true);
+  auto count_of = [&](int state) { return state == modulus ? 0 : state; };
+  for (int l = 0; l <= modulus; ++l) {
+    for (int r = 0; r <= modulus; ++r) {
+      for (const Symbol label : universe) {
+        const int count =
+            ((label == target ? 1 : 0) + count_of(l) + count_of(r)) % modulus;
+        dfta.SetDelta(l, r, label, count);
+      }
+    }
+  }
+  return dfta;
+}
+
+Dfta BooleanCircuitDfta(Symbol and_sym, Symbol or_sym, Symbol true_sym,
+                        Symbol false_sym) {
+  // State encodes (value of the node, AND over the node and its right
+  // siblings, OR over the node and its right siblings):
+  // index = value*4 + chain_and*2 + chain_or; nil = 8.
+  const std::vector<Symbol> universe = {and_sym, or_sym, true_sym, false_sym};
+  Dfta dfta(9, universe);
+  dfta.set_nil_state(8);
+  for (int value = 0; value <= 1; ++value) {
+    for (int ca = 0; ca <= 1; ++ca) {
+      for (int co = 0; co <= 1; ++co) {
+        if (value == 1) dfta.SetAccepting(value * 4 + ca * 2 + co, true);
+      }
+    }
+  }
+  auto chain_of = [](int state) {
+    // (chain_and, chain_or) carried by a state; nil = the empty sibling
+    // list: conjunction true, disjunction false.
+    if (state == 8) return std::pair<int, int>{1, 0};
+    return std::pair<int, int>{(state >> 1) & 1, state & 1};
+  };
+  for (int l = 0; l <= 8; ++l) {
+    for (int r = 0; r <= 8; ++r) {
+      const auto [children_and, children_or] = chain_of(l);
+      const auto [rest_and, rest_or] = chain_of(r);
+      for (const Symbol label : universe) {
+        int value;
+        if (label == true_sym) {
+          value = 1;
+        } else if (label == false_sym) {
+          value = 0;
+        } else if (label == and_sym) {
+          value = children_and;
+        } else {
+          value = children_or;
+        }
+        const int chain_and = value & rest_and;
+        const int chain_or = value | rest_or;
+        dfta.SetDelta(l, r, label, value * 4 + chain_and * 2 + chain_or);
+      }
+    }
+  }
+  return dfta;
+}
+
+}  // namespace xptc

@@ -1,0 +1,44 @@
+#ifndef XPTC_BTA_LANGUAGES_H_
+#define XPTC_BTA_LANGUAGES_H_
+
+#include <vector>
+
+#include "bta/bta.h"
+#include "common/alphabet.h"
+
+namespace xptc {
+
+/// Concrete regular tree languages used by tests and by the separation
+/// experiment (E7). Each returns a total DFTA over the given label universe.
+
+/// Trees containing at least one node labelled `target`. Easy for
+/// tree-walking automata (a nondeterministic search / deterministic DFS).
+Dfta HasLabelDfta(const std::vector<Symbol>& universe, Symbol target);
+
+/// Trees all of whose nodes carry labels from `allowed` (⊆ universe).
+Dfta AllLabelsDfta(const std::vector<Symbol>& universe,
+                   const std::vector<Symbol>& allowed);
+
+/// Trees in which the number of `target`-labelled nodes is ≡ residue
+/// (mod modulus). Doable by a DFS tree walk with mod-counting — but only
+/// with enough states; small walking automata fail.
+Dfta CountModuloDfta(const std::vector<Symbol>& universe, Symbol target,
+                     int modulus, int residue);
+
+/// Boolean-circuit evaluation: over labels {and_sym, or_sym, true_sym,
+/// false_sym}, a node labelled true/false has that constant value
+/// (children ignored); an `and` node is the conjunction of its children
+/// (empty = true); an `or` node the disjunction (empty = false). Accepts
+/// iff the root evaluates to true.
+///
+/// This is the canonical candidate for a regular language hard for
+/// tree-walking devices: evaluating it by walking seems to require
+/// remembering one bit per ancestor (an unbounded stack), which is the
+/// intuition behind the paper's separation theorem (T3). E7 searches for
+/// small deterministic TWA for it and reports the best agreement found.
+Dfta BooleanCircuitDfta(Symbol and_sym, Symbol or_sym, Symbol true_sym,
+                        Symbol false_sym);
+
+}  // namespace xptc
+
+#endif  // XPTC_BTA_LANGUAGES_H_

@@ -1,0 +1,68 @@
+#ifndef XPTC_COMMON_ALPHABET_H_
+#define XPTC_COMMON_ALPHABET_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xptc {
+
+/// Interned label identifier. Labels (XML element names / propositional
+/// letters) are interned once per `Alphabet` and referenced by dense ids,
+/// so trees and expressions compare labels by integer.
+using Symbol = int32_t;
+
+inline constexpr Symbol kInvalidSymbol = -1;
+
+/// String interner shared by trees, queries, formulas and automata that talk
+/// about the same documents. Append-only; symbols are dense [0, size).
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  // Alphabets are identity objects shared by pointer; copying one would
+  // silently decouple symbol spaces.
+  Alphabet(const Alphabet&) = delete;
+  Alphabet& operator=(const Alphabet&) = delete;
+
+  /// Returns the symbol for `name`, interning it if new.
+  Symbol Intern(std::string_view name) {
+    auto it = index_.find(std::string(name));
+    if (it != index_.end()) return it->second;
+    const Symbol symbol = static_cast<Symbol>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), symbol);
+    return symbol;
+  }
+
+  /// Returns the symbol for `name` or kInvalidSymbol if never interned.
+  Symbol Find(std::string_view name) const {
+    auto it = index_.find(std::string(name));
+    return it == index_.end() ? kInvalidSymbol : it->second;
+  }
+
+  /// Name of an interned symbol.
+  const std::string& Name(Symbol symbol) const {
+    XPTC_CHECK_GE(symbol, 0);
+    XPTC_CHECK_LT(static_cast<size_t>(symbol), names_.size());
+    return names_[static_cast<size_t>(symbol)];
+  }
+
+  /// Number of interned symbols.
+  int size() const { return static_cast<int>(names_.size()); }
+
+  bool Contains(Symbol symbol) const {
+    return symbol >= 0 && static_cast<size_t>(symbol) < names_.size();
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_COMMON_ALPHABET_H_

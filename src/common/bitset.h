@@ -1,0 +1,245 @@
+#ifndef XPTC_COMMON_BITSET_H_
+#define XPTC_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xptc {
+
+/// Dense dynamic bitset sized at construction; the workhorse node-set
+/// representation for evaluators (one bit per tree node).
+class Bitset {
+ public:
+  Bitset() : size_(0) {}
+  explicit Bitset(int size, bool value = false)
+      : size_(size),
+        words_(WordCount(size), value ? ~uint64_t{0} : uint64_t{0}) {
+    XPTC_CHECK_GE(size, 0);
+    ClearPadding();
+  }
+
+  int size() const { return size_; }
+
+  bool Get(int i) const {
+    XPTC_DCHECK(i >= 0 && i < size_);
+    return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
+  }
+  void Set(int i) {
+    XPTC_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i) >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Reset(int i) {
+    XPTC_DCHECK(i >= 0 && i < size_);
+    words_[static_cast<size_t>(i) >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  void Assign(int i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  void SetAll() {
+    for (auto& w : words_) w = ~uint64_t{0};
+    ClearPadding();
+  }
+  void ResetAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool Any() const {
+    for (auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  int Count() const {
+    int count = 0;
+    for (auto w : words_) count += __builtin_popcountll(w);
+    return count;
+  }
+
+  /// Index of the lowest set bit, or -1 if empty.
+  int FindFirst() const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return static_cast<int>(wi * 64) + __builtin_ctzll(words_[wi]);
+      }
+    }
+    return -1;
+  }
+
+  /// Index of the next set bit strictly after `i`, or -1.
+  int FindNext(int i) const {
+    ++i;
+    if (i >= size_) return -1;
+    size_t wi = static_cast<size_t>(i) >> 6;
+    uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63));
+    for (;;) {
+      if (w != 0) return static_cast<int>(wi * 64) + __builtin_ctzll(w);
+      if (++wi == words_.size()) return -1;
+      w = words_[wi];
+    }
+  }
+
+  Bitset& operator|=(const Bitset& other) {
+    XPTC_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  Bitset& operator&=(const Bitset& other) {
+    XPTC_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  Bitset& operator^=(const Bitset& other) {
+    XPTC_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+  /// Removes all bits present in `other`.
+  Bitset& Subtract(const Bitset& other) {
+    XPTC_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+  /// Complements in place (within [0, size)).
+  Bitset& Flip() {
+    for (auto& w : words_) w = ~w;
+    ClearPadding();
+    return *this;
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const Bitset& other) const { return !(*this == other); }
+
+  /// True if this set is a subset of `other`.
+  bool IsSubsetOf(const Bitset& other) const {
+    XPTC_DCHECK(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Materializes the set as a sorted index vector.
+  std::vector<int> ToVector() const {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(Count()));
+    for (int i = FindFirst(); i >= 0; i = FindNext(i)) out.push_back(i);
+    return out;
+  }
+
+ private:
+  static size_t WordCount(int size) {
+    return (static_cast<size_t>(size) + 63) / 64;
+  }
+  void ClearPadding() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (~uint64_t{0}) >> (64 - size_ % 64);
+    }
+  }
+
+  int size_;
+  std::vector<uint64_t> words_;
+};
+
+/// Square boolean matrix over node ids; the explicit binary-relation
+/// representation used by the naive (reference) evaluator.
+class BitMatrix {
+ public:
+  BitMatrix() : n_(0) {}
+  explicit BitMatrix(int n) : n_(n), rows_(static_cast<size_t>(n), Bitset(n)) {}
+
+  int n() const { return n_; }
+  bool Get(int i, int j) const { return rows_[static_cast<size_t>(i)].Get(j); }
+  void Set(int i, int j) { rows_[static_cast<size_t>(i)].Set(j); }
+  const Bitset& Row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  Bitset& Row(int i) { return rows_[static_cast<size_t>(i)]; }
+
+  /// Sets the identity relation bits.
+  void SetDiagonal() {
+    for (int i = 0; i < n_; ++i) rows_[static_cast<size_t>(i)].Set(i);
+  }
+
+  BitMatrix& operator|=(const BitMatrix& other) {
+    XPTC_DCHECK(n_ == other.n_);
+    for (int i = 0; i < n_; ++i) rows_[static_cast<size_t>(i)] |= other.Row(i);
+    return *this;
+  }
+
+  /// Relational composition: result(i,k) iff ∃j. this(i,j) ∧ other(j,k).
+  BitMatrix Compose(const BitMatrix& other) const {
+    XPTC_DCHECK(n_ == other.n_);
+    BitMatrix result(n_);
+    for (int i = 0; i < n_; ++i) {
+      const Bitset& row = Row(i);
+      Bitset& out = result.Row(i);
+      for (int j = row.FindFirst(); j >= 0; j = row.FindNext(j)) {
+        out |= other.Row(j);
+      }
+    }
+    return result;
+  }
+
+  /// Transitive closure (not reflexive) by iterated squaring over rows
+  /// (Warshall on bitset rows).
+  BitMatrix TransitiveClosure() const {
+    BitMatrix result = *this;
+    for (int k = 0; k < n_; ++k) {
+      const Bitset via = result.Row(k);  // copy: row k may gain bits
+      for (int i = 0; i < n_; ++i) {
+        if (result.Get(i, k)) result.Row(i) |= via;
+      }
+    }
+    return result;
+  }
+
+  /// Converse relation (transpose).
+  BitMatrix Transpose() const {
+    BitMatrix result(n_);
+    for (int i = 0; i < n_; ++i) {
+      const Bitset& row = Row(i);
+      for (int j = row.FindFirst(); j >= 0; j = row.FindNext(j)) {
+        result.Set(j, i);
+      }
+    }
+    return result;
+  }
+
+  bool operator==(const BitMatrix& other) const {
+    return n_ == other.n_ && rows_ == other.rows_;
+  }
+  bool operator!=(const BitMatrix& other) const { return !(*this == other); }
+
+  /// Set of sources: {i : ∃j. (i,j)}.
+  Bitset Domain() const {
+    Bitset out(n_);
+    for (int i = 0; i < n_; ++i) {
+      if (rows_[static_cast<size_t>(i)].Any()) out.Set(i);
+    }
+    return out;
+  }
+
+  /// Set of targets: {j : ∃i. (i,j)}.
+  Bitset Range() const {
+    Bitset out(n_);
+    for (int i = 0; i < n_; ++i) out |= rows_[static_cast<size_t>(i)];
+    return out;
+  }
+
+ private:
+  int n_;
+  std::vector<Bitset> rows_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_COMMON_BITSET_H_

@@ -1,0 +1,62 @@
+#ifndef XPTC_COMMON_CHECK_H_
+#define XPTC_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace xptc {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the XPTC_CHECK macros; a failed check is a library bug,
+/// never a recoverable condition (those use Status).
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct CheckVoidify {
+  // Lowest-precedence operator so the macro can swallow the stream.
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal
+}  // namespace xptc
+
+/// Aborts with a message if `condition` is false. Streams extra context:
+///   XPTC_CHECK(a < b) << "a=" << a;
+#define XPTC_CHECK(condition)                            \
+  (condition) ? (void)0                                  \
+              : ::xptc::internal::CheckVoidify() &       \
+                    ::xptc::internal::CheckFailStream(   \
+                        __FILE__, __LINE__, #condition)
+
+#define XPTC_CHECK_EQ(a, b) XPTC_CHECK((a) == (b))
+#define XPTC_CHECK_NE(a, b) XPTC_CHECK((a) != (b))
+#define XPTC_CHECK_LT(a, b) XPTC_CHECK((a) < (b))
+#define XPTC_CHECK_LE(a, b) XPTC_CHECK((a) <= (b))
+#define XPTC_CHECK_GT(a, b) XPTC_CHECK((a) > (b))
+#define XPTC_CHECK_GE(a, b) XPTC_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define XPTC_DCHECK(condition) XPTC_CHECK(true || (condition))
+#else
+#define XPTC_DCHECK(condition) XPTC_CHECK(condition)
+#endif
+
+#endif  // XPTC_COMMON_CHECK_H_

@@ -1,0 +1,77 @@
+#ifndef XPTC_COMMON_RESULT_H_
+#define XPTC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace xptc {
+
+/// Value-or-error, in the style of arrow::Result. A `Result<T>` holds either
+/// a `T` or a non-OK `Status`; accessing the value of an error result aborts
+/// (library bug), so callers must test `ok()` or use the macros below.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common, successful path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    XPTC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return value_.has_value() ? kOk : status_;
+  }
+
+  const T& ValueOrDie() const& {
+    XPTC_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    XPTC_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    XPTC_CHECK(ok()) << "ValueOrDie on error Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define XPTC_ASSIGN_OR_RETURN(lhs, expr)                        \
+  XPTC_ASSIGN_OR_RETURN_IMPL(                                   \
+      XPTC_CONCAT_NAMES(_xptc_result_, __LINE__), lhs, expr)
+
+#define XPTC_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                               \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).ValueOrDie()
+
+#define XPTC_CONCAT_NAMES_INNER(x, y) x##y
+#define XPTC_CONCAT_NAMES(x, y) XPTC_CONCAT_NAMES_INNER(x, y)
+
+}  // namespace xptc
+
+#endif  // XPTC_COMMON_RESULT_H_

@@ -1,0 +1,79 @@
+#ifndef XPTC_COMMON_RNG_H_
+#define XPTC_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace xptc {
+
+/// Deterministic, seedable pseudo-random generator (xorshift128+). All
+/// randomized workloads in the library (tree generators, query generators,
+/// automaton samplers) take an explicit `Rng` so experiments are exactly
+/// reproducible from a seed; no global RNG state exists anywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    state0_ = SplitMix(&seed);
+    state1_ = SplitMix(&seed);
+    if (state0_ == 0 && state1_ == 0) state1_ = 1;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state0_;
+    const uint64_t y = state1_;
+    state0_ = y;
+    x ^= x << 23;
+    state1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state1_ + y;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound) {
+    XPTC_CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias (only matters for huge bounds,
+    // but it is cheap and keeps generated corpora unbiased).
+    const uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform int in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    XPTC_CHECK_LE(lo, hi);
+    return lo + static_cast<int>(NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool NextBool(double p = 0.5) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return (Next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Derives an independent child generator; useful for splitting one seed
+  /// across workload components without correlation.
+  Rng Fork() { return Rng(Next() ^ 0x9e3779b97f4a7c15ull); }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_COMMON_RNG_H_

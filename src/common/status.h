@@ -1,0 +1,101 @@
+#ifndef XPTC_COMMON_STATUS_H_
+#define XPTC_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xptc {
+
+/// Error categories used across the library. The set is deliberately small:
+/// callers almost always branch on ok() only, and the code is primarily
+/// useful for tests and diagnostics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed input (query text, XML, parameters)
+  kNotSupported = 2,      // outside the fragment an algorithm is total on
+  kOutOfRange = 3,        // index / id out of bounds
+  kInternal = 4,          // invariant violation that is a library bug
+};
+
+/// Returns a stable human-readable name for a status code ("OK", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. The library does not use exceptions;
+/// every fallible operation returns `Status` or `Result<T>`.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. `Status` is cheap to move and cheap to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotSupported(std::string message) {
+    return Status(StatusCode::kNotSupported, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so that Status is copyable without reallocating the message;
+  // error paths are cold.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller. For use in functions returning
+/// `Status` or `Result<T>`.
+#define XPTC_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::xptc::Status _xptc_status = (expr);        \
+    if (!_xptc_status.ok()) return _xptc_status; \
+  } while (false)
+
+}  // namespace xptc
+
+#endif  // XPTC_COMMON_STATUS_H_

@@ -1,0 +1,876 @@
+#include "compile/compile.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace xptc {
+
+namespace {
+
+constexpr size_t kDnfLimit = 256;
+
+// ---------------------------------------------------------------------------
+// Fragment checks (see header).
+
+Status CheckQuery(const NodeExpr& expr);
+Status CheckWalkPath(const PathExpr& path);
+Status CheckTestExpr(const NodeExpr& expr);
+Status CheckSubtreeLocalPath(const PathExpr& path);
+
+Status CheckQuery(const NodeExpr& expr) {
+  switch (expr.op) {
+    case NodeOp::kLabel:
+    case NodeOp::kTrue:
+      return Status::OK();
+    case NodeOp::kNot:
+      return CheckQuery(*expr.left);
+    case NodeOp::kAnd:
+    case NodeOp::kOr:
+      XPTC_RETURN_NOT_OK(CheckQuery(*expr.left));
+      return CheckQuery(*expr.right);
+    case NodeOp::kWithin:
+      return CheckQuery(*expr.left);
+    case NodeOp::kSome:
+      return CheckWalkPath(*expr.path);
+  }
+  return Status::Internal("bad node op");
+}
+
+Status CheckWalkPath(const PathExpr& path) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      return Status::OK();
+    case PathOp::kSeq:
+    case PathOp::kUnion:
+      XPTC_RETURN_NOT_OK(CheckWalkPath(*path.left));
+      return CheckWalkPath(*path.right);
+    case PathOp::kStar:
+      return CheckWalkPath(*path.left);
+    case PathOp::kFilter:
+      XPTC_RETURN_NOT_OK(CheckWalkPath(*path.left));
+      return CheckTestExpr(*path.pred);
+  }
+  return Status::Internal("bad path op");
+}
+
+Status CheckTestExpr(const NodeExpr& expr) {
+  switch (expr.op) {
+    case NodeOp::kLabel:
+    case NodeOp::kTrue:
+      return Status::OK();
+    case NodeOp::kNot:
+      return CheckTestExpr(*expr.left);
+    case NodeOp::kAnd:
+    case NodeOp::kOr:
+      XPTC_RETURN_NOT_OK(CheckTestExpr(*expr.left));
+      return CheckTestExpr(*expr.right);
+    case NodeOp::kWithin:
+      return CheckQuery(*expr.left);
+    case NodeOp::kSome:
+      return CheckSubtreeLocalPath(*expr.path);
+  }
+  return Status::Internal("bad node op");
+}
+
+Status CheckSubtreeLocalPath(const PathExpr& path) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      if (!IsDownwardAxis(path.axis)) {
+        return Status::NotSupported(
+            std::string("filter test uses non-downward axis '") +
+            AxisToString(path.axis) +
+            "' — only subtree-local tests compile to nested subtree tests");
+      }
+      return Status::OK();
+    case PathOp::kSeq:
+    case PathOp::kUnion:
+      XPTC_RETURN_NOT_OK(CheckSubtreeLocalPath(*path.left));
+      return CheckSubtreeLocalPath(*path.right);
+    case PathOp::kStar:
+      return CheckSubtreeLocalPath(*path.left);
+    case PathOp::kFilter:
+      XPTC_RETURN_NOT_OK(CheckSubtreeLocalPath(*path.left));
+      return CheckTestExpr(*path.pred);
+  }
+  return Status::Internal("bad path op");
+}
+
+// ---------------------------------------------------------------------------
+// DNF of test expressions.
+
+struct Literal {
+  enum class Kind { kLabel, kTrue, kPath, kWithin };
+  Kind kind;
+  bool positive;
+  Symbol label = kInvalidSymbol;  // kLabel
+  const PathExpr* path = nullptr;  // kPath
+  const NodeExpr* within = nullptr;  // kWithin (the ψ of W ψ)
+};
+
+using Conjunct = std::vector<Literal>;
+
+Result<std::vector<Conjunct>> ToDnf(const NodeExpr& expr, bool positive) {
+  switch (expr.op) {
+    case NodeOp::kLabel:
+      return std::vector<Conjunct>{
+          {Literal{Literal::Kind::kLabel, positive, expr.label, nullptr,
+                   nullptr}}};
+    case NodeOp::kTrue:
+      return std::vector<Conjunct>{
+          {Literal{Literal::Kind::kTrue, positive, kInvalidSymbol, nullptr,
+                   nullptr}}};
+    case NodeOp::kSome:
+      return std::vector<Conjunct>{
+          {Literal{Literal::Kind::kPath, positive, kInvalidSymbol,
+                   expr.path.get(), nullptr}}};
+    case NodeOp::kWithin:
+      return std::vector<Conjunct>{
+          {Literal{Literal::Kind::kWithin, positive, kInvalidSymbol, nullptr,
+                   expr.left.get()}}};
+    case NodeOp::kNot:
+      return ToDnf(*expr.left, !positive);
+    case NodeOp::kAnd:
+    case NodeOp::kOr: {
+      // And under positive (or Or under negative) multiplies disjuncts;
+      // the dual concatenates.
+      const bool multiply = (expr.op == NodeOp::kAnd) == positive;
+      XPTC_ASSIGN_OR_RETURN(std::vector<Conjunct> left,
+                            ToDnf(*expr.left, positive));
+      XPTC_ASSIGN_OR_RETURN(std::vector<Conjunct> right,
+                            ToDnf(*expr.right, positive));
+      std::vector<Conjunct> out;
+      if (multiply) {
+        if (left.size() * right.size() > kDnfLimit) {
+          return Status::NotSupported("test expression DNF too large");
+        }
+        for (const Conjunct& l : left) {
+          for (const Conjunct& r : right) {
+            Conjunct combined = l;
+            combined.insert(combined.end(), r.begin(), r.end());
+            out.push_back(std::move(combined));
+          }
+        }
+      } else {
+        out = std::move(left);
+        out.insert(out.end(), right.begin(), right.end());
+        if (out.size() > kDnfLimit) {
+          return Status::NotSupported("test expression DNF too large");
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("bad node op");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler implementation.
+
+class XPathToNtwaCompiler::Impl {
+ public:
+  Impl(Alphabet* alphabet, const std::vector<Symbol>& universe)
+      : universe_(universe) {
+    // Three mark twins per base label: the primary mark (unary queries and
+    // the binary source), the secondary mark (binary target), and the
+    // combined mark (binary source == target). Label guards are closed over
+    // all variants, so marks are invisible to label tests.
+    for (Symbol base : universe_) {
+      const std::string name = alphabet->Name(base);
+      const Symbol m1 = alphabet->Intern(name + "#1");
+      const Symbol m2 = alphabet->Intern(name + "#2");
+      const Symbol m12 = alphabet->Intern(name + "#12");
+      marked_of_.emplace(base, m1);
+      target_of_.emplace(base, m2);
+      both_of_.emplace(base, m12);
+      marked_symbols_.push_back(m1);
+      marked_symbols_.push_back(m12);
+      target_symbols_.push_back(m2);
+      target_symbols_.push_back(m12);
+      all_symbols_.push_back(base);
+      all_symbols_.push_back(m1);
+      all_symbols_.push_back(m2);
+      all_symbols_.push_back(m12);
+    }
+  }
+
+  Result<CompiledQuery> Compile(const NodeExpr& query) {
+    return CompileInternal(query, /*root_only=*/false);
+  }
+
+  Result<CompiledQuery> CompileRoot(const NodeExpr& query) {
+    return CompileInternal(query, /*root_only=*/true);
+  }
+
+  Result<CompiledPathQuery> CompileBinary(const PathExpr& path) {
+    XPTC_RETURN_NOT_OK(CheckWalkPath(path));
+    Builder builder;
+    XPTC_ASSIGN_OR_RETURN(auto walk, EmitPath(&builder, path));
+    // Search phase: find the source-marked node, then run the walk.
+    const int search = builder.NewState();
+    builder.Add(search, Guard{}, Move::kDownFirst, search);
+    builder.Add(search, Guard{}, Move::kRight, search);
+    Guard at_source;
+    at_source.labels = marked_symbols_;
+    builder.Add(search, std::move(at_source), Move::kStay, walk.first);
+    // Acceptance: the walk exits on the target-marked node.
+    const int accept = builder.NewState();
+    Guard at_target;
+    at_target.labels = target_symbols_;
+    builder.Add(walk.second, std::move(at_target), Move::kStay, accept);
+    builder.twa.initial_state = search;
+    builder.twa.accepting_states = {accept};
+    const int top = Push(&builder);
+
+    CompiledPathQuery out;
+    out.hierarchy_ = NestedTwa(std::move(hierarchy_));
+    out.top_ = top;
+    out.src_of_ = marked_of_;
+    out.tgt_of_ = target_of_;
+    out.both_of_ = both_of_;
+    XPTC_RETURN_NOT_OK(out.hierarchy_.Validate());
+    return out;
+  }
+
+ private:
+  Result<CompiledQuery> CompileInternal(const NodeExpr& query,
+                                        bool root_only) {
+    XPTC_RETURN_NOT_OK(CheckQuery(query));
+    CompiledQuery out;
+    out.root_only_ = root_only;
+    XPTC_ASSIGN_OR_RETURN(out.circuit_root_,
+                          BuildCircuit(query, root_only, &out));
+    out.hierarchy_ = NestedTwa(std::move(hierarchy_));
+    out.marked_of_ = marked_of_;
+    // Purely propositional queries (e.g. `true`) need no automata at all;
+    // their circuit is constant and the hierarchy stays empty.
+    if (!out.hierarchy_.empty()) {
+      XPTC_RETURN_NOT_OK(out.hierarchy_.Validate());
+    }
+    return out;
+  }
+
+ private:
+  // Builder for one automaton of the hierarchy.
+  struct Builder {
+    Twa twa;
+    int NewState() { return twa.num_states++; }
+    void Add(int state, Guard guard, Move move, int next) {
+      twa.transitions.push_back({state, std::move(guard), move, next});
+    }
+    void Eps(int state, int next) { Add(state, Guard{}, Move::kStay, next); }
+  };
+
+  int Push(Builder* builder) {
+    hierarchy_.push_back(std::move(builder->twa));
+    return static_cast<int>(hierarchy_.size()) - 1;
+  }
+
+  // The base label and all of its mark twins (marks are invisible to label
+  // tests).
+  void AddLabelPair(Symbol base, std::set<Symbol>* out) const {
+    out->insert(base);
+    out->insert(marked_of_.at(base));
+    out->insert(target_of_.at(base));
+    out->insert(both_of_.at(base));
+  }
+
+  // Compiles a test expression into alternative guards (one per DNF
+  // disjunct). Unsatisfiable disjuncts are dropped; an empty vector means
+  // the test is unsatisfiable (no transition will be emitted).
+  Result<std::vector<Guard>> CompileTest(const NodeExpr& expr) {
+    XPTC_ASSIGN_OR_RETURN(std::vector<Conjunct> dnf,
+                          ToDnf(expr, /*positive=*/true));
+    std::vector<Guard> guards;
+    for (const Conjunct& conjunct : dnf) {
+      Guard guard;
+      std::set<Symbol> allowed(all_symbols_.begin(), all_symbols_.end());
+      bool satisfiable = true;
+      for (const Literal& literal : conjunct) {
+        switch (literal.kind) {
+          case Literal::Kind::kTrue:
+            if (!literal.positive) satisfiable = false;
+            break;
+          case Literal::Kind::kLabel: {
+            std::set<Symbol> pair;
+            AddLabelPair(literal.label, &pair);
+            if (literal.positive) {
+              std::set<Symbol> kept;
+              std::set_intersection(allowed.begin(), allowed.end(),
+                                    pair.begin(), pair.end(),
+                                    std::inserter(kept, kept.begin()));
+              allowed = std::move(kept);
+            } else {
+              for (Symbol s : pair) allowed.erase(s);
+            }
+            break;
+          }
+          case Literal::Kind::kPath: {
+            XPTC_ASSIGN_OR_RETURN(
+                int automaton,
+                CompileWalkAutomaton(*literal.path, /*with_search=*/false));
+            guard.tests.emplace_back(automaton, literal.positive);
+            break;
+          }
+          case Literal::Kind::kWithin: {
+            XPTC_ASSIGN_OR_RETURN(int automaton,
+                                  CompileRootQueryAutomaton(*literal.within));
+            guard.tests.emplace_back(automaton, literal.positive);
+            break;
+          }
+        }
+        if (!satisfiable || allowed.empty()) {
+          satisfiable = false;
+          break;
+        }
+      }
+      if (!satisfiable) continue;
+      if (allowed.size() < all_symbols_.size()) {
+        guard.labels.assign(allowed.begin(), allowed.end());
+      }
+      guards.push_back(std::move(guard));
+    }
+    return guards;
+  }
+
+  // Thompson-style construction of the walk NFA directly as TWA states.
+  // Returns (entry, exit) states in `builder`.
+  Result<std::pair<int, int>> EmitPath(Builder* builder,
+                                       const PathExpr& path) {
+    switch (path.op) {
+      case PathOp::kAxis:
+        return EmitAxis(builder, path.axis);
+      case PathOp::kSeq: {
+        XPTC_ASSIGN_OR_RETURN(auto left, EmitPath(builder, *path.left));
+        XPTC_ASSIGN_OR_RETURN(auto right, EmitPath(builder, *path.right));
+        builder->Eps(left.second, right.first);
+        return std::pair<int, int>{left.first, right.second};
+      }
+      case PathOp::kUnion: {
+        XPTC_ASSIGN_OR_RETURN(auto left, EmitPath(builder, *path.left));
+        XPTC_ASSIGN_OR_RETURN(auto right, EmitPath(builder, *path.right));
+        const int entry = builder->NewState();
+        const int exit = builder->NewState();
+        builder->Eps(entry, left.first);
+        builder->Eps(entry, right.first);
+        builder->Eps(left.second, exit);
+        builder->Eps(right.second, exit);
+        return std::pair<int, int>{entry, exit};
+      }
+      case PathOp::kFilter: {
+        XPTC_ASSIGN_OR_RETURN(auto inner, EmitPath(builder, *path.left));
+        XPTC_ASSIGN_OR_RETURN(std::vector<Guard> guards,
+                              CompileTest(*path.pred));
+        const int exit = builder->NewState();
+        for (Guard& guard : guards) {
+          builder->Add(inner.second, std::move(guard), Move::kStay, exit);
+        }
+        return std::pair<int, int>{inner.first, exit};
+      }
+      case PathOp::kStar: {
+        XPTC_ASSIGN_OR_RETURN(auto inner, EmitPath(builder, *path.left));
+        const int entry = builder->NewState();
+        const int exit = builder->NewState();
+        builder->Eps(entry, exit);          // zero iterations
+        builder->Eps(entry, inner.first);   // enter the loop
+        builder->Eps(inner.second, inner.first);  // iterate
+        builder->Eps(inner.second, exit);   // leave the loop
+        return std::pair<int, int>{entry, exit};
+      }
+    }
+    return Status::Internal("bad path op");
+  }
+
+  Result<std::pair<int, int>> EmitAxis(Builder* builder, Axis axis) {
+    const int entry = builder->NewState();
+    const int exit = builder->NewState();
+    switch (axis) {
+      case Axis::kSelf:
+        builder->Eps(entry, exit);
+        break;
+      case Axis::kChild: {
+        // DownFirst, then sideways to any sibling.
+        const int mid = builder->NewState();
+        builder->Add(entry, Guard{}, Move::kDownFirst, mid);
+        builder->Add(mid, Guard{}, Move::kRight, mid);
+        builder->Eps(mid, exit);
+        break;
+      }
+      case Axis::kParent:
+        builder->Add(entry, Guard{}, Move::kUp, exit);
+        break;
+      case Axis::kDescendant: {
+        // ≥1 DownFirst, freely interleaved with Right/DownFirst: reaches
+        // exactly the strict descendants.
+        const int mid = builder->NewState();
+        builder->Add(entry, Guard{}, Move::kDownFirst, mid);
+        builder->Add(mid, Guard{}, Move::kDownFirst, mid);
+        builder->Add(mid, Guard{}, Move::kRight, mid);
+        builder->Eps(mid, exit);
+        break;
+      }
+      case Axis::kDescendantOrSelf: {
+        XPTC_ASSIGN_OR_RETURN(auto desc,
+                              EmitAxis(builder, Axis::kDescendant));
+        builder->Eps(entry, desc.first);
+        builder->Eps(desc.second, exit);
+        builder->Eps(entry, exit);  // self
+        break;
+      }
+      case Axis::kAncestor: {
+        const int mid = builder->NewState();
+        builder->Add(entry, Guard{}, Move::kUp, mid);
+        builder->Add(mid, Guard{}, Move::kUp, mid);
+        builder->Eps(mid, exit);
+        break;
+      }
+      case Axis::kAncestorOrSelf: {
+        XPTC_ASSIGN_OR_RETURN(auto anc, EmitAxis(builder, Axis::kAncestor));
+        builder->Eps(entry, anc.first);
+        builder->Eps(anc.second, exit);
+        builder->Eps(entry, exit);
+        break;
+      }
+      case Axis::kNextSibling:
+        builder->Add(entry, Guard{}, Move::kRight, exit);
+        break;
+      case Axis::kPrevSibling:
+        builder->Add(entry, Guard{}, Move::kLeft, exit);
+        break;
+      case Axis::kFollowingSibling: {
+        const int mid = builder->NewState();
+        builder->Add(entry, Guard{}, Move::kRight, mid);
+        builder->Add(mid, Guard{}, Move::kRight, mid);
+        builder->Eps(mid, exit);
+        break;
+      }
+      case Axis::kPrecedingSibling: {
+        const int mid = builder->NewState();
+        builder->Add(entry, Guard{}, Move::kLeft, mid);
+        builder->Add(mid, Guard{}, Move::kLeft, mid);
+        builder->Eps(mid, exit);
+        break;
+      }
+      case Axis::kFollowing:
+      case Axis::kPreceding: {
+        // following = aos/fsib/dos (and dually): emit the composition.
+        const Axis sib = axis == Axis::kFollowing ? Axis::kFollowingSibling
+                                                  : Axis::kPrecedingSibling;
+        XPTC_ASSIGN_OR_RETURN(auto aos,
+                              EmitAxis(builder, Axis::kAncestorOrSelf));
+        XPTC_ASSIGN_OR_RETURN(auto step, EmitAxis(builder, sib));
+        XPTC_ASSIGN_OR_RETURN(auto dos,
+                              EmitAxis(builder, Axis::kDescendantOrSelf));
+        builder->Eps(entry, aos.first);
+        builder->Eps(aos.second, step.first);
+        builder->Eps(step.second, dos.first);
+        builder->Eps(dos.second, exit);
+        break;
+      }
+    }
+    return std::pair<int, int>{entry, exit};
+  }
+
+  // Automaton running the walk NFA of `path` from the run root (or, with
+  // search, from the marked node found by a nondeterministic descent).
+  // Accepts anywhere when the NFA exits.
+  Result<int> CompileWalkAutomaton(const PathExpr& path, bool with_search) {
+    Builder builder;
+    XPTC_ASSIGN_OR_RETURN(auto walk, EmitPath(&builder, path));
+    int initial = walk.first;
+    if (with_search) {
+      const int search = builder.NewState();
+      builder.Add(search, Guard{}, Move::kDownFirst, search);
+      builder.Add(search, Guard{}, Move::kRight, search);
+      Guard at_mark;
+      at_mark.labels = marked_symbols_;
+      builder.Add(search, std::move(at_mark), Move::kStay, walk.first);
+      initial = search;
+    }
+    builder.twa.initial_state = initial;
+    builder.twa.accepting_states = {walk.second};
+    return Push(&builder);
+  }
+
+  // Automaton accepting a subtree iff its root satisfies `query`.
+  Result<int> CompileRootQueryAutomaton(const NodeExpr& query) {
+    XPTC_ASSIGN_OR_RETURN(std::vector<Guard> guards, CompileTest(query));
+    Builder builder;
+    const int start = builder.NewState();
+    const int accept = builder.NewState();
+    for (Guard& guard : guards) {
+      builder.Add(start, std::move(guard), Move::kStay, accept);
+    }
+    builder.twa.initial_state = start;
+    builder.twa.accepting_states = {accept};
+    return Push(&builder);
+  }
+
+  // Top-level atoms: search for the mark, then verify.
+  Result<int> CompileSearchThen(Guard at_mark_guard) {
+    Builder builder;
+    const int search = builder.NewState();
+    const int accept = builder.NewState();
+    builder.Add(search, Guard{}, Move::kDownFirst, search);
+    builder.Add(search, Guard{}, Move::kRight, search);
+    builder.Add(search, std::move(at_mark_guard), Move::kStay, accept);
+    builder.twa.initial_state = search;
+    builder.twa.accepting_states = {accept};
+    return Push(&builder);
+  }
+
+  Result<int> BuildCircuit(const NodeExpr& expr, bool root_only,
+                           CompiledQuery* out) {
+    auto add = [out](CompiledQuery::Circ circ) {
+      out->circuit_.push_back(circ);
+      return static_cast<int>(out->circuit_.size()) - 1;
+    };
+    auto add_atom = [out, &add](int automaton) {
+      out->atom_automata_.push_back(automaton);
+      CompiledQuery::Circ circ;
+      circ.kind = CompiledQuery::CircKind::kAtom;
+      circ.atom = static_cast<int>(out->atom_automata_.size()) - 1;
+      return add(circ);
+    };
+    switch (expr.op) {
+      case NodeOp::kTrue: {
+        CompiledQuery::Circ circ;
+        circ.kind = CompiledQuery::CircKind::kTrue;
+        return add(circ);
+      }
+      case NodeOp::kNot: {
+        XPTC_ASSIGN_OR_RETURN(int inner,
+                              BuildCircuit(*expr.left, root_only, out));
+        CompiledQuery::Circ circ;
+        circ.kind = CompiledQuery::CircKind::kNot;
+        circ.left = inner;
+        return add(circ);
+      }
+      case NodeOp::kAnd:
+      case NodeOp::kOr: {
+        XPTC_ASSIGN_OR_RETURN(int left,
+                              BuildCircuit(*expr.left, root_only, out));
+        XPTC_ASSIGN_OR_RETURN(int right,
+                              BuildCircuit(*expr.right, root_only, out));
+        CompiledQuery::Circ circ;
+        circ.kind = expr.op == NodeOp::kAnd ? CompiledQuery::CircKind::kAnd
+                                            : CompiledQuery::CircKind::kOr;
+        circ.left = left;
+        circ.right = right;
+        return add(circ);
+      }
+      case NodeOp::kLabel: {
+        if (root_only) {
+          XPTC_ASSIGN_OR_RETURN(int automaton,
+                                CompileRootQueryAutomaton(expr));
+          return add_atom(automaton);
+        }
+        Guard at_mark;
+        at_mark.labels = {marked_of_.at(expr.label)};
+        XPTC_ASSIGN_OR_RETURN(int automaton,
+                              CompileSearchThen(std::move(at_mark)));
+        return add_atom(automaton);
+      }
+      case NodeOp::kSome: {
+        if (root_only) {
+          XPTC_ASSIGN_OR_RETURN(
+              int automaton,
+              CompileWalkAutomaton(*expr.path, /*with_search=*/false));
+          return add_atom(automaton);
+        }
+        XPTC_ASSIGN_OR_RETURN(
+            int automaton,
+            CompileWalkAutomaton(*expr.path, /*with_search=*/true));
+        return add_atom(automaton);
+      }
+      case NodeOp::kWithin: {
+        XPTC_ASSIGN_OR_RETURN(int inner,
+                              CompileRootQueryAutomaton(*expr.left));
+        if (root_only) {
+          // W at the root *is* a root query of its body.
+          return add_atom(inner);
+        }
+        Guard at_mark;
+        at_mark.labels = marked_symbols_;
+        at_mark.tests.emplace_back(inner, true);
+        XPTC_ASSIGN_OR_RETURN(int automaton,
+                              CompileSearchThen(std::move(at_mark)));
+        return add_atom(automaton);
+      }
+    }
+    return Status::Internal("bad node op");
+  }
+
+  const std::vector<Symbol>& universe_;
+  std::unordered_map<Symbol, Symbol> marked_of_;
+  std::unordered_map<Symbol, Symbol> target_of_;
+  std::unordered_map<Symbol, Symbol> both_of_;
+  std::vector<Symbol> marked_symbols_;
+  std::vector<Symbol> target_symbols_;
+  std::vector<Symbol> all_symbols_;
+  std::vector<Twa> hierarchy_;
+};
+
+XPathToNtwaCompiler::XPathToNtwaCompiler(Alphabet* alphabet,
+                                         std::vector<Symbol> universe)
+    : alphabet_(alphabet), universe_(std::move(universe)) {
+  XPTC_CHECK(alphabet_ != nullptr);
+  XPTC_CHECK(!universe_.empty());
+}
+
+Status XPathToNtwaCompiler::CheckSupported(const NodeExpr& query) {
+  return CheckQuery(query);
+}
+
+Result<CompiledQuery> XPathToNtwaCompiler::Compile(const NodeExpr& query) {
+  Impl impl(alphabet_, universe_);
+  return impl.Compile(query);
+}
+
+Result<CompiledQuery> XPathToNtwaCompiler::CompileRootQuery(
+    const NodeExpr& query) {
+  Impl impl(alphabet_, universe_);
+  return impl.CompileRoot(query);
+}
+
+Status XPathToNtwaCompiler::CheckPathSupported(const PathExpr& path) {
+  return CheckWalkPath(path);
+}
+
+Result<CompiledPathQuery> XPathToNtwaCompiler::CompilePathQuery(
+    const PathExpr& path) {
+  Impl impl(alphabet_, universe_);
+  return impl.CompileBinary(path);
+}
+
+bool CompiledPathQuery::EvalPair(const Tree& tree, NodeId source,
+                                 NodeId target) const {
+  Tree marked = tree;
+  if (source == target) {
+    const auto it = both_of_.find(tree.Label(source));
+    XPTC_CHECK(it != both_of_.end())
+        << "tree label outside the compiled universe";
+    marked = tree.RelabelNode(source, it->second);
+  } else {
+    const auto src_it = src_of_.find(tree.Label(source));
+    const auto tgt_it = tgt_of_.find(tree.Label(target));
+    XPTC_CHECK(src_it != src_of_.end() && tgt_it != tgt_of_.end())
+        << "tree label outside the compiled universe";
+    marked = tree.RelabelNode(source, src_it->second)
+                 .RelabelNode(target, tgt_it->second);
+  }
+  const TestOracle oracle = hierarchy_.ComputeOracle(marked);
+  return oracle[static_cast<size_t>(top_)].Get(marked.root());
+}
+
+BitMatrix CompiledPathQuery::EvalRelation(const Tree& tree) const {
+  BitMatrix out(tree.size());
+  for (NodeId n = 0; n < tree.size(); ++n) {
+    for (NodeId m = 0; m < tree.size(); ++m) {
+      if (EvalPair(tree, n, m)) out.Set(n, m);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledQuery evaluation.
+
+bool CompiledQuery::EvalCircuit(int index,
+                                const std::vector<bool>& atoms) const {
+  const Circ& circ = circuit_[static_cast<size_t>(index)];
+  switch (circ.kind) {
+    case CircKind::kTrue:
+      return true;
+    case CircKind::kAtom:
+      return atoms[static_cast<size_t>(circ.atom)];
+    case CircKind::kNot:
+      return !EvalCircuit(circ.left, atoms);
+    case CircKind::kAnd:
+      return EvalCircuit(circ.left, atoms) && EvalCircuit(circ.right, atoms);
+    case CircKind::kOr:
+      return EvalCircuit(circ.left, atoms) || EvalCircuit(circ.right, atoms);
+  }
+  XPTC_CHECK(false) << "bad circuit node";
+  return false;
+}
+
+bool CompiledQuery::EvalAtRoot(const Tree& tree) const {
+  if (!root_only_) return EvalAt(tree, tree.root());
+  const TestOracle oracle = hierarchy_.ComputeOracle(tree);
+  std::vector<bool> atoms(atom_automata_.size());
+  for (size_t i = 0; i < atom_automata_.size(); ++i) {
+    atoms[i] =
+        oracle[static_cast<size_t>(atom_automata_[i])].Get(tree.root());
+  }
+  return EvalCircuit(circuit_root_, atoms);
+}
+
+bool CompiledQuery::EvalAt(const Tree& tree, NodeId v) const {
+  if (root_only_) {
+    XPTC_CHECK_EQ(v, tree.root())
+        << "root-only compiled query evaluated at a non-root node";
+    return EvalAtRoot(tree);
+  }
+  const auto it = marked_of_.find(tree.Label(v));
+  XPTC_CHECK(it != marked_of_.end())
+      << "tree label outside the compiled universe";
+  const Tree marked = tree.RelabelNode(v, it->second);
+  const TestOracle oracle = hierarchy_.ComputeOracle(marked);
+  std::vector<bool> atoms(atom_automata_.size());
+  for (size_t i = 0; i < atom_automata_.size(); ++i) {
+    atoms[i] =
+        oracle[static_cast<size_t>(atom_automata_[i])].Get(marked.root());
+  }
+  return EvalCircuit(circuit_root_, atoms);
+}
+
+Bitset CompiledQuery::EvalAll(const Tree& tree) const {
+  Bitset out(tree.size());
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    if (EvalAt(tree, v)) out.Set(v);
+  }
+  return out;
+}
+
+std::string CompiledQuery::Stats() const {
+  return std::to_string(NumAutomata()) + " automata, " +
+         std::to_string(TotalStates()) + " states, " +
+         std::to_string(TotalTransitions()) + " transitions, nesting depth " +
+         std::to_string(NestingDepth());
+}
+
+// ---------------------------------------------------------------------------
+// Generator for the compile-supported fragment.
+
+namespace {
+
+PathPtr GenWalkPath(const QueryGenOptions& options,
+                    const std::vector<Symbol>& labels, int depth, Rng* rng,
+                    bool downward_only);
+NodePtr GenTestExpr(const QueryGenOptions& options,
+                    const std::vector<Symbol>& labels, int depth, Rng* rng);
+NodePtr GenQuery(const QueryGenOptions& options,
+                 const std::vector<Symbol>& labels, int depth, Rng* rng);
+
+Axis GenAxis(Rng* rng, bool downward_only) {
+  static constexpr Axis kDownward[] = {
+      Axis::kSelf, Axis::kChild, Axis::kDescendant, Axis::kDescendantOrSelf};
+  static constexpr Axis kAll[] = {
+      Axis::kSelf,           Axis::kChild,          Axis::kParent,
+      Axis::kDescendant,     Axis::kAncestor,       Axis::kDescendantOrSelf,
+      Axis::kAncestorOrSelf, Axis::kNextSibling,    Axis::kPrevSibling,
+      Axis::kFollowingSibling, Axis::kPrecedingSibling, Axis::kFollowing,
+      Axis::kPreceding,
+  };
+  if (downward_only) return kDownward[rng->NextBelow(std::size(kDownward))];
+  return kAll[rng->NextBelow(std::size(kAll))];
+}
+
+PathPtr GenWalkPath(const QueryGenOptions& options,
+                    const std::vector<Symbol>& labels, int depth, Rng* rng,
+                    bool downward_only) {
+  if (depth <= 0) return MakeAxis(GenAxis(rng, downward_only));
+  switch (rng->NextInt(0, 7)) {
+    case 0:
+    case 1:
+    case 2:
+      return MakeSeq(
+          GenWalkPath(options, labels, depth - 1, rng, downward_only),
+          GenWalkPath(options, labels, depth - 1, rng, downward_only));
+    case 3:
+      return MakeUnion(
+          GenWalkPath(options, labels, depth - 1, rng, downward_only),
+          GenWalkPath(options, labels, depth - 1, rng, downward_only));
+    case 4:
+      return MakeFilter(
+          GenWalkPath(options, labels, depth - 1, rng, downward_only),
+          GenTestExpr(options, labels, depth - 1, rng));
+    case 5:
+      if (options.allow_star) {
+        return MakeStar(
+            GenWalkPath(options, labels, depth - 1, rng, downward_only));
+      }
+      return MakeAxis(GenAxis(rng, downward_only));
+    default:
+      return MakeAxis(GenAxis(rng, downward_only));
+  }
+}
+
+NodePtr GenTestExpr(const QueryGenOptions& options,
+                    const std::vector<Symbol>& labels, int depth, Rng* rng) {
+  if (depth <= 0) return MakeLabel(labels[rng->NextBelow(labels.size())]);
+  switch (rng->NextInt(0, 7)) {
+    case 0:
+    case 1:
+      return MakeLabel(labels[rng->NextBelow(labels.size())]);
+    case 2:
+      return MakeSome(GenWalkPath(options, labels, depth - 1, rng,
+                                  /*downward_only=*/true));
+    case 3:
+      if (options.allow_negation) {
+        return MakeNot(GenTestExpr(options, labels, depth - 1, rng));
+      }
+      return MakeLabel(labels[rng->NextBelow(labels.size())]);
+    case 4:
+      return MakeAnd(GenTestExpr(options, labels, depth - 1, rng),
+                     GenTestExpr(options, labels, depth - 1, rng));
+    case 5:
+      return MakeOr(GenTestExpr(options, labels, depth - 1, rng),
+                    GenTestExpr(options, labels, depth - 1, rng));
+    case 6:
+      if (options.allow_within) {
+        return MakeWithin(GenQuery(options, labels, depth - 1, rng));
+      }
+      return MakeTrue();
+    default:
+      return MakeTrue();
+  }
+}
+
+NodePtr GenQuery(const QueryGenOptions& options,
+                 const std::vector<Symbol>& labels, int depth, Rng* rng) {
+  if (depth <= 0) return MakeLabel(labels[rng->NextBelow(labels.size())]);
+  switch (rng->NextInt(0, 8)) {
+    case 0:
+      return MakeLabel(labels[rng->NextBelow(labels.size())]);
+    case 1:
+    case 2:
+    case 3:
+      return MakeSome(GenWalkPath(options, labels, depth - 1, rng,
+                                  /*downward_only=*/false));
+    case 4:
+      if (options.allow_negation) {
+        return MakeNot(GenQuery(options, labels, depth - 1, rng));
+      }
+      return MakeSome(GenWalkPath(options, labels, depth - 1, rng, false));
+    case 5:
+      return MakeAnd(GenQuery(options, labels, depth - 1, rng),
+                     GenQuery(options, labels, depth - 1, rng));
+    case 6:
+      return MakeOr(GenQuery(options, labels, depth - 1, rng),
+                    GenQuery(options, labels, depth - 1, rng));
+    case 7:
+      if (options.allow_within) {
+        return MakeWithin(GenQuery(options, labels, depth - 1, rng));
+      }
+      return MakeLabel(labels[rng->NextBelow(labels.size())]);
+    default:
+      return MakeTrue();
+  }
+}
+
+}  // namespace
+
+NodePtr GenerateCompilableNode(const QueryGenOptions& options,
+                               const std::vector<Symbol>& labels, Rng* rng) {
+  XPTC_CHECK(!labels.empty());
+  NodePtr query = GenQuery(options, labels, options.max_depth, rng);
+  XPTC_DCHECK(XPathToNtwaCompiler::CheckSupported(*query).ok());
+  return query;
+}
+
+}  // namespace xptc

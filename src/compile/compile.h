@@ -1,0 +1,174 @@
+#ifndef XPTC_COMPILE_COMPILE_H_
+#define XPTC_COMPILE_COMPILE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "tree/tree.h"
+#include "twa/twa.h"
+#include "xpath/ast.h"
+#include "xpath/generator.h"
+
+namespace xptc {
+
+/// The compiled form of a Regular XPath(W) unary query: one nested-TWA
+/// hierarchy plus a boolean acceptance circuit over some of its automata.
+///
+/// Query evaluation at node v marks v (relabels it with a marked twin
+/// symbol), computes the hierarchy's subtree-acceptance oracle on the
+/// marked tree, and evaluates the circuit over the root-acceptance bits of
+/// the atom automata.
+///
+/// The explicit circuit realises top-level boolean combinations of
+/// automaton atoms; the paper proves the class of nested-TWA-recognizable
+/// languages closed under boolean combinations, so this adds no power — it
+/// only keeps the construction inspectable.
+class CompiledQuery {
+ public:
+  enum class CircKind { kTrue, kAtom, kNot, kAnd, kOr };
+  struct Circ {
+    CircKind kind;
+    int atom = -1;   // kAtom: index into atom_automata_
+    int left = -1;   // kNot, kAnd, kOr
+    int right = -1;  // kAnd, kOr
+  };
+
+  /// True iff the marked-node query accepts node `v` of `tree`. All labels
+  /// of `tree` must belong to the universe the query was compiled for.
+  /// For root-only queries (see `CompileRootQuery`) `v` must be the root.
+  bool EvalAt(const Tree& tree, NodeId v) const;
+
+  /// True iff the query holds at the root (no marking involved for
+  /// root-only queries).
+  bool EvalAtRoot(const Tree& tree) const;
+
+  /// Whether this query answers only at the root (built by
+  /// `CompileRootQuery`; the automata contain no mark-search phase).
+  bool root_only() const { return root_only_; }
+
+  /// Introspection for downstream constructions (e.g. the DFTA
+  /// conversion): circuit structure and the hierarchy indices of its atoms.
+  const std::vector<int>& atom_automata() const { return atom_automata_; }
+  const std::vector<Circ>& circuit() const { return circuit_; }
+  int circuit_root() const { return circuit_root_; }
+
+  /// Answer set over all nodes (n marked runs; the cross-validation path,
+  /// not a production evaluator).
+  Bitset EvalAll(const Tree& tree) const;
+
+  const NestedTwa& hierarchy() const { return hierarchy_; }
+  int NumAutomata() const {
+    return static_cast<int>(hierarchy_.automata().size());
+  }
+  int TotalStates() const { return hierarchy_.TotalStates(); }
+  int TotalTransitions() const { return hierarchy_.TotalTransitions(); }
+  int NestingDepth() const { return hierarchy_.NestingDepth(); }
+
+  /// One-line size summary for experiment output.
+  std::string Stats() const;
+
+ private:
+  friend class XPathToNtwaCompiler;
+
+  NestedTwa hierarchy_;
+  std::vector<int> atom_automata_;  // hierarchy index per circuit atom
+  std::vector<Circ> circuit_;
+  int circuit_root_ = -1;
+  bool root_only_ = false;
+  std::unordered_map<Symbol, Symbol> marked_of_;  // base label → marked twin
+
+  bool EvalCircuit(int index, const std::vector<bool>& atoms) const;
+};
+
+/// The compiled form of a *binary* query (a path expression): a nested-TWA
+/// hierarchy whose top automaton accepts trees with a source-marked node n
+/// and a target-marked node m exactly when (n, m) ∈ [[path]]. This realises
+/// the binary-query case of T1: the automaton searches for the source mark,
+/// simulates the walk NFA of the path, and accepts on the target mark.
+class CompiledPathQuery {
+ public:
+  /// True iff (source, target) is in the compiled relation on `tree`.
+  bool EvalPair(const Tree& tree, NodeId source, NodeId target) const;
+
+  /// The full relation, pair by pair (cross-validation path: O(n²) marked
+  /// runs).
+  BitMatrix EvalRelation(const Tree& tree) const;
+
+  const NestedTwa& hierarchy() const { return hierarchy_; }
+  int TotalStates() const { return hierarchy_.TotalStates(); }
+  int NestingDepth() const { return hierarchy_.NestingDepth(); }
+
+ private:
+  friend class XPathToNtwaCompiler;
+
+  NestedTwa hierarchy_;
+  int top_ = -1;  // hierarchy index of the walk automaton
+  // Mark twins per base label: source-only, target-only, and both (when
+  // source == target).
+  std::unordered_map<Symbol, Symbol> src_of_;
+  std::unordered_map<Symbol, Symbol> tgt_of_;
+  std::unordered_map<Symbol, Symbol> both_of_;
+};
+
+/// Compiler from the *existential navigational fragment* of Regular
+/// XPath(W) to nested tree-walking automata (the constructive core of the
+/// paper's RegXPath(W) ⊆ NTWA direction).
+///
+/// Supported queries (see DESIGN.md §3.3): boolean combinations of
+///   - label tests,
+///   - `⟨π⟩` where the walk path π uses arbitrary axes, composition, union
+///     and star, and every filter test inside π is a *test expression*,
+///   - `W ψ` where ψ is again a supported query (evaluated at the subtree
+///     root).
+/// Test expressions (filters inside walk paths) are boolean combinations of
+/// label tests, `W ψ`, and `⟨π'⟩` for *downward* π' — these compile to
+/// signed nested subtree tests, which is precisely the role of nesting in
+/// the paper. Unsupported shapes (e.g. a non-downward `⟨π⟩` under a filter)
+/// are rejected with NotSupported by `CheckSupported`.
+class XPathToNtwaCompiler {
+ public:
+  /// `universe` is the set of base labels the compiled automata are total
+  /// over; marked twin symbols ("<name>#") are interned into `*alphabet`.
+  XPathToNtwaCompiler(Alphabet* alphabet, std::vector<Symbol> universe);
+
+  /// Fragment check; OK iff `Compile` will succeed (modulo DNF blow-up).
+  static Status CheckSupported(const NodeExpr& query);
+
+  /// Compiles a supported node expression into a marked-node query
+  /// answerable at every node (via node marking).
+  Result<CompiledQuery> Compile(const NodeExpr& query);
+
+  /// Compiles a supported node expression into a *root-only* query: every
+  /// circuit atom is an automaton launched at the root, with no mark-search
+  /// phase. This is the Boolean-query form of T1 and the entry point for
+  /// the downward NTWA → bottom-up-automaton conversion.
+  Result<CompiledQuery> CompileRootQuery(const NodeExpr& query);
+
+  /// Fragment check for binary (path) queries: walk paths with
+  /// subtree-local filter tests, as in `CheckSupported`.
+  static Status CheckPathSupported(const PathExpr& path);
+
+  /// Compiles a supported path expression into a binary marked-pair query
+  /// (the binary-query form of T1).
+  Result<CompiledPathQuery> CompilePathQuery(const PathExpr& path);
+
+ private:
+  class Impl;
+
+  Alphabet* alphabet_;
+  std::vector<Symbol> universe_;
+};
+
+/// Random generator for the compile-supported fragment (used by E1 and the
+/// agreement tests). Every produced expression passes `CheckSupported`.
+NodePtr GenerateCompilableNode(const QueryGenOptions& options,
+                               const std::vector<Symbol>& labels, Rng* rng);
+
+}  // namespace xptc
+
+#endif  // XPTC_COMPILE_COMPILE_H_

@@ -1,0 +1,294 @@
+#include "compile/to_dfta.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/check.h"
+#include "twa/twa.h"
+#include "xpath/fragment.h"
+
+namespace xptc {
+
+namespace {
+
+// Per-level summary sets, as 64-bit state masks:
+//  s_first    — entering the sibling forest at its head as a *first child*
+//               in state q can accept;
+//  s_notfirst — same, entering as a non-first sibling;
+//  t          — a run rooted at this node (run-root flags, siblings
+//               invisible) starting in state q can accept.
+struct LevelSets {
+  uint64_t s_first = 0;
+  uint64_t s_notfirst = 0;
+  uint64_t t = 0;
+
+  bool operator==(const LevelSets&) const = default;
+};
+
+using NtwaState = std::vector<LevelSets>;
+
+Status CheckDownwardHierarchy(const NestedTwa& hierarchy) {
+  for (const Twa& twa : hierarchy.automata()) {
+    if (twa.num_states > 64) {
+      return Status::NotSupported(
+          "automaton with more than 64 states in the hierarchy");
+    }
+    if (twa.accept_at_root) {
+      return Status::NotSupported(
+          "accept-at-root automata are not supported by the conversion");
+    }
+    for (const Transition& t : twa.transitions) {
+      if (t.move != Move::kStay && t.move != Move::kDownFirst &&
+          t.move != Move::kRight) {
+        return Status::NotSupported(
+            std::string("non-downward move '") + MoveToString(t.move) +
+            "' in the hierarchy");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Guard check against statically known flags and lower-level test bits.
+bool GuardHoldsStatic(const Guard& guard, Symbol label, uint8_t flags,
+                      const std::vector<bool>& test_bits) {
+  if ((flags & guard.required_flags) != guard.required_flags) return false;
+  if ((flags & guard.forbidden_flags) != 0) return false;
+  if (!guard.labels.empty() &&
+      std::find(guard.labels.begin(), guard.labels.end(), label) ==
+          guard.labels.end()) {
+    return false;
+  }
+  for (const auto& [automaton, expected] : guard.tests) {
+    if (test_bits[static_cast<size_t>(automaton)] != expected) return false;
+  }
+  return true;
+}
+
+// Backward reachability of acceptance at one node for one automaton:
+// given the flags at the node, the lower-level test bits, and the
+// acceptance summaries of the child forest (`child`, null if leaf) and of
+// the right-sibling forest (`sibling`, null if last), returns the set of
+// states from which the walk can accept.
+uint64_t AcceptingEntryStates(const Twa& twa, Symbol label, uint8_t flags,
+                              const std::vector<bool>& test_bits,
+                              const uint64_t* child_s_first,
+                              const uint64_t* sibling_s_notfirst) {
+  uint64_t reach = 0;
+  for (int q : twa.accepting_states) reach |= uint64_t{1} << q;
+  // Iterate to a fixpoint over Stay edges; DownFirst / Right edges are
+  // collapsed through the precomputed summaries (downward walks never
+  // return, so the collapse is exact).
+  for (;;) {
+    uint64_t next = reach;
+    for (const Transition& t : twa.transitions) {
+      if ((next >> t.state) & 1) continue;
+      if (!GuardHoldsStatic(t.guard, label, flags, test_bits)) continue;
+      bool fires = false;
+      switch (t.move) {
+        case Move::kStay:
+          fires = (reach >> t.next_state) & 1;
+          break;
+        case Move::kDownFirst:
+          fires = child_s_first != nullptr &&
+                  ((*child_s_first >> t.next_state) & 1);
+          break;
+        case Move::kRight:
+          fires = sibling_s_notfirst != nullptr &&
+                  ((*sibling_s_notfirst >> t.next_state) & 1);
+          break;
+        default:
+          break;
+      }
+      if (fires) next |= uint64_t{1} << t.state;
+    }
+    if (next == reach) return reach;
+    reach = next;
+  }
+}
+
+// The bottom-up transition function: the summary state of a node from the
+// summary states of its first child and next sibling (null = absent).
+NtwaState Step(const NestedTwa& hierarchy, const NtwaState* child,
+               const NtwaState* sibling, Symbol label) {
+  const auto& automata = hierarchy.automata();
+  NtwaState out(automata.size());
+  // Test bits at this node, filled level by level (tests reference
+  // strictly lower levels, whose `t` sets are already in `out`).
+  std::vector<bool> test_bits(automata.size(), false);
+  for (size_t i = 0; i < automata.size(); ++i) {
+    const Twa& twa = automata[i];
+    const uint64_t* child_first =
+        child == nullptr ? nullptr : &(*child)[i].s_first;
+    const uint64_t* sibling_notfirst =
+        sibling == nullptr ? nullptr : &(*sibling)[i].s_notfirst;
+
+    const uint8_t leaf_flag = child == nullptr ? kFlagLeaf : 0;
+    const uint8_t last_flag = sibling == nullptr ? kFlagLast : 0;
+    // Inside a region: not the run root.
+    out[i].s_first = AcceptingEntryStates(
+        twa, label, static_cast<uint8_t>(leaf_flag | last_flag | kFlagFirst),
+        test_bits, child_first, sibling_notfirst);
+    out[i].s_notfirst = AcceptingEntryStates(
+        twa, label, static_cast<uint8_t>(leaf_flag | last_flag), test_bits,
+        child_first, sibling_notfirst);
+    // As a run root: root/first/last flags, sibling moves blocked.
+    out[i].t = AcceptingEntryStates(
+        twa, label,
+        static_cast<uint8_t>(leaf_flag | kFlagRoot | kFlagFirst | kFlagLast),
+        test_bits, child_first, /*sibling_s_notfirst=*/nullptr);
+    test_bits[i] = (out[i].t >> twa.initial_state) & 1;
+  }
+  return out;
+}
+
+// Circuit evaluation over the `t` sets of the atom automata.
+bool CircuitAccepts(const CompiledQuery& query, const NtwaState& state) {
+  const auto& automata = query.hierarchy().automata();
+  std::vector<bool> atoms(query.atom_automata().size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const int automaton = query.atom_automata()[i];
+    const int init = automata[static_cast<size_t>(automaton)].initial_state;
+    atoms[i] = (state[static_cast<size_t>(automaton)].t >> init) & 1;
+  }
+  // Re-evaluate the circuit (mirrors CompiledQuery::EvalCircuit).
+  std::function<bool(int)> eval = [&](int index) -> bool {
+    const CompiledQuery::Circ& circ =
+        query.circuit()[static_cast<size_t>(index)];
+    switch (circ.kind) {
+      case CompiledQuery::CircKind::kTrue:
+        return true;
+      case CompiledQuery::CircKind::kAtom:
+        return atoms[static_cast<size_t>(circ.atom)];
+      case CompiledQuery::CircKind::kNot:
+        return !eval(circ.left);
+      case CompiledQuery::CircKind::kAnd:
+        return eval(circ.left) && eval(circ.right);
+      case CompiledQuery::CircKind::kOr:
+        return eval(circ.left) || eval(circ.right);
+    }
+    XPTC_CHECK(false) << "bad circuit node";
+    return false;
+  };
+  return eval(query.circuit_root());
+}
+
+std::vector<uint64_t> Key(const NtwaState& state) {
+  std::vector<uint64_t> key;
+  key.reserve(state.size() * 3);
+  for (const LevelSets& level : state) {
+    key.push_back(level.s_first);
+    key.push_back(level.s_notfirst);
+    key.push_back(level.t);
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Dfta> DownwardCompiledQueryToDfta(const CompiledQuery& query,
+                                         const std::vector<Symbol>& universe,
+                                         int max_states) {
+  if (!query.root_only()) {
+    return Status::NotSupported(
+        "conversion requires a root-only compiled query "
+        "(use CompileRootQuery)");
+  }
+  XPTC_RETURN_NOT_OK(CheckDownwardHierarchy(query.hierarchy()));
+
+  // Discover reachable summary states (nil = index 0).
+  std::map<std::vector<uint64_t>, int> index_of;
+  std::vector<NtwaState> states;
+  auto intern = [&](NtwaState state) -> Result<int> {
+    std::vector<uint64_t> key = Key(state);
+    auto it = index_of.find(key);
+    if (it != index_of.end()) return it->second;
+    const int index = static_cast<int>(states.size()) + 1;  // 0 = nil
+    if (index >= max_states) {
+      return Status::OutOfRange("DFTA state budget exhausted");
+    }
+    index_of.emplace(std::move(key), index);
+    states.push_back(std::move(state));
+    return index;
+  };
+
+  struct Entry {
+    int left, right;
+    Symbol label;
+    int target;
+  };
+  std::vector<Entry> entries;
+  // Fixpoint discovery over (left, right, label) triples; restart the
+  // sweep whenever a new state appears (hierarchies are small).
+  for (;;) {
+    const size_t before = states.size();
+    entries.clear();
+    const int discovered = static_cast<int>(states.size()) + 1;
+    for (int l = 0; l < discovered; ++l) {
+      for (int r = 0; r < discovered; ++r) {
+        for (const Symbol label : universe) {
+          const NtwaState* child =
+              l == 0 ? nullptr : &states[static_cast<size_t>(l - 1)];
+          const NtwaState* sibling =
+              r == 0 ? nullptr : &states[static_cast<size_t>(r - 1)];
+          XPTC_ASSIGN_OR_RETURN(
+              int target,
+              intern(Step(query.hierarchy(), child, sibling, label)));
+          entries.push_back({l, r, label, target});
+        }
+      }
+    }
+    if (states.size() == before) break;
+  }
+
+  Dfta dfta(static_cast<int>(states.size()) + 1, universe);
+  dfta.set_nil_state(0);
+  for (const Entry& entry : entries) {
+    dfta.SetDelta(entry.left, entry.right, entry.label, entry.target);
+  }
+  for (size_t i = 0; i < states.size(); ++i) {
+    dfta.SetAccepting(static_cast<int>(i) + 1,
+                      CircuitAccepts(query, states[i]));
+  }
+  return dfta;
+}
+
+Result<Dfta> DownwardQueryToDfta(const NodeExpr& query, Alphabet* alphabet,
+                                 const std::vector<Symbol>& universe,
+                                 int max_states) {
+  if (!IsDownwardNode(query)) {
+    return Status::NotSupported(
+        "exact automaton conversion requires a downward node expression");
+  }
+  XPathToNtwaCompiler compiler(alphabet, universe);
+  XPTC_ASSIGN_OR_RETURN(CompiledQuery compiled,
+                        compiler.CompileRootQuery(query));
+  return DownwardCompiledQueryToDfta(compiled, universe, max_states);
+}
+
+Result<bool> DownwardRootSatisfiable(const NodeExpr& query,
+                                     Alphabet* alphabet,
+                                     const std::vector<Symbol>& universe) {
+  XPTC_ASSIGN_OR_RETURN(Dfta dfta,
+                        DownwardQueryToDfta(query, alphabet, universe));
+  return !dfta.IsEmpty();
+}
+
+Result<bool> DownwardRootEquivalent(const NodeExpr& a, const NodeExpr& b,
+                                    Alphabet* alphabet,
+                                    const std::vector<Symbol>& universe) {
+  XPTC_ASSIGN_OR_RETURN(Dfta da, DownwardQueryToDfta(a, alphabet, universe));
+  XPTC_ASSIGN_OR_RETURN(Dfta db, DownwardQueryToDfta(b, alphabet, universe));
+  return Dfta::Equivalent(da, db);
+}
+
+Result<bool> DownwardRootContained(const NodeExpr& a, const NodeExpr& b,
+                                   Alphabet* alphabet,
+                                   const std::vector<Symbol>& universe) {
+  XPTC_ASSIGN_OR_RETURN(Dfta da, DownwardQueryToDfta(a, alphabet, universe));
+  XPTC_ASSIGN_OR_RETURN(Dfta db, DownwardQueryToDfta(b, alphabet, universe));
+  return Dfta::Product(da, db, Dfta::BoolOp::kDiff).IsEmpty();
+}
+
+}  // namespace xptc

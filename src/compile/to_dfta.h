@@ -1,0 +1,69 @@
+#ifndef XPTC_COMPILE_TO_DFTA_H_
+#define XPTC_COMPILE_TO_DFTA_H_
+
+#include <vector>
+
+#include "bta/bta.h"
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "compile/compile.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Converts a *downward* compiled query (every automaton in the hierarchy
+/// uses only the moves Stay / DownFirst / Right and accepts anywhere) into
+/// an equivalent deterministic bottom-up tree automaton over `universe`:
+///
+///     dfta.Accepts(T)  ==  query.EvalAtRoot(T)      for all trees over
+///                                                    the universe.
+///
+/// This is the constructive core of the paper's "nested TWA recognize only
+/// regular languages" inclusion, specialised to downward hierarchies: the
+/// DFTA state at node v records, per hierarchy level, three summary sets —
+/// the states from which a walk entering the sibling forest of v (as a
+/// first child / as a non-first sibling) can accept, and the states from
+/// which a *run-root* walk confined to the subtree of v can accept. Since
+/// downward walks never re-enter a region they left, these summaries
+/// compose exactly, bottom-up.
+///
+/// The query must come from `XPathToNtwaCompiler::CompileRootQuery` on a
+/// *downward* node expression (then all compiled automata are downward);
+/// non-downward moves or per-level state counts above 64 yield
+/// NotSupported, state-space blow-ups beyond `max_states` yield
+/// OutOfRange.
+Result<Dfta> DownwardCompiledQueryToDfta(const CompiledQuery& query,
+                                         const std::vector<Symbol>& universe,
+                                         int max_states = 100000);
+
+/// End-to-end helper: compiles a downward node expression as a root query
+/// and converts it. The resulting DFTA accepts exactly the trees over
+/// `universe` whose root satisfies `query` — enabling *exact* (automata-
+/// theoretic) satisfiability, equivalence, and containment decisions for
+/// the downward fragment via the Dfta algebra.
+Result<Dfta> DownwardQueryToDfta(const NodeExpr& query, Alphabet* alphabet,
+                                 const std::vector<Symbol>& universe,
+                                 int max_states = 100000);
+
+/// Exact satisfiability at the root for downward queries (decision
+/// procedure, not bounded search): is there a tree over `universe` whose
+/// root satisfies `query`?
+Result<bool> DownwardRootSatisfiable(const NodeExpr& query,
+                                     Alphabet* alphabet,
+                                     const std::vector<Symbol>& universe);
+
+/// Exact root-equivalence of two downward queries over `universe`.
+Result<bool> DownwardRootEquivalent(const NodeExpr& a, const NodeExpr& b,
+                                    Alphabet* alphabet,
+                                    const std::vector<Symbol>& universe);
+
+/// Exact root-containment: does every tree over `universe` whose root
+/// satisfies `a` also satisfy `b` at the root? (The classic XPath
+/// containment problem, decided exactly on the downward fragment.)
+Result<bool> DownwardRootContained(const NodeExpr& a, const NodeExpr& b,
+                                   Alphabet* alphabet,
+                                   const std::vector<Symbol>& universe);
+
+}  // namespace xptc
+
+#endif  // XPTC_COMPILE_TO_DFTA_H_

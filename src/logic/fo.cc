@@ -1,0 +1,257 @@
+#include "logic/fo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xptc {
+
+FormulaPtr FOLabel(Symbol label, Var x) {
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kLabel;
+  f->label = label;
+  f->v1 = x;
+  return f;
+}
+
+FormulaPtr FOEq(Var x, Var y) {
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kEq;
+  f->v1 = x;
+  f->v2 = y;
+  return f;
+}
+
+FormulaPtr FOChild(Var parent, Var child) {
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kChild;
+  f->v1 = parent;
+  f->v2 = child;
+  return f;
+}
+
+FormulaPtr FONextSib(Var left_node, Var right_node) {
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kNextSib;
+  f->v1 = left_node;
+  f->v2 = right_node;
+  return f;
+}
+
+FormulaPtr FONot(FormulaPtr arg) {
+  XPTC_CHECK(arg != nullptr);
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kNot;
+  f->left = std::move(arg);
+  return f;
+}
+
+FormulaPtr FOAnd(FormulaPtr left, FormulaPtr right) {
+  XPTC_CHECK(left && right);
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kAnd;
+  f->left = std::move(left);
+  f->right = std::move(right);
+  return f;
+}
+
+FormulaPtr FOOr(FormulaPtr left, FormulaPtr right) {
+  XPTC_CHECK(left && right);
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kOr;
+  f->left = std::move(left);
+  f->right = std::move(right);
+  return f;
+}
+
+FormulaPtr FOExists(Var bound, FormulaPtr body) {
+  XPTC_CHECK(body != nullptr);
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kExists;
+  f->v1 = bound;
+  f->left = std::move(body);
+  return f;
+}
+
+FormulaPtr FOForall(Var bound, FormulaPtr body) {
+  XPTC_CHECK(body != nullptr);
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kForall;
+  f->v1 = bound;
+  f->left = std::move(body);
+  return f;
+}
+
+FormulaPtr FOTC(Var tc_x, Var tc_y, FormulaPtr body, Var u, Var v) {
+  XPTC_CHECK(body != nullptr);
+  XPTC_CHECK_NE(tc_x, tc_y);
+  auto f = std::make_shared<Formula>();
+  f->op = FOOp::kTC;
+  f->tc_x = tc_x;
+  f->tc_y = tc_y;
+  f->v1 = u;
+  f->v2 = v;
+  f->left = std::move(body);
+  return f;
+}
+
+int FormulaSize(const Formula& formula) {
+  int size = 1;
+  if (formula.left != nullptr) size += FormulaSize(*formula.left);
+  if (formula.right != nullptr) size += FormulaSize(*formula.right);
+  return size;
+}
+
+int QuantifierRank(const Formula& formula) {
+  int child_rank = 0;
+  if (formula.left != nullptr) {
+    child_rank = QuantifierRank(*formula.left);
+  }
+  if (formula.right != nullptr) {
+    child_rank = std::max(child_rank, QuantifierRank(*formula.right));
+  }
+  switch (formula.op) {
+    case FOOp::kExists:
+    case FOOp::kForall:
+    case FOOp::kTC:
+      return 1 + child_rank;
+    default:
+      return child_rank;
+  }
+}
+
+int CountTCOperators(const Formula& formula) {
+  int count = formula.op == FOOp::kTC ? 1 : 0;
+  if (formula.left != nullptr) count += CountTCOperators(*formula.left);
+  if (formula.right != nullptr) count += CountTCOperators(*formula.right);
+  return count;
+}
+
+namespace {
+void CollectFreeVars(const Formula& formula, std::set<Var>* bound,
+                     std::set<Var>* free) {
+  auto add_if_free = [&](Var v) {
+    if (v >= 0 && bound->count(v) == 0) free->insert(v);
+  };
+  switch (formula.op) {
+    case FOOp::kLabel:
+      add_if_free(formula.v1);
+      return;
+    case FOOp::kEq:
+    case FOOp::kChild:
+    case FOOp::kNextSib:
+      add_if_free(formula.v1);
+      add_if_free(formula.v2);
+      return;
+    case FOOp::kNot:
+      CollectFreeVars(*formula.left, bound, free);
+      return;
+    case FOOp::kAnd:
+    case FOOp::kOr:
+      CollectFreeVars(*formula.left, bound, free);
+      CollectFreeVars(*formula.right, bound, free);
+      return;
+    case FOOp::kExists:
+    case FOOp::kForall: {
+      const bool was_bound = bound->count(formula.v1) > 0;
+      bound->insert(formula.v1);
+      CollectFreeVars(*formula.left, bound, free);
+      if (!was_bound) bound->erase(formula.v1);
+      return;
+    }
+    case FOOp::kTC: {
+      // The applied terms are free occurrences; the designated pair is
+      // bound within the body.
+      add_if_free(formula.v1);
+      add_if_free(formula.v2);
+      const bool x_was = bound->count(formula.tc_x) > 0;
+      const bool y_was = bound->count(formula.tc_y) > 0;
+      bound->insert(formula.tc_x);
+      bound->insert(formula.tc_y);
+      CollectFreeVars(*formula.left, bound, free);
+      if (!x_was) bound->erase(formula.tc_x);
+      if (!y_was) bound->erase(formula.tc_y);
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::set<Var> FreeVars(const Formula& formula) {
+  std::set<Var> bound;
+  std::set<Var> free;
+  CollectFreeVars(formula, &bound, &free);
+  return free;
+}
+
+Var MaxVar(const Formula& formula) {
+  Var max_var = std::max({formula.v1, formula.v2, formula.tc_x, formula.tc_y});
+  if (formula.left != nullptr) {
+    max_var = std::max(max_var, MaxVar(*formula.left));
+  }
+  if (formula.right != nullptr) {
+    max_var = std::max(max_var, MaxVar(*formula.right));
+  }
+  return max_var;
+}
+
+namespace {
+std::string V(Var v) { return "x" + std::to_string(v); }
+
+void Print(const Formula& formula, const Alphabet& alphabet,
+           std::string* out) {
+  switch (formula.op) {
+    case FOOp::kLabel:
+      *out += alphabet.Name(formula.label) + "(" + V(formula.v1) + ")";
+      return;
+    case FOOp::kEq:
+      *out += V(formula.v1) + "=" + V(formula.v2);
+      return;
+    case FOOp::kChild:
+      *out += "Child(" + V(formula.v1) + "," + V(formula.v2) + ")";
+      return;
+    case FOOp::kNextSib:
+      *out += "NextSib(" + V(formula.v1) + "," + V(formula.v2) + ")";
+      return;
+    case FOOp::kNot:
+      *out += "!";
+      Print(*formula.left, alphabet, out);
+      return;
+    case FOOp::kAnd:
+      *out += "(";
+      Print(*formula.left, alphabet, out);
+      *out += " & ";
+      Print(*formula.right, alphabet, out);
+      *out += ")";
+      return;
+    case FOOp::kOr:
+      *out += "(";
+      Print(*formula.left, alphabet, out);
+      *out += " | ";
+      Print(*formula.right, alphabet, out);
+      *out += ")";
+      return;
+    case FOOp::kExists:
+      *out += "E" + V(formula.v1) + ".";
+      Print(*formula.left, alphabet, out);
+      return;
+    case FOOp::kForall:
+      *out += "A" + V(formula.v1) + ".";
+      Print(*formula.left, alphabet, out);
+      return;
+    case FOOp::kTC:
+      *out += "[TC_{" + V(formula.tc_x) + "," + V(formula.tc_y) + "} ";
+      Print(*formula.left, alphabet, out);
+      *out += "](" + V(formula.v1) + "," + V(formula.v2) + ")";
+      return;
+  }
+}
+}  // namespace
+
+std::string FormulaToString(const Formula& formula, const Alphabet& alphabet) {
+  std::string out;
+  Print(formula, alphabet, &out);
+  return out;
+}
+
+}  // namespace xptc

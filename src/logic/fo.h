@@ -1,0 +1,84 @@
+#ifndef XPTC_LOGIC_FO_H_
+#define XPTC_LOGIC_FO_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/alphabet.h"
+
+namespace xptc {
+
+/// First-order variable, a small dense integer. Translators allocate fresh
+/// variables from a counter; printers render them "x0", "x1", ...
+using Var = int;
+
+/// Connectives and atoms of FO(MTC) — first-order logic with *monadic*
+/// transitive closure — over the tree signature
+/// `{Child, NextSibling, =, (P_label)_label}`. This is the logic `FO*` of
+/// the paper: the TC operator applies to definable binary relations
+/// `φ(x, y)` (parameters allowed) and is the *strict* (≥ 1 step) closure.
+enum class FOOp {
+  kLabel,    // P_label(v1)
+  kEq,       // v1 = v2
+  kChild,    // Child(v1, v2)
+  kNextSib,  // NextSib(v1, v2)
+  kNot,      // ¬ left
+  kAnd,      // left ∧ right
+  kOr,       // left ∨ right
+  kExists,   // ∃ v1 . left
+  kForall,   // ∀ v1 . left
+  kTC,       // [TC_{tc_x, tc_y} left](v1, v2)
+};
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Immutable FO(MTC) formula node.
+struct Formula {
+  FOOp op;
+  Var v1 = -1;  // atom argument / bound variable / TC source term
+  Var v2 = -1;  // atom argument / TC target term
+  Var tc_x = -1;  // kTC: designated variable pair of the closed relation
+  Var tc_y = -1;
+  Symbol label = kInvalidSymbol;  // kLabel
+  FormulaPtr left;
+  FormulaPtr right;
+};
+
+FormulaPtr FOLabel(Symbol label, Var x);
+FormulaPtr FOEq(Var x, Var y);
+FormulaPtr FOChild(Var parent, Var child);
+FormulaPtr FONextSib(Var left_node, Var right_node);
+FormulaPtr FONot(FormulaPtr arg);
+FormulaPtr FOAnd(FormulaPtr left, FormulaPtr right);
+FormulaPtr FOOr(FormulaPtr left, FormulaPtr right);
+FormulaPtr FOExists(Var bound, FormulaPtr body);
+FormulaPtr FOForall(Var bound, FormulaPtr body);
+
+/// [TC_{x,y} body](u, v): u and v are connected by a chain of ≥ 1 body-steps.
+FormulaPtr FOTC(Var tc_x, Var tc_y, FormulaPtr body, Var u, Var v);
+
+/// Number of formula nodes.
+int FormulaSize(const Formula& formula);
+
+/// Maximum nesting depth of quantifiers and TC operators combined (the
+/// parameter that drives naive model-checking cost).
+int QuantifierRank(const Formula& formula);
+
+/// Number of TC operators in the formula.
+int CountTCOperators(const Formula& formula);
+
+/// Free variables of the formula.
+std::set<Var> FreeVars(const Formula& formula);
+
+/// Largest variable index mentioned anywhere (bound or free); -1 if none.
+Var MaxVar(const Formula& formula);
+
+/// Human-readable rendering, e.g. "∃x1 (Child(x0,x1) ∧ P_a(x1))" in ASCII:
+/// "Ex1 (Child(x0,x1) & a(x1))".
+std::string FormulaToString(const Formula& formula, const Alphabet& alphabet);
+
+}  // namespace xptc
+
+#endif  // XPTC_LOGIC_FO_H_

@@ -1,0 +1,155 @@
+#include "logic/fo_eval.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace xptc {
+
+namespace {
+
+NodeId Lookup(const FOAssignment& env, Var v) {
+  XPTC_CHECK_GE(v, 0);
+  XPTC_CHECK_LT(static_cast<size_t>(v), env.size());
+  const NodeId node = env[static_cast<size_t>(v)];
+  XPTC_CHECK_NE(node, kNoNode) << "unassigned variable x" << v;
+  return node;
+}
+
+bool Eval(const Tree& tree, const Formula& formula, FOAssignment* env) {
+  switch (formula.op) {
+    case FOOp::kLabel:
+      return tree.Label(Lookup(*env, formula.v1)) == formula.label;
+    case FOOp::kEq:
+      return Lookup(*env, formula.v1) == Lookup(*env, formula.v2);
+    case FOOp::kChild:
+      return tree.Parent(Lookup(*env, formula.v2)) ==
+             Lookup(*env, formula.v1);
+    case FOOp::kNextSib:
+      return tree.NextSibling(Lookup(*env, formula.v1)) ==
+             Lookup(*env, formula.v2);
+    case FOOp::kNot:
+      return !Eval(tree, *formula.left, env);
+    case FOOp::kAnd:
+      return Eval(tree, *formula.left, env) &&
+             Eval(tree, *formula.right, env);
+    case FOOp::kOr:
+      return Eval(tree, *formula.left, env) ||
+             Eval(tree, *formula.right, env);
+    case FOOp::kExists: {
+      const size_t slot = static_cast<size_t>(formula.v1);
+      const NodeId saved = (*env)[slot];
+      for (NodeId v = 0; v < tree.size(); ++v) {
+        (*env)[slot] = v;
+        if (Eval(tree, *formula.left, env)) {
+          (*env)[slot] = saved;
+          return true;
+        }
+      }
+      (*env)[slot] = saved;
+      return false;
+    }
+    case FOOp::kForall: {
+      const size_t slot = static_cast<size_t>(formula.v1);
+      const NodeId saved = (*env)[slot];
+      for (NodeId v = 0; v < tree.size(); ++v) {
+        (*env)[slot] = v;
+        if (!Eval(tree, *formula.left, env)) {
+          (*env)[slot] = saved;
+          return false;
+        }
+      }
+      (*env)[slot] = saved;
+      return true;
+    }
+    case FOOp::kTC: {
+      // BFS from the source term; edges of the closed relation are
+      // evaluated lazily under the current parameter assignment.
+      const NodeId source = Lookup(*env, formula.v1);
+      const NodeId target = Lookup(*env, formula.v2);
+      const size_t sx = static_cast<size_t>(formula.tc_x);
+      const size_t sy = static_cast<size_t>(formula.tc_y);
+      const NodeId saved_x = (*env)[sx];
+      const NodeId saved_y = (*env)[sy];
+      std::vector<bool> visited(static_cast<size_t>(tree.size()), false);
+      std::deque<NodeId> queue;
+      bool found = false;
+      // Strict closure: the target must be reached by >= 1 step, so the
+      // source is expanded but only enqueued nodes count as reached.
+      queue.push_back(source);
+      std::vector<bool> expanded(static_cast<size_t>(tree.size()), false);
+      while (!queue.empty() && !found) {
+        const NodeId current = queue.front();
+        queue.pop_front();
+        if (expanded[static_cast<size_t>(current)]) continue;
+        expanded[static_cast<size_t>(current)] = true;
+        (*env)[sx] = current;
+        for (NodeId next = 0; next < tree.size() && !found; ++next) {
+          if (visited[static_cast<size_t>(next)]) continue;
+          (*env)[sy] = next;
+          if (Eval(tree, *formula.left, env)) {
+            visited[static_cast<size_t>(next)] = true;
+            if (next == target) {
+              found = true;
+            } else {
+              queue.push_back(next);
+            }
+          }
+        }
+      }
+      (*env)[sx] = saved_x;
+      (*env)[sy] = saved_y;
+      return found;
+    }
+  }
+  XPTC_CHECK(false) << "bad FO op";
+  return false;
+}
+
+}  // namespace
+
+bool EvalFormula(const Tree& tree, const Formula& formula,
+                 const FOAssignment& env) {
+  FOAssignment working = env;
+  const Var max_var = MaxVar(formula);
+  if (static_cast<Var>(working.size()) <= max_var) {
+    working.resize(static_cast<size_t>(max_var) + 1, kNoNode);
+  }
+  return Eval(tree, formula, &working);
+}
+
+Bitset EvalFormulaUnary(const Tree& tree, const Formula& formula,
+                        Var free_var) {
+  Bitset out(tree.size());
+  FOAssignment env(static_cast<size_t>(std::max(MaxVar(formula), free_var)) +
+                       1,
+                   kNoNode);
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    env[static_cast<size_t>(free_var)] = v;
+    if (Eval(tree, formula, &env)) out.Set(v);
+  }
+  return out;
+}
+
+BitMatrix EvalFormulaBinary(const Tree& tree, const Formula& formula, Var x,
+                            Var y) {
+  BitMatrix out(tree.size());
+  FOAssignment env(
+      static_cast<size_t>(std::max({MaxVar(formula), x, y})) + 1, kNoNode);
+  for (NodeId i = 0; i < tree.size(); ++i) {
+    env[static_cast<size_t>(x)] = i;
+    for (NodeId j = 0; j < tree.size(); ++j) {
+      env[static_cast<size_t>(y)] = j;
+      if (Eval(tree, formula, &env)) out.Set(i, j);
+    }
+  }
+  return out;
+}
+
+bool EvalSentence(const Tree& tree, const Formula& formula) {
+  FOAssignment env(static_cast<size_t>(MaxVar(formula)) + 1, kNoNode);
+  return Eval(tree, formula, &env);
+}
+
+}  // namespace xptc

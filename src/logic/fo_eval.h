@@ -1,0 +1,40 @@
+#ifndef XPTC_LOGIC_FO_EVAL_H_
+#define XPTC_LOGIC_FO_EVAL_H_
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "logic/fo.h"
+#include "tree/tree.h"
+
+namespace xptc {
+
+/// Variable assignment: env[var] is the node assigned to `var`, or kNoNode
+/// if unassigned. Sized to at least MaxVar(formula) + 1 by the caller (the
+/// helpers below take care of it).
+using FOAssignment = std::vector<NodeId>;
+
+/// Naive model checking of FO(MTC) over a tree: direct recursion on the
+/// formula, O(n) per quantifier level and O(n²) edge evaluations per TC
+/// (closure computed by BFS with lazily evaluated edges). Exponential in
+/// quantifier rank in the worst case — this is the *logic side* reference
+/// implementation, used for translation validation and the complexity-shape
+/// experiment (E4); the XPath engine is the efficient path.
+bool EvalFormula(const Tree& tree, const Formula& formula,
+                 const FOAssignment& env);
+
+/// Evaluates a formula with exactly one free variable `free_var`: the set of
+/// nodes satisfying φ(x).
+Bitset EvalFormulaUnary(const Tree& tree, const Formula& formula,
+                        Var free_var);
+
+/// Evaluates a formula with two free variables as an explicit relation.
+BitMatrix EvalFormulaBinary(const Tree& tree, const Formula& formula, Var x,
+                            Var y);
+
+/// Evaluates a sentence (no free variables).
+bool EvalSentence(const Tree& tree, const Formula& formula);
+
+}  // namespace xptc
+
+#endif  // XPTC_LOGIC_FO_EVAL_H_

@@ -1,0 +1,303 @@
+#include "logic/fo_parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace xptc {
+
+namespace {
+
+enum class TokKind {
+  kIdent,   // variable, label, quantifier prefix, Child, NextSib, TC_
+  kLParen,
+  kRParen,
+  kLBrack,
+  kRBrack,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kEq,
+  kNeq,
+  kNot,
+  kAnd,
+  kOr,
+  kImplies,
+  kIff,
+  kEnd,
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  size_t offset;
+};
+
+Status TokenizeFormula(const std::string& text, std::vector<Tok>* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    const size_t start = pos;
+    auto push = [&](TokKind kind, size_t length) {
+      out->push_back({kind, text.substr(start, length), start});
+      pos += length;
+    };
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos;
+      while (end < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[end])) ||
+              text[end] == '_')) {
+        ++end;
+      }
+      push(TokKind::kIdent, end - pos);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokKind::kLParen, 1);
+        break;
+      case ')':
+        push(TokKind::kRParen, 1);
+        break;
+      case '[':
+        push(TokKind::kLBrack, 1);
+        break;
+      case ']':
+        push(TokKind::kRBrack, 1);
+        break;
+      case '{':
+        push(TokKind::kLBrace, 1);
+        break;
+      case '}':
+        push(TokKind::kRBrace, 1);
+        break;
+      case ',':
+        push(TokKind::kComma, 1);
+        break;
+      case '.':
+        push(TokKind::kDot, 1);
+        break;
+      case '=':
+        push(TokKind::kEq, 1);
+        break;
+      case '&':
+        push(TokKind::kAnd, 1);
+        break;
+      case '|':
+        push(TokKind::kOr, 1);
+        break;
+      case '!':
+        if (pos + 1 < text.size() && text[pos + 1] == '=') {
+          push(TokKind::kNeq, 2);
+        } else {
+          push(TokKind::kNot, 1);
+        }
+        break;
+      case '-':
+        if (pos + 1 < text.size() && text[pos + 1] == '>') {
+          push(TokKind::kImplies, 2);
+        } else {
+          return Status::InvalidArgument("stray '-' at offset " +
+                                         std::to_string(pos));
+        }
+        break;
+      case '<':
+        if (pos + 2 < text.size() && text[pos + 1] == '-' &&
+            text[pos + 2] == '>') {
+          push(TokKind::kIff, 3);
+        } else {
+          return Status::InvalidArgument("stray '<' at offset " +
+                                         std::to_string(pos));
+        }
+        break;
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(pos));
+    }
+  }
+  out->push_back({TokKind::kEnd, "", text.size()});
+  return Status::OK();
+}
+
+// "x<digits>" → variable index, or -1.
+Var ParseVarName(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'x') return -1;
+  Var value = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return -1;
+    value = value * 10 + (name[i] - '0');
+  }
+  return value;
+}
+
+class FOParser {
+ public:
+  FOParser(std::vector<Tok> tokens, Alphabet* alphabet)
+      : tokens_(std::move(tokens)), alphabet_(alphabet) {}
+
+  Result<FormulaPtr> Parse() {
+    XPTC_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
+    if (!Check(TokKind::kEnd)) return Error("trailing input");
+    return f;
+  }
+
+ private:
+  const Tok& Peek() const { return tokens_[index_]; }
+  const Tok& Advance() { return tokens_[index_++]; }
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+  bool Match(TokKind kind) {
+    if (Check(kind)) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  Result<Var> ExpectVar() {
+    if (!Check(TokKind::kIdent)) return Error("expected variable");
+    const Var v = ParseVarName(Peek().text);
+    if (v < 0) return Error("expected variable like x0, got " + Peek().text);
+    Advance();
+    return v;
+  }
+
+  Result<FormulaPtr> ParseIff() {
+    XPTC_ASSIGN_OR_RETURN(FormulaPtr left, ParseImplies());
+    while (Match(TokKind::kIff)) {
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());
+      left = FOAnd(FOOr(FONot(left), right), FOOr(FONot(right), left));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseImplies() {
+    XPTC_ASSIGN_OR_RETURN(FormulaPtr left, ParseOr());
+    if (Match(TokKind::kImplies)) {
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());  // right-assoc
+      return FOOr(FONot(std::move(left)), std::move(right));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    XPTC_ASSIGN_OR_RETURN(FormulaPtr left, ParseAnd());
+    while (Match(TokKind::kOr)) {
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr right, ParseAnd());
+      left = FOOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    XPTC_ASSIGN_OR_RETURN(FormulaPtr left, ParseUnary());
+    while (Match(TokKind::kAnd)) {
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr right, ParseUnary());
+      left = FOAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (Match(TokKind::kNot)) {
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr arg, ParseUnary());
+      return FONot(std::move(arg));
+    }
+    // Quantifiers: "Ex3." / "Ax3." — an ident of that shape followed by '.'.
+    if (Check(TokKind::kIdent) &&
+        (Peek().text[0] == 'E' || Peek().text[0] == 'A') &&
+        ParseVarName(Peek().text.substr(1)) >= 0 &&
+        tokens_[index_ + 1].kind == TokKind::kDot) {
+      const bool exists = Peek().text[0] == 'E';
+      const Var bound = ParseVarName(Advance().text.substr(1));
+      Advance();  // '.'
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr body, ParseUnary());
+      return exists ? FOExists(bound, std::move(body))
+                    : FOForall(bound, std::move(body));
+    }
+    return ParseAtom();
+  }
+
+  Result<FormulaPtr> ParseAtom() {
+    if (Match(TokKind::kLParen)) {
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr inner, ParseIff());
+      if (!Match(TokKind::kRParen)) return Error("expected ')'");
+      return inner;
+    }
+    if (Match(TokKind::kLBrack)) {
+      // [TC_{xa,xb} body](xu,xv)
+      if (!Check(TokKind::kIdent) || Peek().text != "TC_") {
+        return Error("expected TC_ after '['");
+      }
+      Advance();
+      if (!Match(TokKind::kLBrace)) return Error("expected '{'");
+      XPTC_ASSIGN_OR_RETURN(Var tc_x, ExpectVar());
+      if (!Match(TokKind::kComma)) return Error("expected ','");
+      XPTC_ASSIGN_OR_RETURN(Var tc_y, ExpectVar());
+      if (!Match(TokKind::kRBrace)) return Error("expected '}'");
+      XPTC_ASSIGN_OR_RETURN(FormulaPtr body, ParseIff());
+      if (!Match(TokKind::kRBrack)) return Error("expected ']'");
+      if (!Match(TokKind::kLParen)) return Error("expected '(' after TC");
+      XPTC_ASSIGN_OR_RETURN(Var u, ExpectVar());
+      if (!Match(TokKind::kComma)) return Error("expected ','");
+      XPTC_ASSIGN_OR_RETURN(Var v, ExpectVar());
+      if (!Match(TokKind::kRParen)) return Error("expected ')'");
+      if (tc_x == tc_y) return Error("TC variables must be distinct");
+      return FOTC(tc_x, tc_y, std::move(body), u, v);
+    }
+    if (!Check(TokKind::kIdent)) return Error("expected atom");
+    const std::string head = Advance().text;
+    const Var as_var = ParseVarName(head);
+    if (as_var >= 0) {
+      // Equality or inequality.
+      if (Match(TokKind::kEq)) {
+        XPTC_ASSIGN_OR_RETURN(Var other, ExpectVar());
+        return FOEq(as_var, other);
+      }
+      if (Match(TokKind::kNeq)) {
+        XPTC_ASSIGN_OR_RETURN(Var other, ExpectVar());
+        return FONot(FOEq(as_var, other));
+      }
+      return Error("expected '=' or '!=' after variable");
+    }
+    // Relation or label atom: head(args).
+    if (!Match(TokKind::kLParen)) {
+      return Error("expected '(' after '" + head + "'");
+    }
+    XPTC_ASSIGN_OR_RETURN(Var first, ExpectVar());
+    if (head == "Child" || head == "NextSib") {
+      if (!Match(TokKind::kComma)) return Error("expected ','");
+      XPTC_ASSIGN_OR_RETURN(Var second, ExpectVar());
+      if (!Match(TokKind::kRParen)) return Error("expected ')'");
+      return head == "Child" ? FOChild(first, second)
+                             : FONextSib(first, second);
+    }
+    if (!Match(TokKind::kRParen)) {
+      return Error("expected ')' after label atom");
+    }
+    return FOLabel(alphabet_->Intern(head), first);
+  }
+
+  std::vector<Tok> tokens_;
+  Alphabet* alphabet_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<FormulaPtr> ParseFormula(const std::string& text, Alphabet* alphabet) {
+  std::vector<Tok> tokens;
+  XPTC_RETURN_NOT_OK(TokenizeFormula(text, &tokens));
+  FOParser parser(std::move(tokens), alphabet);
+  return parser.Parse();
+}
+
+}  // namespace xptc

@@ -1,0 +1,36 @@
+#ifndef XPTC_LOGIC_FO_PARSER_H_
+#define XPTC_LOGIC_FO_PARSER_H_
+
+#include <string>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "logic/fo.h"
+
+namespace xptc {
+
+/// Parses the ASCII FO(MTC) syntax produced by `FormulaToString`
+/// (round-trip safe):
+///
+///   formula := iff
+///   iff     := implies ('<->' implies)*          (desugars to (a→b)∧(b→a))
+///   implies := or ('->' or)*                     (right-assoc, ¬a ∨ b)
+///   or      := and ('|' and)*
+///   and     := unary ('&' unary)*
+///   unary   := '!' unary | 'E' VAR '.' unary | 'A' VAR '.' unary | atom
+///   atom    := VAR '=' VAR | VAR '!=' VAR
+///            | 'Child' '(' VAR ',' VAR ')' | 'NextSib' '(' VAR ',' VAR ')'
+///            | LABEL '(' VAR ')'
+///            | '[' 'TC_' '{' VAR ',' VAR '}' formula ']' '(' VAR ',' VAR ')'
+///            | '(' formula ')'
+///   VAR     := 'x' DIGITS
+///
+/// Label names are identifiers other than the reserved `Child`/`NextSib`;
+/// they are interned into `*alphabet`. `a != b` desugars to `!(a = b)` and
+/// implication/biimplication desugar to ¬/∨/∧, so round-tripping a parsed
+/// formula through `FormulaToString` re-parses to a structurally equal one.
+Result<FormulaPtr> ParseFormula(const std::string& text, Alphabet* alphabet);
+
+}  // namespace xptc
+
+#endif  // XPTC_LOGIC_FO_PARSER_H_

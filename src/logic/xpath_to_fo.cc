@@ -1,0 +1,195 @@
+#include "logic/xpath_to_fo.h"
+
+#include "common/check.h"
+
+namespace xptc {
+
+namespace {
+
+// Strict-TC helper: [TC_{a,b} step(a,b)](u, v) with fresh a, b supplied by
+// the caller.
+FormulaPtr StrictTC(Var a, Var b, FormulaPtr step, Var u, Var v) {
+  return FOTC(a, b, std::move(step), u, v);
+}
+
+}  // namespace
+
+FormulaPtr XPathToFOTranslator::DosFormula(Var root, Var v) {
+  const Var a = Fresh();
+  const Var b = Fresh();
+  return FOOr(FOEq(root, v),
+              StrictTC(a, b, FOChild(a, b), root, v));
+}
+
+FormulaPtr XPathToFOTranslator::TranslatePath(const PathExpr& path, Var x,
+                                              Var y) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      switch (path.axis) {
+        case Axis::kSelf:
+          return FOEq(x, y);
+        case Axis::kChild:
+          return FOChild(x, y);
+        case Axis::kParent:
+          return FOChild(y, x);
+        case Axis::kDescendant: {
+          const Var a = Fresh();
+          const Var b = Fresh();
+          return StrictTC(a, b, FOChild(a, b), x, y);
+        }
+        case Axis::kAncestor: {
+          const Var a = Fresh();
+          const Var b = Fresh();
+          return StrictTC(a, b, FOChild(a, b), y, x);
+        }
+        case Axis::kDescendantOrSelf:
+          return DosFormula(x, y);
+        case Axis::kAncestorOrSelf:
+          return DosFormula(y, x);
+        case Axis::kNextSibling:
+          return FONextSib(x, y);
+        case Axis::kPrevSibling:
+          return FONextSib(y, x);
+        case Axis::kFollowingSibling: {
+          const Var a = Fresh();
+          const Var b = Fresh();
+          return StrictTC(a, b, FONextSib(a, b), x, y);
+        }
+        case Axis::kPrecedingSibling: {
+          const Var a = Fresh();
+          const Var b = Fresh();
+          return StrictTC(a, b, FONextSib(a, b), y, x);
+        }
+        case Axis::kFollowing: {
+          // following = aos / fsib / dos.
+          const Var z = Fresh();
+          const Var w = Fresh();
+          FormulaPtr aos = DosFormula(z, x);  // z ancestor-or-self of x
+          const Var a = Fresh();
+          const Var b = Fresh();
+          FormulaPtr fsib = StrictTC(a, b, FONextSib(a, b), z, w);
+          FormulaPtr dos = DosFormula(w, y);
+          return FOExists(
+              z, FOExists(w, FOAnd(std::move(aos),
+                                   FOAnd(std::move(fsib), std::move(dos)))));
+        }
+        case Axis::kPreceding: {
+          const Var z = Fresh();
+          const Var w = Fresh();
+          FormulaPtr aos = DosFormula(z, x);
+          const Var a = Fresh();
+          const Var b = Fresh();
+          FormulaPtr psib = StrictTC(a, b, FONextSib(a, b), w, z);
+          FormulaPtr dos = DosFormula(w, y);
+          return FOExists(
+              z, FOExists(w, FOAnd(std::move(aos),
+                                   FOAnd(std::move(psib), std::move(dos)))));
+        }
+      }
+      XPTC_CHECK(false) << "bad axis";
+      return nullptr;
+    case PathOp::kSeq: {
+      const Var z = Fresh();
+      FormulaPtr left = TranslatePath(*path.left, x, z);
+      FormulaPtr right = TranslatePath(*path.right, z, y);
+      return FOExists(z, FOAnd(std::move(left), std::move(right)));
+    }
+    case PathOp::kUnion:
+      return FOOr(TranslatePath(*path.left, x, y),
+                  TranslatePath(*path.right, x, y));
+    case PathOp::kFilter:
+      return FOAnd(TranslatePath(*path.left, x, y),
+                   TranslateNode(*path.pred, y));
+    case PathOp::kStar: {
+      // p* = (x = y) ∨ TC_{a,b}[STx(p)(a,b)](x, y) — the paper's
+      // correspondence between path stars and monadic TC.
+      const Var a = Fresh();
+      const Var b = Fresh();
+      FormulaPtr step = TranslatePath(*path.left, a, b);
+      return FOOr(FOEq(x, y), StrictTC(a, b, std::move(step), x, y));
+    }
+  }
+  XPTC_CHECK(false) << "bad path op";
+  return nullptr;
+}
+
+FormulaPtr XPathToFOTranslator::TranslateNode(const NodeExpr& node, Var x) {
+  switch (node.op) {
+    case NodeOp::kLabel:
+      return FOLabel(node.label, x);
+    case NodeOp::kTrue:
+      return FOEq(x, x);
+    case NodeOp::kNot:
+      return FONot(TranslateNode(*node.left, x));
+    case NodeOp::kAnd:
+      return FOAnd(TranslateNode(*node.left, x),
+                   TranslateNode(*node.right, x));
+    case NodeOp::kOr:
+      return FOOr(TranslateNode(*node.left, x),
+                  TranslateNode(*node.right, x));
+    case NodeOp::kSome: {
+      const Var y = Fresh();
+      return FOExists(y, TranslatePath(*node.path, x, y));
+    }
+    case NodeOp::kWithin:
+      // W φ at x: φ holds at x in T|x — translate φ, then restrict all
+      // navigation to the subtree of x.
+      return Relativize(TranslateNode(*node.left, x), x);
+  }
+  XPTC_CHECK(false) << "bad node op";
+  return nullptr;
+}
+
+FormulaPtr XPathToFOTranslator::Relativize(const FormulaPtr& formula,
+                                           Var root) {
+  switch (formula->op) {
+    case FOOp::kLabel:
+    case FOOp::kEq:
+    case FOOp::kChild:
+    case FOOp::kNextSib:
+      // Atoms over nodes already inside the subtree are unchanged; a Child
+      // or NextSib edge between subtree nodes is the same edge in T|root
+      // (the root itself has no parent/siblings *inside* the subtree, which
+      // is enforced by the quantifier restrictions below — and by the fact
+      // that any free variable of the original formula is `root` itself).
+      return formula;
+    case FOOp::kNot:
+      return FONot(Relativize(formula->left, root));
+    case FOOp::kAnd:
+      return FOAnd(Relativize(formula->left, root),
+                   Relativize(formula->right, root));
+    case FOOp::kOr:
+      return FOOr(Relativize(formula->left, root),
+                  Relativize(formula->right, root));
+    case FOOp::kExists:
+      return FOExists(formula->v1,
+                      FOAnd(DosFormula(root, formula->v1),
+                            Relativize(formula->left, root)));
+    case FOOp::kForall:
+      return FOForall(formula->v1,
+                      FOOr(FONot(DosFormula(root, formula->v1)),
+                           Relativize(formula->left, root)));
+    case FOOp::kTC: {
+      // Restrict both endpoints of every step of the closed relation.
+      FormulaPtr body = Relativize(formula->left, root);
+      body = FOAnd(DosFormula(root, formula->tc_x),
+                   FOAnd(DosFormula(root, formula->tc_y), std::move(body)));
+      return FOTC(formula->tc_x, formula->tc_y, std::move(body), formula->v1,
+                  formula->v2);
+    }
+  }
+  XPTC_CHECK(false) << "bad FO op";
+  return nullptr;
+}
+
+FormulaPtr PathToFO(const PathExpr& path, Var x, Var y) {
+  XPathToFOTranslator translator(/*first_fresh_var=*/2);
+  return translator.TranslatePath(path, x, y);
+}
+
+FormulaPtr NodeToFO(const NodeExpr& node, Var x) {
+  XPathToFOTranslator translator(/*first_fresh_var=*/1);
+  return translator.TranslateNode(node, x);
+}
+
+}  // namespace xptc

@@ -1,0 +1,55 @@
+#ifndef XPTC_LOGIC_XPATH_TO_FO_H_
+#define XPTC_LOGIC_XPATH_TO_FO_H_
+
+#include "logic/fo.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Compositional translation Regular XPath(W) → FO(MTC): the "easy"
+/// inclusion of the paper's main equivalence (Theorem T1), implemented
+/// constructively and validated by agreement tests.
+///
+/// The target signature is the minimal one `{Child, NextSibling, =, labels}`:
+/// transitive axes become TC operators (descendant = TC(Child), ...), the
+/// Kleene star becomes TC of the translated step relation, and `W φ`
+/// becomes the *relativisation* of the translation of φ to the subtree of
+/// the context variable (all quantifiers restricted to descendants-or-self,
+/// TC bodies restricted on both endpoints).
+class XPathToFOTranslator {
+ public:
+  /// Variables strictly below `first_fresh_var` are reserved for the caller
+  /// (context variables of the produced formulas).
+  explicit XPathToFOTranslator(Var first_fresh_var = 2)
+      : next_var_(first_fresh_var) {}
+
+  /// STx(path)(x, y): the translated binary relation.
+  FormulaPtr TranslatePath(const PathExpr& path, Var x, Var y);
+
+  /// φ(x): the translated unary predicate.
+  FormulaPtr TranslateNode(const NodeExpr& node, Var x);
+
+  /// Next unused variable index (for callers composing further).
+  Var next_var() const { return next_var_; }
+
+ private:
+  Var Fresh() { return next_var_++; }
+
+  /// descendant-or-self(root, v) as a formula.
+  FormulaPtr DosFormula(Var root, Var v);
+
+  /// Restricts every quantifier and TC body in `formula` to the subtree of
+  /// `root` (which must not be bound inside `formula`).
+  FormulaPtr Relativize(const FormulaPtr& formula, Var root);
+
+  Var next_var_;
+};
+
+/// One-shot helpers. The returned formula's free variables are exactly the
+/// given context variables (0/1 by convention).
+FormulaPtr PathToFO(const PathExpr& path, Var x, Var y);
+FormulaPtr NodeToFO(const NodeExpr& node, Var x);
+
+}  // namespace xptc
+
+#endif  // XPTC_LOGIC_XPATH_TO_FO_H_

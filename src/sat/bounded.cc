@@ -1,0 +1,98 @@
+#include "sat/bounded.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/eval.h"
+#include "xpath/eval_naive.h"
+
+namespace xptc {
+
+std::vector<Symbol> BoundedChecker::LabelUniverse(
+    const std::set<Symbol>& mentioned) {
+  std::vector<Symbol> universe(mentioned.begin(), mentioned.end());
+  for (int i = 0; i < options_.extra_labels; ++i) {
+    universe.push_back(alphabet_->Intern("_fresh" + std::to_string(i)));
+  }
+  if (universe.empty()) universe.push_back(alphabet_->Intern("_fresh"));
+  return universe;
+}
+
+template <typename Pred>
+std::optional<Tree> BoundedChecker::Search(const std::set<Symbol>& mentioned,
+                                           const Pred& pred) {
+  const std::vector<Symbol> universe = LabelUniverse(mentioned);
+  last_trees_examined_ = 0;
+  // Exhaustive phase, smallest trees first (witnesses are minimal in size).
+  std::optional<Tree> witness;
+  for (int n = 1; n <= options_.exhaustive_max_nodes && !witness; ++n) {
+    EnumerateTreesOfSize(n, universe, [&](const Tree& tree) {
+      if (witness.has_value()) return;
+      ++last_trees_examined_;
+      if (pred(tree)) witness = tree;
+    });
+  }
+  if (witness.has_value()) return witness;
+  // Randomized phase on larger trees.
+  Rng rng(options_.seed);
+  for (int round = 0; round < options_.random_rounds; ++round) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes =
+        rng.NextInt(options_.exhaustive_max_nodes + 1,
+                    options_.random_max_nodes);
+    tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(tree_options, universe, &rng);
+    ++last_trees_examined_;
+    if (pred(tree)) return tree;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeWitness> BoundedChecker::FindSatisfying(
+    const NodeExpr& node) {
+  std::set<Symbol> mentioned;
+  CollectNodeLabels(node, &mentioned);
+  std::optional<NodeWitness> witness;
+  Search(mentioned, [&](const Tree& tree) {
+    const Bitset satisfied = EvalNodeSet(tree, node);
+    const int first = satisfied.FindFirst();
+    if (first < 0) return false;
+    witness = NodeWitness{tree, first};
+    return true;
+  });
+  return witness;
+}
+
+std::optional<Tree> BoundedChecker::FindNodeInequivalence(const NodeExpr& a,
+                                                          const NodeExpr& b) {
+  std::set<Symbol> mentioned;
+  CollectNodeLabels(a, &mentioned);
+  CollectNodeLabels(b, &mentioned);
+  return Search(mentioned, [&](const Tree& tree) {
+    return EvalNodeSet(tree, a) != EvalNodeSet(tree, b);
+  });
+}
+
+std::optional<Tree> BoundedChecker::FindPathInequivalence(const PathExpr& a,
+                                                          const PathExpr& b) {
+  std::set<Symbol> mentioned;
+  CollectPathLabels(a, &mentioned);
+  CollectPathLabels(b, &mentioned);
+  return Search(mentioned, [&](const Tree& tree) {
+    return EvalPathNaive(tree, a) != EvalPathNaive(tree, b);
+  });
+}
+
+std::optional<Tree> BoundedChecker::FindNodeContainmentCounterexample(
+    const NodeExpr& a, const NodeExpr& b) {
+  std::set<Symbol> mentioned;
+  CollectNodeLabels(a, &mentioned);
+  CollectNodeLabels(b, &mentioned);
+  return Search(mentioned, [&](const Tree& tree) {
+    return !EvalNodeSet(tree, a).IsSubsetOf(EvalNodeSet(tree, b));
+  });
+}
+
+}  // namespace xptc

@@ -1,0 +1,78 @@
+#ifndef XPTC_SAT_BOUNDED_H_
+#define XPTC_SAT_BOUNDED_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Search budget for the bounded-model procedures. The exhaustive phase is
+/// *complete up to its bound*: a formula with no model of ≤
+/// `exhaustive_max_nodes` nodes over the relevant labels is reported
+/// unsatisfied there, and the randomized phase then probes larger models.
+///
+/// Satisfiability of Regular XPath(W) is decidable (EXPTIME — the paper's
+/// T2 upper bound via two-way alternating automata); this module implements
+/// the bounded-model instantiation used for equivalence *refutation* and
+/// experiment E8. It is sound for "satisfiable" answers and complete only
+/// up to the bound.
+struct BoundedSearchOptions {
+  int exhaustive_max_nodes = 5;
+  /// Fresh labels added beyond those occurring in the expressions (one
+  /// fresh label suffices to simulate an open alphabet for node tests).
+  int extra_labels = 1;
+  int random_rounds = 200;
+  int random_max_nodes = 24;
+  uint64_t seed = 7;
+};
+
+/// A satisfying (tree, node) pair for a node expression.
+struct NodeWitness {
+  Tree tree;
+  NodeId node;
+};
+
+/// Bounded-model satisfiability and equivalence refutation.
+class BoundedChecker {
+ public:
+  BoundedChecker(Alphabet* alphabet, BoundedSearchOptions options)
+      : alphabet_(alphabet), options_(options) {}
+
+  /// Smallest (tree, node) satisfying φ within the exhaustive bound, or a
+  /// random larger witness, or nullopt if none found within budget.
+  std::optional<NodeWitness> FindSatisfying(const NodeExpr& node);
+
+  /// A tree on which the two node expressions denote different node sets.
+  std::optional<Tree> FindNodeInequivalence(const NodeExpr& a,
+                                            const NodeExpr& b);
+
+  /// A tree on which the two path expressions denote different relations.
+  std::optional<Tree> FindPathInequivalence(const PathExpr& a,
+                                            const PathExpr& b);
+
+  /// A tree witnessing [[a]] ⊄ [[b]] (as node sets).
+  std::optional<Tree> FindNodeContainmentCounterexample(const NodeExpr& a,
+                                                        const NodeExpr& b);
+
+  /// Number of trees examined by the last call (for E8 reporting).
+  int64_t last_trees_examined() const { return last_trees_examined_; }
+
+ private:
+  std::vector<Symbol> LabelUniverse(const std::set<Symbol>& mentioned);
+
+  template <typename Pred>
+  std::optional<Tree> Search(const std::set<Symbol>& mentioned,
+                             const Pred& pred);
+
+  Alphabet* alphabet_;
+  BoundedSearchOptions options_;
+  int64_t last_trees_examined_ = 0;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_SAT_BOUNDED_H_

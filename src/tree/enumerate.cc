@@ -1,0 +1,104 @@
+#include "tree/enumerate.h"
+
+namespace xptc {
+
+namespace {
+
+// Enumeration works over an explicit event script (preorder Begin/End
+// sequence) so the recursion can backtrack; each completed script is
+// replayed into a TreeBuilder.
+struct Event {
+  bool begin;
+  Symbol label;  // meaningful only when begin
+};
+
+class Enumerator {
+ public:
+  Enumerator(const std::vector<Symbol>& labels,
+             const std::function<void(const Tree&)>& fn)
+      : labels_(labels), fn_(fn) {}
+
+  int64_t Run(int num_nodes) {
+    count_ = 0;
+    EnumTree(num_nodes, [this]() { Emit(); });
+    return count_;
+  }
+
+ private:
+  // Enumerates every tree with exactly `n` nodes appended to the current
+  // script; calls `done` for each completion (then backtracks).
+  void EnumTree(int n, const std::function<void()>& done) {
+    for (Symbol label : labels_) {
+      script_.push_back({true, label});
+      EnumForest(n - 1, [this, &done]() {
+        script_.push_back({false, 0});
+        done();
+        script_.pop_back();
+      });
+      script_.pop_back();
+    }
+  }
+
+  // Enumerates every ordered forest with exactly `m` nodes in total.
+  void EnumForest(int m, const std::function<void()>& done) {
+    if (m == 0) {
+      done();
+      return;
+    }
+    for (int first = 1; first <= m; ++first) {
+      EnumTree(first, [this, m, first, &done]() {
+        EnumForest(m - first, done);
+      });
+    }
+  }
+
+  void Emit() {
+    TreeBuilder builder;
+    for (const Event& event : script_) {
+      if (event.begin) {
+        builder.Begin(event.label);
+      } else {
+        builder.End();
+      }
+    }
+    fn_(std::move(builder).Finish().ValueOrDie());
+    ++count_;
+  }
+
+  const std::vector<Symbol>& labels_;
+  const std::function<void(const Tree&)>& fn_;
+  std::vector<Event> script_;
+  int64_t count_ = 0;
+};
+
+}  // namespace
+
+int64_t EnumerateTreesOfSize(int num_nodes, const std::vector<Symbol>& labels,
+                             const std::function<void(const Tree&)>& fn) {
+  XPTC_CHECK_GT(num_nodes, 0);
+  XPTC_CHECK(!labels.empty());
+  Enumerator enumerator(labels, fn);
+  return enumerator.Run(num_nodes);
+}
+
+int64_t EnumerateTrees(int max_nodes, const std::vector<Symbol>& labels,
+                       const std::function<void(const Tree&)>& fn) {
+  int64_t total = 0;
+  for (int n = 1; n <= max_nodes; ++n) {
+    total += EnumerateTreesOfSize(n, labels, fn);
+  }
+  return total;
+}
+
+int64_t CountTreeShapes(int num_nodes) {
+  // Catalan(num_nodes - 1) via the product formula.
+  XPTC_CHECK_GT(num_nodes, 0);
+  const int n = num_nodes - 1;
+  int64_t c = 1;
+  for (int i = 0; i < n; ++i) {
+    c = c * 2 * (2 * i + 1) / (i + 2);
+  }
+  return c;
+}
+
+}  // namespace xptc

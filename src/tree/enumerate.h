@@ -1,0 +1,34 @@
+#ifndef XPTC_TREE_ENUMERATE_H_
+#define XPTC_TREE_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "tree/tree.h"
+
+namespace xptc {
+
+/// Invokes `fn` on every ordered labelled tree with between 1 and
+/// `max_nodes` nodes over the given label set, exactly once each, in a
+/// deterministic order. Returns the number of trees visited
+/// (= Σ_{n=1..max} Catalan(n-1) · |labels|^n).
+///
+/// This is the exhaustive small-model bed used by the bounded-model
+/// satisfiability/equivalence checker and by property tests: any claimed
+/// validity is checked against *all* trees up to the bound.
+int64_t EnumerateTrees(int max_nodes, const std::vector<Symbol>& labels,
+                       const std::function<void(const Tree&)>& fn);
+
+/// Same, but visits only trees with exactly `num_nodes` nodes.
+int64_t EnumerateTreesOfSize(int num_nodes, const std::vector<Symbol>& labels,
+                             const std::function<void(const Tree&)>& fn);
+
+/// Number of ordered tree shapes with n nodes (Catalan(n-1)); helper for
+/// sizing exhaustive sweeps.
+int64_t CountTreeShapes(int num_nodes);
+
+}  // namespace xptc
+
+#endif  // XPTC_TREE_ENUMERATE_H_

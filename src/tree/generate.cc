@@ -1,0 +1,144 @@
+#include "tree/generate.h"
+
+#include <string>
+
+namespace xptc {
+
+const char* TreeShapeToString(TreeShape shape) {
+  switch (shape) {
+    case TreeShape::kUniformRecursive:
+      return "uniform";
+    case TreeShape::kChain:
+      return "chain";
+    case TreeShape::kStar:
+      return "star";
+    case TreeShape::kFullBinary:
+      return "binary";
+    case TreeShape::kFullKAry:
+      return "kary";
+    case TreeShape::kComb:
+      return "comb";
+    case TreeShape::kCaterpillar:
+      return "caterpillar";
+  }
+  return "?";
+}
+
+std::vector<Symbol> DefaultLabels(Alphabet* alphabet, int count) {
+  XPTC_CHECK_GT(count, 0);
+  std::vector<Symbol> labels;
+  labels.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (i < 26) {
+      labels.push_back(alphabet->Intern(std::string(1, 'a' + i)));
+    } else {
+      labels.push_back(alphabet->Intern("l" + std::to_string(i)));
+    }
+  }
+  return labels;
+}
+
+namespace {
+
+// Builds a tree from a parent vector (parents[i] < i, parents[0] == -1),
+// preserving child order by attachment index.
+Tree FromParentVector(const std::vector<int>& parents,
+                      const std::vector<Symbol>& node_labels) {
+  const int n = static_cast<int>(parents.size());
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int i = 1; i < n; ++i) {
+    children[static_cast<size_t>(parents[static_cast<size_t>(i)])].push_back(i);
+  }
+  TreeBuilder builder;
+  // Iterative preorder DFS so deep chains do not overflow the stack.
+  struct Frame {
+    int node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  builder.Begin(node_labels[0]);
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const auto& kids = children[static_cast<size_t>(frame.node)];
+    if (frame.next_child < kids.size()) {
+      const int child = kids[frame.next_child++];
+      builder.Begin(node_labels[static_cast<size_t>(child)]);
+      stack.push_back({child, 0});
+    } else {
+      builder.End();
+      stack.pop_back();
+    }
+  }
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+std::vector<int> MakeParents(const TreeGenOptions& options, Rng* rng) {
+  const int n = options.num_nodes;
+  std::vector<int> parents(static_cast<size_t>(n), -1);
+  switch (options.shape) {
+    case TreeShape::kUniformRecursive:
+      for (int i = 1; i < n; ++i) {
+        parents[static_cast<size_t>(i)] = static_cast<int>(
+            rng->NextBelow(static_cast<uint64_t>(i)));
+      }
+      break;
+    case TreeShape::kChain:
+      for (int i = 1; i < n; ++i) parents[static_cast<size_t>(i)] = i - 1;
+      break;
+    case TreeShape::kStar:
+      for (int i = 1; i < n; ++i) parents[static_cast<size_t>(i)] = 0;
+      break;
+    case TreeShape::kFullBinary:
+      for (int i = 1; i < n; ++i) parents[static_cast<size_t>(i)] = (i - 1) / 2;
+      break;
+    case TreeShape::kFullKAry: {
+      const int k = options.arity < 1 ? 1 : options.arity;
+      for (int i = 1; i < n; ++i) parents[static_cast<size_t>(i)] = (i - 1) / k;
+      break;
+    }
+    case TreeShape::kComb: {
+      // Even ids form the spine, odd ids are the teeth.
+      int spine = 0;
+      for (int i = 1; i < n; ++i) {
+        if (i % 2 == 1) {
+          parents[static_cast<size_t>(i)] = spine;  // tooth
+        } else {
+          parents[static_cast<size_t>(i)] = spine;
+          spine = i;  // extend the spine
+        }
+      }
+      break;
+    }
+    case TreeShape::kCaterpillar: {
+      int spine = 0;
+      for (int i = 1; i < n; ++i) {
+        // Each new node either extends the spine or hangs off it.
+        if (rng->NextBool(0.4)) {
+          parents[static_cast<size_t>(i)] = spine;
+          spine = i;
+        } else {
+          parents[static_cast<size_t>(i)] = spine;
+        }
+      }
+      break;
+    }
+  }
+  return parents;
+}
+
+}  // namespace
+
+Tree GenerateTree(const TreeGenOptions& options,
+                  const std::vector<Symbol>& labels, Rng* rng) {
+  XPTC_CHECK_GT(options.num_nodes, 0);
+  XPTC_CHECK(!labels.empty());
+  const std::vector<int> parents = MakeParents(options, rng);
+  std::vector<Symbol> node_labels(static_cast<size_t>(options.num_nodes));
+  for (auto& label : node_labels) {
+    label = labels[rng->NextBelow(labels.size())];
+  }
+  return FromParentVector(parents, node_labels);
+}
+
+}  // namespace xptc

@@ -1,0 +1,46 @@
+#ifndef XPTC_TREE_GENERATE_H_
+#define XPTC_TREE_GENERATE_H_
+
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/rng.h"
+#include "tree/tree.h"
+
+namespace xptc {
+
+/// Structural families of generated trees. Benchmarks sweep over these to
+/// expose shape-dependent behaviour (deep recursion vs. wide fan-out vs.
+/// balanced).
+enum class TreeShape {
+  kUniformRecursive,  // node i attaches to a uniformly random earlier node
+  kChain,             // a single path (maximal depth)
+  kStar,              // root with n-1 children (maximal fan-out)
+  kFullBinary,        // complete binary tree (heap numbering)
+  kFullKAry,          // complete k-ary tree (heap numbering), k = `arity`
+  kComb,              // spine with one leaf hanging off each spine node
+  kCaterpillar,       // spine with a random number of leaves per spine node
+};
+
+const char* TreeShapeToString(TreeShape shape);
+
+/// Parameters for `GenerateTree`.
+struct TreeGenOptions {
+  int num_nodes = 16;
+  TreeShape shape = TreeShape::kUniformRecursive;
+  int arity = 3;  // only for kFullKAry
+};
+
+/// Interns `count` default label names ("a", "b", ..., "z", "l26", ...) and
+/// returns their symbols. The standard label universe for generated corpora.
+std::vector<Symbol> DefaultLabels(Alphabet* alphabet, int count);
+
+/// Generates a tree of the requested shape with exactly
+/// `options.num_nodes` nodes, labelled uniformly at random from `labels`.
+/// Fully deterministic given the Rng seed.
+Tree GenerateTree(const TreeGenOptions& options,
+                  const std::vector<Symbol>& labels, Rng* rng);
+
+}  // namespace xptc
+
+#endif  // XPTC_TREE_GENERATE_H_

@@ -1,0 +1,185 @@
+#include "tree/xml.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace xptc {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+class XmlParser {
+ public:
+  XmlParser(const std::string& text, Alphabet* alphabet)
+      : text_(text), alphabet_(alphabet) {}
+
+  Result<Tree> Parse() {
+    TreeBuilder builder;
+    std::vector<std::string> stack;
+    bool seen_root = false;
+    for (;;) {
+      SkipMisc();
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] != '<') {
+        // Text content: only meaningful inside an element.
+        if (stack.empty()) {
+          return Error("text content outside the root element");
+        }
+        while (pos_ < text_.size() && text_[pos_] != '<') ++pos_;
+        continue;
+      }
+      ++pos_;  // consume '<'
+      if (pos_ >= text_.size()) return Error("unexpected end after '<'");
+      if (text_[pos_] == '/') {
+        ++pos_;
+        std::string name;
+        XPTC_RETURN_NOT_OK(ParseName(&name));
+        SkipSpace();
+        if (!Consume('>')) return Error("expected '>' in closing tag");
+        if (stack.empty()) return Error("closing tag with no open element");
+        if (stack.back() != name) {
+          return Error("mismatched closing tag </" + name + ">, expected </" +
+                       stack.back() + ">");
+        }
+        stack.pop_back();
+        builder.End();
+        continue;
+      }
+      // Opening or self-closing tag.
+      if (stack.empty() && seen_root) {
+        return Error("multiple root elements");
+      }
+      std::string name;
+      XPTC_RETURN_NOT_OK(ParseName(&name));
+      XPTC_RETURN_NOT_OK(SkipAttributes());
+      builder.Begin(alphabet_->Intern(name));
+      seen_root = true;
+      if (Consume('/')) {
+        if (!Consume('>')) return Error("expected '>' after '/'");
+        builder.End();
+      } else if (Consume('>')) {
+        stack.push_back(name);
+      } else {
+        return Error("expected '>' or '/>' in tag <" + name + ">");
+      }
+    }
+    if (!stack.empty()) {
+      return Error("unclosed element <" + stack.back() + ">");
+    }
+    if (!seen_root) return Error("document has no root element");
+    return std::move(builder).Finish();
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("XML parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Skips whitespace, comments, processing instructions, XML declarations.
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (pos_ + 3 < text_.size() && text_.compare(pos_, 4, "<!--") == 0) {
+        const size_t end = text_.find("-->", pos_ + 4);
+        pos_ = end == std::string::npos ? text_.size() : end + 3;
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '<' &&
+          text_[pos_ + 1] == '?') {
+        const size_t end = text_.find("?>", pos_ + 2);
+        pos_ = end == std::string::npos ? text_.size() : end + 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status ParseName(std::string* name) {
+    if (pos_ >= text_.size() || !IsNameStartChar(text_[pos_])) {
+      return Error("expected element name");
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    *name = text_.substr(start, pos_ - start);
+    return Status::OK();
+  }
+
+  // Validates `name="value"` pairs and discards them.
+  Status SkipAttributes() {
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return Error("unexpected end inside tag");
+      if (text_[pos_] == '>' || text_[pos_] == '/') return Status::OK();
+      std::string attr;
+      XPTC_RETURN_NOT_OK(ParseName(&attr));
+      SkipSpace();
+      if (!Consume('=')) return Error("expected '=' after attribute " + attr);
+      SkipSpace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return Error("expected quoted value for attribute " + attr);
+      }
+      const char quote = text_[pos_++];
+      while (pos_ < text_.size() && text_[pos_] != quote) ++pos_;
+      if (!Consume(quote)) return Error("unterminated attribute value");
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  Alphabet* alphabet_;
+  size_t pos_ = 0;
+};
+
+void WriteNode(const Tree& tree, const Alphabet& alphabet, NodeId v,
+               int indent, std::ostringstream* out) {
+  for (int i = 0; i < indent; ++i) *out << "  ";
+  const std::string& name = alphabet.Name(tree.Label(v));
+  if (tree.IsLeaf(v)) {
+    *out << '<' << name << "/>\n";
+    return;
+  }
+  *out << '<' << name << ">\n";
+  for (NodeId c = tree.FirstChild(v); c != kNoNode; c = tree.NextSibling(c)) {
+    WriteNode(tree, alphabet, c, indent + 1, out);
+  }
+  for (int i = 0; i < indent; ++i) *out << "  ";
+  *out << "</" << name << ">\n";
+}
+
+}  // namespace
+
+Result<Tree> ParseXml(const std::string& text, Alphabet* alphabet) {
+  XmlParser parser(text, alphabet);
+  return parser.Parse();
+}
+
+std::string WriteXml(const Tree& tree, const Alphabet& alphabet) {
+  std::ostringstream out;
+  if (!tree.empty()) WriteNode(tree, alphabet, tree.root(), 0, &out);
+  return out.str();
+}
+
+}  // namespace xptc

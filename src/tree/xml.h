@@ -1,0 +1,25 @@
+#ifndef XPTC_TREE_XML_H_
+#define XPTC_TREE_XML_H_
+
+#include <string>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "tree/tree.h"
+
+namespace xptc {
+
+/// Parses a minimal XML document into a `Tree`, interning element names into
+/// `*alphabet`. Supported: nested elements, self-closing tags, attributes
+/// (validated and then discarded — the paper's data model is label-only),
+/// comments, processing instructions / XML declarations, and text content
+/// (discarded). Unsupported: entities other than the five predefined ones,
+/// CDATA, DTDs.
+Result<Tree> ParseXml(const std::string& text, Alphabet* alphabet);
+
+/// Serializes a tree as indented XML (structure and element names only).
+std::string WriteXml(const Tree& tree, const Alphabet& alphabet);
+
+}  // namespace xptc
+
+#endif  // XPTC_TREE_XML_H_

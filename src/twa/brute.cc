@@ -1,0 +1,158 @@
+#include "twa/brute.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace xptc {
+
+bool RunDtwaTable(const DtwaTable& dtwa, const Tree& tree,
+                  const std::vector<int>& label_index_of_symbol) {
+  const int n = tree.size();
+  // A deterministic run that revisits a configuration loops forever, so
+  // |Q| * n + 1 steps suffice to decide.
+  const int64_t step_limit = static_cast<int64_t>(dtwa.num_states) * n + 1;
+  int state = 0;
+  NodeId node = tree.root();
+  for (int64_t step = 0; step < step_limit; ++step) {
+    const Symbol symbol = tree.Label(node);
+    XPTC_DCHECK(static_cast<size_t>(symbol) < label_index_of_symbol.size());
+    const int label_index = label_index_of_symbol[static_cast<size_t>(symbol)];
+    XPTC_DCHECK(label_index >= 0 && label_index < dtwa.num_labels);
+    const int obs = DtwaTable::ObsIndex(
+        label_index, tree.IsLeaf(node),
+        node == tree.root() || tree.IsLastSibling(node));
+    const DtwaTable::Action& action = dtwa.At(state, obs);
+    switch (action.kind) {
+      case DtwaTable::ActionKind::kAccept:
+        return true;
+      case DtwaTable::ActionKind::kReject:
+        return false;
+      case DtwaTable::ActionKind::kMove: {
+        NodeId next = kNoNode;
+        switch (action.move) {
+          case Move::kStay:
+            next = node;
+            break;
+          case Move::kUp:
+            next = tree.Parent(node);
+            break;
+          case Move::kDownFirst:
+            next = tree.FirstChild(node);
+            break;
+          case Move::kDownLast:
+            next = tree.LastChild(node);
+            break;
+          case Move::kLeft:
+            next = tree.PrevSibling(node);
+            break;
+          case Move::kRight:
+            next = tree.NextSibling(node);
+            break;
+        }
+        if (next == kNoNode) return false;  // stuck
+        node = next;
+        state = action.next_state;
+        break;
+      }
+    }
+  }
+  return false;  // configuration cycle
+}
+
+namespace {
+
+DtwaTable::Action NthAction(int index, int num_states,
+                            const std::vector<Move>& moves) {
+  DtwaTable::Action action;
+  if (index == 0) {
+    action.kind = DtwaTable::ActionKind::kAccept;
+  } else if (index == 1) {
+    action.kind = DtwaTable::ActionKind::kReject;
+  } else {
+    const int move_index = (index - 2) % static_cast<int>(moves.size());
+    const int state = (index - 2) / static_cast<int>(moves.size());
+    action.kind = DtwaTable::ActionKind::kMove;
+    action.move = moves[static_cast<size_t>(move_index)];
+    action.next_state = state;
+    XPTC_DCHECK(state < num_states);
+  }
+  return action;
+}
+
+int NumActions(int num_states, int num_moves) {
+  return 2 + num_states * num_moves;
+}
+
+}  // namespace
+
+DtwaTable RandomDtwa(int num_states, int num_labels,
+                     const std::vector<Move>& moves, Rng* rng) {
+  XPTC_CHECK_GT(num_states, 0);
+  XPTC_CHECK_GT(num_labels, 0);
+  XPTC_CHECK(!moves.empty());
+  DtwaTable dtwa;
+  dtwa.num_states = num_states;
+  dtwa.num_labels = num_labels;
+  dtwa.table.resize(static_cast<size_t>(num_states) * dtwa.NumObs());
+  const int actions = NumActions(num_states, static_cast<int>(moves.size()));
+  for (auto& cell : dtwa.table) {
+    cell = NthAction(rng->NextInt(0, actions - 1), num_states, moves);
+  }
+  return dtwa;
+}
+
+void MutateDtwa(DtwaTable* dtwa, const std::vector<Move>& moves, Rng* rng) {
+  const int actions =
+      NumActions(dtwa->num_states, static_cast<int>(moves.size()));
+  auto& cell = dtwa->table[rng->NextBelow(dtwa->table.size())];
+  cell = NthAction(rng->NextInt(0, actions - 1), dtwa->num_states, moves);
+}
+
+int64_t CountDtwaTables(int num_states, int num_labels, int num_moves) {
+  const int actions = NumActions(num_states, num_moves);
+  const int cells = num_states * num_labels * 4;
+  int64_t count = 1;
+  for (int i = 0; i < cells; ++i) {
+    if (count > std::numeric_limits<int64_t>::max() / actions) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    count *= actions;
+  }
+  return count;
+}
+
+int64_t EnumerateDtwa(int num_states, int num_labels,
+                      const std::vector<Move>& moves, int64_t limit,
+                      const std::function<void(const DtwaTable&)>& fn) {
+  const int64_t space =
+      CountDtwaTables(num_states, num_labels, static_cast<int>(moves.size()));
+  XPTC_CHECK_LE(space, limit)
+      << "DTWA space too large for exhaustive enumeration";
+  DtwaTable dtwa;
+  dtwa.num_states = num_states;
+  dtwa.num_labels = num_labels;
+  const int cells = num_states * dtwa.NumObs();
+  dtwa.table.assign(static_cast<size_t>(cells), DtwaTable::Action{});
+  const int actions = NumActions(num_states, static_cast<int>(moves.size()));
+  std::vector<int> odometer(static_cast<size_t>(cells), 0);
+  int64_t count = 0;
+  for (;;) {
+    for (int c = 0; c < cells; ++c) {
+      dtwa.table[static_cast<size_t>(c)] =
+          NthAction(odometer[static_cast<size_t>(c)], num_states, moves);
+    }
+    fn(dtwa);
+    ++count;
+    int position = 0;
+    while (position < cells &&
+           ++odometer[static_cast<size_t>(position)] == actions) {
+      odometer[static_cast<size_t>(position)] = 0;
+      ++position;
+    }
+    if (position == cells) break;
+  }
+  return count;
+}
+
+}  // namespace xptc

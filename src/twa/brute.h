@@ -1,0 +1,77 @@
+#ifndef XPTC_TWA_BRUTE_H_
+#define XPTC_TWA_BRUTE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/tree.h"
+#include "twa/twa.h"
+
+namespace xptc {
+
+/// A *total deterministic* tree-walking automaton in dense table form, the
+/// search space of the separation experiment (E7). The observation at a
+/// node is (label index, is_leaf, is_last_sibling); each (state,
+/// observation) cell holds exactly one action: accept, reject, or
+/// (move, next state). A move that does not exist at the current node, and
+/// any revisited configuration (deterministic runs loop forever once a
+/// configuration repeats), reject.
+///
+/// This model is deliberately smaller than `Twa` (no root/first flags, no
+/// nesting) so the enumeration space for k = 1 is exhaustible; it still
+/// contains standard DFS traversals via Up/DownFirst/Right.
+struct DtwaTable {
+  enum class ActionKind : uint8_t { kAccept, kReject, kMove };
+  struct Action {
+    ActionKind kind = ActionKind::kReject;
+    Move move = Move::kStay;
+    int next_state = 0;
+  };
+
+  int num_states = 1;
+  int num_labels = 1;
+  std::vector<Action> table;  // indexed [state * NumObs() + obs]
+
+  /// Observations per state: label × {leaf, inner} × {last, not-last}.
+  int NumObs() const { return num_labels * 4; }
+  static int ObsIndex(int label_index, bool is_leaf, bool is_last) {
+    return label_index * 4 + (is_leaf ? 2 : 0) + (is_last ? 1 : 0);
+  }
+  Action& At(int state, int obs) {
+    return table[static_cast<size_t>(state * NumObs() + obs)];
+  }
+  const Action& At(int state, int obs) const {
+    return table[static_cast<size_t>(state * NumObs() + obs)];
+  }
+};
+
+/// Runs the table automaton on `tree` from the root. `label_index` is
+/// looked up through `label_of`: the caller maps the tree's symbols into
+/// [0, num_labels). Rejects on stuck moves and on configuration repetition.
+bool RunDtwaTable(const DtwaTable& dtwa, const Tree& tree,
+                  const std::vector<int>& label_index_of_symbol);
+
+/// Uniformly random total DTWA over the given move set.
+DtwaTable RandomDtwa(int num_states, int num_labels,
+                     const std::vector<Move>& moves, Rng* rng);
+
+/// Replaces one uniformly chosen cell with a fresh random action (the
+/// neighborhood step of the hill-climbing search).
+void MutateDtwa(DtwaTable* dtwa, const std::vector<Move>& moves, Rng* rng);
+
+/// Number of distinct tables with the given parameters
+/// ((2 + |moves|·states)^(states·obs)); saturates at INT64_MAX.
+int64_t CountDtwaTables(int num_states, int num_labels, int num_moves);
+
+/// Enumerates every total DTWA over the move set, invoking `fn` for each.
+/// Returns the count. Use only when CountDtwaTables is small (e.g. one
+/// state, restricted moves); aborts if the space exceeds `limit`.
+int64_t EnumerateDtwa(int num_states, int num_labels,
+                      const std::vector<Move>& moves, int64_t limit,
+                      const std::function<void(const DtwaTable&)>& fn);
+
+}  // namespace xptc
+
+#endif  // XPTC_TWA_BRUTE_H_

@@ -1,0 +1,221 @@
+#include "twa/trace.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bitset.h"
+#include "common/check.h"
+
+namespace xptc {
+
+namespace {
+
+uint8_t FlagsAt(const Tree& tree, NodeId node, NodeId run_root) {
+  uint8_t flags = 0;
+  if (node == run_root) {
+    flags |= kFlagRoot | kFlagFirst | kFlagLast;
+  } else {
+    if (tree.IsFirstSibling(node)) flags |= kFlagFirst;
+    if (tree.IsLastSibling(node)) flags |= kFlagLast;
+  }
+  if (tree.IsLeaf(node)) flags |= kFlagLeaf;
+  return flags;
+}
+
+bool GuardHolds(const Guard& guard, Symbol label, uint8_t flags,
+                NodeId node, const TestOracle* oracle) {
+  if ((flags & guard.required_flags) != guard.required_flags) return false;
+  if ((flags & guard.forbidden_flags) != 0) return false;
+  if (!guard.labels.empty() &&
+      std::find(guard.labels.begin(), guard.labels.end(), label) ==
+          guard.labels.end()) {
+    return false;
+  }
+  for (const auto& [automaton, expected] : guard.tests) {
+    XPTC_CHECK(oracle != nullptr) << "nested test without an oracle";
+    if ((*oracle)[static_cast<size_t>(automaton)].Get(node) != expected) {
+      return false;
+    }
+  }
+  return true;
+}
+
+NodeId ApplyMove(const Tree& tree, NodeId node, NodeId run_root, Move move) {
+  switch (move) {
+    case Move::kStay:
+      return node;
+    case Move::kUp:
+      return node == run_root ? kNoNode : tree.Parent(node);
+    case Move::kDownFirst:
+      return tree.FirstChild(node);
+    case Move::kDownLast:
+      return tree.LastChild(node);
+    case Move::kLeft:
+      return node == run_root ? kNoNode : tree.PrevSibling(node);
+    case Move::kRight:
+      return node == run_root ? kNoNode : tree.NextSibling(node);
+  }
+  return kNoNode;
+}
+
+}  // namespace
+
+const char* RunOutcomeToString(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kAccepted:
+      return "accepted";
+    case RunOutcome::kRejectedStuck:
+      return "rejected (stuck)";
+    case RunOutcome::kRejectedLoop:
+      return "rejected (loop)";
+  }
+  return "?";
+}
+
+std::string RunTrace::ToString(const Twa& twa, const Tree& tree,
+                               const Alphabet& alphabet) const {
+  std::string out;
+  for (const TraceStep& step : steps) {
+    out += "  q" + std::to_string(step.state) + " @ " +
+           alphabet.Name(tree.Label(step.node)) + "#" +
+           std::to_string(step.node);
+    if (step.transition_index >= 0) {
+      const Transition& t =
+          twa.transitions[static_cast<size_t>(step.transition_index)];
+      out += std::string("  --") + MoveToString(t.move) + "-->";
+    }
+    out += "\n";
+  }
+  out += std::string("  => ") + RunOutcomeToString(outcome) + "\n";
+  return out;
+}
+
+Result<RunTrace> TraceRun(const Twa& twa, const Tree& tree, NodeId root,
+                          const TestOracle* oracle) {
+  RunTrace trace;
+  Bitset accepting(twa.num_states);
+  for (int state : twa.accepting_states) accepting.Set(state);
+  const int width = tree.SubtreeEnd(root) - root;
+  Bitset visited(twa.num_states * width);
+  int state = twa.initial_state;
+  NodeId node = root;
+  for (;;) {
+    const int config = state * width + (node - root);
+    if (visited.Get(config)) {
+      trace.steps.push_back({state, node, -1});
+      trace.outcome = RunOutcome::kRejectedLoop;
+      return trace;
+    }
+    visited.Set(config);
+    if (accepting.Get(state) && (!twa.accept_at_root || node == root)) {
+      trace.steps.push_back({state, node, -1});
+      trace.outcome = RunOutcome::kAccepted;
+      return trace;
+    }
+    const uint8_t flags = FlagsAt(tree, node, root);
+    const Symbol label = tree.Label(node);
+    int enabled = -1;
+    for (size_t i = 0; i < twa.transitions.size(); ++i) {
+      const Transition& t = twa.transitions[i];
+      if (t.state != state) continue;
+      if (!GuardHolds(t.guard, label, flags, node, oracle)) continue;
+      if (enabled >= 0) {
+        return Status::InvalidArgument(
+            "nondeterministic configuration: transitions " +
+            std::to_string(enabled) + " and " + std::to_string(i) +
+            " both enabled in state " + std::to_string(state));
+      }
+      enabled = static_cast<int>(i);
+    }
+    if (enabled < 0) {
+      trace.steps.push_back({state, node, -1});
+      trace.outcome = RunOutcome::kRejectedStuck;
+      return trace;
+    }
+    const Transition& taken =
+        twa.transitions[static_cast<size_t>(enabled)];
+    const NodeId next = ApplyMove(tree, node, root, taken.move);
+    trace.steps.push_back({state, node, enabled});
+    if (next == kNoNode) {
+      trace.outcome = RunOutcome::kRejectedStuck;
+      return trace;
+    }
+    state = taken.next_state;
+    node = next;
+  }
+}
+
+Status CheckDeterministic(const Twa& twa,
+                          const std::vector<Symbol>& universe) {
+  // Consistent flag patterns under run semantics: the run root always
+  // observes first & last; non-roots observe any first/last combination.
+  std::vector<uint8_t> patterns;
+  for (const uint8_t leaf : {uint8_t{0}, static_cast<uint8_t>(kFlagLeaf)}) {
+    patterns.push_back(
+        static_cast<uint8_t>(kFlagRoot | kFlagFirst | kFlagLast | leaf));
+    for (const uint8_t first :
+         {uint8_t{0}, static_cast<uint8_t>(kFlagFirst)}) {
+      for (const uint8_t last :
+           {uint8_t{0}, static_cast<uint8_t>(kFlagLast)}) {
+        patterns.push_back(static_cast<uint8_t>(first | last | leaf));
+      }
+    }
+  }
+  // Nested tests mentioned anywhere in guards of the same state.
+  for (int state = 0; state < twa.num_states; ++state) {
+    std::set<int> tests;
+    for (const Transition& t : twa.transitions) {
+      if (t.state != state) continue;
+      for (const auto& [automaton, expected] : t.guard.tests) {
+        (void)expected;
+        tests.insert(automaton);
+      }
+    }
+    if (tests.size() > 16) {
+      return Status::NotSupported("too many distinct nested tests per state");
+    }
+    const std::vector<int> test_ids(tests.begin(), tests.end());
+    const uint32_t combos = uint32_t{1} << test_ids.size();
+    for (const Symbol label : universe) {
+      for (const uint8_t flags : patterns) {
+        for (uint32_t combo = 0; combo < combos; ++combo) {
+          int enabled = -1;
+          for (size_t i = 0; i < twa.transitions.size(); ++i) {
+            const Transition& t = twa.transitions[i];
+            if (t.state != state) continue;
+            if ((flags & t.guard.required_flags) != t.guard.required_flags) {
+              continue;
+            }
+            if ((flags & t.guard.forbidden_flags) != 0) continue;
+            if (!t.guard.labels.empty() &&
+                std::find(t.guard.labels.begin(), t.guard.labels.end(),
+                          label) == t.guard.labels.end()) {
+              continue;
+            }
+            bool tests_match = true;
+            for (const auto& [automaton, expected] : t.guard.tests) {
+              const size_t bit = static_cast<size_t>(
+                  std::find(test_ids.begin(), test_ids.end(), automaton) -
+                  test_ids.begin());
+              if (((combo >> bit) & 1) != static_cast<uint32_t>(expected)) {
+                tests_match = false;
+                break;
+              }
+            }
+            if (!tests_match) continue;
+            if (enabled >= 0) {
+              return Status::InvalidArgument(
+                  "transitions " + std::to_string(enabled) + " and " +
+                  std::to_string(i) + " overlap in state " +
+                  std::to_string(state));
+            }
+            enabled = static_cast<int>(i);
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xptc

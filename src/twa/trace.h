@@ -1,0 +1,58 @@
+#ifndef XPTC_TWA_TRACE_H_
+#define XPTC_TWA_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "tree/tree.h"
+#include "twa/twa.h"
+
+namespace xptc {
+
+/// How a traced deterministic run ended.
+enum class RunOutcome {
+  kAccepted,
+  kRejectedStuck,  // no enabled transition / move does not exist
+  kRejectedLoop,   // configuration repeated (deterministic ⇒ diverges)
+};
+
+const char* RunOutcomeToString(RunOutcome outcome);
+
+/// One configuration of a traced run, plus the transition taken to leave it
+/// (index into `twa.transitions`, or -1 for the final configuration).
+struct TraceStep {
+  int state;
+  NodeId node;
+  int transition_index;
+};
+
+struct RunTrace {
+  RunOutcome outcome;
+  std::vector<TraceStep> steps;
+
+  /// Human-readable rendering: one "state @ label(node) --move-->" line per
+  /// step.
+  std::string ToString(const Twa& twa, const Tree& tree,
+                       const Alphabet& alphabet) const;
+};
+
+/// Steps a *deterministic* automaton through the subtree of `root`,
+/// recording every configuration. Fails with InvalidArgument if two
+/// transitions are simultaneously enabled at some reached configuration
+/// (i.e. the automaton is nondeterministic on this input).
+Result<RunTrace> TraceRun(const Twa& twa, const Tree& tree, NodeId root,
+                          const TestOracle* oracle = nullptr);
+
+/// Static determinism check relative to a label universe: verifies that no
+/// two transitions of any state can be enabled under the same observation
+/// (label × consistent flag pattern × nested-test outcome). Sound and
+/// complete for automata whose guards only mention `universe` labels.
+Status CheckDeterministic(const Twa& twa,
+                          const std::vector<Symbol>& universe);
+
+}  // namespace xptc
+
+#endif  // XPTC_TWA_TRACE_H_

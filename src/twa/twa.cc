@@ -1,0 +1,330 @@
+#include "twa/twa.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace xptc {
+
+const char* MoveToString(Move move) {
+  switch (move) {
+    case Move::kStay:
+      return "stay";
+    case Move::kUp:
+      return "up";
+    case Move::kDownFirst:
+      return "down1";
+    case Move::kDownLast:
+      return "downN";
+    case Move::kLeft:
+      return "left";
+    case Move::kRight:
+      return "right";
+  }
+  return "?";
+}
+
+Status Twa::Validate() const {
+  if (num_states <= 0) {
+    return Status::InvalidArgument("TWA must have at least one state");
+  }
+  auto state_ok = [this](int state) {
+    return state >= 0 && state < num_states;
+  };
+  if (!state_ok(initial_state)) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  for (int state : accepting_states) {
+    if (!state_ok(state)) {
+      return Status::InvalidArgument("accepting state out of range");
+    }
+  }
+  for (const Transition& t : transitions) {
+    if (!state_ok(t.state) || !state_ok(t.next_state)) {
+      return Status::InvalidArgument("transition state out of range");
+    }
+    if ((t.guard.required_flags & t.guard.forbidden_flags) != 0) {
+      return Status::InvalidArgument(
+          "guard requires and forbids the same flag");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+uint8_t FlagsAt(const Tree& tree, NodeId node, NodeId run_root) {
+  uint8_t flags = 0;
+  if (node == run_root) {
+    // The run root is the root of its subtree and has no siblings there.
+    flags |= kFlagRoot | kFlagFirst | kFlagLast;
+  } else {
+    if (tree.IsFirstSibling(node)) flags |= kFlagFirst;
+    if (tree.IsLastSibling(node)) flags |= kFlagLast;
+  }
+  if (tree.IsLeaf(node)) flags |= kFlagLeaf;
+  return flags;
+}
+
+bool GuardHolds(const Guard& guard, const Tree& tree, NodeId node,
+                uint8_t flags, const TestOracle* oracle) {
+  if ((flags & guard.required_flags) != guard.required_flags) return false;
+  if ((flags & guard.forbidden_flags) != 0) return false;
+  if (!guard.labels.empty()) {
+    const Symbol label = tree.Label(node);
+    if (std::find(guard.labels.begin(), guard.labels.end(), label) ==
+        guard.labels.end()) {
+      return false;
+    }
+  }
+  for (const auto& [automaton, expected] : guard.tests) {
+    XPTC_CHECK(oracle != nullptr) << "nested test without an oracle";
+    XPTC_CHECK_GE(automaton, 0);
+    XPTC_CHECK_LT(static_cast<size_t>(automaton), oracle->size());
+    if ((*oracle)[static_cast<size_t>(automaton)].Get(node) != expected) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Applies a move at `node` inside the subtree rooted at `run_root`;
+// returns kNoNode if the move does not exist there.
+NodeId ApplyMove(const Tree& tree, NodeId node, NodeId run_root, Move move) {
+  switch (move) {
+    case Move::kStay:
+      return node;
+    case Move::kUp:
+      return node == run_root ? kNoNode : tree.Parent(node);
+    case Move::kDownFirst:
+      return tree.FirstChild(node);
+    case Move::kDownLast:
+      return tree.LastChild(node);
+    case Move::kLeft:
+      return node == run_root ? kNoNode : tree.PrevSibling(node);
+    case Move::kRight:
+      return node == run_root ? kNoNode : tree.NextSibling(node);
+  }
+  return kNoNode;
+}
+
+}  // namespace
+
+bool RunTwa(const Twa& twa, const Tree& tree, NodeId root,
+            const TestOracle* oracle) {
+  const NodeId lo = root;
+  const NodeId hi = tree.SubtreeEnd(root);
+  const int width = hi - lo;
+  // Configurations are (state, node); visited is indexed densely.
+  Bitset visited(twa.num_states * width);
+  auto config_index = [&](int state, NodeId node) {
+    return state * width + (node - lo);
+  };
+  Bitset accepting(twa.num_states);
+  for (int state : twa.accepting_states) accepting.Set(state);
+
+  auto is_accepting = [&](int state, NodeId node) {
+    return accepting.Get(state) && (!twa.accept_at_root || node == root);
+  };
+
+  std::deque<std::pair<int, NodeId>> queue;
+  visited.Set(config_index(twa.initial_state, root));
+  if (is_accepting(twa.initial_state, root)) return true;
+  queue.emplace_back(twa.initial_state, root);
+
+  // Cache flags per node on demand (cheap enough to recompute).
+  while (!queue.empty()) {
+    const auto [state, node] = queue.front();
+    queue.pop_front();
+    const uint8_t flags = FlagsAt(tree, node, root);
+    for (const Transition& t : twa.transitions) {
+      if (t.state != state) continue;
+      if (!GuardHolds(t.guard, tree, node, flags, oracle)) continue;
+      const NodeId next = ApplyMove(tree, node, root, t.move);
+      if (next == kNoNode) continue;
+      const int index = config_index(t.next_state, next);
+      if (visited.Get(index)) continue;
+      visited.Set(index);
+      if (is_accepting(t.next_state, next)) return true;
+      queue.emplace_back(t.next_state, next);
+    }
+  }
+  return false;
+}
+
+Status NestedTwa::Validate() const {
+  if (automata_.empty()) {
+    return Status::InvalidArgument("nested TWA hierarchy is empty");
+  }
+  for (size_t i = 0; i < automata_.size(); ++i) {
+    XPTC_RETURN_NOT_OK(automata_[i].Validate());
+    for (const Transition& t : automata_[i].transitions) {
+      for (const auto& [automaton, expected] : t.guard.tests) {
+        (void)expected;
+        if (automaton < 0 || static_cast<size_t>(automaton) >= i) {
+          return Status::InvalidArgument(
+              "automaton " + std::to_string(i) +
+              " tests non-lower automaton " + std::to_string(automaton));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int NestedTwa::NestingDepth() const {
+  // depth[i] = 1 + max depth of tested automata (0 if no tests).
+  std::vector<int> depth(automata_.size(), 1);
+  for (size_t i = 0; i < automata_.size(); ++i) {
+    for (const Transition& t : automata_[i].transitions) {
+      for (const auto& [automaton, expected] : t.guard.tests) {
+        (void)expected;
+        depth[i] = std::max(depth[i], depth[static_cast<size_t>(automaton)] + 1);
+      }
+    }
+  }
+  int max_depth = 0;
+  for (int d : depth) max_depth = std::max(max_depth, d);
+  return max_depth;
+}
+
+int NestedTwa::TotalStates() const {
+  int total = 0;
+  for (const Twa& twa : automata_) total += twa.num_states;
+  return total;
+}
+
+int NestedTwa::TotalTransitions() const {
+  int total = 0;
+  for (const Twa& twa : automata_) total += twa.size();
+  return total;
+}
+
+TestOracle NestedTwa::ComputeOracle(const Tree& tree) const {
+  TestOracle oracle;
+  oracle.reserve(automata_.size());
+  for (const Twa& twa : automata_) {
+    Bitset bits(tree.size());
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (RunTwa(twa, tree, v, &oracle)) bits.Set(v);
+    }
+    oracle.push_back(std::move(bits));
+  }
+  return oracle;
+}
+
+bool NestedTwa::Accepts(const Tree& tree) const {
+  XPTC_CHECK(!automata_.empty());
+  // Only the lower automata's bits are needed; computing all is simpler and
+  // the last entry is exactly AcceptingSubtrees of the top automaton.
+  TestOracle oracle;
+  for (size_t i = 0; i + 1 < automata_.size(); ++i) {
+    Bitset bits(tree.size());
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (RunTwa(automata_[i], tree, v, &oracle)) bits.Set(v);
+    }
+    oracle.push_back(std::move(bits));
+  }
+  return RunTwa(top(), tree, tree.root(), &oracle);
+}
+
+Bitset NestedTwa::AcceptingSubtrees(const Tree& tree) const {
+  XPTC_CHECK(!automata_.empty());
+  return ComputeOracle(tree).back();
+}
+
+Twa MakeReachLabelTwa(Symbol label) {
+  // State 0: searching; state 1: found.
+  Twa twa;
+  twa.num_states = 2;
+  twa.initial_state = 0;
+  twa.accepting_states = {1};
+  // Found it here?
+  twa.transitions.push_back({0, Guard{{label}, 0, 0, {}}, Move::kStay, 1});
+  // Otherwise walk down nondeterministically: to the first child, then
+  // sideways among siblings.
+  twa.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+  twa.transitions.push_back({0, Guard{}, Move::kRight, 0});
+  return twa;
+}
+
+Twa MakeAllLabelsTwa(const std::vector<Symbol>& allowed) {
+  // Deterministic DFS. States: 0 = kGo (first arrival at a node, label is
+  // checked here), 1 = kBack (subtree of the node fully traversed),
+  // 2 = accept.
+  constexpr int kGo = 0, kBack = 1, kAccept = 2;
+  Twa twa;
+  twa.num_states = 3;
+  twa.initial_state = kGo;
+  twa.accepting_states = {kAccept};
+  Guard ok;  // label must be allowed
+  ok.labels = allowed;
+  // kGo at an inner node: descend.
+  {
+    Guard g = ok;
+    g.forbidden_flags = kFlagLeaf;
+    twa.transitions.push_back({kGo, g, Move::kDownFirst, kGo});
+  }
+  // kGo at a leaf with a right sibling: advance.
+  {
+    Guard g = ok;
+    g.required_flags = kFlagLeaf;
+    g.forbidden_flags = kFlagLast;
+    twa.transitions.push_back({kGo, g, Move::kRight, kGo});
+  }
+  // kGo at a last leaf that is not the run root: pop.
+  {
+    Guard g = ok;
+    g.required_flags = kFlagLeaf | kFlagLast;
+    g.forbidden_flags = kFlagRoot;
+    twa.transitions.push_back({kGo, g, Move::kUp, kBack});
+  }
+  // kGo at a leaf run root: the whole (one-node) subtree is fine.
+  {
+    Guard g = ok;
+    g.required_flags = kFlagLeaf | kFlagRoot;
+    twa.transitions.push_back({kGo, g, Move::kStay, kAccept});
+  }
+  // kBack at a node with a right sibling: advance (label already checked).
+  {
+    Guard g;
+    g.forbidden_flags = kFlagLast;
+    twa.transitions.push_back({kBack, g, Move::kRight, kGo});
+  }
+  // kBack at a last node that is not the run root: pop.
+  {
+    Guard g;
+    g.required_flags = kFlagLast;
+    g.forbidden_flags = kFlagRoot;
+    twa.transitions.push_back({kBack, g, Move::kUp, kBack});
+  }
+  // kBack at the run root: traversal complete.
+  {
+    Guard g;
+    g.required_flags = kFlagRoot;
+    twa.transitions.push_back({kBack, g, Move::kStay, kAccept});
+  }
+  return twa;
+}
+
+Twa MakeLeftSpineDepthTwa(int depth) {
+  XPTC_CHECK_GE(depth, 0);
+  // States 0..depth walk the leftmost path; state depth requires a leaf.
+  Twa twa;
+  twa.num_states = depth + 2;
+  twa.initial_state = 0;
+  const int accept = depth + 1;
+  twa.accepting_states = {accept};
+  for (int d = 0; d < depth; ++d) {
+    Guard g;
+    g.forbidden_flags = kFlagLeaf;
+    twa.transitions.push_back({d, g, Move::kDownFirst, d + 1});
+  }
+  Guard at_leaf;
+  at_leaf.required_flags = kFlagLeaf;
+  twa.transitions.push_back({depth, at_leaf, Move::kStay, accept});
+  return twa;
+}
+
+}  // namespace xptc

@@ -1,0 +1,161 @@
+#ifndef XPTC_TWA_TWA_H_
+#define XPTC_TWA_TWA_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "tree/tree.h"
+
+namespace xptc {
+
+/// Head moves of a tree-walking automaton over sibling-ordered unranked
+/// trees. A move that does not exist at the current node (Up at the run
+/// root, DownFirst at a leaf, Left/Right where there is no sibling — the
+/// run root never has siblings) simply yields no successor configuration.
+enum class Move {
+  kStay,
+  kUp,
+  kDownFirst,  // to the first child
+  kDownLast,   // to the last child
+  kLeft,       // to the previous sibling
+  kRight,      // to the next sibling
+};
+
+const char* MoveToString(Move move);
+
+/// Observation flags a TWA can test at the current node, *relative to the
+/// run root* (the root of the subtree the automaton was launched on): the
+/// run root observes is_root and, having no siblings in its subtree, also
+/// is_first and is_last.
+enum NodeFlag : uint8_t {
+  kFlagRoot = 1,
+  kFlagLeaf = 2,
+  kFlagFirst = 4,
+  kFlagLast = 8,
+};
+
+/// Transition guard. A transition is enabled at a node iff
+///  - the node's label is in `labels` (empty = any label), and
+///  - all `required_flags` are set and no `forbidden_flags` is set, and
+///  - every nested test agrees: test (i, expected) holds iff automaton `i`
+///    of the surrounding hierarchy accepts the subtree of the current node
+///    with acceptance == expected. Plain TWA must have empty `tests`.
+struct Guard {
+  std::vector<Symbol> labels;
+  uint8_t required_flags = 0;
+  uint8_t forbidden_flags = 0;
+  std::vector<std::pair<int, bool>> tests;
+};
+
+struct Transition {
+  int state;
+  Guard guard;
+  Move move;
+  int next_state;
+};
+
+/// A (nondeterministic) tree-walking automaton. The automaton is launched
+/// in `initial_state` at the run root and accepts iff some run reaches an
+/// accepting state (at the run root again, if `accept_at_root` is set).
+///
+/// When used inside a `NestedTwa`, guards may carry subtree tests referring
+/// to automata lower in the hierarchy.
+struct Twa {
+  int num_states = 0;
+  int initial_state = 0;
+  std::vector<int> accepting_states;
+  bool accept_at_root = false;
+  std::vector<Transition> transitions;
+
+  /// Structural validation (state indices in range, tests sorted out by the
+  /// NestedTwa that owns this automaton).
+  Status Validate() const;
+
+  /// Total number of transitions (a size measure for experiments).
+  int size() const { return static_cast<int>(transitions.size()); }
+};
+
+/// Oracle of precomputed subtree-acceptance bits for nested tests:
+/// oracle[i].Get(v) == automaton i accepts the subtree rooted at v.
+using TestOracle = std::vector<Bitset>;
+
+/// Runs `twa` on the subtree of `tree` rooted at `root` (the whole tree
+/// when `root` is the tree root), using `oracle` to answer nested tests
+/// (may be null when the automaton has none). Polynomial: BFS over the
+/// |Q|·|subtree| configuration graph.
+bool RunTwa(const Twa& twa, const Tree& tree, NodeId root,
+            const TestOracle* oracle);
+
+/// A nested tree-walking automaton: a hierarchy `automata[0..k]` where
+/// guards of `automata[i]` may test subtree acceptance of any `automata[j]`
+/// with j < i. The top automaton is the last one.
+class NestedTwa {
+ public:
+  NestedTwa() = default;
+  explicit NestedTwa(std::vector<Twa> automata)
+      : automata_(std::move(automata)) {}
+
+  /// Validates the hierarchy: each automaton is valid and only tests
+  /// strictly lower automata.
+  Status Validate() const;
+
+  const std::vector<Twa>& automata() const { return automata_; }
+  const Twa& top() const { return automata_.back(); }
+  bool empty() const { return automata_.empty(); }
+
+  /// Appends an automaton and returns its index (usable in tests of later
+  /// automata).
+  int Add(Twa twa) {
+    automata_.push_back(std::move(twa));
+    return static_cast<int>(automata_.size()) - 1;
+  }
+
+  /// Length of the longest chain of test references + 1 (1 = plain TWA).
+  int NestingDepth() const;
+
+  /// Total number of states across the hierarchy.
+  int TotalStates() const;
+  /// Total number of transitions across the hierarchy.
+  int TotalTransitions() const;
+
+  /// Computes subtree-acceptance bits for every automaton at every node,
+  /// innermost automata first. O(Σ_i |Q_i| · n²) overall.
+  TestOracle ComputeOracle(const Tree& tree) const;
+
+  /// Acceptance of the whole tree by the top automaton.
+  bool Accepts(const Tree& tree) const;
+
+  /// Per-node subtree acceptance of the top automaton.
+  Bitset AcceptingSubtrees(const Tree& tree) const;
+
+ private:
+  std::vector<Twa> automata_;
+};
+
+// ---------------------------------------------------------------------------
+// A small library of concretely constructed automata (tests, examples, and
+// the separation experiment's "easy" controls).
+
+/// Nondeterministic TWA accepting subtrees containing a node labelled
+/// `label` (walks down nondeterministically).
+Twa MakeReachLabelTwa(Symbol label);
+
+/// Deterministic TWA performing a full depth-first traversal of the
+/// subtree and accepting iff *every* node's label is in `allowed`. A
+/// classical DTWA construction: systematic DFS with Up/DownFirst/Right
+/// moves and first/last observations.
+Twa MakeAllLabelsTwa(const std::vector<Symbol>& allowed);
+
+/// Deterministic TWA accepting iff the leftmost path (root, first child,
+/// first child of that, ...) has length exactly `depth` edges.
+Twa MakeLeftSpineDepthTwa(int depth);
+
+}  // namespace xptc
+
+#endif  // XPTC_TWA_TWA_H_

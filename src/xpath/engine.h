@@ -1,0 +1,101 @@
+#ifndef XPTC_XPATH_ENGINE_H_
+#define XPTC_XPATH_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/bitset.h"
+#include "common/result.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+#include "xpath/fragment.h"
+
+namespace xptc {
+
+/// High-level façade over the node-expression pipeline: parse → classify →
+/// (optionally) simplify → evaluate. The typical entry point for library
+/// users who just want answers:
+///
+///   XPTC_ASSIGN_OR_RETURN(Query q,
+///                         Query::Parse("<child[title]>", &alphabet));
+///   Bitset matches = q.Select(document);
+///
+/// A `Query` is immutable and reusable across documents sharing the same
+/// alphabet.
+class Query {
+ public:
+  /// Parses and (by default) simplifies a node-expression query.
+  static Result<Query> Parse(const std::string& text, Alphabet* alphabet,
+                             bool optimize = true);
+
+  /// Wraps an existing expression.
+  static Query FromExpr(NodePtr expr, bool optimize = true);
+
+  /// The expression as written and the expression as executed.
+  const NodePtr& expr() const { return original_; }
+  const NodePtr& plan() const { return optimized_; }
+
+  /// The smallest dialect containing the query.
+  Dialect dialect() const { return dialect_; }
+
+  /// All nodes of `tree` satisfying the query.
+  Bitset Select(const Tree& tree) const;
+
+  /// Same, as a document-ordered id vector.
+  std::vector<NodeId> SelectVector(const Tree& tree) const;
+
+  /// Does the query hold at `node`?
+  bool Matches(const Tree& tree, NodeId node) const;
+
+  /// The executed form, printable.
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  Query(NodePtr original, NodePtr optimized)
+      : original_(std::move(original)),
+        optimized_(std::move(optimized)),
+        dialect_(ClassifyNode(*original_)) {}
+
+  NodePtr original_;
+  NodePtr optimized_;
+  Dialect dialect_;
+};
+
+/// Façade for path expressions (binary relations): navigation from context
+/// nodes.
+class PathQuery {
+ public:
+  static Result<PathQuery> Parse(const std::string& text, Alphabet* alphabet,
+                                 bool optimize = true);
+  static PathQuery FromExpr(PathPtr expr, bool optimize = true);
+
+  const PathPtr& expr() const { return original_; }
+  const PathPtr& plan() const { return optimized_; }
+  Dialect dialect() const { return ClassifyPath(*optimized_); }
+
+  /// Nodes reachable from `context` (document order).
+  std::vector<NodeId> From(const Tree& tree, NodeId context) const;
+
+  /// Nodes reachable from any node of `sources`.
+  Bitset FromSet(const Tree& tree, const Bitset& sources) const;
+
+  /// Nodes from which something in `targets` is reachable (backward image).
+  Bitset Into(const Tree& tree, const Bitset& targets) const;
+
+  /// The syntactic converse query: navigates the relation backwards.
+  PathQuery Reversed() const;
+
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  PathQuery(PathPtr original, PathPtr optimized)
+      : original_(std::move(original)), optimized_(std::move(optimized)) {}
+
+  PathPtr original_;
+  PathPtr optimized_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_ENGINE_H_

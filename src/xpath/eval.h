@@ -1,0 +1,79 @@
+#ifndef XPTC_XPATH_EVAL_H_
+#define XPTC_XPATH_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Set-based evaluator for Regular XPath(W) — the production engine.
+///
+/// Works over node *sets* (bitsets) with O(|T|) axis images, so Core XPath
+/// node expressions evaluate in O(|Q|·|T|) (the Gottlob–Koch–Pichler bound),
+/// stars add a fixpoint iteration (O(|T|) rounds worst case) and each `W`
+/// adds one relativised evaluation per node in context.
+///
+/// An evaluator is bound to a *context subtree* `T|root`: all navigation is
+/// confined to the subtree of `context_root` with `context_root` acting as
+/// the root (no parent, no siblings). A default-context evaluator
+/// (`context_root == tree.root()`) implements plain semantics. The `W`
+/// operator is evaluated by spawning per-node sub-context evaluators, which
+/// is exactly its `T|v` semantics.
+class Evaluator {
+ public:
+  explicit Evaluator(const Tree& tree, NodeId context_root = 0)
+      : tree_(tree),
+        lo_(context_root),
+        hi_(tree.SubtreeEnd(context_root)) {}
+
+  /// The set of nodes in context satisfying the node expression.
+  Bitset EvalNode(const NodeExpr& node);
+
+  /// Backward image: {n in context : ∃m ∈ targets, (n, m) ∈ [[path]]}.
+  Bitset EvalBack(const PathExpr& path, const Bitset& targets);
+
+  /// Forward image: {m in context : ∃n ∈ sources, (n, m) ∈ [[path]]}.
+  Bitset EvalFwd(const PathExpr& path, const Bitset& sources);
+
+  /// Forward image of a single axis step restricted to the context.
+  /// `sources` must be a subset of the context.
+  Bitset AxisImage(Axis axis, const Bitset& sources) const;
+
+  /// All nodes of the context subtree.
+  Bitset All() const {
+    Bitset out(tree_.size());
+    for (NodeId v = lo_; v < hi_; ++v) out.Set(v);
+    return out;
+  }
+
+  NodeId context_root() const { return lo_; }
+  NodeId context_end() const { return hi_; }
+
+ private:
+  const Tree& tree_;
+  NodeId lo_;
+  NodeId hi_;
+  // Node-expression results are context-constant, so they are memoized per
+  // expression identity; this makes star fixpoints and repeated filters
+  // evaluate their predicates once.
+  std::unordered_map<const NodeExpr*, Bitset> node_cache_;
+};
+
+/// Convenience: evaluates a node expression on the whole tree.
+Bitset EvalNodeSet(const Tree& tree, const NodeExpr& node);
+
+/// Convenience: answer set of `path` from a single context node, in
+/// document order.
+std::vector<NodeId> EvalPathFrom(const Tree& tree, const PathExpr& path,
+                                 NodeId context);
+
+/// Convenience: true iff `node` holds at `v` in `tree`.
+bool EvalNodeAt(const Tree& tree, const NodeExpr& node, NodeId v);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_EVAL_H_

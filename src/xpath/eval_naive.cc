@@ -1,0 +1,139 @@
+#include "xpath/eval_naive.h"
+
+#include "common/check.h"
+
+namespace xptc {
+
+BitMatrix AxisRelation(const Tree& tree, Axis axis) {
+  const int n = tree.size();
+  BitMatrix m(n);
+  switch (axis) {
+    case Axis::kSelf:
+      m.SetDiagonal();
+      break;
+    case Axis::kChild:
+      for (NodeId w = 1; w < n; ++w) m.Set(tree.Parent(w), w);
+      break;
+    case Axis::kParent:
+      for (NodeId w = 1; w < n; ++w) m.Set(w, tree.Parent(w));
+      break;
+    case Axis::kDescendant:
+      for (NodeId w = 1; w < n; ++w) {
+        for (NodeId a = tree.Parent(w); a != kNoNode; a = tree.Parent(a)) {
+          m.Set(a, w);
+        }
+      }
+      break;
+    case Axis::kAncestor:
+      m = AxisRelation(tree, Axis::kDescendant).Transpose();
+      break;
+    case Axis::kDescendantOrSelf:
+      m = AxisRelation(tree, Axis::kDescendant);
+      m.SetDiagonal();
+      break;
+    case Axis::kAncestorOrSelf:
+      m = AxisRelation(tree, Axis::kAncestor);
+      m.SetDiagonal();
+      break;
+    case Axis::kNextSibling:
+      for (NodeId w = 0; w < n; ++w) {
+        if (tree.NextSibling(w) != kNoNode) m.Set(w, tree.NextSibling(w));
+      }
+      break;
+    case Axis::kPrevSibling:
+      m = AxisRelation(tree, Axis::kNextSibling).Transpose();
+      break;
+    case Axis::kFollowingSibling:
+      for (NodeId w = 0; w < n; ++w) {
+        for (NodeId s = tree.NextSibling(w); s != kNoNode;
+             s = tree.NextSibling(s)) {
+          m.Set(w, s);
+        }
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      m = AxisRelation(tree, Axis::kFollowingSibling).Transpose();
+      break;
+    case Axis::kFollowing:
+      for (NodeId v = 0; v < n; ++v) {
+        for (NodeId w = tree.SubtreeEnd(v); w < n; ++w) m.Set(v, w);
+      }
+      break;
+    case Axis::kPreceding:
+      m = AxisRelation(tree, Axis::kFollowing).Transpose();
+      break;
+  }
+  return m;
+}
+
+BitMatrix EvalPathNaive(const Tree& tree, const PathExpr& path) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      return AxisRelation(tree, path.axis);
+    case PathOp::kSeq:
+      return EvalPathNaive(tree, *path.left)
+          .Compose(EvalPathNaive(tree, *path.right));
+    case PathOp::kUnion: {
+      BitMatrix m = EvalPathNaive(tree, *path.left);
+      m |= EvalPathNaive(tree, *path.right);
+      return m;
+    }
+    case PathOp::kFilter: {
+      const BitMatrix base = EvalPathNaive(tree, *path.left);
+      const Bitset pred = EvalNodeNaive(tree, *path.pred);
+      BitMatrix m(tree.size());
+      for (int i = 0; i < tree.size(); ++i) {
+        m.Row(i) = base.Row(i);
+        m.Row(i) &= pred;
+      }
+      return m;
+    }
+    case PathOp::kStar: {
+      BitMatrix m = EvalPathNaive(tree, *path.left).TransitiveClosure();
+      m.SetDiagonal();  // Kleene star is reflexive
+      return m;
+    }
+  }
+  XPTC_CHECK(false) << "bad path op";
+  return BitMatrix(tree.size());
+}
+
+Bitset EvalNodeNaive(const Tree& tree, const NodeExpr& node) {
+  const int n = tree.size();
+  Bitset out(n);
+  switch (node.op) {
+    case NodeOp::kLabel:
+      for (NodeId v = 0; v < n; ++v) {
+        if (tree.Label(v) == node.label) out.Set(v);
+      }
+      break;
+    case NodeOp::kTrue:
+      out.SetAll();
+      break;
+    case NodeOp::kNot:
+      out = EvalNodeNaive(tree, *node.left);
+      out.Flip();
+      break;
+    case NodeOp::kAnd:
+      out = EvalNodeNaive(tree, *node.left);
+      out &= EvalNodeNaive(tree, *node.right);
+      break;
+    case NodeOp::kOr:
+      out = EvalNodeNaive(tree, *node.left);
+      out |= EvalNodeNaive(tree, *node.right);
+      break;
+    case NodeOp::kSome:
+      out = EvalPathNaive(tree, *node.path).Domain();
+      break;
+    case NodeOp::kWithin:
+      // Literal T|v semantics: extract each subtree and evaluate there.
+      for (NodeId v = 0; v < n; ++v) {
+        const Tree sub = tree.ExtractSubtree(v);
+        if (EvalNodeNaive(sub, *node.left).Get(0)) out.Set(v);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace xptc

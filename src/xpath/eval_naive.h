@@ -1,0 +1,26 @@
+#ifndef XPTC_XPATH_EVAL_NAIVE_H_
+#define XPTC_XPATH_EVAL_NAIVE_H_
+
+#include "common/bitset.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Naive reference evaluator: materializes every path expression as an
+/// explicit |T|×|T| boolean relation, transcribing the denotational
+/// semantics literally (composition = matrix composition, star = Warshall
+/// transitive closure, `W` = actual subtree extraction). Cubic time and
+/// quadratic space — used as the semantic oracle in tests and as the
+/// baseline in scaling experiments, never in production paths.
+BitMatrix EvalPathNaive(const Tree& tree, const PathExpr& path);
+
+/// Naive node-set evaluation against the same reference semantics.
+Bitset EvalNodeNaive(const Tree& tree, const NodeExpr& node);
+
+/// The explicit relation of a single axis on `tree` (exposed for tests).
+BitMatrix AxisRelation(const Tree& tree, Axis axis);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_EVAL_NAIVE_H_

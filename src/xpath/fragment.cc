@@ -1,0 +1,112 @@
+#include "xpath/fragment.h"
+
+namespace xptc {
+
+namespace {
+
+// Generic conjunction over all axes / operators via a single traversal.
+// `axis_ok` constrains primitive steps; `allow_star` / `allow_within`
+// constrain operators.
+struct FragmentSpec {
+  bool (*axis_ok)(Axis);
+  bool allow_star;
+  bool allow_within;
+};
+
+bool CheckPath(const PathExpr& path, const FragmentSpec& spec);
+bool CheckNode(const NodeExpr& node, const FragmentSpec& spec);
+
+bool CheckPath(const PathExpr& path, const FragmentSpec& spec) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      return spec.axis_ok(path.axis);
+    case PathOp::kSeq:
+    case PathOp::kUnion:
+      return CheckPath(*path.left, spec) && CheckPath(*path.right, spec);
+    case PathOp::kFilter:
+      return CheckPath(*path.left, spec) && CheckNode(*path.pred, spec);
+    case PathOp::kStar:
+      return spec.allow_star && CheckPath(*path.left, spec);
+  }
+  return false;
+}
+
+bool CheckNode(const NodeExpr& node, const FragmentSpec& spec) {
+  switch (node.op) {
+    case NodeOp::kLabel:
+    case NodeOp::kTrue:
+      return true;
+    case NodeOp::kNot:
+      return CheckNode(*node.left, spec);
+    case NodeOp::kWithin:
+      return spec.allow_within && CheckNode(*node.left, spec);
+    case NodeOp::kAnd:
+    case NodeOp::kOr:
+      return CheckNode(*node.left, spec) && CheckNode(*node.right, spec);
+    case NodeOp::kSome:
+      return CheckPath(*node.path, spec);
+  }
+  return false;
+}
+
+bool AnyAxis(Axis) { return true; }
+
+constexpr FragmentSpec kCoreSpec = {AnyAxis, /*allow_star=*/false,
+                                    /*allow_within=*/false};
+constexpr FragmentSpec kRegularSpec = {AnyAxis, /*allow_star=*/true,
+                                       /*allow_within=*/false};
+constexpr FragmentSpec kDownwardSpec = {IsDownwardAxis, /*allow_star=*/true,
+                                        /*allow_within=*/true};
+constexpr FragmentSpec kForwardSpec = {IsForwardAxis, /*allow_star=*/true,
+                                       /*allow_within=*/true};
+
+}  // namespace
+
+const char* DialectToString(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kCoreXPath:
+      return "CoreXPath";
+    case Dialect::kRegularXPath:
+      return "RegularXPath";
+    case Dialect::kRegularXPathW:
+      return "RegularXPath(W)";
+  }
+  return "?";
+}
+
+bool IsCoreXPath(const PathExpr& path) { return CheckPath(path, kCoreSpec); }
+bool IsCoreXPath(const NodeExpr& node) { return CheckNode(node, kCoreSpec); }
+bool IsRegularXPath(const PathExpr& path) {
+  return CheckPath(path, kRegularSpec);
+}
+bool IsRegularXPath(const NodeExpr& node) {
+  return CheckNode(node, kRegularSpec);
+}
+bool UsesWithin(const PathExpr& path) { return !IsRegularXPath(path); }
+bool UsesWithin(const NodeExpr& node) { return !IsRegularXPath(node); }
+bool IsDownwardPath(const PathExpr& path) {
+  return CheckPath(path, kDownwardSpec);
+}
+bool IsDownwardNode(const NodeExpr& node) {
+  return CheckNode(node, kDownwardSpec);
+}
+bool IsForwardPath(const PathExpr& path) {
+  return CheckPath(path, kForwardSpec);
+}
+bool IsForwardNode(const NodeExpr& node) {
+  return CheckNode(node, kForwardSpec);
+}
+
+Dialect ClassifyPath(const PathExpr& path) {
+  if (IsCoreXPath(path)) return Dialect::kCoreXPath;
+  if (IsRegularXPath(path)) return Dialect::kRegularXPath;
+  return Dialect::kRegularXPathW;
+}
+
+Dialect ClassifyNode(const NodeExpr& node) {
+  if (IsCoreXPath(node)) return Dialect::kCoreXPath;
+  if (IsRegularXPath(node)) return Dialect::kRegularXPath;
+  return Dialect::kRegularXPathW;
+}
+
+}  // namespace xptc

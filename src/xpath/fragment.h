@@ -1,0 +1,48 @@
+#ifndef XPTC_XPATH_FRAGMENT_H_
+#define XPTC_XPATH_FRAGMENT_H_
+
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// The language hierarchy studied by the paper.
+enum class Dialect {
+  kCoreXPath,      // no star, no W (transitive axes are primitives)
+  kRegularXPath,   // + Kleene star on paths
+  kRegularXPathW,  // + the W (subtree relativisation) operator
+};
+
+const char* DialectToString(Dialect dialect);
+
+/// Smallest dialect containing the expression.
+Dialect ClassifyPath(const PathExpr& path);
+Dialect ClassifyNode(const NodeExpr& node);
+
+/// True iff the expression contains no `kStar` and no `kWithin`.
+bool IsCoreXPath(const PathExpr& path);
+bool IsCoreXPath(const NodeExpr& node);
+
+/// True iff the expression contains no `kWithin` (star allowed).
+bool IsRegularXPath(const PathExpr& path);
+bool IsRegularXPath(const NodeExpr& node);
+
+/// True iff the expression mentions the `W` operator anywhere.
+bool UsesWithin(const PathExpr& path);
+bool UsesWithin(const NodeExpr& node);
+
+/// Downward expressions use only the axes {self, child, desc, dos},
+/// recursively (including inside filters, stars and W). A downward node
+/// expression φ satisfies φ ≡ W φ — its truth at v depends only on the
+/// subtree T|v — which is the precondition for compiling it to a nested
+/// subtree test (and is itself property-tested).
+bool IsDownwardPath(const PathExpr& path);
+bool IsDownwardNode(const NodeExpr& node);
+
+/// Forward expressions use only document-order-forward axes
+/// {self, child, desc, dos, right, fsib, foll}, recursively.
+bool IsForwardPath(const PathExpr& path);
+bool IsForwardNode(const NodeExpr& node);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_FRAGMENT_H_

@@ -1,0 +1,121 @@
+#include "xpath/generator.h"
+
+namespace xptc {
+
+namespace {
+
+Axis RandomAxis(const QueryGenOptions& options, Rng* rng) {
+  static constexpr Axis kDownward[] = {
+      Axis::kSelf,
+      Axis::kChild,
+      Axis::kDescendant,
+      Axis::kDescendantOrSelf,
+  };
+  static constexpr Axis kAll[] = {
+      Axis::kSelf,           Axis::kChild,          Axis::kParent,
+      Axis::kDescendant,     Axis::kAncestor,       Axis::kDescendantOrSelf,
+      Axis::kAncestorOrSelf, Axis::kNextSibling,    Axis::kPrevSibling,
+      Axis::kFollowingSibling, Axis::kPrecedingSibling, Axis::kFollowing,
+      Axis::kPreceding,
+  };
+  if (options.downward_only) {
+    return kDownward[rng->NextBelow(std::size(kDownward))];
+  }
+  return kAll[rng->NextBelow(std::size(kAll))];
+}
+
+PathPtr GenPath(const QueryGenOptions& options,
+                const std::vector<Symbol>& labels, int depth, Rng* rng);
+NodePtr GenNode(const QueryGenOptions& options,
+                const std::vector<Symbol>& labels, int depth, Rng* rng);
+
+PathPtr GenPath(const QueryGenOptions& options,
+                const std::vector<Symbol>& labels, int depth, Rng* rng) {
+  if (depth <= 0) {
+    PathPtr step = MakeAxis(RandomAxis(options, rng));
+    return step;
+  }
+  // Weighted choice among constructors; weights keep expression sizes
+  // moderate and favor composition (the common shape of real queries).
+  const int choice = rng->NextInt(0, 9);
+  switch (choice) {
+    case 0:
+    case 1:
+    case 2: {  // step, possibly filtered
+      PathPtr step = MakeAxis(RandomAxis(options, rng));
+      if (rng->NextDouble() < options.filter_prob) {
+        step = MakeFilter(step, GenNode(options, labels, depth - 1, rng));
+      }
+      return step;
+    }
+    case 3:
+    case 4:
+    case 5:  // composition
+      return MakeSeq(GenPath(options, labels, depth - 1, rng),
+                     GenPath(options, labels, depth - 1, rng));
+    case 6:
+    case 7:  // union
+      return MakeUnion(GenPath(options, labels, depth - 1, rng),
+                       GenPath(options, labels, depth - 1, rng));
+    case 8:  // filter on a composite path
+      return MakeFilter(GenPath(options, labels, depth - 1, rng),
+                        GenNode(options, labels, depth - 1, rng));
+    default:  // star (or a step when disabled)
+      if (options.allow_star) {
+        return MakeStar(GenPath(options, labels, depth - 1, rng));
+      }
+      return MakeAxis(RandomAxis(options, rng));
+  }
+}
+
+NodePtr GenNode(const QueryGenOptions& options,
+                const std::vector<Symbol>& labels, int depth, Rng* rng) {
+  if (depth <= 0) {
+    if (rng->NextBool(0.15)) return MakeTrue();
+    return MakeLabel(labels[rng->NextBelow(labels.size())]);
+  }
+  const int choice = rng->NextInt(0, 9);
+  switch (choice) {
+    case 0:
+    case 1:  // label atom
+      return MakeLabel(labels[rng->NextBelow(labels.size())]);
+    case 2:
+    case 3:
+    case 4:  // ⟨path⟩
+      return MakeSome(GenPath(options, labels, depth - 1, rng));
+    case 5:  // negation
+      if (options.allow_negation) {
+        return MakeNot(GenNode(options, labels, depth - 1, rng));
+      }
+      return MakeSome(GenPath(options, labels, depth - 1, rng));
+    case 6:  // conjunction
+      return MakeAnd(GenNode(options, labels, depth - 1, rng),
+                     GenNode(options, labels, depth - 1, rng));
+    case 7:  // disjunction
+      return MakeOr(GenNode(options, labels, depth - 1, rng),
+                    GenNode(options, labels, depth - 1, rng));
+    case 8:  // W
+      if (options.allow_within) {
+        return MakeWithin(GenNode(options, labels, depth - 1, rng));
+      }
+      return MakeLabel(labels[rng->NextBelow(labels.size())]);
+    default:
+      return MakeTrue();
+  }
+}
+
+}  // namespace
+
+PathPtr GeneratePath(const QueryGenOptions& options,
+                     const std::vector<Symbol>& labels, Rng* rng) {
+  XPTC_CHECK(!labels.empty());
+  return GenPath(options, labels, options.max_depth, rng);
+}
+
+NodePtr GenerateNode(const QueryGenOptions& options,
+                     const std::vector<Symbol>& labels, Rng* rng) {
+  XPTC_CHECK(!labels.empty());
+  return GenNode(options, labels, options.max_depth, rng);
+}
+
+}  // namespace xptc

@@ -1,0 +1,39 @@
+#ifndef XPTC_XPATH_GENERATOR_H_
+#define XPTC_XPATH_GENERATOR_H_
+
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/rng.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Parameters for the seeded random query generator. Every corpus used in
+/// tests and experiments is reproducible from (options, labels, seed).
+struct QueryGenOptions {
+  /// Maximum recursion depth of the generated AST (size grows roughly
+  /// exponentially with this).
+  int max_depth = 4;
+
+  /// Feature gates — switch off to target a smaller dialect/fragment.
+  bool allow_star = true;     // Regular XPath
+  bool allow_within = true;   // Regular XPath(W)
+  bool allow_negation = true;
+  bool downward_only = false;  // restrict all axes to {self,child,desc,dos}
+
+  /// Probability of attaching a filter predicate to a generated step.
+  double filter_prob = 0.4;
+};
+
+/// Generates a random path expression.
+PathPtr GeneratePath(const QueryGenOptions& options,
+                     const std::vector<Symbol>& labels, Rng* rng);
+
+/// Generates a random node expression.
+NodePtr GenerateNode(const QueryGenOptions& options,
+                     const std::vector<Symbol>& labels, Rng* rng);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_GENERATOR_H_

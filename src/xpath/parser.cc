@@ -1,0 +1,279 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace xptc {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,   // axis name, keyword or label
+  kPipe,    // |
+  kSlash,   // /
+  kLBrack,  // [
+  kRBrack,  // ]
+  kStar,    // *
+  kPlus,    // +
+  kLParen,  // (
+  kRParen,  // )
+  kLAngle,  // <
+  kRAngle,  // >
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // for kIdent
+  size_t offset;
+};
+
+Status Tokenize(const std::string& text, std::vector<Token>* out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '|':
+        kind = TokenKind::kPipe;
+        break;
+      case '/':
+        kind = TokenKind::kSlash;
+        break;
+      case '[':
+        kind = TokenKind::kLBrack;
+        break;
+      case ']':
+        kind = TokenKind::kRBrack;
+        break;
+      case '*':
+        kind = TokenKind::kStar;
+        break;
+      case '+':
+        kind = TokenKind::kPlus;
+        break;
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case '<':
+        kind = TokenKind::kLAngle;
+        break;
+      case '>':
+        kind = TokenKind::kRAngle;
+        break;
+      default: {
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          const size_t start = pos;
+          while (pos < text.size() &&
+                 (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                  text[pos] == '_' || text[pos] == '#' || text[pos] == '-' ||
+                  text[pos] == '.')) {
+            ++pos;
+          }
+          out->push_back(
+              {TokenKind::kIdent, text.substr(start, pos - start), start});
+          continue;
+        }
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(pos));
+      }
+    }
+    out->push_back({kind, std::string(1, c), pos});
+    ++pos;
+  }
+  out->push_back({TokenKind::kEnd, "", text.size()});
+  return Status::OK();
+}
+
+bool IsReserved(const std::string& word) {
+  static const char* kWords[] = {"true", "false", "root", "leaf",
+                                 "not",  "and",   "or",   "W"};
+  for (const char* w : kWords) {
+    if (word == w) return true;
+  }
+  return AxisFromString(word).has_value();
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Alphabet* alphabet)
+      : tokens_(std::move(tokens)), alphabet_(alphabet) {}
+
+  Result<PathPtr> ParseFullPath() {
+    XPTC_ASSIGN_OR_RETURN(PathPtr path, ParsePathExpr());
+    XPTC_RETURN_NOT_OK(ExpectEnd());
+    return path;
+  }
+
+  Result<NodePtr> ParseFullNode() {
+    XPTC_ASSIGN_OR_RETURN(NodePtr node, ParseNodeExpr());
+    XPTC_RETURN_NOT_OK(ExpectEnd());
+    return node;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  Status ExpectEnd() const {
+    if (!Check(TokenKind::kEnd)) {
+      return Error("trailing input");
+    }
+    return Status::OK();
+  }
+
+  Result<PathPtr> ParsePathExpr() {
+    XPTC_ASSIGN_OR_RETURN(PathPtr left, ParseSeq());
+    while (Match(TokenKind::kPipe)) {
+      XPTC_ASSIGN_OR_RETURN(PathPtr right, ParseSeq());
+      left = MakeUnion(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PathPtr> ParseSeq() {
+    XPTC_ASSIGN_OR_RETURN(PathPtr left, ParsePostfix());
+    while (Match(TokenKind::kSlash)) {
+      XPTC_ASSIGN_OR_RETURN(PathPtr right, ParsePostfix());
+      left = MakeSeq(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<PathPtr> ParsePostfix() {
+    XPTC_ASSIGN_OR_RETURN(PathPtr path, ParsePrimary());
+    for (;;) {
+      if (Match(TokenKind::kLBrack)) {
+        XPTC_ASSIGN_OR_RETURN(NodePtr pred, ParseNodeExpr());
+        if (!Match(TokenKind::kRBrack)) return Error("expected ']'");
+        path = MakeFilter(std::move(path), std::move(pred));
+      } else if (Match(TokenKind::kStar)) {
+        path = MakeStar(std::move(path));
+      } else if (Match(TokenKind::kPlus)) {
+        path = MakePlus(std::move(path));
+      } else {
+        return path;
+      }
+    }
+  }
+
+  Result<PathPtr> ParsePrimary() {
+    if (Match(TokenKind::kLParen)) {
+      XPTC_ASSIGN_OR_RETURN(PathPtr path, ParsePathExpr());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return path;
+    }
+    if (Check(TokenKind::kIdent)) {
+      const std::optional<Axis> axis = AxisFromString(Peek().text);
+      if (axis.has_value()) {
+        Advance();
+        return MakeAxis(*axis);
+      }
+      return Error("expected axis name, got '" + Peek().text + "'");
+    }
+    return Error("expected path expression");
+  }
+
+  Result<NodePtr> ParseNodeExpr() { return ParseOr(); }
+
+  Result<NodePtr> ParseOr() {
+    XPTC_ASSIGN_OR_RETURN(NodePtr left, ParseAnd());
+    while (Check(TokenKind::kIdent) && Peek().text == "or") {
+      Advance();
+      XPTC_ASSIGN_OR_RETURN(NodePtr right, ParseAnd());
+      left = MakeOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<NodePtr> ParseAnd() {
+    XPTC_ASSIGN_OR_RETURN(NodePtr left, ParseUnary());
+    while (Check(TokenKind::kIdent) && Peek().text == "and") {
+      Advance();
+      XPTC_ASSIGN_OR_RETURN(NodePtr right, ParseUnary());
+      left = MakeAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<NodePtr> ParseUnary() {
+    if (Check(TokenKind::kIdent) && Peek().text == "not") {
+      Advance();
+      XPTC_ASSIGN_OR_RETURN(NodePtr arg, ParseUnary());
+      return MakeNot(std::move(arg));
+    }
+    return ParseNodeAtom();
+  }
+
+  Result<NodePtr> ParseNodeAtom() {
+    if (Match(TokenKind::kLAngle)) {
+      XPTC_ASSIGN_OR_RETURN(PathPtr path, ParsePathExpr());
+      if (!Match(TokenKind::kRAngle)) return Error("expected '>'");
+      return MakeSome(std::move(path));
+    }
+    if (Match(TokenKind::kLParen)) {
+      XPTC_ASSIGN_OR_RETURN(NodePtr node, ParseNodeExpr());
+      if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+      return node;
+    }
+    if (Check(TokenKind::kIdent)) {
+      const std::string word = Advance().text;
+      if (word == "true") return MakeTrue();
+      if (word == "false") return MakeFalse();
+      if (word == "root") return MakeRootTest();
+      if (word == "leaf") return MakeLeafTest();
+      if (word == "W") {
+        if (!Match(TokenKind::kLParen)) return Error("expected '(' after W");
+        XPTC_ASSIGN_OR_RETURN(NodePtr arg, ParseNodeExpr());
+        if (!Match(TokenKind::kRParen)) return Error("expected ')'");
+        return MakeWithin(std::move(arg));
+      }
+      if (IsReserved(word)) {
+        return Error("reserved word '" + word + "' cannot be a label");
+      }
+      return MakeLabel(alphabet_->Intern(word));
+    }
+    return Error("expected node expression");
+  }
+
+  std::vector<Token> tokens_;
+  Alphabet* alphabet_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<PathPtr> ParsePath(const std::string& text, Alphabet* alphabet) {
+  std::vector<Token> tokens;
+  XPTC_RETURN_NOT_OK(Tokenize(text, &tokens));
+  Parser parser(std::move(tokens), alphabet);
+  return parser.ParseFullPath();
+}
+
+Result<NodePtr> ParseNode(const std::string& text, Alphabet* alphabet) {
+  std::vector<Token> tokens;
+  XPTC_RETURN_NOT_OK(Tokenize(text, &tokens));
+  Parser parser(std::move(tokens), alphabet);
+  return parser.ParseFullNode();
+}
+
+}  // namespace xptc

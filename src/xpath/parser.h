@@ -1,0 +1,37 @@
+#ifndef XPTC_XPATH_PARSER_H_
+#define XPTC_XPATH_PARSER_H_
+
+#include <string>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Parses the compact algebraic syntax used throughout the library (the
+/// notation of the paper's preliminaries, ASCII-ized):
+///
+///   path  :=  seq ('|' seq)*                      union
+///   seq   :=  postfix ('/' postfix)*              composition
+///   postfix := primary ('[' node ']' | '*' | '+')*
+///   primary := AXIS | '(' path ')'
+///   AXIS  :=  self child parent desc anc dos aos right left fsib psib
+///             foll prec
+///
+///   node  :=  or;  or := and ('or' and)*;  and := unary ('and' unary)*
+///   unary :=  'not' unary | atom
+///   atom  :=  'true' | 'false' | 'root' | 'leaf' | LABEL
+///           | '<' path '>' | 'W' '(' node ')' | '(' node ')'
+///
+/// `p+` desugars to `p/p*`; `root` to `not <parent>`; `leaf` to
+/// `not <child>`; `false` to `not true`. Labels are identifiers that are not
+/// reserved words, interned into `*alphabet`.
+Result<PathPtr> ParsePath(const std::string& text, Alphabet* alphabet);
+
+/// Parses a node expression in the same syntax.
+Result<NodePtr> ParseNode(const std::string& text, Alphabet* alphabet);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_PARSER_H_

@@ -1,0 +1,23 @@
+#ifndef XPTC_XPATH_REWRITE_H_
+#define XPTC_XPATH_REWRITE_H_
+
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Sound, terminating simplifier: applies a fixed set of valid equivalence
+/// schemes bottom-up until a fixpoint. Every rule is a validity of the
+/// semantics (the whole simplifier is property-tested for equivalence with
+/// its input over exhaustive small models).
+///
+/// Rules include: unit laws for self/true, filter fusion p[φ][ψ] ≡ p[φ∧ψ],
+/// idempotent union and boolean laws, star collapses (p** ≡ p*,
+/// child* ≡ dos, parent* ≡ aos, dos* ≡ dos, ...), ⟨self[φ]⟩ ≡ φ,
+/// ⟨p|q⟩ ≡ ⟨p⟩∨⟨q⟩, dos/dos ≡ dos, a/a* ≡ a⁺-axis collapses, double
+/// negation, and Wφ ≡ φ for downward φ (a lemma of the paper).
+PathPtr SimplifyPath(const PathPtr& path);
+NodePtr SimplifyNode(const NodePtr& node);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_REWRITE_H_

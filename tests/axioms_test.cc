@@ -1,0 +1,123 @@
+#include "sat/axioms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/eval_naive.h"
+#include "xpath/generator.h"
+#include "sat/bounded.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+// Every axiom scheme is validated by random instantiation against the
+// reference evaluator on *all* trees up to 4 nodes (two labels) plus random
+// larger trees — mechanizing the "soundness problem" for a rewrite-rule
+// corpus.
+class AxiomSchemeTest : public ::testing::TestWithParam<int> {
+ protected:
+  const AxiomScheme& scheme() const {
+    return CoreXPathAxiomSchemes()[static_cast<size_t>(GetParam())];
+  }
+};
+
+TEST_P(AxiomSchemeTest, ValidOnExhaustiveSmallModelsAndRandomTrees) {
+  const AxiomScheme& axiom = scheme();
+  Alphabet alphabet;
+  Rng rng(0xA10 + GetParam());
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  QueryGenOptions options;
+  options.max_depth = 2;
+  options.downward_only = axiom.requires_downward_nodes;
+
+  for (int instantiation = 0; instantiation < 6; ++instantiation) {
+    std::vector<PathPtr> paths;
+    for (int i = 0; i < axiom.num_path_args; ++i) {
+      paths.push_back(GeneratePath(options, labels, &rng));
+    }
+    std::vector<NodePtr> nodes;
+    for (int i = 0; i < axiom.num_node_args; ++i) {
+      nodes.push_back(GenerateNode(options, labels, &rng));
+    }
+
+    auto check_tree = [&](const Tree& tree) {
+      if (axiom.build_paths) {
+        const auto [lhs, rhs] = axiom.build_paths(paths, nodes);
+        ASSERT_EQ(EvalPathNaive(tree, *lhs), EvalPathNaive(tree, *rhs))
+            << axiom.name << " (" << axiom.statement << ") instance "
+            << PathToString(*lhs, alphabet) << "  ==  "
+            << PathToString(*rhs, alphabet) << "  fails on  "
+            << tree.ToTerm(alphabet);
+      } else {
+        const auto [lhs, rhs] = axiom.build_nodes(paths, nodes);
+        ASSERT_EQ(EvalNodeNaive(tree, *lhs), EvalNodeNaive(tree, *rhs))
+            << axiom.name << " (" << axiom.statement << ") instance "
+            << NodeToString(*lhs, alphabet) << "  ==  "
+            << NodeToString(*rhs, alphabet) << "  fails on  "
+            << tree.ToTerm(alphabet);
+      }
+    };
+
+    EnumerateTrees(4, labels, check_tree);
+    for (int round = 0; round < 10; ++round) {
+      TreeGenOptions tree_options;
+      tree_options.num_nodes = rng.NextInt(5, 16);
+      tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+      check_tree(GenerateTree(tree_options, labels, &rng));
+    }
+  }
+}
+
+std::string SchemeName(const ::testing::TestParamInfo<int>& info) {
+  std::string name =
+      CoreXPathAxiomSchemes()[static_cast<size_t>(info.param)].name;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, AxiomSchemeTest,
+    ::testing::Range(0, static_cast<int>(CoreXPathAxiomSchemes().size())),
+    SchemeName);
+
+TEST(AxiomCorpusTest, CorpusIsNontrivial) {
+  EXPECT_GE(CoreXPathAxiomSchemes().size(), 25u);
+  for (const AxiomScheme& scheme : CoreXPathAxiomSchemes()) {
+    EXPECT_FALSE(scheme.name.empty());
+    EXPECT_FALSE(scheme.statement.empty());
+    EXPECT_TRUE(static_cast<bool>(scheme.build_paths) !=
+                static_cast<bool>(scheme.build_nodes))
+        << scheme.name << " must have exactly one builder";
+  }
+}
+
+TEST(AxiomCorpusTest, FakeEquivalencesAreRefuted) {
+  // The bounded checker must catch plausible-but-wrong rules — the "fake
+  // equivalences not so easy to spot" motivating complete axiomatizations.
+  Alphabet alphabet;
+  BoundedChecker checker(&alphabet, BoundedSearchOptions{});
+  using testing_util::P;
+  // child/desc vs desc (grand-descendants only vs all).
+  EXPECT_TRUE(checker
+                  .FindPathInequivalence(*P("child/desc", &alphabet),
+                                         *P("desc", &alphabet))
+                  .has_value());
+  // Filters do not commute with steps: child[a]/child vs child/child[a].
+  EXPECT_TRUE(checker
+                  .FindPathInequivalence(*P("child[a]/child", &alphabet),
+                                         *P("child/child[a]", &alphabet))
+                  .has_value());
+  // Union is not composition.
+  EXPECT_TRUE(checker
+                  .FindPathInequivalence(*P("child | parent", &alphabet),
+                                         *P("child/parent", &alphabet))
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace xptc

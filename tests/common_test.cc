@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/alphabet.h"
+#include "common/bitset.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace xptc {
+namespace {
+
+TEST(StatusTest, OkAndErrorStates) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+  EXPECT_TRUE(ok.message().empty());
+
+  Status error = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(error.ok());
+  EXPECT_TRUE(error.IsInvalidArgument());
+  EXPECT_EQ(error.message(), "bad input");
+  EXPECT_EQ(error.ToString(), "InvalidArgument: bad input");
+
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyAndReturnMacro) {
+  auto fails = []() -> Status {
+    XPTC_RETURN_NOT_OK(Status::InvalidArgument("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().message(), "inner");
+  auto succeeds = []() -> Status {
+    XPTC_RETURN_NOT_OK(Status::OK());
+    return Status::NotSupported("reached");
+  };
+  EXPECT_TRUE(succeeds().IsNotSupported());
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  Result<int> error = Status::OutOfRange("nope");
+  EXPECT_FALSE(error.ok());
+  EXPECT_TRUE(error.status().IsOutOfRange());
+
+  auto chain = [](bool fail) -> Result<int> {
+    auto inner = [fail]() -> Result<int> {
+      if (fail) return Status::InvalidArgument("deep");
+      return 7;
+    };
+    XPTC_ASSIGN_OR_RETURN(int got, inner());
+    return got + 1;
+  };
+  EXPECT_EQ(*chain(false), 8);
+  EXPECT_TRUE(chain(true).status().IsInvalidArgument());
+}
+
+TEST(AlphabetTest, InterningIsIdempotentAndDense) {
+  Alphabet alphabet;
+  const Symbol a = alphabet.Intern("alpha");
+  const Symbol b = alphabet.Intern("beta");
+  EXPECT_EQ(alphabet.Intern("alpha"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alphabet.size(), 2);
+  EXPECT_EQ(alphabet.Name(a), "alpha");
+  EXPECT_EQ(alphabet.Find("beta"), b);
+  EXPECT_EQ(alphabet.Find("gamma"), kInvalidSymbol);
+  EXPECT_TRUE(alphabet.Contains(a));
+  EXPECT_FALSE(alphabet.Contains(99));
+}
+
+TEST(BitsetTest, BasicOperations) {
+  Bitset bits(130);
+  EXPECT_EQ(bits.size(), 130);
+  EXPECT_TRUE(bits.None());
+  bits.Set(0);
+  bits.Set(64);
+  bits.Set(129);
+  EXPECT_EQ(bits.Count(), 3);
+  EXPECT_TRUE(bits.Get(64));
+  EXPECT_FALSE(bits.Get(63));
+  EXPECT_EQ(bits.FindFirst(), 0);
+  EXPECT_EQ(bits.FindNext(0), 64);
+  EXPECT_EQ(bits.FindNext(64), 129);
+  EXPECT_EQ(bits.FindNext(129), -1);
+  EXPECT_EQ(bits.ToVector(), (std::vector<int>{0, 64, 129}));
+  bits.Reset(64);
+  EXPECT_EQ(bits.Count(), 2);
+  bits.Assign(64, true);
+  EXPECT_EQ(bits.Count(), 3);
+}
+
+TEST(BitsetTest, SetAlgebraAndPadding) {
+  Bitset a(70);
+  Bitset b(70);
+  a.Set(1);
+  a.Set(69);
+  b.Set(69);
+  Bitset intersection = a;
+  intersection &= b;
+  EXPECT_EQ(intersection.ToVector(), (std::vector<int>{69}));
+  Bitset difference = a;
+  difference.Subtract(b);
+  EXPECT_EQ(difference.ToVector(), (std::vector<int>{1}));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  // Flip must not leak into padding bits beyond size.
+  Bitset c(70);
+  c.Flip();
+  EXPECT_EQ(c.Count(), 70);
+  c.Flip();
+  EXPECT_TRUE(c.None());
+  Bitset all(70, true);
+  EXPECT_EQ(all.Count(), 70);
+}
+
+TEST(BitMatrixTest, ComposeTransposeClosure) {
+  BitMatrix chain(4);  // 0→1→2→3
+  chain.Set(0, 1);
+  chain.Set(1, 2);
+  chain.Set(2, 3);
+  const BitMatrix squared = chain.Compose(chain);
+  EXPECT_TRUE(squared.Get(0, 2));
+  EXPECT_TRUE(squared.Get(1, 3));
+  EXPECT_FALSE(squared.Get(0, 1));
+  const BitMatrix closure = chain.TransitiveClosure();
+  EXPECT_TRUE(closure.Get(0, 3));
+  EXPECT_FALSE(closure.Get(0, 0));
+  const BitMatrix transposed = chain.Transpose();
+  EXPECT_TRUE(transposed.Get(1, 0));
+  EXPECT_EQ(transposed.Transpose(), chain);
+  EXPECT_EQ(chain.Domain().ToVector(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(chain.Range().ToVector(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RngTest, DeterministicAndDistributed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(6);
+  // Different seed, (almost surely) different stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(99);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int value = rng.NextInt(3, 7);
+    EXPECT_GE(value, 3);
+    EXPECT_LE(value, 7);
+    seen.insert(value);
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+  // Degenerate Bernoulli parameters.
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+  const double d = rng.NextDouble();
+  EXPECT_GE(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(5);
+  Rng child = parent.Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.Next() != child.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace xptc

@@ -1,0 +1,167 @@
+#include "compile/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::N;
+using testing_util::T;
+
+class CompileTest : public ::testing::Test {
+ protected:
+  CompileTest() : labels_(DefaultLabels(&alphabet_, 2)) {}
+
+  CompiledQuery Compile(const std::string& query_text) {
+    NodePtr query = N(query_text, &alphabet_);
+    XPathToNtwaCompiler compiler(&alphabet_, labels_);
+    return compiler.Compile(*query).ValueOrDie();
+  }
+
+  void ExpectAgreesEverywhere(const std::string& query_text, int max_nodes) {
+    NodePtr query = N(query_text, &alphabet_);
+    XPathToNtwaCompiler compiler(&alphabet_, labels_);
+    Result<CompiledQuery> compiled = compiler.Compile(*query);
+    ASSERT_TRUE(compiled.ok()) << query_text << ": " << compiled.status();
+    EnumerateTrees(max_nodes, labels_, [&](const Tree& tree) {
+      ASSERT_EQ(compiled->EvalAll(tree), EvalNodeSet(tree, *query))
+          << query_text << "  on  " << tree.ToTerm(alphabet_);
+    });
+  }
+
+  Alphabet alphabet_;
+  std::vector<Symbol> labels_;
+};
+
+TEST_F(CompileTest, FragmentCheckAcceptsAndRejects) {
+  Alphabet alphabet;
+  auto check = [&](const std::string& text) {
+    return XPathToNtwaCompiler::CheckSupported(
+        *ParseNode(text, &alphabet).ValueOrDie());
+  };
+  EXPECT_TRUE(check("a").ok());
+  EXPECT_TRUE(check("not <anc[a]>").ok());
+  EXPECT_TRUE(check("<(child/right)*[b]>").ok());
+  EXPECT_TRUE(check("W(<anc[a]> and not b)").ok());
+  EXPECT_TRUE(check("<desc[not <child[a]>]>").ok());
+  EXPECT_TRUE(check("<child[W(<parent>)]>").ok());  // W resets the context
+  // A non-downward test inside a filter is outside the fragment...
+  EXPECT_FALSE(check("<desc[<anc[a]>]>").ok());
+  EXPECT_TRUE(check("<desc[<anc[a]>]>").IsNotSupported());
+  EXPECT_FALSE(check("<child[not <parent[a]>]>").ok());
+  // ...even deeply nested.
+  EXPECT_FALSE(check("<desc[<child[<left>]>]>").ok());
+}
+
+TEST_F(CompileTest, LabelQuery) { ExpectAgreesEverywhere("a", 4); }
+
+TEST_F(CompileTest, BooleanCombinations) {
+  ExpectAgreesEverywhere("a or not b", 4);
+  ExpectAgreesEverywhere("true and not (a and b)", 4);
+}
+
+TEST_F(CompileTest, DownwardPaths) {
+  ExpectAgreesEverywhere("<child[a]>", 4);
+  ExpectAgreesEverywhere("<desc[a and <child[b]>]>", 4);
+  ExpectAgreesEverywhere("<dos[a]/child[b]>", 4);
+}
+
+TEST_F(CompileTest, UpwardAndHorizontalWalks) {
+  ExpectAgreesEverywhere("<anc[a]>", 4);
+  ExpectAgreesEverywhere("<parent/right>", 4);
+  ExpectAgreesEverywhere("<foll[b]>", 4);
+  ExpectAgreesEverywhere("<prec[a]> and not <anc[b]>", 4);
+  ExpectAgreesEverywhere("<left | right[b]>", 4);
+}
+
+TEST_F(CompileTest, StarsOverWalks) {
+  ExpectAgreesEverywhere("<(child/right)*[a]>", 4);
+  ExpectAgreesEverywhere("<(parent | left)*[b]>", 4);
+  ExpectAgreesEverywhere("<(child[a])*/right>", 4);
+}
+
+TEST_F(CompileTest, NegatedFilterTests) {
+  ExpectAgreesEverywhere("<child[not a]>", 4);
+  ExpectAgreesEverywhere("<anc[not <child[b]>]>", 4);
+  ExpectAgreesEverywhere("<desc[not (a or <child>)]>", 4);
+}
+
+TEST_F(CompileTest, WithinQueries) {
+  ExpectAgreesEverywhere("W(a)", 4);
+  ExpectAgreesEverywhere("W(<anc[a]>)", 4);          // always false
+  ExpectAgreesEverywhere("W(not <right>)", 4);       // always true
+  ExpectAgreesEverywhere("W(<desc[b]>) and not a", 4);
+  ExpectAgreesEverywhere("<child[W(<child/right[a]>)]>", 4);
+  ExpectAgreesEverywhere("W(W(<desc[a]>))", 4);
+}
+
+TEST_F(CompileTest, MixedDeepQueries) {
+  ExpectAgreesEverywhere("<anc[a]/desc[b and not <child>]>", 4);
+  ExpectAgreesEverywhere("not <(parent)*[a and W(<desc[b]>)]>", 4);
+  ExpectAgreesEverywhere("<right[W(<child[a]> or not <child>)]>", 4);
+}
+
+TEST_F(CompileTest, CompiledStatsAreSensible) {
+  CompiledQuery compiled = Compile("<anc[a]> and W(<desc[b]>)");
+  EXPECT_GE(compiled.NumAutomata(), 2);
+  EXPECT_GT(compiled.TotalStates(), 0);
+  EXPECT_GE(compiled.NestingDepth(), 1);
+  EXPECT_FALSE(compiled.Stats().empty());
+}
+
+TEST_F(CompileTest, GeneratedQueriesAgreeOnRandomTrees) {
+  Rng rng(112233);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  XPathToNtwaCompiler compiler(&alphabet_, labels_);
+  int compiled_count = 0;
+  for (int round = 0; round < 60; ++round) {
+    NodePtr query = GenerateCompilableNode(options, labels_, &rng);
+    ASSERT_TRUE(XPathToNtwaCompiler::CheckSupported(*query).ok())
+        << NodeToString(*query, alphabet_);
+    Result<CompiledQuery> compiled = compiler.Compile(*query);
+    ASSERT_TRUE(compiled.ok()) << NodeToString(*query, alphabet_) << ": "
+                               << compiled.status();
+    ++compiled_count;
+    for (int t = 0; t < 3; ++t) {
+      TreeGenOptions tree_options;
+      tree_options.num_nodes = rng.NextInt(1, 12);
+      tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+      const Tree tree = GenerateTree(tree_options, labels_, &rng);
+      ASSERT_EQ(compiled->EvalAll(tree), EvalNodeSet(tree, *query))
+          << NodeToString(*query, alphabet_) << "  on  "
+          << tree.ToTerm(alphabet_);
+    }
+  }
+  EXPECT_EQ(compiled_count, 60);
+}
+
+TEST_F(CompileTest, GeneratedQueriesAgreeExhaustively) {
+  Rng rng(445566);
+  QueryGenOptions options;
+  options.max_depth = 2;
+  XPathToNtwaCompiler compiler(&alphabet_, labels_);
+  std::vector<NodePtr> queries;
+  std::vector<CompiledQuery> compiled;
+  for (int i = 0; i < 25; ++i) {
+    queries.push_back(GenerateCompilableNode(options, labels_, &rng));
+    compiled.push_back(compiler.Compile(*queries.back()).ValueOrDie());
+  }
+  EnumerateTrees(3, labels_, [&](const Tree& tree) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(compiled[i].EvalAll(tree), EvalNodeSet(tree, *queries[i]))
+          << NodeToString(*queries[i], alphabet_) << "  on  "
+          << tree.ToTerm(alphabet_);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace xptc

@@ -1,0 +1,141 @@
+// The subtree-context evaluator is the semantic foundation of the W
+// operator and of nested automaton runs: Evaluator(T, v) must behave
+// exactly like evaluation on the extracted tree T|v. This suite pins that
+// invariant per axis, exhaustively.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/eval.h"
+#include "xpath/eval_naive.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+// Compares the context-restricted image of each axis against the same
+// image computed on the physically extracted subtree.
+void CheckAxisImagesAtEveryContext(const Tree& tree,
+                                   const Alphabet& alphabet) {
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    const Tree sub = tree.ExtractSubtree(v);
+    Evaluator context_eval(tree, v);
+    for (int axis_index = 0; axis_index < kNumAxes; ++axis_index) {
+      const Axis axis = static_cast<Axis>(axis_index);
+      const BitMatrix sub_relation = AxisRelation(sub, axis);
+      // Image of every singleton source.
+      for (NodeId w = v; w < tree.SubtreeEnd(v); ++w) {
+        Bitset source(tree.size());
+        source.Set(w);
+        const Bitset image = context_eval.AxisImage(axis, source);
+        const Bitset& expected = sub_relation.Row(w - v);
+        for (NodeId u = v; u < tree.SubtreeEnd(v); ++u) {
+          ASSERT_EQ(image.Get(u), expected.Get(u - v))
+              << AxisToString(axis) << " from " << w << " context " << v
+              << " on " << tree.ToTerm(alphabet);
+        }
+        // The image never leaks outside the context.
+        for (NodeId u = 0; u < tree.size(); ++u) {
+          if (u < v || u >= tree.SubtreeEnd(v)) {
+            ASSERT_FALSE(image.Get(u))
+                << AxisToString(axis) << " leaked to " << u << " context "
+                << v << " on " << tree.ToTerm(alphabet);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalContextTest, AxisImagesMatchExtractedSubtreesExhaustively) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 1);
+  EnumerateTrees(5, labels, [&](const Tree& tree) {
+    CheckAxisImagesAtEveryContext(tree, alphabet);
+  });
+}
+
+TEST(EvalContextTest, AxisImagesMatchExtractedSubtreesOnRandomTrees) {
+  Alphabet alphabet;
+  Rng rng(4096);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  for (int round = 0; round < 15; ++round) {
+    TreeGenOptions options;
+    options.num_nodes = rng.NextInt(2, 16);
+    options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    CheckAxisImagesAtEveryContext(GenerateTree(options, labels, &rng),
+                                  alphabet);
+  }
+}
+
+TEST(EvalContextTest, MultiSourceImagesAreUnionsOfSingletons) {
+  Alphabet alphabet;
+  Rng rng(8192);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  for (int round = 0; round < 20; ++round) {
+    TreeGenOptions options;
+    options.num_nodes = rng.NextInt(2, 14);
+    const Tree tree = GenerateTree(options, labels, &rng);
+    Evaluator evaluator(tree);
+    // Random source set.
+    Bitset sources(tree.size());
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (rng.NextBool(0.4)) sources.Set(v);
+    }
+    for (int axis_index = 0; axis_index < kNumAxes; ++axis_index) {
+      const Axis axis = static_cast<Axis>(axis_index);
+      Bitset expected(tree.size());
+      for (int v = sources.FindFirst(); v >= 0; v = sources.FindNext(v)) {
+        Bitset single(tree.size());
+        single.Set(v);
+        expected |= evaluator.AxisImage(axis, single);
+      }
+      ASSERT_EQ(evaluator.AxisImage(axis, sources), expected)
+          << AxisToString(axis) << " on " << tree.ToTerm(alphabet);
+    }
+  }
+}
+
+TEST(EvalContextTest, ContextRootHasNoParentOrSiblings) {
+  Alphabet alphabet;
+  const Tree tree =
+      Tree::FromTerm("r(a(b,c),d)", &alphabet).ValueOrDie();
+  // Context at node 1 (labelled a): its global parent/siblings vanish.
+  Evaluator evaluator(tree, 1);
+  Bitset at_a(tree.size());
+  at_a.Set(1);
+  EXPECT_TRUE(evaluator.AxisImage(Axis::kParent, at_a).None());
+  EXPECT_TRUE(evaluator.AxisImage(Axis::kNextSibling, at_a).None());
+  EXPECT_TRUE(evaluator.AxisImage(Axis::kPrevSibling, at_a).None());
+  EXPECT_TRUE(evaluator.AxisImage(Axis::kFollowing, at_a).None());
+  EXPECT_TRUE(evaluator.AxisImage(Axis::kPreceding, at_a).None());
+  EXPECT_TRUE(evaluator.AxisImage(Axis::kAncestor, at_a).None());
+  // Inside the subtree everything is intact.
+  EXPECT_EQ(evaluator.AxisImage(Axis::kChild, at_a).ToVector(),
+            (std::vector<int>{2, 3}));
+  Bitset at_b(tree.size());
+  at_b.Set(2);
+  EXPECT_EQ(evaluator.AxisImage(Axis::kNextSibling, at_b).ToVector(),
+            (std::vector<int>{3}));
+  EXPECT_EQ(evaluator.AxisImage(Axis::kAncestor, at_b).ToVector(),
+            (std::vector<int>{1}));
+}
+
+TEST(EvalContextTest, StarFixpointsRespectContextBoundaries) {
+  Alphabet alphabet;
+  const Tree tree =
+      Tree::FromTerm("r(a(b,c),d)", &alphabet).ValueOrDie();
+  // (parent | right)* from b within context a cannot escape to r or d.
+  Evaluator evaluator(tree, 1);
+  Bitset at_b(tree.size());
+  at_b.Set(2);
+  PathPtr star = MakeStar(
+      MakeUnion(MakeAxis(Axis::kParent), MakeAxis(Axis::kNextSibling)));
+  const Bitset reached = evaluator.EvalFwd(*star, at_b);
+  EXPECT_EQ(reached.ToVector(), (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace xptc

@@ -1,0 +1,332 @@
+#include "xpath/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/ast.h"
+#include "xpath/eval_naive.h"
+#include "xpath/fragment.h"
+#include "xpath/generator.h"
+#include "xpath/parser.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::N;
+using testing_util::P;
+using testing_util::T;
+
+// ---------------------------------------------------------------------------
+// Golden semantics on a fixed document:  a(b(d,e),c)  with preorder ids
+//   0:a  1:b  2:d  3:e  4:c
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  GoldenTest() : tree_(T("a(b(d,e),c)", &alphabet_)) {}
+
+  std::vector<NodeId> Fwd(const std::string& path, NodeId from) {
+    return EvalPathFrom(tree_, *P(path, &alphabet_), from);
+  }
+  std::vector<int> Nodes(const std::string& node) {
+    return EvalNodeSet(tree_, *N(node, &alphabet_)).ToVector();
+  }
+
+  Alphabet alphabet_;
+  Tree tree_;
+};
+
+TEST_F(GoldenTest, PrimitiveAxes) {
+  EXPECT_EQ(Fwd("child", 0), (std::vector<NodeId>{1, 4}));
+  EXPECT_EQ(Fwd("child", 1), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(Fwd("parent", 2), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Fwd("parent", 0), (std::vector<NodeId>{}));
+  EXPECT_EQ(Fwd("desc", 0), (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(Fwd("desc", 1), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(Fwd("anc", 3), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(Fwd("dos", 1), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(Fwd("aos", 3), (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(Fwd("right", 1), (std::vector<NodeId>{4}));
+  EXPECT_EQ(Fwd("right", 4), (std::vector<NodeId>{}));
+  EXPECT_EQ(Fwd("left", 4), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Fwd("fsib", 2), (std::vector<NodeId>{3}));
+  EXPECT_EQ(Fwd("psib", 3), (std::vector<NodeId>{2}));
+  EXPECT_EQ(Fwd("foll", 1), (std::vector<NodeId>{4}));
+  EXPECT_EQ(Fwd("foll", 2), (std::vector<NodeId>{3, 4}));
+  EXPECT_EQ(Fwd("prec", 4), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(Fwd("prec", 3), (std::vector<NodeId>{2}));
+  EXPECT_EQ(Fwd("self", 2), (std::vector<NodeId>{2}));
+}
+
+TEST_F(GoldenTest, CompositePaths) {
+  EXPECT_EQ(Fwd("child/child", 0), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(Fwd("child[b]/child", 0), (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(Fwd("child[c]/child", 0), (std::vector<NodeId>{}));
+  EXPECT_EQ(Fwd("child | child/child", 0), (std::vector<NodeId>{1, 2, 3, 4}));
+  EXPECT_EQ(Fwd("child*", 0), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  // b → (child) d → (right) e, so the star reaches {b, e}.
+  EXPECT_EQ(Fwd("(child/right)*", 1), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(Fwd("(child[b]/child)*", 0), (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST_F(GoldenTest, NodeExpressions) {
+  EXPECT_EQ(Nodes("a"), (std::vector<int>{0}));
+  EXPECT_EQ(Nodes("true"), (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(Nodes("root"), (std::vector<int>{0}));
+  EXPECT_EQ(Nodes("leaf"), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(Nodes("<child>"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(Nodes("<child[d]>"), (std::vector<int>{1}));
+  EXPECT_EQ(Nodes("not <child[d]>"), (std::vector<int>{0, 2, 3, 4}));
+  EXPECT_EQ(Nodes("<parent[b]> or c"), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(Nodes("<anc[a]> and leaf"), (std::vector<int>{2, 3, 4}));
+}
+
+TEST_F(GoldenTest, WithinRelativisesUpwardNavigation) {
+  // ⟨anc[a]⟩ holds at every non-root node...
+  EXPECT_EQ(Nodes("<anc[a]>"), (std::vector<int>{1, 2, 3, 4}));
+  // ...but inside the subtree of each node there is no 'a' ancestor at all:
+  // W(⟨anc[a]⟩) is false everywhere (the subtree root has no ancestors).
+  EXPECT_EQ(Nodes("W(<anc[a]>)"), (std::vector<int>{}));
+  // W(root) is true everywhere: each node is the root of its own subtree.
+  EXPECT_EQ(Nodes("W(root)"), (std::vector<int>{0, 1, 2, 3, 4}));
+  // W(⟨desc[e]⟩): nodes whose own subtree contains an e below: a and b.
+  EXPECT_EQ(Nodes("W(<desc[e]>)"), (std::vector<int>{0, 1}));
+  // Siblings disappear under W: d has a next sibling in the document but
+  // not within T|d... and neither does b within T|b.
+  EXPECT_EQ(Nodes("<right>"), (std::vector<int>{1, 2}));
+  EXPECT_EQ(Nodes("W(<right>)"), (std::vector<int>{}));
+  // Within the subtree of b, d still has its sibling e.
+  EXPECT_EQ(Nodes("W(<child[d and <right[e]>]>)"), (std::vector<int>{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-evaluator agreement: the set evaluator must agree with the naive
+// (reference) evaluator on node sets, domains, and per-source rows.
+
+void ExpectAgreement(const Tree& tree, const PathExpr& path,
+                     const Alphabet& alphabet) {
+  const BitMatrix reference = EvalPathNaive(tree, path);
+  Evaluator evaluator(tree);
+  // Domain agreement.
+  ASSERT_EQ(evaluator.EvalBack(path, evaluator.All()), reference.Domain())
+      << "domain mismatch for " << PathToString(path, alphabet) << " on "
+      << tree.ToTerm(alphabet);
+  // Per-source row agreement (forward), and per-target column (backward).
+  for (NodeId v = 0; v < tree.size(); ++v) {
+    Bitset single(tree.size());
+    single.Set(v);
+    Evaluator fwd_eval(tree);
+    ASSERT_EQ(fwd_eval.EvalFwd(path, single), reference.Row(v))
+        << "row " << v << " mismatch for " << PathToString(path, alphabet)
+        << " on " << tree.ToTerm(alphabet);
+  }
+}
+
+void ExpectNodeAgreement(const Tree& tree, const NodeExpr& node,
+                         const Alphabet& alphabet) {
+  ASSERT_EQ(EvalNodeSet(tree, node), EvalNodeNaive(tree, node))
+      << "node-set mismatch for " << NodeToString(node, alphabet) << " on "
+      << tree.ToTerm(alphabet);
+}
+
+// A corpus of handwritten tricky expressions exercising every operator and
+// corner (stars over unions, W under negation, filters in stars, ...).
+std::vector<std::string> TrickyPaths() {
+  return {
+      "child",
+      "desc[a]",
+      "anc[b]/child",
+      "foll[a] | prec[b]",
+      "child*",
+      "(child | right)*",
+      "(child[a])*",
+      "desc[<right[b]>]",
+      "child/child/parent",
+      "dos[not a]/right",
+      "(left | parent)*[a]",
+      "self[W(<desc[b]>)]",
+      "child[W(not <child>)]",
+      "(child[not b]/right*)*",
+      "fsib[<child>]/psib",
+      "aos[<foll>]",
+      "child[a and <right>]/desc[b or leaf]",
+      "(desc[W(<child[a]>)])*",
+  };
+}
+
+std::vector<std::string> TrickyNodes() {
+  return {
+      "a",
+      "true",
+      "false",
+      "not a",
+      "root",
+      "leaf",
+      "<child[a]>",
+      "<desc[a and <right>]>",
+      "not <anc[a]>",
+      "W(<desc[b]>)",
+      "W(not <child[a]>)",
+      "W(<child/right>) and not b",
+      "<(child | right)*[a]>",
+      "not W(<desc[a]> or <desc[b]>)",
+      "<child[W(leaf or <child[a]>)]>",
+      "W(W(<child>))",
+      "<foll[a]> or <prec[a]>",
+      "<desc[leaf and not a]>",
+  };
+}
+
+TEST(AgreementTest, ExhaustiveSmallTreesHandwrittenQueries) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  std::vector<PathPtr> paths;
+  for (const auto& text : TrickyPaths()) paths.push_back(P(text, &alphabet));
+  std::vector<NodePtr> nodes;
+  for (const auto& text : TrickyNodes()) nodes.push_back(N(text, &alphabet));
+  EnumerateTrees(4, labels, [&](const Tree& tree) {
+    for (const auto& path : paths) ExpectAgreement(tree, *path, alphabet);
+    for (const auto& node : nodes) ExpectNodeAgreement(tree, *node, alphabet);
+  });
+}
+
+TEST(AgreementTest, RandomTreesRandomQueries) {
+  Alphabet alphabet;
+  Rng rng(31337);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  QueryGenOptions options;
+  options.max_depth = 4;
+  for (int round = 0; round < 60; ++round) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 24);
+    tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    for (int q = 0; q < 4; ++q) {
+      PathPtr path = GeneratePath(options, labels, &rng);
+      ExpectAgreement(tree, *path, alphabet);
+      NodePtr node = GenerateNode(options, labels, &rng);
+      ExpectNodeAgreement(tree, *node, alphabet);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Law checks against the reference evaluator.
+
+TEST(LawTest, ConverseIsTranspose) {
+  Alphabet alphabet;
+  Rng rng(777);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  for (int round = 0; round < 40; ++round) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 12);
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    PathPtr path = GeneratePath(options, labels, &rng);
+    PathPtr conv = ConversePath(path);
+    EXPECT_EQ(EvalPathNaive(tree, *conv),
+              EvalPathNaive(tree, *path).Transpose())
+        << PathToString(*path, alphabet);
+  }
+}
+
+TEST(LawTest, DownwardNodeExpressionsAreWithinInvariant) {
+  // The paper's lemma: φ ≡ Wφ for downward φ.
+  Alphabet alphabet;
+  Rng rng(4242);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  QueryGenOptions options;
+  options.max_depth = 4;
+  options.downward_only = true;
+  int checked = 0;
+  for (int round = 0; round < 120; ++round) {
+    NodePtr node = GenerateNode(options, labels, &rng);
+    ASSERT_TRUE(IsDownwardNode(*node));
+    NodePtr within = MakeWithin(node);
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 14);
+    tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    EXPECT_EQ(EvalNodeSet(tree, *node), EvalNodeSet(tree, *within))
+        << NodeToString(*node, alphabet) << " on " << tree.ToTerm(alphabet);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 120);
+}
+
+TEST(LawTest, StarUnrollsOnce) {
+  // p* ≡ self | p/p* — the defining fixpoint of the Kleene star.
+  Alphabet alphabet;
+  Rng rng(555);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  for (int round = 0; round < 40; ++round) {
+    PathPtr p = GeneratePath(options, labels, &rng);
+    PathPtr star = MakeStar(p);
+    PathPtr unrolled = MakeUnion(MakeAxis(Axis::kSelf), MakeSeq(p, star));
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 10);
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    EXPECT_EQ(EvalPathNaive(tree, *star), EvalPathNaive(tree, *unrolled))
+        << PathToString(*p, alphabet);
+  }
+}
+
+TEST(LawTest, TransitiveAxesAreStarsOfBaseSteps) {
+  Alphabet alphabet;
+  Rng rng(808);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const std::pair<std::string, std::string> laws[] = {
+      {"desc", "child+"},   {"anc", "parent+"}, {"dos", "child*"},
+      {"aos", "parent*"},   {"fsib", "right+"}, {"psib", "left+"},
+      {"foll", "aos/right+/dos"}, {"prec", "aos/left+/dos"},
+  };
+  for (int round = 0; round < 25; ++round) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 15);
+    tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    for (const auto& [axis_text, star_text] : laws) {
+      EXPECT_EQ(EvalPathNaive(tree, *P(axis_text, &alphabet)),
+                EvalPathNaive(tree, *P(star_text, &alphabet)))
+          << axis_text << " vs " << star_text << " on "
+          << tree.ToTerm(alphabet);
+    }
+  }
+}
+
+TEST(EvalTest, SubtreeContextEvaluatorMatchesExtractedSubtree) {
+  // Evaluator(T, v) must behave exactly like a fresh evaluation on the
+  // extracted tree T|v (modulo the id shift).
+  Alphabet alphabet;
+  Rng rng(6060);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  for (int round = 0; round < 30; ++round) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(2, 14);
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    NodePtr node = GenerateNode(options, labels, &rng);
+    const NodeId v = rng.NextInt(0, tree.size() - 1);
+    Evaluator context_eval(tree, v);
+    const Bitset in_context = context_eval.EvalNode(*node);
+    const Tree sub = tree.ExtractSubtree(v);
+    const Bitset in_extracted = EvalNodeSet(sub, *node);
+    for (NodeId w = v; w < tree.SubtreeEnd(v); ++w) {
+      EXPECT_EQ(in_context.Get(w), in_extracted.Get(w - v))
+          << NodeToString(*node, alphabet) << " node " << w << " of "
+          << tree.ToTerm(alphabet);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xptc

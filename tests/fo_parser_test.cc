@@ -1,0 +1,122 @@
+#include "logic/fo_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "logic/fo_eval.h"
+#include "logic/xpath_to_fo.h"
+#include "tree/generate.h"
+#include "xpath/generator.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::T;
+
+TEST(FOParserTest, ParsesAtoms) {
+  Alphabet alphabet;
+  FormulaPtr eq = ParseFormula("x0=x1", &alphabet).ValueOrDie();
+  EXPECT_EQ(eq->op, FOOp::kEq);
+  FormulaPtr child = ParseFormula("Child(x0,x1)", &alphabet).ValueOrDie();
+  EXPECT_EQ(child->op, FOOp::kChild);
+  FormulaPtr sib = ParseFormula("NextSib(x2,x3)", &alphabet).ValueOrDie();
+  EXPECT_EQ(sib->op, FOOp::kNextSib);
+  FormulaPtr label = ParseFormula("book(x0)", &alphabet).ValueOrDie();
+  EXPECT_EQ(label->op, FOOp::kLabel);
+  EXPECT_EQ(label->label, alphabet.Find("book"));
+  // Inequality desugars.
+  FormulaPtr neq = ParseFormula("x0!=x1", &alphabet).ValueOrDie();
+  EXPECT_EQ(neq->op, FOOp::kNot);
+  EXPECT_EQ(neq->left->op, FOOp::kEq);
+}
+
+TEST(FOParserTest, ParsesConnectivesAndQuantifiers) {
+  Alphabet alphabet;
+  FormulaPtr f =
+      ParseFormula("Ex1.(Child(x0,x1) & a(x1))", &alphabet).ValueOrDie();
+  EXPECT_EQ(f->op, FOOp::kExists);
+  EXPECT_EQ(f->v1, 1);
+  FormulaPtr g =
+      ParseFormula("Ax0.(a(x0) | !b(x0))", &alphabet).ValueOrDie();
+  EXPECT_EQ(g->op, FOOp::kForall);
+  // Implication and biimplication desugar.
+  FormulaPtr imp = ParseFormula("a(x0) -> b(x0)", &alphabet).ValueOrDie();
+  EXPECT_EQ(imp->op, FOOp::kOr);
+  EXPECT_EQ(imp->left->op, FOOp::kNot);
+  FormulaPtr iff = ParseFormula("a(x0) <-> b(x0)", &alphabet).ValueOrDie();
+  EXPECT_EQ(iff->op, FOOp::kAnd);
+}
+
+TEST(FOParserTest, ParsesTC) {
+  Alphabet alphabet;
+  FormulaPtr f =
+      ParseFormula("[TC_{x2,x3} Child(x2,x3)](x0,x1)", &alphabet)
+          .ValueOrDie();
+  EXPECT_EQ(f->op, FOOp::kTC);
+  EXPECT_EQ(f->tc_x, 2);
+  EXPECT_EQ(f->tc_y, 3);
+  EXPECT_EQ(f->v1, 0);
+  EXPECT_EQ(f->v2, 1);
+  // The parsed descendant relation behaves correctly.
+  const Tree tree = T("a(b(c))", &alphabet);
+  FOAssignment env = {0, 2};
+  EXPECT_TRUE(EvalFormula(tree, *f, env));
+  env = {2, 0};
+  EXPECT_FALSE(EvalFormula(tree, *f, env));
+}
+
+TEST(FOParserTest, RejectsMalformedInput) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseFormula("", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("x0", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("Child(x0)", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("a(x0) &", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("Ex1 a(x1)", &alphabet).ok());  // missing dot
+  EXPECT_FALSE(ParseFormula("[TC_{x0,x0} x0=x1](x0,x1)", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("(a(x0)", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("a(x0)) extra", &alphabet).ok());
+  EXPECT_FALSE(ParseFormula("a(y)", &alphabet).ok());  // not a variable
+}
+
+TEST(FOParserTest, RoundTripsPrinterOutput) {
+  // Print → parse → print must be a fixpoint for generated formulas
+  // (obtained via the XPath translation, which exercises every construct).
+  Alphabet alphabet;
+  Rng rng(808);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  for (int i = 0; i < 100; ++i) {
+    NodePtr query = GenerateNode(options, labels, &rng);
+    FormulaPtr formula = NodeToFO(*query, 0);
+    const std::string text = FormulaToString(*formula, alphabet);
+    Result<FormulaPtr> reparsed = ParseFormula(text, &alphabet);
+    ASSERT_TRUE(reparsed.ok()) << text << " : " << reparsed.status();
+    EXPECT_EQ(FormulaToString(**reparsed, alphabet), text);
+  }
+}
+
+TEST(FOParserTest, ParsedFormulasEvaluate) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b(d,e),c)", &alphabet);
+  // "some node has two children": Ex0.Ex1.Ex2.(Child(x0,x1) & Child(x0,x2)
+  // & x1 != x2)
+  FormulaPtr two_children =
+      ParseFormula(
+          "Ex0.Ex1.Ex2.(Child(x0,x1) & (Child(x0,x2) & x1!=x2))", &alphabet)
+          .ValueOrDie();
+  EXPECT_TRUE(EvalSentence(tree, *two_children));
+  const Tree chain = T("a(b(c))", &alphabet);
+  EXPECT_FALSE(EvalSentence(chain, *two_children));
+  // "every d-labelled node has a next sibling labelled e".
+  FormulaPtr rule =
+      ParseFormula("Ax0.(d(x0) -> Ex1.(NextSib(x0,x1) & e(x1)))", &alphabet)
+          .ValueOrDie();
+  EXPECT_TRUE(EvalSentence(tree, *rule));
+  const Tree bad = T("a(d,c)", &alphabet);
+  EXPECT_FALSE(EvalSentence(bad, *rule));
+}
+
+}  // namespace
+}  // namespace xptc

@@ -1,0 +1,199 @@
+#include "logic/fo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "logic/fo_eval.h"
+#include "logic/xpath_to_fo.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/eval_naive.h"
+#include "xpath/generator.h"
+#include "xpath/parser.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::N;
+using testing_util::P;
+using testing_util::T;
+
+TEST(FOAstTest, FreeVarsAndRank) {
+  Alphabet alphabet;
+  const Symbol a = alphabet.Intern("a");
+  // ∃x1 (Child(x0,x1) ∧ a(x1))
+  FormulaPtr f = FOExists(1, FOAnd(FOChild(0, 1), FOLabel(a, 1)));
+  EXPECT_EQ(FreeVars(*f), (std::set<Var>{0}));
+  EXPECT_EQ(QuantifierRank(*f), 1);
+  EXPECT_EQ(FormulaSize(*f), 4);
+  EXPECT_EQ(MaxVar(*f), 1);
+  // TC binds its designated pair.
+  FormulaPtr tc = FOTC(2, 3, FOChild(2, 3), 0, 1);
+  EXPECT_EQ(FreeVars(*tc), (std::set<Var>{0, 1}));
+  EXPECT_EQ(QuantifierRank(*tc), 1);
+  EXPECT_EQ(CountTCOperators(*tc), 1);
+}
+
+TEST(FOAstTest, Printing) {
+  Alphabet alphabet;
+  const Symbol a = alphabet.Intern("a");
+  FormulaPtr f = FOExists(1, FOAnd(FOChild(0, 1), FOLabel(a, 1)));
+  EXPECT_EQ(FormulaToString(*f, alphabet), "Ex1.(Child(x0,x1) & a(x1))");
+}
+
+TEST(FOEvalTest, AtomsOnFixedTree) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b(d,e),c)", &alphabet);
+  // Child(x0, x1) as an explicit relation equals the child axis.
+  EXPECT_EQ(EvalFormulaBinary(tree, *FOChild(0, 1), 0, 1),
+            AxisRelation(tree, Axis::kChild));
+  EXPECT_EQ(EvalFormulaBinary(tree, *FONextSib(0, 1), 0, 1),
+            AxisRelation(tree, Axis::kNextSibling));
+  // TC(Child) = descendant.
+  EXPECT_EQ(EvalFormulaBinary(tree, *FOTC(2, 3, FOChild(2, 3), 0, 1), 0, 1),
+            AxisRelation(tree, Axis::kDescendant));
+  // TC(NextSib) = following-sibling.
+  EXPECT_EQ(EvalFormulaBinary(tree, *FOTC(2, 3, FONextSib(2, 3), 0, 1), 0, 1),
+            AxisRelation(tree, Axis::kFollowingSibling));
+}
+
+TEST(FOEvalTest, QuantifiersAndSentences) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b(d,e),c)", &alphabet);
+  const Symbol a = alphabet.Intern("a");
+  const Symbol z = alphabet.Intern("z");
+  // ∃x0 a(x0) holds; ∃x0 z(x0) does not.
+  EXPECT_TRUE(EvalSentence(tree, *FOExists(0, FOLabel(a, 0))));
+  EXPECT_FALSE(EvalSentence(tree, *FOExists(0, FOLabel(z, 0))));
+  // ∀x0 ∃x1 (x0 = x1): trivially true.
+  EXPECT_TRUE(EvalSentence(tree, *FOForall(0, FOExists(1, FOEq(0, 1)))));
+  // ∀x0 ∃x1 Child(x0, x1): false (leaves exist).
+  EXPECT_FALSE(EvalSentence(tree, *FOForall(0, FOExists(1, FOChild(0, 1)))));
+}
+
+TEST(FOEvalTest, TCWithParameters) {
+  Alphabet alphabet;
+  // Chain a - b - c: x2 is a parameter of the closed relation; the closed
+  // relation is Child restricted to children that differ from the
+  // parameter, cutting reachability through the parameter's node.
+  const Tree tree = T("a(b(c))", &alphabet);
+  // [TC_{x0,x1} (Child(x0,x1) & x1 != x2)](root, leaf) with x2 = b blocks
+  // the chain; with x2 = leaf's sibling (none) it would succeed.
+  FormulaPtr body = FOAnd(FOChild(0, 1), FONot(FOEq(1, 2)));
+  FormulaPtr tc = FOTC(0, 1, body, 3, 4);
+  FOAssignment env(5, kNoNode);
+  env[2] = 1;  // parameter = b
+  env[3] = 0;  // source = a
+  env[4] = 2;  // target = c
+  EXPECT_FALSE(EvalFormula(tree, *tc, env));
+  env[2] = 0;  // parameter = a (not on the a→c path's interior)
+  EXPECT_TRUE(EvalFormula(tree, *tc, env));
+}
+
+// ---------------------------------------------------------------------------
+// Translation agreement: the paper's RegXPath(W) ⊆ FO(MTC) inclusion.
+
+void ExpectPathTranslationAgrees(const Tree& tree, const PathExpr& path,
+                                 const Alphabet& alphabet) {
+  FormulaPtr formula = PathToFO(path, 0, 1);
+  ASSERT_EQ(EvalFormulaBinary(tree, *formula, 0, 1),
+            EvalPathNaive(tree, path))
+      << PathToString(path, alphabet) << "  on  " << tree.ToTerm(alphabet)
+      << "\n  FO: " << FormulaToString(*formula, alphabet);
+}
+
+void ExpectNodeTranslationAgrees(const Tree& tree, const NodeExpr& node,
+                                 const Alphabet& alphabet) {
+  FormulaPtr formula = NodeToFO(node, 0);
+  ASSERT_EQ(EvalFormulaUnary(tree, *formula, 0), EvalNodeNaive(tree, node))
+      << NodeToString(node, alphabet) << "  on  " << tree.ToTerm(alphabet)
+      << "\n  FO: " << FormulaToString(*formula, alphabet);
+}
+
+TEST(TranslationTest, AllAxesAgreeExhaustively) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  std::vector<PathPtr> axes;
+  for (int i = 0; i < kNumAxes; ++i) {
+    axes.push_back(MakeAxis(static_cast<Axis>(i)));
+  }
+  EnumerateTrees(4, labels, [&](const Tree& tree) {
+    for (const auto& axis : axes) {
+      ExpectPathTranslationAgrees(tree, *axis, alphabet);
+    }
+  });
+}
+
+TEST(TranslationTest, HandwrittenQueriesAgreeExhaustively) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const char* path_texts[] = {
+      "child[a]/desc",       "(child/right)*",  "child[W(<desc[b]>)]",
+      "foll[a] | prec[b]",   "(child[a])*",     "anc/child[not a]",
+      "self[W(not <child>)]",
+  };
+  const char* node_texts[] = {
+      "<child[a and <right>]>", "W(<desc[b]>)",
+      "not W(<child[a]>)",      "W(<child/right[a]>) or leaf",
+      "<(child | right)*[a]>",  "W(W(<child[b]>))",
+      "W(not <desc[a]>) and <anc[b]>",
+  };
+  std::vector<PathPtr> paths;
+  for (const char* text : path_texts) {
+    paths.push_back(ParsePath(text, &alphabet).ValueOrDie());
+  }
+  std::vector<NodePtr> nodes;
+  for (const char* text : node_texts) {
+    nodes.push_back(ParseNode(text, &alphabet).ValueOrDie());
+  }
+  EnumerateTrees(4, labels, [&](const Tree& tree) {
+    for (const auto& path : paths) {
+      ExpectPathTranslationAgrees(tree, *path, alphabet);
+    }
+    for (const auto& node : nodes) {
+      ExpectNodeTranslationAgrees(tree, *node, alphabet);
+    }
+  });
+}
+
+TEST(TranslationTest, RandomQueriesOnRandomTrees) {
+  Alphabet alphabet;
+  Rng rng(90210);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  QueryGenOptions options;
+  options.max_depth = 3;  // FO model checking is exponential in rank
+  for (int round = 0; round < 40; ++round) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 9);
+    tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(tree_options, labels, &rng);
+    PathPtr path = GeneratePath(options, labels, &rng);
+    ExpectPathTranslationAgrees(tree, *path, alphabet);
+    NodePtr node = GenerateNode(options, labels, &rng);
+    ExpectNodeTranslationAgrees(tree, *node, alphabet);
+  }
+}
+
+TEST(TranslationTest, TranslationSizeIsLinearInQuerySize) {
+  // The compositional translation produces formulas linear in |query| (each
+  // AST node contributes O(1) formula nodes, with a constant for the
+  // following/preceding expansions and W-relativisation).
+  Alphabet alphabet;
+  Rng rng(3);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  QueryGenOptions options;
+  for (int depth = 1; depth <= 6; ++depth) {
+    options.max_depth = depth;
+    for (int i = 0; i < 10; ++i) {
+      PathPtr path = GeneratePath(options, labels, &rng);
+      if (PathWithinDepth(*path) > 0) continue;  // W multiplies, skip here
+      FormulaPtr formula = PathToFO(*path, 0, 1);
+      EXPECT_LE(FormulaSize(*formula), 40 * PathSize(*path))
+          << PathToString(*path, alphabet);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xptc

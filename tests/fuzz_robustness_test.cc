@@ -1,0 +1,123 @@
+// Robustness sweeps: all text-facing entry points must return clean
+// Status errors (never crash, never accept garbage silently) on random
+// byte soup and on systematically mutated valid inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "logic/fo_parser.h"
+#include "tree/generate.h"
+#include "tree/xml.h"
+#include "xpath/generator.h"
+#include "xpath/parser.h"
+
+namespace xptc {
+namespace {
+
+std::string RandomSoup(Rng* rng, int max_length) {
+  static const char kChars[] =
+      "abz()[]{}<>|/&!*+=.,# \tchildparentdescnotandorWtrue"
+      "x0123456789-";
+  const int length = rng->NextInt(0, max_length);
+  std::string out;
+  for (int i = 0; i < length; ++i) {
+    out += kChars[rng->NextBelow(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+TEST(FuzzTest, ParsersSurviveRandomSoup) {
+  Alphabet alphabet;
+  Rng rng(0xF00D);
+  for (int i = 0; i < 3000; ++i) {
+    const std::string soup = RandomSoup(&rng, 40);
+    // Must not crash; ok() or a clean error both acceptable.
+    (void)ParsePath(soup, &alphabet).ok();
+    (void)ParseNode(soup, &alphabet).ok();
+    (void)ParseFormula(soup, &alphabet).ok();
+    (void)Tree::FromTerm(soup, &alphabet).ok();
+    (void)ParseXml(soup, &alphabet).ok();
+  }
+}
+
+TEST(FuzzTest, MutatedValidQueriesNeverCrash) {
+  Alphabet alphabet;
+  Rng rng(0xBEEF);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  QueryGenOptions options;
+  options.max_depth = 4;
+  for (int i = 0; i < 500; ++i) {
+    std::string text =
+        PathToString(*GeneratePath(options, labels, &rng), alphabet);
+    // Mutate: delete, duplicate or swap a random character.
+    if (!text.empty()) {
+      const size_t position = rng.NextBelow(text.size());
+      switch (rng.NextInt(0, 2)) {
+        case 0:
+          text.erase(position, 1);
+          break;
+        case 1:
+          text.insert(position, 1, text[position]);
+          break;
+        default:
+          if (position + 1 < text.size()) {
+            std::swap(text[position], text[position + 1]);
+          }
+      }
+    }
+    Result<PathPtr> parsed = ParsePath(text, &alphabet);
+    if (parsed.ok()) {
+      // If still parseable, it must round-trip.
+      const std::string printed = PathToString(**parsed, alphabet);
+      Result<PathPtr> reparsed = ParsePath(printed, &alphabet);
+      ASSERT_TRUE(reparsed.ok()) << printed;
+      ASSERT_TRUE(PathEquals(**parsed, **reparsed)) << printed;
+    }
+  }
+}
+
+TEST(FuzzTest, MutatedXmlNeverCrashes) {
+  Alphabet alphabet;
+  Rng rng(0xCAFE);
+  const std::string valid =
+      "<talk date='x'><speaker/><title><i/></title></talk>";
+  for (int i = 0; i < 1500; ++i) {
+    std::string text = valid;
+    const int mutations = rng.NextInt(1, 4);
+    for (int m = 0; m < mutations; ++m) {
+      const size_t position = rng.NextBelow(text.size());
+      switch (rng.NextInt(0, 2)) {
+        case 0:
+          text.erase(position, 1);
+          break;
+        case 1:
+          text.insert(position, 1, "</><='\""[rng.NextBelow(7)]);
+          break;
+        default:
+          text[position] = static_cast<char>('a' + rng.NextBelow(26));
+      }
+    }
+    Result<Tree> parsed = ParseXml(text, &alphabet);
+    if (parsed.ok()) {
+      // Accepted documents must serialize and re-parse to themselves.
+      Result<Tree> reparsed = ParseXml(WriteXml(*parsed, alphabet), &alphabet);
+      ASSERT_TRUE(reparsed.ok());
+      ASSERT_EQ(*reparsed, *parsed);
+    }
+  }
+}
+
+TEST(FuzzTest, ErrorMessagesCarryPositions) {
+  Alphabet alphabet;
+  const Status path_error = ParsePath("child//x", &alphabet).status();
+  EXPECT_NE(path_error.message().find("offset"), std::string::npos);
+  const Status xml_error = ParseXml("<a><b></a>", &alphabet).status();
+  EXPECT_NE(xml_error.message().find("offset"), std::string::npos);
+  const Status fo_error = ParseFormula("Ex1. &", &alphabet).status();
+  EXPECT_NE(fo_error.message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xptc

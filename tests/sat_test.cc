@@ -1,0 +1,118 @@
+#include "sat/bounded.h"
+
+#include <gtest/gtest.h>
+
+#include "xpath/eval.h"
+#include "xpath/eval_naive.h"
+#include "xpath/parser.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::N;
+using testing_util::P;
+
+class SatTest : public ::testing::Test {
+ protected:
+  SatTest() : checker_(&alphabet_, BoundedSearchOptions{}) {}
+  Alphabet alphabet_;
+  BoundedChecker checker_;
+};
+
+TEST_F(SatTest, SatisfiableFormulasGetWitnesses) {
+  const char* satisfiable[] = {
+      "a",
+      "not a",
+      "a and <child[b]>",
+      "<desc[a]> and <desc[b]>",
+      "W(<desc[a]>) and not a",
+      "<anc[a]/foll[b]>",
+      "root and leaf",
+      "<child> and not <child[a]> and not <child[b]>",  // needs fresh label
+  };
+  for (const char* text : satisfiable) {
+    NodePtr node = N(text, &alphabet_);
+    auto witness = checker_.FindSatisfying(*node);
+    ASSERT_TRUE(witness.has_value()) << text;
+    EXPECT_TRUE(EvalNodeSet(witness->tree, *node).Get(witness->node))
+        << text << " claimed witness does not satisfy";
+  }
+}
+
+TEST_F(SatTest, UnsatisfiableFormulasYieldNothing) {
+  const char* unsatisfiable[] = {
+      "a and not a",
+      "false",
+      "root and <parent>",
+      "leaf and <child[a]>",
+      "W(<anc[a]>)",
+      "<right> and not <parent>",        // siblings require a parent
+      "<desc[a]> and not <desc[a or true and a]>",
+  };
+  for (const char* text : unsatisfiable) {
+    NodePtr node = N(text, &alphabet_);
+    EXPECT_FALSE(checker_.FindSatisfying(*node).has_value()) << text;
+  }
+}
+
+TEST_F(SatTest, WitnessesAreMinimal) {
+  // The exhaustive phase searches by size, so the first witness is of
+  // minimum node count.
+  NodePtr node = N("<child/child[a]>", &alphabet_);
+  auto witness = checker_.FindSatisfying(*node);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->tree.size(), 3);  // a chain of three nodes
+}
+
+TEST_F(SatTest, NodeInequivalenceFindsCounterexamples) {
+  // ⟨desc[a]⟩ vs ⟨child[a]⟩ differ on a depth-2 witness.
+  auto counterexample = checker_.FindNodeInequivalence(
+      *N("<desc[a]>", &alphabet_), *N("<child[a]>", &alphabet_));
+  ASSERT_TRUE(counterexample.has_value());
+  EXPECT_NE(EvalNodeSet(*counterexample, *N("<desc[a]>", &alphabet_)),
+            EvalNodeSet(*counterexample, *N("<child[a]>", &alphabet_)));
+  // Equivalent pairs yield nothing.
+  EXPECT_FALSE(checker_
+                   .FindNodeInequivalence(*N("not (a or b)", &alphabet_),
+                                          *N("not a and not b", &alphabet_))
+                   .has_value());
+}
+
+TEST_F(SatTest, PathInequivalenceMirrorsTheSlideExamples) {
+  // desc/dos vs dos/desc: equivalent (both = desc).
+  EXPECT_FALSE(checker_
+                   .FindPathInequivalence(
+                       *P("desc/dos", &alphabet_), *P("dos/desc", &alphabet_))
+                   .has_value());
+  // child/desc vs desc: differ.
+  auto counterexample = checker_.FindPathInequivalence(
+      *P("child/desc", &alphabet_), *P("desc", &alphabet_));
+  ASSERT_TRUE(counterexample.has_value());
+  EXPECT_NE(EvalPathNaive(*counterexample, *P("child/desc", &alphabet_)),
+            EvalPathNaive(*counterexample, *P("desc", &alphabet_)));
+}
+
+TEST_F(SatTest, ContainmentCounterexamples) {
+  // <child[a]> ⊆ <desc[a]>: no counterexample.
+  EXPECT_FALSE(checker_
+                   .FindNodeContainmentCounterexample(
+                       *N("<child[a]>", &alphabet_),
+                       *N("<desc[a]>", &alphabet_))
+                   .has_value());
+  // The converse containment fails.
+  EXPECT_TRUE(checker_
+                  .FindNodeContainmentCounterexample(
+                      *N("<desc[a]>", &alphabet_),
+                      *N("<child[a]>", &alphabet_))
+                  .has_value());
+}
+
+TEST_F(SatTest, ExaminedTreeCountsAreReported) {
+  NodePtr node = N("a", &alphabet_);
+  checker_.FindSatisfying(*node);
+  EXPECT_GT(checker_.last_trees_examined(), 0);
+}
+
+}  // namespace
+}  // namespace xptc

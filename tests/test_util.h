@@ -1,0 +1,57 @@
+#ifndef XPTC_TESTS_TEST_UTIL_H_
+#define XPTC_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/rng.h"
+#include "tree/generate.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xptc {
+namespace testing_util {
+
+/// Parses a term tree, aborting on failure (test fixtures only).
+inline Tree T(const std::string& term, Alphabet* alphabet) {
+  return Tree::FromTerm(term, alphabet).ValueOrDie();
+}
+
+/// Parses a path expression, aborting on failure.
+inline PathPtr P(const std::string& text, Alphabet* alphabet) {
+  return ParsePath(text, alphabet).ValueOrDie();
+}
+
+/// Parses a node expression, aborting on failure.
+inline NodePtr N(const std::string& text, Alphabet* alphabet) {
+  return ParseNode(text, alphabet).ValueOrDie();
+}
+
+/// A deterministic mixed-shape corpus of trees for property tests.
+inline std::vector<Tree> CorpusTrees(Alphabet* alphabet, int num_labels,
+                                     int max_nodes, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<Symbol> labels = DefaultLabels(alphabet, num_labels);
+  std::vector<Tree> trees;
+  const TreeShape shapes[] = {
+      TreeShape::kUniformRecursive, TreeShape::kChain,
+      TreeShape::kStar,             TreeShape::kFullBinary,
+      TreeShape::kComb,             TreeShape::kCaterpillar,
+  };
+  for (TreeShape shape : shapes) {
+    for (int n : {1, 2, 3, 5, 8, max_nodes}) {
+      TreeGenOptions options;
+      options.num_nodes = n;
+      options.shape = shape;
+      trees.push_back(GenerateTree(options, labels, &rng));
+    }
+  }
+  return trees;
+}
+
+}  // namespace testing_util
+}  // namespace xptc
+
+#endif  // XPTC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,193 @@
+#include "compile/to_dfta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sat/bounded.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "xpath/eval.h"
+#include "xpath/fragment.h"
+#include "xpath/parser.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::N;
+
+class ToDftaTest : public ::testing::Test {
+ protected:
+  ToDftaTest() : labels_(DefaultLabels(&alphabet_, 2)) {}
+
+  Dfta Convert(const std::string& query_text) {
+    NodePtr query = N(query_text, &alphabet_);
+    return DownwardQueryToDfta(*query, &alphabet_, labels_).ValueOrDie();
+  }
+
+  void ExpectAgreesEverywhere(const std::string& query_text, int max_nodes) {
+    NodePtr query = N(query_text, &alphabet_);
+    Result<Dfta> dfta = DownwardQueryToDfta(*query, &alphabet_, labels_);
+    ASSERT_TRUE(dfta.ok()) << query_text << ": " << dfta.status();
+    EnumerateTrees(max_nodes, labels_, [&](const Tree& tree) {
+      ASSERT_EQ(dfta->Accepts(tree),
+                EvalNodeAt(tree, *query, tree.root()))
+          << query_text << "  on  " << tree.ToTerm(alphabet_);
+    });
+  }
+
+  Alphabet alphabet_;
+  std::vector<Symbol> labels_;
+};
+
+TEST_F(ToDftaTest, SimpleDownwardQueries) {
+  ExpectAgreesEverywhere("a", 5);
+  ExpectAgreesEverywhere("not a", 5);
+  ExpectAgreesEverywhere("<child[a]>", 5);
+  ExpectAgreesEverywhere("<desc[b]>", 5);
+  ExpectAgreesEverywhere("leaf or <child[a and <child>]>", 5);
+}
+
+TEST_F(ToDftaTest, StarsFiltersAndBooleans) {
+  ExpectAgreesEverywhere("<(child[a])*/child[b]>", 5);
+  ExpectAgreesEverywhere("<dos[a]/child[not b]>", 5);
+  ExpectAgreesEverywhere("<desc[a]> and not <desc[b]>", 5);
+  ExpectAgreesEverywhere("<child[<child[a]> or b]>", 5);
+  ExpectAgreesEverywhere("<desc[not <child[a]>]> or a", 5);
+}
+
+TEST_F(ToDftaTest, WithinQueries) {
+  ExpectAgreesEverywhere("W(<desc[a]>)", 5);
+  ExpectAgreesEverywhere("<child[W(<child[a]> and not b)]>", 5);
+  ExpectAgreesEverywhere("<desc[W(not <child>)]>", 5);  // has a leaf below
+}
+
+TEST_F(ToDftaTest, GeneratedDownwardQueries) {
+  Rng rng(314159);
+  QueryGenOptions options;
+  options.max_depth = 3;
+  for (int round = 0; round < 25; ++round) {
+    // Generate in the compile fragment, then keep the downward ones by
+    // construction: downward walk generation plus downward tests.
+    NodePtr query;
+    do {
+      QueryGenOptions downward = options;
+      query = GenerateCompilableNode(downward, labels_, &rng);
+    } while (!IsDownwardNode(*query));
+    Result<Dfta> dfta = DownwardQueryToDfta(*query, &alphabet_, labels_);
+    ASSERT_TRUE(dfta.ok()) << NodeToString(*query, alphabet_) << ": "
+                           << dfta.status();
+    for (int t = 0; t < 6; ++t) {
+      TreeGenOptions tree_options;
+      tree_options.num_nodes = rng.NextInt(1, 14);
+      tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+      const Tree tree = GenerateTree(tree_options, labels_, &rng);
+      ASSERT_EQ(dfta->Accepts(tree), EvalNodeAt(tree, *query, tree.root()))
+          << NodeToString(*query, alphabet_) << "  on  "
+          << tree.ToTerm(alphabet_);
+    }
+  }
+}
+
+TEST_F(ToDftaTest, RejectsNonDownwardQueries) {
+  EXPECT_TRUE(DownwardQueryToDfta(*N("<anc[a]>", &alphabet_), &alphabet_,
+                                  labels_)
+                  .status()
+                  .IsNotSupported());
+  EXPECT_TRUE(DownwardQueryToDfta(*N("<child/right>", &alphabet_),
+                                  &alphabet_, labels_)
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(ToDftaTest, ExactSatisfiability) {
+  // Satisfiable.
+  EXPECT_TRUE(*DownwardRootSatisfiable(*N("<child[a]/child[b]>", &alphabet_),
+                                       &alphabet_, labels_));
+  EXPECT_TRUE(*DownwardRootSatisfiable(*N("not <child>", &alphabet_),
+                                       &alphabet_, labels_));
+  // Unsatisfiable — and this is a *decision*, not a bounded search.
+  EXPECT_FALSE(*DownwardRootSatisfiable(*N("a and not a", &alphabet_),
+                                        &alphabet_, labels_));
+  EXPECT_FALSE(*DownwardRootSatisfiable(
+      *N("<desc[a]> and not <desc[a or (a and a)]>", &alphabet_), &alphabet_,
+      labels_));
+  EXPECT_FALSE(*DownwardRootSatisfiable(
+      *N("not <child> and <desc[b]>", &alphabet_), &alphabet_, labels_));
+  // W(<anc[...]>) is unsatisfiable but not downward — rejected instead.
+  EXPECT_TRUE(DownwardRootSatisfiable(*N("W(<anc[a]>)", &alphabet_),
+                                      &alphabet_, labels_)
+                  .status()
+                  .IsNotSupported());
+}
+
+TEST_F(ToDftaTest, ExactEquivalence) {
+  // desc ≡ child/dos at the root, as node expressions.
+  EXPECT_TRUE(*DownwardRootEquivalent(*N("<desc[a]>", &alphabet_),
+                                      *N("<child/dos[a]>", &alphabet_),
+                                      &alphabet_, labels_));
+  // Simplifier targets: <dos/dos[a]> ≡ <dos[a]>.
+  EXPECT_TRUE(*DownwardRootEquivalent(*N("<dos/dos[a]>", &alphabet_),
+                                      *N("<dos[a]>", &alphabet_), &alphabet_,
+                                      labels_));
+  // Non-equivalences are decided, not merely unrefuted.
+  EXPECT_FALSE(*DownwardRootEquivalent(*N("<desc[a]>", &alphabet_),
+                                       *N("<child[a]>", &alphabet_),
+                                       &alphabet_, labels_));
+  EXPECT_FALSE(*DownwardRootEquivalent(*N("<child[a and b]>", &alphabet_),
+                                       *N("<child[a]> and <child[b]>",
+                                          &alphabet_),
+                                       &alphabet_, labels_));
+}
+
+TEST_F(ToDftaTest, AgreesWithBoundedChecker) {
+  // Cross-validate the exact procedure against bounded-model search on a
+  // corpus of random downward pairs: whenever the bounded checker finds a
+  // counterexample the DFTAs must differ, and whenever the DFTAs agree the
+  // bounded checker must find nothing.
+  Rng rng(271828);
+  QueryGenOptions options;
+  options.max_depth = 2;
+  BoundedSearchOptions bounded;
+  bounded.exhaustive_max_nodes = 5;
+  bounded.extra_labels = 0;  // same closed universe as the automata
+  bounded.random_rounds = 60;
+  BoundedChecker checker(&alphabet_, bounded);
+  int disagreements_decided = 0;
+  for (int round = 0; round < 20; ++round) {
+    NodePtr a;
+    NodePtr b;
+    do {
+      a = GenerateCompilableNode(options, labels_, &rng);
+    } while (!IsDownwardNode(*a));
+    do {
+      b = GenerateCompilableNode(options, labels_, &rng);
+    } while (!IsDownwardNode(*b));
+    // Compare *root satisfaction* languages: wrap in root-only semantics by
+    // comparing the DFTAs directly.
+    const bool exact_equal =
+        *DownwardRootEquivalent(*a, *b, &alphabet_, labels_);
+    // The bounded checker compares full node-sets; restrict to the root by
+    // checking the root bit on every enumerated tree instead.
+    bool bounded_equal = true;
+    EnumerateTrees(5, labels_, [&](const Tree& tree) {
+      if (EvalNodeAt(tree, *a, tree.root()) !=
+          EvalNodeAt(tree, *b, tree.root())) {
+        bounded_equal = false;
+      }
+    });
+    if (exact_equal) {
+      EXPECT_TRUE(bounded_equal)
+          << NodeToString(*a, alphabet_) << " vs " << NodeToString(*b, alphabet_);
+    } else {
+      ++disagreements_decided;
+      // The exact procedure may distinguish with a witness larger than the
+      // bound; only assert the converse direction above.
+    }
+  }
+  // Random pairs are almost never equivalent.
+  EXPECT_GT(disagreements_decided, 10);
+}
+
+}  // namespace
+}  // namespace xptc

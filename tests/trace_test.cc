@@ -1,0 +1,147 @@
+#include "twa/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/generate.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::T;
+
+TEST(TraceTest, DfsTraversalVisitsEveryNodeOnce) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b(d,e),c)", &alphabet);
+  const Twa dfs = MakeAllLabelsTwa(
+      {alphabet.Find("a"), alphabet.Find("b"), alphabet.Find("c"),
+       alphabet.Find("d"), alphabet.Find("e")});
+  Result<RunTrace> trace = TraceRun(dfs, tree, 0, nullptr);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_EQ(trace->outcome, RunOutcome::kAccepted);
+  // The DFS enters every node exactly once in state kGo (state 0).
+  std::vector<NodeId> entered;
+  for (const TraceStep& step : trace->steps) {
+    if (step.state == 0) entered.push_back(step.node);
+  }
+  EXPECT_EQ(entered, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  // The rendering is usable.
+  const std::string rendered = trace->ToString(dfs, tree, alphabet);
+  EXPECT_NE(rendered.find("accepted"), std::string::npos);
+  EXPECT_NE(rendered.find("q0 @ a#0"), std::string::npos);
+}
+
+TEST(TraceTest, StuckAndLoopOutcomes) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b)", &alphabet);
+  // Stuck: requires label 'z' at the root in its only transition.
+  Twa stuck;
+  stuck.num_states = 2;
+  stuck.initial_state = 0;
+  stuck.accepting_states = {1};
+  stuck.transitions.push_back(
+      {0, Guard{{alphabet.Intern("z")}, 0, 0, {}}, Move::kStay, 1});
+  Result<RunTrace> trace = TraceRun(stuck, tree, 0, nullptr);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->outcome, RunOutcome::kRejectedStuck);
+
+  // Loop: bounce between root and child forever.
+  Twa loop;
+  loop.num_states = 2;
+  loop.initial_state = 0;
+  loop.accepting_states = {};
+  Guard not_leaf;
+  not_leaf.forbidden_flags = kFlagLeaf;
+  Guard at_leaf;
+  at_leaf.required_flags = kFlagLeaf;
+  loop.transitions.push_back({0, not_leaf, Move::kDownFirst, 1});
+  loop.transitions.push_back({1, at_leaf, Move::kUp, 0});
+  trace = TraceRun(loop, tree, 0, nullptr);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->outcome, RunOutcome::kRejectedLoop);
+
+  // Stuck by impossible move: Up from the run root.
+  Twa up;
+  up.num_states = 2;
+  up.initial_state = 0;
+  up.accepting_states = {1};
+  up.transitions.push_back({0, Guard{}, Move::kUp, 1});
+  trace = TraceRun(up, tree, 0, nullptr);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->outcome, RunOutcome::kRejectedStuck);
+}
+
+TEST(TraceTest, DetectsNondeterminism) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b,c)", &alphabet);
+  const Twa search = MakeReachLabelTwa(alphabet.Intern("c"));
+  // The search automaton has overlapping DownFirst/Right transitions.
+  Result<RunTrace> trace = TraceRun(search, tree, 0, nullptr);
+  EXPECT_FALSE(trace.ok());
+  EXPECT_TRUE(trace.status().IsInvalidArgument());
+}
+
+TEST(CheckDeterministicTest, ClassifiesLibraryAutomata) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  EXPECT_TRUE(
+      CheckDeterministic(MakeAllLabelsTwa({labels[0], labels[1]}), labels)
+          .ok());
+  EXPECT_TRUE(CheckDeterministic(MakeLeftSpineDepthTwa(3), labels).ok());
+  EXPECT_FALSE(CheckDeterministic(MakeReachLabelTwa(labels[0]), labels).ok());
+}
+
+TEST(CheckDeterministicTest, DistinguishesByTestsAndFlags) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  // Two transitions distinguished only by a nested test's sign:
+  // deterministic.
+  Twa twa;
+  twa.num_states = 3;
+  twa.initial_state = 0;
+  twa.accepting_states = {1};
+  Guard positive;
+  positive.tests = {{0, true}};
+  Guard negative;
+  negative.tests = {{0, false}};
+  twa.transitions.push_back({0, positive, Move::kStay, 1});
+  twa.transitions.push_back({0, negative, Move::kStay, 2});
+  EXPECT_TRUE(CheckDeterministic(twa, labels).ok());
+  // Adding an unguarded transition in the same state breaks determinism.
+  twa.transitions.push_back({0, Guard{}, Move::kStay, 2});
+  EXPECT_FALSE(CheckDeterministic(twa, labels).ok());
+  // Flag-disjoint transitions stay deterministic.
+  Twa flags;
+  flags.num_states = 2;
+  flags.initial_state = 0;
+  flags.accepting_states = {1};
+  Guard leaf;
+  leaf.required_flags = kFlagLeaf;
+  Guard inner;
+  inner.forbidden_flags = kFlagLeaf;
+  flags.transitions.push_back({0, leaf, Move::kStay, 1});
+  flags.transitions.push_back({0, inner, Move::kDownFirst, 0});
+  EXPECT_TRUE(CheckDeterministic(flags, labels).ok());
+}
+
+TEST(TraceTest, TraceAgreesWithRunTwaOnDeterministicAutomata) {
+  Alphabet alphabet;
+  Rng rng(64);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const Twa dfs = MakeAllLabelsTwa({labels[0]});
+  ASSERT_TRUE(CheckDeterministic(dfs, labels).ok());
+  for (int i = 0; i < 30; ++i) {
+    TreeGenOptions options;
+    options.num_nodes = rng.NextInt(1, 20);
+    options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(options, labels, &rng);
+    Result<RunTrace> trace = TraceRun(dfs, tree, 0, nullptr);
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(trace->outcome == RunOutcome::kAccepted,
+              RunTwa(dfs, tree, 0, nullptr))
+        << tree.ToTerm(alphabet);
+  }
+}
+
+}  // namespace
+}  // namespace xptc

@@ -1,0 +1,227 @@
+#include "tree/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/alphabet.h"
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+
+namespace xptc {
+namespace {
+
+TEST(TreeBuilderTest, SingleNode) {
+  Alphabet alphabet;
+  TreeBuilder builder;
+  builder.Begin(alphabet.Intern("a"));
+  builder.End();
+  Result<Tree> tree = std::move(builder).Finish();
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1);
+  EXPECT_TRUE(tree->IsRoot(0));
+  EXPECT_TRUE(tree->IsLeaf(0));
+  EXPECT_EQ(tree->SubtreeEnd(0), 1);
+  EXPECT_EQ(tree->Depth(0), 0);
+}
+
+TEST(TreeBuilderTest, RejectsUnclosedNodes) {
+  Alphabet alphabet;
+  TreeBuilder builder;
+  builder.Begin(alphabet.Intern("a"));
+  Result<Tree> tree = std::move(builder).Finish();
+  EXPECT_FALSE(tree.ok());
+  EXPECT_TRUE(tree.status().IsInvalidArgument());
+}
+
+TEST(TreeBuilderTest, RejectsMultipleRoots) {
+  Alphabet alphabet;
+  TreeBuilder builder;
+  builder.Leaf(alphabet.Intern("a"));
+  builder.Leaf(alphabet.Intern("b"));
+  Result<Tree> tree = std::move(builder).Finish();
+  EXPECT_FALSE(tree.ok());
+}
+
+TEST(TreeTest, StructureOfSmallTree) {
+  Alphabet alphabet;
+  // a(b(d,e), c)
+  Tree tree = Tree::FromTerm("a(b(d,e),c)", &alphabet).ValueOrDie();
+  ASSERT_EQ(tree.size(), 5);
+  const NodeId a = 0, b = 1, d = 2, e = 3, c = 4;
+  EXPECT_EQ(tree.Label(a), alphabet.Find("a"));
+  EXPECT_EQ(tree.Parent(b), a);
+  EXPECT_EQ(tree.Parent(d), b);
+  EXPECT_EQ(tree.Parent(c), a);
+  EXPECT_EQ(tree.FirstChild(a), b);
+  EXPECT_EQ(tree.LastChild(a), c);
+  EXPECT_EQ(tree.NextSibling(b), c);
+  EXPECT_EQ(tree.PrevSibling(c), b);
+  EXPECT_EQ(tree.NextSibling(d), e);
+  EXPECT_EQ(tree.SubtreeEnd(b), 4);
+  EXPECT_EQ(tree.SubtreeSize(b), 3);
+  EXPECT_EQ(tree.Depth(d), 2);
+  EXPECT_TRUE(tree.IsStrictDescendant(e, a));
+  EXPECT_TRUE(tree.IsStrictDescendant(e, b));
+  EXPECT_FALSE(tree.IsStrictDescendant(c, b));
+  EXPECT_TRUE(tree.InSubtree(b, b));
+  EXPECT_EQ(tree.ChildCount(a), 2);
+  EXPECT_EQ(tree.Height(), 2);
+}
+
+TEST(TreeTest, LowestCommonAncestor) {
+  Alphabet alphabet;
+  Tree tree = Tree::FromTerm("a(b(d,e),c(f))", &alphabet).ValueOrDie();
+  const NodeId a = 0, b = 1, d = 2, e = 3, c = 4, f = 5;
+  EXPECT_EQ(tree.LowestCommonAncestor(d, e), b);
+  EXPECT_EQ(tree.LowestCommonAncestor(e, d), b);
+  EXPECT_EQ(tree.LowestCommonAncestor(d, f), a);
+  EXPECT_EQ(tree.LowestCommonAncestor(b, d), b);  // ancestor of the other
+  EXPECT_EQ(tree.LowestCommonAncestor(d, b), b);
+  EXPECT_EQ(tree.LowestCommonAncestor(c, c), c);  // reflexive
+  EXPECT_EQ(tree.LowestCommonAncestor(a, f), a);
+}
+
+TEST(TreeTest, DocumentOrderIsPreorder) {
+  Alphabet alphabet;
+  Tree tree = Tree::FromTerm("a(b(d),c)", &alphabet).ValueOrDie();
+  EXPECT_EQ(tree.CompareDocumentOrder(0, 1), -1);
+  EXPECT_EQ(tree.CompareDocumentOrder(3, 2), 1);
+  EXPECT_EQ(tree.CompareDocumentOrder(2, 2), 0);
+}
+
+TEST(TreeTest, TermRoundTrip) {
+  Alphabet alphabet;
+  const std::string term = "a(b(d,e),c(f),g)";
+  Tree tree = Tree::FromTerm(term, &alphabet).ValueOrDie();
+  EXPECT_EQ(tree.ToTerm(alphabet), term);
+}
+
+TEST(TreeTest, FromTermRejectsGarbage) {
+  Alphabet alphabet;
+  EXPECT_FALSE(Tree::FromTerm("", &alphabet).ok());
+  EXPECT_FALSE(Tree::FromTerm("a(b", &alphabet).ok());
+  EXPECT_FALSE(Tree::FromTerm("a)b(", &alphabet).ok());
+  EXPECT_FALSE(Tree::FromTerm("a(b,)", &alphabet).ok());
+  EXPECT_FALSE(Tree::FromTerm("a b", &alphabet).ok());
+}
+
+TEST(TreeTest, ExtractSubtree) {
+  Alphabet alphabet;
+  Tree tree = Tree::FromTerm("a(b(d,e),c)", &alphabet).ValueOrDie();
+  Tree sub = tree.ExtractSubtree(1);  // subtree of b
+  ASSERT_EQ(sub.size(), 3);
+  EXPECT_EQ(sub.ToTerm(alphabet), "b(d,e)");
+  EXPECT_TRUE(sub.IsRoot(0));
+  EXPECT_EQ(sub.NextSibling(0), kNoNode);
+  EXPECT_EQ(sub.PrevSibling(0), kNoNode);
+  EXPECT_EQ(sub.Depth(0), 0);
+  EXPECT_EQ(sub.Depth(1), 1);
+  EXPECT_EQ(sub.SubtreeEnd(0), 3);
+}
+
+TEST(TreeTest, ExtractSubtreeOfRootIsIdentity) {
+  Alphabet alphabet;
+  Tree tree = Tree::FromTerm("a(b(d,e),c)", &alphabet).ValueOrDie();
+  EXPECT_EQ(tree.ExtractSubtree(0), tree);
+}
+
+TEST(TreeTest, RelabelNode) {
+  Alphabet alphabet;
+  Tree tree = Tree::FromTerm("a(b,c)", &alphabet).ValueOrDie();
+  const Symbol z = alphabet.Intern("z");
+  Tree relabeled = tree.RelabelNode(1, z);
+  EXPECT_EQ(relabeled.Label(1), z);
+  EXPECT_EQ(relabeled.Label(0), tree.Label(0));
+  EXPECT_EQ(relabeled.ToTerm(alphabet), "a(z,c)");
+  // Original untouched.
+  EXPECT_EQ(tree.ToTerm(alphabet), "a(b,c)");
+}
+
+TEST(GenerateTest, ShapesHaveRequestedSizes) {
+  Alphabet alphabet;
+  Rng rng(7);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  for (TreeShape shape :
+       {TreeShape::kUniformRecursive, TreeShape::kChain, TreeShape::kStar,
+        TreeShape::kFullBinary, TreeShape::kFullKAry, TreeShape::kComb,
+        TreeShape::kCaterpillar}) {
+    for (int n : {1, 2, 7, 33}) {
+      TreeGenOptions options;
+      options.num_nodes = n;
+      options.shape = shape;
+      Tree tree = GenerateTree(options, labels, &rng);
+      EXPECT_EQ(tree.size(), n) << TreeShapeToString(shape);
+      // Preorder/subtree invariants hold.
+      EXPECT_EQ(tree.SubtreeEnd(0), n);
+      for (NodeId v = 1; v < n; ++v) {
+        EXPECT_LT(tree.Parent(v), v);
+        EXPECT_LE(tree.SubtreeEnd(v), tree.SubtreeEnd(tree.Parent(v)));
+      }
+    }
+  }
+}
+
+TEST(GenerateTest, ChainAndStarShapes) {
+  Alphabet alphabet;
+  Rng rng(11);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  TreeGenOptions options;
+  options.num_nodes = 10;
+  options.shape = TreeShape::kChain;
+  Tree chain = GenerateTree(options, labels, &rng);
+  EXPECT_EQ(chain.Height(), 9);
+  options.shape = TreeShape::kStar;
+  Tree star = GenerateTree(options, labels, &rng);
+  EXPECT_EQ(star.Height(), 1);
+  EXPECT_EQ(star.ChildCount(0), 9);
+}
+
+TEST(GenerateTest, DeterministicGivenSeed) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  TreeGenOptions options;
+  options.num_nodes = 50;
+  Rng rng1(123), rng2(123);
+  EXPECT_EQ(GenerateTree(options, labels, &rng1),
+            GenerateTree(options, labels, &rng2));
+}
+
+TEST(EnumerateTest, CountsMatchCatalanTimesLabels) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  // #trees with n nodes over k labels = Catalan(n-1) * k^n.
+  const int64_t expected[] = {0, 1 * 2, 1 * 4, 2 * 8, 5 * 16, 14 * 32};
+  for (int n = 1; n <= 5; ++n) {
+    int64_t seen = 0;
+    const int64_t count = EnumerateTreesOfSize(
+        n, labels, [&](const Tree& tree) {
+          EXPECT_EQ(tree.size(), n);
+          ++seen;
+        });
+    EXPECT_EQ(count, expected[n]);
+    EXPECT_EQ(seen, expected[n]);
+  }
+}
+
+TEST(EnumerateTest, TreesAreDistinct) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  std::vector<std::string> terms;
+  EnumerateTrees(4, labels,
+                 [&](const Tree& tree) { terms.push_back(tree.ToTerm(alphabet)); });
+  std::sort(terms.begin(), terms.end());
+  EXPECT_EQ(std::unique(terms.begin(), terms.end()), terms.end());
+}
+
+TEST(EnumerateTest, CatalanHelper) {
+  EXPECT_EQ(CountTreeShapes(1), 1);
+  EXPECT_EQ(CountTreeShapes(2), 1);
+  EXPECT_EQ(CountTreeShapes(3), 2);
+  EXPECT_EQ(CountTreeShapes(4), 5);
+  EXPECT_EQ(CountTreeShapes(5), 14);
+  EXPECT_EQ(CountTreeShapes(6), 42);
+  EXPECT_EQ(CountTreeShapes(7), 132);
+}
+
+}  // namespace
+}  // namespace xptc

@@ -1,0 +1,341 @@
+#include "twa/twa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tree/enumerate.h"
+#include "tree/generate.h"
+#include "twa/brute.h"
+#include "xpath/eval.h"
+#include "xpath/parser.h"
+#include "test_util.h"
+
+namespace xptc {
+namespace {
+
+using testing_util::N;
+using testing_util::T;
+
+TEST(TwaTest, ValidateCatchesBadStates) {
+  Twa twa;
+  twa.num_states = 0;
+  EXPECT_FALSE(twa.Validate().ok());
+  twa.num_states = 2;
+  twa.initial_state = 5;
+  EXPECT_FALSE(twa.Validate().ok());
+  twa.initial_state = 0;
+  twa.accepting_states = {3};
+  EXPECT_FALSE(twa.Validate().ok());
+  twa.accepting_states = {1};
+  twa.transitions.push_back({0, Guard{}, Move::kStay, 7});
+  EXPECT_FALSE(twa.Validate().ok());
+  twa.transitions.clear();
+  Guard bad;
+  bad.required_flags = kFlagLeaf;
+  bad.forbidden_flags = kFlagLeaf;
+  twa.transitions.push_back({0, bad, Move::kStay, 1});
+  EXPECT_FALSE(twa.Validate().ok());
+  twa.transitions.clear();
+  EXPECT_TRUE(twa.Validate().ok());
+}
+
+TEST(TwaTest, ReachLabelAgreesWithXPathOnAllSubtrees) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const Twa reach_a = MakeReachLabelTwa(alphabet.Intern("a"));
+  ASSERT_TRUE(reach_a.Validate().ok());
+  NodePtr has_a = N("<dos[a]>", &alphabet);  // subtree-local
+  EnumerateTrees(5, labels, [&](const Tree& tree) {
+    const Bitset expected = EvalNodeSet(tree, *has_a);
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      EXPECT_EQ(RunTwa(reach_a, tree, v, nullptr), expected.Get(v))
+          << "node " << v << " of " << tree.ToTerm(alphabet);
+    }
+  });
+}
+
+TEST(TwaTest, AllLabelsDfsAgreesWithXPathOnAllSubtrees) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  // Accept iff every node in the subtree is labelled a or b (no c).
+  const Twa all_ab =
+      MakeAllLabelsTwa({alphabet.Intern("a"), alphabet.Intern("b")});
+  ASSERT_TRUE(all_ab.Validate().ok());
+  NodePtr no_c = N("not <dos[c]>", &alphabet);
+  EnumerateTrees(4, labels, [&](const Tree& tree) {
+    const Bitset expected = EvalNodeSet(tree, *no_c);
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      EXPECT_EQ(RunTwa(all_ab, tree, v, nullptr), expected.Get(v))
+          << "node " << v << " of " << tree.ToTerm(alphabet);
+    }
+  });
+}
+
+TEST(TwaTest, LeftSpineDepth) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b(c),d)", &alphabet);
+  // Leftmost path a→b→c has 2 edges.
+  EXPECT_FALSE(RunTwa(MakeLeftSpineDepthTwa(0), tree, 0, nullptr));
+  EXPECT_FALSE(RunTwa(MakeLeftSpineDepthTwa(1), tree, 0, nullptr));
+  EXPECT_TRUE(RunTwa(MakeLeftSpineDepthTwa(2), tree, 0, nullptr));
+  EXPECT_FALSE(RunTwa(MakeLeftSpineDepthTwa(3), tree, 0, nullptr));
+  // From node d (a leaf), depth 0.
+  EXPECT_TRUE(RunTwa(MakeLeftSpineDepthTwa(0), tree, 3, nullptr));
+}
+
+TEST(TwaTest, RunRootBlocksEscape) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b,c)", &alphabet);
+  // An automaton that tries to walk Up then find 'c' must fail from b's
+  // subtree (it cannot escape), but an automaton searching inside works.
+  Twa up_then_c;
+  up_then_c.num_states = 3;
+  up_then_c.initial_state = 0;
+  up_then_c.accepting_states = {2};
+  up_then_c.transitions.push_back({0, Guard{}, Move::kUp, 1});
+  up_then_c.transitions.push_back(
+      {1, Guard{{alphabet.Intern("c")}, 0, 0, {}}, Move::kDownLast, 2});
+  EXPECT_FALSE(RunTwa(up_then_c, tree, 1, nullptr));
+  // From the real root it can't go up either.
+  EXPECT_FALSE(RunTwa(up_then_c, tree, 0, nullptr));
+  // Sibling moves are blocked at the run root as well.
+  Twa right_c;
+  right_c.num_states = 2;
+  right_c.initial_state = 0;
+  right_c.accepting_states = {1};
+  right_c.transitions.push_back(
+      {0, Guard{}, Move::kRight, 0});
+  right_c.transitions.push_back(
+      {0, Guard{{alphabet.Intern("c")}, 0, 0, {}}, Move::kStay, 1});
+  EXPECT_FALSE(RunTwa(right_c, tree, 1, nullptr));  // b can't reach c
+  EXPECT_TRUE(RunTwa(right_c, tree, 2, nullptr));   // launched at c itself
+}
+
+TEST(TwaTest, AcceptAtRootRestrictsAcceptance) {
+  Alphabet alphabet;
+  const Tree tree = T("a(b)", &alphabet);
+  Twa find_b;
+  find_b.num_states = 2;
+  find_b.initial_state = 0;
+  find_b.accepting_states = {1};
+  find_b.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+  find_b.transitions.push_back(
+      {0, Guard{{alphabet.Intern("b")}, 0, 0, {}}, Move::kStay, 1});
+  EXPECT_TRUE(RunTwa(find_b, tree, 0, nullptr));
+  // Same automaton, but acceptance only counts at the run root: the
+  // accepting configuration is at b, so it no longer accepts.
+  find_b.accept_at_root = true;
+  EXPECT_FALSE(RunTwa(find_b, tree, 0, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// Nested TWA.
+
+NestedTwa MakeFindLabelWithSubtreeTest(Symbol outer_label, Symbol inner_label,
+                                       bool expected) {
+  // Inner: subtree contains inner_label. Outer: some node is labelled
+  // outer_label and its subtree test yields `expected`.
+  NestedTwa nested;
+  const int inner = nested.Add(MakeReachLabelTwa(inner_label));
+  Twa outer;
+  outer.num_states = 2;
+  outer.initial_state = 0;
+  outer.accepting_states = {1};
+  outer.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+  outer.transitions.push_back({0, Guard{}, Move::kRight, 0});
+  Guard found;
+  found.labels = {outer_label};
+  found.tests = {{inner, expected}};
+  outer.transitions.push_back({0, found, Move::kStay, 1});
+  nested.Add(std::move(outer));
+  return nested;
+}
+
+TEST(NestedTwaTest, PositiveSubtreeTestAgreesWithXPath) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const NestedTwa nested = MakeFindLabelWithSubtreeTest(
+      alphabet.Intern("b"), alphabet.Intern("a"), /*expected=*/true);
+  ASSERT_TRUE(nested.Validate().ok());
+  EXPECT_EQ(nested.NestingDepth(), 2);
+  NodePtr query = N("<dos[b and <dos[a]>]>", &alphabet);
+  EnumerateTrees(5, labels, [&](const Tree& tree) {
+    EXPECT_EQ(nested.Accepts(tree), EvalNodeAt(tree, *query, tree.root()))
+        << tree.ToTerm(alphabet);
+  });
+}
+
+TEST(NestedTwaTest, NegativeSubtreeTestAgreesWithXPath) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const NestedTwa nested = MakeFindLabelWithSubtreeTest(
+      alphabet.Intern("b"), alphabet.Intern("a"), /*expected=*/false);
+  NodePtr query = N("<dos[b and not <dos[a]>]>", &alphabet);
+  EnumerateTrees(5, labels, [&](const Tree& tree) {
+    EXPECT_EQ(nested.Accepts(tree), EvalNodeAt(tree, *query, tree.root()))
+        << tree.ToTerm(alphabet);
+  });
+}
+
+TEST(NestedTwaTest, ValidateRejectsForwardReferences) {
+  NestedTwa nested;
+  Twa twa;
+  twa.num_states = 1;
+  Guard g;
+  g.tests = {{0, true}};  // tests itself
+  twa.transitions.push_back({0, g, Move::kStay, 0});
+  nested.Add(std::move(twa));
+  EXPECT_FALSE(nested.Validate().ok());
+}
+
+TEST(NestedTwaTest, AcceptingSubtreesMatchesExtractedSubtreeRuns) {
+  // The oracle semantics (context run with blocked escapes) must coincide
+  // with literally extracting each subtree — the T|v semantics.
+  Alphabet alphabet;
+  Rng rng(777);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  const NestedTwa nested = MakeFindLabelWithSubtreeTest(
+      alphabet.Intern("b"), alphabet.Intern("a"), /*expected=*/false);
+  for (int round = 0; round < 20; ++round) {
+    TreeGenOptions options;
+    options.num_nodes = rng.NextInt(1, 16);
+    options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    const Tree tree = GenerateTree(options, labels, &rng);
+    const Bitset accepting = nested.AcceptingSubtrees(tree);
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      EXPECT_EQ(accepting.Get(v), nested.Accepts(tree.ExtractSubtree(v)))
+          << "node " << v << " of " << tree.ToTerm(alphabet);
+    }
+  }
+}
+
+TEST(NestedTwaTest, ThreeLevelNesting) {
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const Symbol a = alphabet.Intern("a");
+  const Symbol b = alphabet.Intern("b");
+  const Symbol c = alphabet.Intern("c");
+  // Level 0: subtree contains a. Level 1: some b whose subtree contains a.
+  // Level 2: some c whose subtree satisfies level 1.
+  NestedTwa nested;
+  const int level0 = nested.Add(MakeReachLabelTwa(a));
+  Twa level1;
+  level1.num_states = 2;
+  level1.initial_state = 0;
+  level1.accepting_states = {1};
+  level1.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+  level1.transitions.push_back({0, Guard{}, Move::kRight, 0});
+  level1.transitions.push_back(
+      {0, Guard{{b}, 0, 0, {{level0, true}}}, Move::kStay, 1});
+  const int level1_id = nested.Add(std::move(level1));
+  Twa level2;
+  level2.num_states = 2;
+  level2.initial_state = 0;
+  level2.accepting_states = {1};
+  level2.transitions.push_back({0, Guard{}, Move::kDownFirst, 0});
+  level2.transitions.push_back({0, Guard{}, Move::kRight, 0});
+  level2.transitions.push_back(
+      {0, Guard{{c}, 0, 0, {{level1_id, true}}}, Move::kStay, 1});
+  nested.Add(std::move(level2));
+  ASSERT_TRUE(nested.Validate().ok());
+  EXPECT_EQ(nested.NestingDepth(), 3);
+  EXPECT_EQ(nested.TotalStates(), 6);
+
+  NodePtr query = N("<dos[c and <dos[b and <dos[a]>]>]>", &alphabet);
+  EnumerateTrees(4, labels, [&](const Tree& tree) {
+    EXPECT_EQ(nested.Accepts(tree), EvalNodeAt(tree, *query, tree.root()))
+        << tree.ToTerm(alphabet);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force DTWA tables.
+
+TEST(DtwaTableTest, HandBuiltAcceptIfRootIsLeaf) {
+  DtwaTable dtwa;
+  dtwa.num_states = 1;
+  dtwa.num_labels = 1;
+  dtwa.table.assign(4, DtwaTable::Action{});
+  // Accept on leaf observations, reject otherwise.
+  dtwa.At(0, DtwaTable::ObsIndex(0, true, true)).kind =
+      DtwaTable::ActionKind::kAccept;
+  dtwa.At(0, DtwaTable::ObsIndex(0, true, false)).kind =
+      DtwaTable::ActionKind::kAccept;
+  Alphabet alphabet;
+  const std::vector<int> label_map(alphabet.size() + 2, 0);
+  EXPECT_TRUE(RunDtwaTable(dtwa, testing_util::T("a", &alphabet), label_map));
+  EXPECT_FALSE(
+      RunDtwaTable(dtwa, testing_util::T("a(b)", &alphabet), label_map));
+}
+
+TEST(DtwaTableTest, StuckMoveAndLoopsReject) {
+  Alphabet alphabet;
+  const Tree tree = testing_util::T("a", &alphabet);
+  const std::vector<int> label_map(2, 0);
+  DtwaTable dtwa;
+  dtwa.num_states = 1;
+  dtwa.num_labels = 1;
+  dtwa.table.assign(4, DtwaTable::Action{});
+  // Root is a leaf: obs (0, leaf, last). Up from the root is stuck.
+  auto& cell = dtwa.At(0, DtwaTable::ObsIndex(0, true, true));
+  cell.kind = DtwaTable::ActionKind::kMove;
+  cell.move = Move::kUp;
+  cell.next_state = 0;
+  EXPECT_FALSE(RunDtwaTable(dtwa, tree, label_map));
+  // Stay forever: a configuration cycle, rejected by the step limit.
+  cell.move = Move::kStay;
+  EXPECT_FALSE(RunDtwaTable(dtwa, tree, label_map));
+}
+
+TEST(DtwaTableTest, EnumerationCountMatchesFormula) {
+  const std::vector<Move> moves = {Move::kUp};
+  // 1 state, 1 label → 4 cells, 3 actions each → 81 tables.
+  EXPECT_EQ(CountDtwaTables(1, 1, 1), 81);
+  int64_t seen = 0;
+  const int64_t count =
+      EnumerateDtwa(1, 1, moves, 1000, [&](const DtwaTable&) { ++seen; });
+  EXPECT_EQ(count, 81);
+  EXPECT_EQ(seen, 81);
+}
+
+TEST(DtwaTableTest, SomeEnumeratedTableSolvesRootIsLeaf) {
+  // Sanity for the separation harness: exhaustive enumeration over a tiny
+  // space must find a table computing a simple property exactly.
+  Alphabet alphabet;
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 1);
+  std::vector<Tree> bed;
+  EnumerateTrees(4, labels, [&](const Tree& tree) { bed.push_back(tree); });
+  std::vector<int> label_map(static_cast<size_t>(alphabet.size()), 0);
+  const std::vector<Move> moves = {Move::kDownFirst};
+  bool found = false;
+  EnumerateDtwa(1, 1, moves, 1000, [&](const DtwaTable& dtwa) {
+    for (const Tree& tree : bed) {
+      if (RunDtwaTable(dtwa, tree, label_map) != (tree.size() == 1)) return;
+    }
+    found = true;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(DtwaTableTest, RandomTablesRunWithoutIncident) {
+  Alphabet alphabet;
+  Rng rng(5150);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  std::vector<int> label_map(static_cast<size_t>(alphabet.size()));
+  for (int i = 0; i < alphabet.size(); ++i) label_map[i] = i % 2;
+  const std::vector<Move> moves = {Move::kUp,   Move::kDownFirst,
+                                   Move::kRight, Move::kLeft,
+                                   Move::kDownLast};
+  for (int i = 0; i < 200; ++i) {
+    DtwaTable dtwa = RandomDtwa(rng.NextInt(1, 4), 2, moves, &rng);
+    TreeGenOptions options;
+    options.num_nodes = rng.NextInt(1, 20);
+    const Tree tree = GenerateTree(options, labels, &rng);
+    RunDtwaTable(dtwa, tree, label_map);  // must terminate
+    MutateDtwa(&dtwa, moves, &rng);
+    RunDtwaTable(dtwa, tree, label_map);
+  }
+}
+
+}  // namespace
+}  // namespace xptc

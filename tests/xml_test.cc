@@ -1,0 +1,79 @@
+#include "tree/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "common/alphabet.h"
+
+namespace xptc {
+namespace {
+
+TEST(XmlTest, ParsesNestedElements) {
+  Alphabet alphabet;
+  Result<Tree> tree = ParseXml(
+      "<talk><speaker/><title><i/></title><location><i/><b/></location>"
+      "</talk>",
+      &alphabet);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->size(), 7);
+  EXPECT_EQ(tree->ToTerm(alphabet), "talk(speaker,title(i),location(i,b))");
+}
+
+TEST(XmlTest, SkipsDeclarationCommentsAttributesAndText) {
+  Alphabet alphabet;
+  Result<Tree> tree = ParseXml(
+      "<?xml version='1.0' encoding='UTF-8'?>\n"
+      "<!-- no XML talk can do without an example -->\n"
+      "<talk date=\"15-Dec-2010\">\n"
+      "  <speaker uni='Leicester'>T. Litak</speaker>\n"
+      "  <title>XPath from a logical point of view</title>\n"
+      "</talk>",
+      &alphabet);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->ToTerm(alphabet), "talk(speaker,title)");
+}
+
+TEST(XmlTest, SelfClosingTags) {
+  Alphabet alphabet;
+  Result<Tree> tree = ParseXml("<a><b/><c/></a>", &alphabet);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->ToTerm(alphabet), "a(b,c)");
+}
+
+TEST(XmlTest, RejectsMismatchedTags) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseXml("<a><b></a></b>", &alphabet).ok());
+}
+
+TEST(XmlTest, RejectsUnclosedRoot) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseXml("<a><b/>", &alphabet).ok());
+}
+
+TEST(XmlTest, RejectsMultipleRoots) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseXml("<a/><b/>", &alphabet).ok());
+}
+
+TEST(XmlTest, RejectsEmptyDocument) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseXml("", &alphabet).ok());
+  EXPECT_FALSE(ParseXml("<!-- only a comment -->", &alphabet).ok());
+}
+
+TEST(XmlTest, RejectsMalformedAttribute) {
+  Alphabet alphabet;
+  EXPECT_FALSE(ParseXml("<a attr></a>", &alphabet).ok());
+  EXPECT_FALSE(ParseXml("<a attr=unquoted></a>", &alphabet).ok());
+}
+
+TEST(XmlTest, WriteXmlRoundTrips) {
+  Alphabet alphabet;
+  Tree tree = Tree::FromTerm("a(b(d,e),c)", &alphabet).ValueOrDie();
+  const std::string xml = WriteXml(tree, alphabet);
+  Result<Tree> reparsed = ParseXml(xml, &alphabet);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, tree);
+}
+
+}  // namespace
+}  // namespace xptc
