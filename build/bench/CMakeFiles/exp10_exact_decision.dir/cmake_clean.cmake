@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp10_exact_decision.dir/bench_util.cc.o"
+  "CMakeFiles/exp10_exact_decision.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp10_exact_decision.dir/exp10_exact_decision.cc.o"
+  "CMakeFiles/exp10_exact_decision.dir/exp10_exact_decision.cc.o.d"
+  "exp10_exact_decision"
+  "exp10_exact_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp10_exact_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

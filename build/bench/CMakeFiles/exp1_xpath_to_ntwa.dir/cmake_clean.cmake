@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_xpath_to_ntwa.dir/bench_util.cc.o"
+  "CMakeFiles/exp1_xpath_to_ntwa.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp1_xpath_to_ntwa.dir/exp1_xpath_to_ntwa.cc.o"
+  "CMakeFiles/exp1_xpath_to_ntwa.dir/exp1_xpath_to_ntwa.cc.o.d"
+  "exp1_xpath_to_ntwa"
+  "exp1_xpath_to_ntwa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_xpath_to_ntwa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

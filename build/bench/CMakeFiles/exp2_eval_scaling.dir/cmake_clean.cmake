@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_eval_scaling.dir/bench_util.cc.o"
+  "CMakeFiles/exp2_eval_scaling.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp2_eval_scaling.dir/exp2_eval_scaling.cc.o"
+  "CMakeFiles/exp2_eval_scaling.dir/exp2_eval_scaling.cc.o.d"
+  "exp2_eval_scaling"
+  "exp2_eval_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_eval_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_query_scaling.dir/bench_util.cc.o"
+  "CMakeFiles/exp3_query_scaling.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp3_query_scaling.dir/exp3_query_scaling.cc.o"
+  "CMakeFiles/exp3_query_scaling.dir/exp3_query_scaling.cc.o.d"
+  "exp3_query_scaling"
+  "exp3_query_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_query_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

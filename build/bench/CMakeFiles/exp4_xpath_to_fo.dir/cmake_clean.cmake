@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_xpath_to_fo.dir/bench_util.cc.o"
+  "CMakeFiles/exp4_xpath_to_fo.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp4_xpath_to_fo.dir/exp4_xpath_to_fo.cc.o"
+  "CMakeFiles/exp4_xpath_to_fo.dir/exp4_xpath_to_fo.cc.o.d"
+  "exp4_xpath_to_fo"
+  "exp4_xpath_to_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_xpath_to_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

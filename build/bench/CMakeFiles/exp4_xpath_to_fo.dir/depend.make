@@ -1,0 +1,2 @@
+# Empty dependencies file for exp4_xpath_to_fo.
+# This may be replaced when dependencies are built.

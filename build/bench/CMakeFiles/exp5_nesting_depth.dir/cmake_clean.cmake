@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_nesting_depth.dir/bench_util.cc.o"
+  "CMakeFiles/exp5_nesting_depth.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp5_nesting_depth.dir/exp5_nesting_depth.cc.o"
+  "CMakeFiles/exp5_nesting_depth.dir/exp5_nesting_depth.cc.o.d"
+  "exp5_nesting_depth"
+  "exp5_nesting_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_nesting_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

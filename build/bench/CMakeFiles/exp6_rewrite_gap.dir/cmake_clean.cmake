@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_rewrite_gap.dir/bench_util.cc.o"
+  "CMakeFiles/exp6_rewrite_gap.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp6_rewrite_gap.dir/exp6_rewrite_gap.cc.o"
+  "CMakeFiles/exp6_rewrite_gap.dir/exp6_rewrite_gap.cc.o.d"
+  "exp6_rewrite_gap"
+  "exp6_rewrite_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_rewrite_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp7_separation.dir/bench_util.cc.o"
+  "CMakeFiles/exp7_separation.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp7_separation.dir/exp7_separation.cc.o"
+  "CMakeFiles/exp7_separation.dir/exp7_separation.cc.o.d"
+  "exp7_separation"
+  "exp7_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp7_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

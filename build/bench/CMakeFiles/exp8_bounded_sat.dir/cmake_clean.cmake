@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp8_bounded_sat.dir/bench_util.cc.o"
+  "CMakeFiles/exp8_bounded_sat.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp8_bounded_sat.dir/exp8_bounded_sat.cc.o"
+  "CMakeFiles/exp8_bounded_sat.dir/exp8_bounded_sat.cc.o.d"
+  "exp8_bounded_sat"
+  "exp8_bounded_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp8_bounded_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp9_automata_eval.dir/bench_util.cc.o"
+  "CMakeFiles/exp9_automata_eval.dir/bench_util.cc.o.d"
+  "CMakeFiles/exp9_automata_eval.dir/exp9_automata_eval.cc.o"
+  "CMakeFiles/exp9_automata_eval.dir/exp9_automata_eval.cc.o.d"
+  "exp9_automata_eval"
+  "exp9_automata_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp9_automata_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_pipeline.dir/automata_pipeline.cc.o"
+  "CMakeFiles/automata_pipeline.dir/automata_pipeline.cc.o.d"
+  "automata_pipeline"
+  "automata_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

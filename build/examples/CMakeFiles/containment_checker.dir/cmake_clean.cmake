@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_checker.dir/containment_checker.cc.o"
+  "CMakeFiles/containment_checker.dir/containment_checker.cc.o.d"
+  "containment_checker"
+  "containment_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_bridge.dir/logic_bridge.cc.o"
+  "CMakeFiles/logic_bridge.dir/logic_bridge.cc.o.d"
+  "logic_bridge"
+  "logic_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_counting.dir/model_counting.cc.o"
+  "CMakeFiles/model_counting.dir/model_counting.cc.o.d"
+  "model_counting"
+  "model_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

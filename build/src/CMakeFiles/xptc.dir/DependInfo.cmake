@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bta/bta.cc" "src/CMakeFiles/xptc.dir/bta/bta.cc.o" "gcc" "src/CMakeFiles/xptc.dir/bta/bta.cc.o.d"
+  "/root/repo/src/bta/languages.cc" "src/CMakeFiles/xptc.dir/bta/languages.cc.o" "gcc" "src/CMakeFiles/xptc.dir/bta/languages.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xptc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xptc.dir/common/status.cc.o.d"
+  "/root/repo/src/compile/compile.cc" "src/CMakeFiles/xptc.dir/compile/compile.cc.o" "gcc" "src/CMakeFiles/xptc.dir/compile/compile.cc.o.d"
+  "/root/repo/src/compile/to_dfta.cc" "src/CMakeFiles/xptc.dir/compile/to_dfta.cc.o" "gcc" "src/CMakeFiles/xptc.dir/compile/to_dfta.cc.o.d"
+  "/root/repo/src/logic/fo.cc" "src/CMakeFiles/xptc.dir/logic/fo.cc.o" "gcc" "src/CMakeFiles/xptc.dir/logic/fo.cc.o.d"
+  "/root/repo/src/logic/fo_eval.cc" "src/CMakeFiles/xptc.dir/logic/fo_eval.cc.o" "gcc" "src/CMakeFiles/xptc.dir/logic/fo_eval.cc.o.d"
+  "/root/repo/src/logic/fo_parser.cc" "src/CMakeFiles/xptc.dir/logic/fo_parser.cc.o" "gcc" "src/CMakeFiles/xptc.dir/logic/fo_parser.cc.o.d"
+  "/root/repo/src/logic/xpath_to_fo.cc" "src/CMakeFiles/xptc.dir/logic/xpath_to_fo.cc.o" "gcc" "src/CMakeFiles/xptc.dir/logic/xpath_to_fo.cc.o.d"
+  "/root/repo/src/sat/axioms.cc" "src/CMakeFiles/xptc.dir/sat/axioms.cc.o" "gcc" "src/CMakeFiles/xptc.dir/sat/axioms.cc.o.d"
+  "/root/repo/src/sat/bounded.cc" "src/CMakeFiles/xptc.dir/sat/bounded.cc.o" "gcc" "src/CMakeFiles/xptc.dir/sat/bounded.cc.o.d"
+  "/root/repo/src/tree/enumerate.cc" "src/CMakeFiles/xptc.dir/tree/enumerate.cc.o" "gcc" "src/CMakeFiles/xptc.dir/tree/enumerate.cc.o.d"
+  "/root/repo/src/tree/generate.cc" "src/CMakeFiles/xptc.dir/tree/generate.cc.o" "gcc" "src/CMakeFiles/xptc.dir/tree/generate.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/xptc.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/xptc.dir/tree/tree.cc.o.d"
+  "/root/repo/src/tree/xml.cc" "src/CMakeFiles/xptc.dir/tree/xml.cc.o" "gcc" "src/CMakeFiles/xptc.dir/tree/xml.cc.o.d"
+  "/root/repo/src/twa/brute.cc" "src/CMakeFiles/xptc.dir/twa/brute.cc.o" "gcc" "src/CMakeFiles/xptc.dir/twa/brute.cc.o.d"
+  "/root/repo/src/twa/trace.cc" "src/CMakeFiles/xptc.dir/twa/trace.cc.o" "gcc" "src/CMakeFiles/xptc.dir/twa/trace.cc.o.d"
+  "/root/repo/src/twa/twa.cc" "src/CMakeFiles/xptc.dir/twa/twa.cc.o" "gcc" "src/CMakeFiles/xptc.dir/twa/twa.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/xptc.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/engine.cc" "src/CMakeFiles/xptc.dir/xpath/engine.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/engine.cc.o.d"
+  "/root/repo/src/xpath/eval.cc" "src/CMakeFiles/xptc.dir/xpath/eval.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/eval.cc.o.d"
+  "/root/repo/src/xpath/eval_naive.cc" "src/CMakeFiles/xptc.dir/xpath/eval_naive.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/eval_naive.cc.o.d"
+  "/root/repo/src/xpath/fragment.cc" "src/CMakeFiles/xptc.dir/xpath/fragment.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/fragment.cc.o.d"
+  "/root/repo/src/xpath/generator.cc" "src/CMakeFiles/xptc.dir/xpath/generator.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/generator.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/xptc.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/rewrite.cc" "src/CMakeFiles/xptc.dir/xpath/rewrite.cc.o" "gcc" "src/CMakeFiles/xptc.dir/xpath/rewrite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bta_test.dir/bta_test.cc.o"
+  "CMakeFiles/bta_test.dir/bta_test.cc.o.d"
+  "bta_test"
+  "bta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

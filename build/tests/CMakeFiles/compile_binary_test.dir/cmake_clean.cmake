@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_binary_test.dir/compile_binary_test.cc.o"
+  "CMakeFiles/compile_binary_test.dir/compile_binary_test.cc.o.d"
+  "compile_binary_test"
+  "compile_binary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_binary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_parser_test.dir/fo_parser_test.cc.o"
+  "CMakeFiles/fo_parser_test.dir/fo_parser_test.cc.o.d"
+  "fo_parser_test"
+  "fo_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

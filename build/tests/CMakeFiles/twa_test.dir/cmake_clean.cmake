@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twa_test.dir/twa_test.cc.o"
+  "CMakeFiles/twa_test.dir/twa_test.cc.o.d"
+  "twa_test"
+  "twa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

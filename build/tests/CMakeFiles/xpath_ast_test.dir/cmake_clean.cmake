@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_ast_test.dir/xpath_ast_test.cc.o"
+  "CMakeFiles/xpath_ast_test.dir/xpath_ast_test.cc.o.d"
+  "xpath_ast_test"
+  "xpath_ast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
