@@ -1,7 +1,12 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
 
 namespace xptc {
 namespace bench {
@@ -49,6 +54,146 @@ std::string Fmt(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+double MedianSecondsN(const std::function<void()>& fn, int inner, int reps) {
+  if (inner < 1) inner = 1;
+  return MedianSeconds([&] { for (int i = 0; i < inner; ++i) fn(); }, reps) /
+         inner;
+}
+
+bool SmokeMode() {
+  const char* value = std::getenv("XPTC_BENCH_SMOKE");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+std::string BenchJsonPath() {
+  const char* value = std::getenv("XPTC_BENCH_JSON");
+  return (value != nullptr && value[0] != '\0') ? value : "BENCH_eval.json";
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Splits the body of a top-level JSON object into (key, raw-value) pairs.
+// Only has to understand JSON that this module itself wrote, but tracks
+// strings and brace/bracket depth so nested objects pass through intact.
+std::vector<std::pair<std::string, std::string>> ParseTopLevel(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return sections;
+  ++i;
+  for (;;) {
+    skip_ws();
+    if (i >= text.size() || text[i] == '}') break;
+    if (text[i] == ',') { ++i; continue; }
+    if (text[i] != '"') break;  // malformed: stop, keep what we have
+    ++i;
+    std::string key;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      key.push_back(text[i++]);
+    }
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') break;
+    ++i;
+    skip_ws();
+    const size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // end of enclosing object
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    std::string value = text.substr(start, i - start);
+    while (!value.empty() &&
+           std::isspace(static_cast<unsigned char>(value.back()))) {
+      value.pop_back();
+    }
+    sections.emplace_back(std::move(key), std::move(value));
+  }
+  return sections;
+}
+
+}  // namespace
+
+std::string SpeedupCasesJson(const std::vector<SpeedupCase>& cases) {
+  std::ostringstream out;
+  out << "{\"smoke\": " << (SmokeMode() ? "true" : "false") << ", \"cases\": [";
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const SpeedupCase& c = cases[i];
+    const double speedup =
+        c.opt_seconds > 0 ? c.seed_seconds / c.opt_seconds : 0;
+    if (i > 0) out << ", ";
+    out << "{\"name\": \"" << JsonEscape(c.name) << "\", \"query\": \""
+        << JsonEscape(c.query) << "\", \"n\": " << c.n
+        << ", \"seed_seconds\": " << Fmt(c.seed_seconds, 6)
+        << ", \"opt_seconds\": " << Fmt(c.opt_seconds, 6)
+        << ", \"speedup\": " << Fmt(speedup, 2)
+        << ", \"match\": " << (c.match ? "true" : "false") << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool UpdateBenchJson(const std::string& path, const std::string& key,
+                     const std::string& section_json) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      existing = buffer.str();
+    }
+  }
+  auto sections = ParseTopLevel(existing);
+  bool replaced = false;
+  for (auto& [k, v] : sections) {
+    if (k == key) {
+      v = section_json;
+      replaced = true;
+    }
+  }
+  if (!replaced) sections.emplace_back(key, section_json);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << JsonEscape(sections[i].first)
+        << "\": " << sections[i].second;
+    if (i + 1 < sections.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
+  return out.good();
 }
 
 }  // namespace bench

@@ -28,6 +28,38 @@ void PrintRow(const std::vector<std::string>& cells, int width = 14);
 /// Wall-clock seconds for one invocation of `fn` (median of `reps` runs).
 double MedianSeconds(const std::function<void()>& fn, int reps = 3);
 
+/// Like `MedianSeconds`, but each sample times `inner` back-to-back calls
+/// and reports per-call seconds — for sub-millisecond workloads.
+double MedianSecondsN(const std::function<void()>& fn, int inner,
+                      int reps = 3);
+
+/// True iff XPTC_BENCH_SMOKE is set in the environment: runners shrink
+/// problem sizes so CI can exercise the full pipeline in seconds.
+bool SmokeMode();
+
+/// One seed-engine-vs-optimized-engine measurement, serialized into
+/// BENCH_eval.json so successive PRs accumulate a perf trajectory.
+struct SpeedupCase {
+  std::string name;   // stable case id, e.g. "w_heavy_uniform"
+  std::string query;  // concrete syntax of the measured query
+  int n = 0;          // tree size in nodes
+  double seed_seconds = 0;
+  double opt_seconds = 0;
+  bool match = false;  // optimized result bit-identical to seed result
+};
+
+/// Renders cases as a JSON object: {"cases": [...], "smoke": bool}.
+std::string SpeedupCasesJson(const std::vector<SpeedupCase>& cases);
+
+/// Read-merge-writes `section_json` under top-level key `key` in the JSON
+/// object file at `path` (other sections are preserved), so exp2 and exp3
+/// can share one BENCH_eval.json. Returns false on I/O failure.
+bool UpdateBenchJson(const std::string& path, const std::string& key,
+                     const std::string& section_json);
+
+/// Path of the shared benchmark JSON (XPTC_BENCH_JSON or BENCH_eval.json).
+std::string BenchJsonPath();
+
 /// Deterministic tree for benchmarks.
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
                uint64_t seed, int num_labels = 3);

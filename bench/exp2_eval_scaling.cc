@@ -9,10 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 #include "bench_util.h"
 #include "xpath/eval.h"
 #include "xpath/eval_naive.h"
+#include "xpath/eval_seed.h"
 #include "xpath/parser.h"
 
 namespace xptc {
@@ -35,7 +38,9 @@ void ScalingReport() {
   for (const char* text : kQueries) {
     queries.push_back(ParseNode(text, &alphabet).ValueOrDie());
   }
-  for (int n : {64, 256, 1024, 4096, 16384}) {
+  std::vector<int> sizes = {64, 256, 1024, 4096, 16384};
+  if (bench::SmokeMode()) sizes = {64, 256};
+  for (int n : sizes) {
     const Tree tree = bench::BenchTree(&alphabet, n,
                                        TreeShape::kUniformRecursive, 5);
     const double set_seconds = bench::MedianSeconds([&] {
@@ -56,6 +61,52 @@ void ScalingReport() {
   std::printf("Expected shape: flat set-evaluator column (linear combined "
               "complexity); the naive per-node cost and the naive/set ratio "
               "grow with n (superlinear total), until naive is unusable.\n");
+}
+
+// Seed-engine-vs-optimized-engine speedups on W-heavy workloads. The seed
+// engine (`SeedEvaluator`, the pre-kernel evaluator retained verbatim) and
+// the optimized engine run in the same process on the same tree; results
+// are checked bit-for-bit and appended to BENCH_eval.json.
+void SpeedupReport() {
+  const bool smoke = bench::SmokeMode();
+  const int n = smoke ? 2000 : 50000;
+  std::printf("\nSeed engine vs optimized engine, W-heavy queries "
+              "(uniform random tree, n = %d):\n", n);
+  bench::PrintRow({"case", "seed ms", "opt ms", "speedup", "match"});
+  Alphabet alphabet;
+  const Tree tree =
+      bench::BenchTree(&alphabet, n, TreeShape::kUniformRecursive, 7);
+  const std::pair<const char*, const char*> w_cases[] = {
+      {"w_desc", "W(<desc[b]>)"},
+      {"w_nested", "W(<desc[b and W(<child[a]>)]>)"},
+  };
+  std::vector<bench::SpeedupCase> cases;
+  for (const auto& [name, text] : w_cases) {
+    NodePtr query = ParseNode(text, &alphabet).ValueOrDie();
+    bench::SpeedupCase result;
+    result.name = name;
+    result.query = text;
+    result.n = n;
+    Bitset opt_bits(0), seed_bits(0);
+    result.opt_seconds =
+        bench::MedianSeconds([&] { opt_bits = EvalNodeSet(tree, *query); });
+    // The seed engine is orders of magnitude slower here; one rep suffices.
+    result.seed_seconds = bench::MedianSeconds(
+        [&] { seed_bits = SeedEvalNodeSet(tree, *query); }, 1);
+    result.match = opt_bits == seed_bits;
+    cases.push_back(result);
+    bench::PrintRow({result.name, bench::Fmt(result.seed_seconds * 1e3, 2),
+                     bench::Fmt(result.opt_seconds * 1e3, 3),
+                     bench::Fmt(result.seed_seconds / result.opt_seconds, 1),
+                     result.match ? "yes" : "MISMATCH"});
+    if (!result.match) {
+      std::fprintf(stderr, "FATAL: engines disagree on %s\n", text);
+      std::exit(1);
+    }
+  }
+  bench::UpdateBenchJson(bench::BenchJsonPath(), "exp2_eval_scaling",
+                         bench::SpeedupCasesJson(cases));
+  std::printf("(recorded in %s)\n", bench::BenchJsonPath().c_str());
 }
 
 void BM_SetEval(benchmark::State& state) {
@@ -109,6 +160,7 @@ int main(int argc, char** argv) {
       "fixed query set, trees n = 64..16384, per-node cost for the "
       "set-based evaluator vs. the naive reference evaluator");
   xptc::ScalingReport();
+  xptc::SpeedupReport();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

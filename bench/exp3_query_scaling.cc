@@ -5,9 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "xpath/eval.h"
+#include "xpath/eval_seed.h"
 
 namespace xptc {
 namespace {
@@ -30,7 +32,9 @@ void QuerySizeReport() {
   const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
   const Tree tree =
       bench::BenchTree(&alphabet, 4096, TreeShape::kUniformRecursive, 11);
-  for (int steps : {4, 8, 16, 32, 64, 128, 256}) {
+  std::vector<int> step_counts = {4, 8, 16, 32, 64, 128, 256};
+  if (bench::SmokeMode()) step_counts = {4, 8, 16};
+  for (int steps : step_counts) {
     NodePtr query = ChainQuery(steps, labels);
     const double seconds =
         bench::MedianSeconds([&] { EvalNodeSet(tree, *query); }, 5);
@@ -39,6 +43,60 @@ void QuerySizeReport() {
                      bench::Fmt(seconds * 1e6 / steps, 2)});
   }
   std::printf("Expected shape: us/step roughly constant (linear in |Q|).\n");
+}
+
+// Deep-star speedups: `(child)*` from the root of a depth-d chain forces
+// the star fixpoint through d rounds. The seed engine re-derives the image
+// of the whole reached set every round (O(d·n) bit-work); the semi-naive
+// engine expands only the frontier (near-linear total). Both run in this
+// process and must agree bit-for-bit.
+void DeepStarReport() {
+  const bool smoke = bench::SmokeMode();
+  std::printf("\nSeed engine vs optimized engine, (child)* on depth-d "
+              "chain trees:\n");
+  bench::PrintRow({"depth", "seed ms", "opt ms", "speedup", "match"});
+  Alphabet alphabet;
+  PathPtr star = MakeStar(MakeAxis(Axis::kChild));
+  std::vector<int> depths = smoke ? std::vector<int>{100, 200}
+                                  : std::vector<int>{1000, 4000};
+  std::vector<bench::SpeedupCase> cases;
+  for (int depth : depths) {
+    const Tree tree =
+        bench::BenchTree(&alphabet, depth, TreeShape::kChain, 13);
+    Bitset from_root(tree.size());
+    from_root.Set(tree.root());
+    Bitset opt_bits(0), seed_bits(0);
+    bench::SpeedupCase result;
+    result.name = "child_star_depth_" + std::to_string(depth);
+    result.query = "(child)* forward image from root";
+    result.n = depth;
+    result.opt_seconds = bench::MedianSecondsN(
+        [&] {
+          Evaluator evaluator(tree);
+          opt_bits = evaluator.EvalFwd(*star, from_root);
+        },
+        smoke ? 3 : 20, 5);
+    result.seed_seconds = bench::MedianSeconds(
+        [&] {
+          SeedEvaluator evaluator(tree);
+          seed_bits = evaluator.EvalFwd(*star, from_root);
+        },
+        3);
+    result.match = opt_bits == seed_bits;
+    cases.push_back(result);
+    bench::PrintRow({std::to_string(depth),
+                     bench::Fmt(result.seed_seconds * 1e3, 3),
+                     bench::Fmt(result.opt_seconds * 1e3, 4),
+                     bench::Fmt(result.seed_seconds / result.opt_seconds, 1),
+                     result.match ? "yes" : "MISMATCH"});
+    if (!result.match) {
+      std::fprintf(stderr, "FATAL: engines disagree at depth %d\n", depth);
+      std::exit(1);
+    }
+  }
+  bench::UpdateBenchJson(bench::BenchJsonPath(), "exp3_query_scaling",
+                         bench::SpeedupCasesJson(cases));
+  std::printf("(recorded in %s)\n", bench::BenchJsonPath().c_str());
 }
 
 void BM_ChainQuery(benchmark::State& state) {
@@ -63,6 +121,7 @@ int main(int argc, char** argv) {
       "Core XPath evaluation is linear in |Q| on a fixed tree [T2]",
       "step-chain queries of 4..256 filtered steps on a 4096-node tree");
   xptc::QuerySizeReport();
+  xptc::DeepStarReport();
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -87,6 +87,151 @@ class Bitset {
     }
   }
 
+  /// Index of the first set bit in [lo, hi), or -1.
+  int FindFirstInRange(int lo, int hi) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return -1;
+    const int i = lo == 0 ? FindFirst() : FindNext(lo - 1);
+    return (i >= 0 && i < hi) ? i : -1;
+  }
+
+  /// Index of the highest set bit, or -1 if empty.
+  int FindLast() const { return FindLastInRange(0, size_); }
+
+  /// Index of the highest set bit in [lo, hi), or -1.
+  int FindLastInRange(int lo, int hi) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return -1;
+    size_t wi = static_cast<size_t>(hi - 1) >> 6;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    uint64_t w = words_[wi] & TailMask(hi);
+    for (;;) {
+      if (wi == wlo) w &= HeadMask(lo);
+      if (w != 0) {
+        return static_cast<int>(wi * 64) + 63 - __builtin_clzll(w);
+      }
+      if (wi == wlo) return -1;
+      w = words_[--wi];
+    }
+  }
+
+  /// Invokes `fn(int index)` for every set bit, in increasing order, one
+  /// word at a time (ctz iteration — no per-clear-bit work).
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      for (uint64_t w = words_[wi]; w != 0; w &= w - 1) {
+        fn(static_cast<int>(wi * 64) + __builtin_ctzll(w));
+      }
+    }
+  }
+
+  /// `ForEachSetBit` restricted to indices in [lo, hi).
+  template <typename Fn>
+  void ForEachSetBitInRange(int lo, int hi, Fn&& fn) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == wlo) w &= HeadMask(lo);
+      if (wi == whi) w &= TailMask(hi);
+      for (; w != 0; w &= w - 1) {
+        fn(static_cast<int>(wi * 64) + __builtin_ctzll(w));
+      }
+    }
+  }
+
+  /// Sets every bit in [lo, hi); whole middle words are written at once.
+  void SetRange(int lo, int hi) {
+    ForEachRangeWord(lo, hi,
+                     [this](size_t wi, uint64_t mask) { words_[wi] |= mask; });
+  }
+
+  /// Clears every bit in [lo, hi).
+  void ResetRange(int lo, int hi) {
+    ForEachRangeWord(lo, hi,
+                     [this](size_t wi, uint64_t mask) { words_[wi] &= ~mask; });
+  }
+
+  /// Popcount over [lo, hi).
+  int CountRange(int lo, int hi) const {
+    int count = 0;
+    ForEachRangeWord(lo, hi, [this, &count](size_t wi, uint64_t mask) {
+      count += __builtin_popcountll(words_[wi] & mask);
+    });
+    return count;
+  }
+
+  /// True iff some bit in [lo, hi) is set.
+  bool AnyInRange(int lo, int hi) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return false;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == wlo) w &= HeadMask(lo);
+      if (wi == whi) w &= TailMask(hi);
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  // Ranged compound assignments: exact [lo, hi) bit semantics (bits outside
+  // the range are untouched), word-at-a-time inside. These are the kernels
+  // the subtree-context evaluator runs on, so a context of s nodes costs
+  // O(s/64 + 1) words per operation instead of O(|T|/64).
+
+  /// this[lo,hi) |= other[lo,hi).
+  void OrRange(const Bitset& other, int lo, int hi) {
+    XPTC_DCHECK(size_ == other.size_);
+    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
+      words_[wi] |= other.words_[wi] & mask;
+    });
+  }
+
+  /// this[lo,hi) &= other[lo,hi).
+  void AndRange(const Bitset& other, int lo, int hi) {
+    XPTC_DCHECK(size_ == other.size_);
+    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
+      words_[wi] &= other.words_[wi] | ~mask;
+    });
+  }
+
+  /// this[lo,hi) &= ~other[lo,hi).
+  void SubtractRange(const Bitset& other, int lo, int hi) {
+    XPTC_DCHECK(size_ == other.size_);
+    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
+      words_[wi] &= ~(other.words_[wi] & mask);
+    });
+  }
+
+  /// this[lo,hi) = other[lo,hi).
+  void CopyRange(const Bitset& other, int lo, int hi) {
+    XPTC_DCHECK(size_ == other.size_);
+    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
+      words_[wi] = (words_[wi] & ~mask) | (other.words_[wi] & mask);
+    });
+  }
+
+  /// True iff this[lo,hi) ⊆ other[lo,hi).
+  bool IsSubsetOfRange(const Bitset& other, int lo, int hi) const {
+    XPTC_DCHECK(size_ == other.size_);
+    CheckRange(lo, hi);
+    if (lo >= hi) return true;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      uint64_t extra = words_[wi] & ~other.words_[wi];
+      if (wi == wlo) extra &= HeadMask(lo);
+      if (wi == whi) extra &= TailMask(hi);
+      if (extra != 0) return false;
+    }
+    return true;
+  }
+
   Bitset& operator|=(const Bitset& other) {
     XPTC_DCHECK(size_ == other.size_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
@@ -140,6 +285,32 @@ class Bitset {
  private:
   static size_t WordCount(int size) {
     return (static_cast<size_t>(size) + 63) / 64;
+  }
+  void CheckRange(int lo, int hi) const {
+    XPTC_DCHECK(lo >= 0 && lo <= size_);
+    XPTC_DCHECK(hi >= 0 && hi <= size_);
+  }
+  /// Mask selecting bits >= lo within lo's word.
+  static uint64_t HeadMask(int lo) { return ~uint64_t{0} << (lo & 63); }
+  /// Mask selecting bits < hi within (hi-1)'s word. Requires hi > 0.
+  static uint64_t TailMask(int hi) {
+    return ~uint64_t{0} >> (63 - ((hi - 1) & 63));
+  }
+  /// Invokes `op(word_index, mask)` for each word overlapping [lo, hi),
+  /// where `mask` selects exactly the range's bits within that word.
+  template <typename Op>
+  void ForEachRangeWord(int lo, int hi, Op&& op) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    if (wlo == whi) {
+      op(wlo, HeadMask(lo) & TailMask(hi));
+      return;
+    }
+    op(wlo, HeadMask(lo));
+    for (size_t wi = wlo + 1; wi < whi; ++wi) op(wi, ~uint64_t{0});
+    op(whi, TailMask(hi));
   }
   void ClearPadding() {
     if (size_ % 64 != 0 && !words_.empty()) {

@@ -1,207 +1,407 @@
 #include "xpath/eval.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
 namespace xptc {
 
-Bitset Evaluator::AxisImage(Axis axis, const Bitset& sources) const {
-  Bitset out(tree_.size());
+namespace internal {
+
+/// Shared evaluation state: one instance per root evaluator, reached by
+/// every sub-context evaluator spawned under it.
+struct EvalShared {
+  explicit EvalShared(const Tree& tree) : tree(tree) {}
+
+  const Tree& tree;
+
+  /// Scratch pool. All bitsets in `free_list` are all-zero; `Acquire`
+  /// hands one out, `Recycle` zeroes the producer's context window and
+  /// returns it. Net effect: steady-state evaluation does no allocation,
+  /// and a context of s nodes pays O(s/64) words to reset scratch instead
+  /// of O(|T|/64) to allocate it.
+  std::vector<Bitset> free_list;
+
+  /// Global memo of `W φ` node sets, keyed by body identity. `W` results
+  /// are context-independent (see Evaluator docs), so one entry serves
+  /// every context — this is what makes nested `W`s share work.
+  std::unordered_map<const NodeExpr*, Bitset> within_memo;
+
+  /// Per-label node sets over the whole tree, built once on first use so
+  /// label tests in sub-contexts are word copies, not node scans.
+  std::unordered_map<Symbol, Bitset> label_sets;
+
+  Bitset Acquire() {
+    if (free_list.empty()) return Bitset(tree.size());
+    Bitset out = std::move(free_list.back());
+    free_list.pop_back();
+    return out;
+  }
+
+  /// `window_lo`/`window_hi`: the context window of the evaluator that
+  /// produced `b` — by the window invariant all set bits lie inside it.
+  void Recycle(Bitset&& b, int window_lo, int window_hi) {
+    b.ResetRange(window_lo, window_hi);
+    XPTC_DCHECK(b.None());
+    free_list.push_back(std::move(b));
+  }
+
+  const Bitset& LabelSet(Symbol label) {
+    auto it = label_sets.find(label);
+    if (it != label_sets.end()) return it->second;
+    Bitset set(tree.size());
+    for (NodeId v = 0; v < tree.size(); ++v) {
+      if (tree.Label(v) == label) set.Set(v);
+    }
+    return label_sets.emplace(label, std::move(set)).first->second;
+  }
+};
+
+}  // namespace internal
+
+using internal::EvalShared;
+
+Evaluator::Evaluator(const Tree& tree, NodeId context_root)
+    : tree_(tree),
+      lo_(context_root),
+      hi_(tree.SubtreeEnd(context_root)),
+      owned_shared_(std::make_unique<EvalShared>(tree)),
+      shared_(owned_shared_.get()) {}
+
+Evaluator::Evaluator(const Tree& tree, NodeId context_root,
+                     EvalShared* shared)
+    : tree_(tree),
+      lo_(context_root),
+      hi_(tree.SubtreeEnd(context_root)),
+      shared_(shared) {}
+
+Evaluator::~Evaluator() {
+  for (auto& entry : node_cache_) {
+    shared_->Recycle(std::move(entry.second), lo_, hi_);
+  }
+}
+
+void Evaluator::Rebind(NodeId context_root) {
+  for (auto& entry : node_cache_) {
+    shared_->Recycle(std::move(entry.second), lo_, hi_);
+  }
+  node_cache_.clear();
+  lo_ = context_root;
+  hi_ = tree_.SubtreeEnd(context_root);
+}
+
+// ---------------------------------------------------------------------------
+// Axis kernels.
+//
+// `out` must be all-zero inside the window on entry. Every kernel iterates
+// the *set bits* of `sources` (word-at-a-time ctz) or writes whole id
+// ranges; none probes every node id of the context. Per-axis costs are
+// tabulated in DESIGN.md §7.
+
+void Evaluator::AxisImageInto(Axis axis, const Bitset& sources,
+                              Bitset* out) const {
   switch (axis) {
     case Axis::kSelf:
-      out = sources;
+      out->CopyRange(sources, lo_, hi_);
       break;
     case Axis::kChild:
-      for (NodeId w = lo_ + 1; w < hi_; ++w) {
-        if (sources.Get(tree_.Parent(w))) out.Set(w);
-      }
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        for (NodeId c = tree_.FirstChild(v); c != kNoNode;
+             c = tree_.NextSibling(c)) {
+          out->Set(c);
+        }
+      });
       break;
     case Axis::kParent:
-      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
-        if (n != lo_) out.Set(tree_.Parent(n));
-      }
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        if (v != lo_) out->Set(tree_.Parent(v));
+      });
       break;
     case Axis::kDescendant:
-      // One preorder sweep: a node is in the image iff its parent is a
-      // source or already in the image.
-      for (NodeId w = lo_ + 1; w < hi_; ++w) {
-        const NodeId p = tree_.Parent(w);
-        if (sources.Get(p) || out.Get(p)) out.Set(w);
+      // The image is a union of preorder intervals [v+1, SubtreeEnd(v)).
+      // Sources inside an already-covered interval are nested subtrees and
+      // contribute nothing new, so jump straight past each interval.
+      for (int v = sources.FindFirstInRange(lo_, hi_); v >= 0;) {
+        const NodeId end = tree_.SubtreeEnd(v);
+        out->SetRange(v + 1, end);
+        v = end >= hi_ ? -1 : sources.FindFirstInRange(end, hi_);
       }
       break;
     case Axis::kAncestor:
-      // Reverse preorder sweep propagating "contains a source below".
-      for (NodeId w = hi_ - 1; w > lo_; --w) {
-        if (sources.Get(w) || out.Get(w)) out.Set(tree_.Parent(w));
-      }
+      // Climb parent chains, stopping at the first already-marked ancestor
+      // (everything above it is marked too): O(sources + |image|) total.
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        while (v != lo_) {
+          v = tree_.Parent(v);
+          if (out->Get(v)) break;
+          out->Set(v);
+        }
+      });
       break;
     case Axis::kDescendantOrSelf:
-      out = AxisImage(Axis::kDescendant, sources);
-      out |= sources;
+      AxisImageInto(Axis::kDescendant, sources, out);
+      out->OrRange(sources, lo_, hi_);
       break;
     case Axis::kAncestorOrSelf:
-      out = AxisImage(Axis::kAncestor, sources);
-      out |= sources;
+      AxisImageInto(Axis::kAncestor, sources, out);
+      out->OrRange(sources, lo_, hi_);
       break;
     case Axis::kNextSibling:
-      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
-        if (n == lo_) continue;  // the context root has no siblings
-        const NodeId s = tree_.NextSibling(n);
-        if (s != kNoNode) out.Set(s);
-      }
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        if (v == lo_) return;  // the context root has no siblings
+        const NodeId s = tree_.NextSibling(v);
+        if (s != kNoNode) out->Set(s);
+      });
       break;
     case Axis::kPrevSibling:
-      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
-        if (n == lo_) continue;
-        const NodeId s = tree_.PrevSibling(n);
-        if (s != kNoNode) out.Set(s);
-      }
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        if (v == lo_) return;
+        const NodeId s = tree_.PrevSibling(v);
+        if (s != kNoNode) out->Set(s);
+      });
       break;
     case Axis::kFollowingSibling:
-      // prev-sibling ids are smaller, so one increasing sweep suffices.
-      for (NodeId w = lo_ + 1; w < hi_; ++w) {
-        const NodeId prev = tree_.PrevSibling(w);
-        if (prev != kNoNode && (sources.Get(prev) || out.Get(prev))) {
-          out.Set(w);
+      // Walk each sibling chain, stopping at the first already-marked
+      // sibling (the rest of that chain is already marked).
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        if (v == lo_) return;
+        for (NodeId s = tree_.NextSibling(v); s != kNoNode && !out->Get(s);
+             s = tree_.NextSibling(s)) {
+          out->Set(s);
         }
-      }
+      });
       break;
     case Axis::kPrecedingSibling:
-      for (NodeId w = hi_ - 1; w > lo_; --w) {
-        const NodeId next = tree_.NextSibling(w);
-        if (next != kNoNode && (sources.Get(next) || out.Get(next))) {
-          out.Set(w);
+      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
+        if (v == lo_) return;
+        for (NodeId s = tree_.PrevSibling(v); s != kNoNode && !out->Get(s);
+             s = tree_.PrevSibling(s)) {
+          out->Set(s);
         }
-      }
+      });
       break;
     case Axis::kFollowing: {
       // following(n) = {m : m >= SubtreeEnd(n)} in preorder ids, so the
-      // image is an id suffix determined by the smallest source's subtree
-      // end (all within context).
+      // image is the id suffix [min SubtreeEnd over sources, hi). Once a
+      // source id passes the running minimum, SubtreeEnd(v) > v >= min can
+      // no longer improve it, so the scan stops early.
       NodeId threshold = hi_;
-      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
-        threshold = std::min(threshold, tree_.SubtreeEnd(n));
+      for (int v = sources.FindFirstInRange(lo_, hi_);
+           v >= 0 && v < threshold && v < hi_; v = sources.FindNext(v)) {
+        threshold = std::min(threshold, tree_.SubtreeEnd(v));
       }
-      for (NodeId m = std::max(threshold, lo_); m < hi_; ++m) out.Set(m);
+      out->SetRange(std::max(threshold, lo_), hi_);
       break;
     }
     case Axis::kPreceding: {
-      // preceding(n) = {m : SubtreeEnd(m) <= n}; image determined by the
-      // largest source id.
-      int max_source = -1;
-      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
-        max_source = n;
-      }
-      if (max_source >= 0) {
-        for (NodeId m = lo_; m < hi_; ++m) {
-          if (tree_.SubtreeEnd(m) <= max_source) out.Set(m);
+      // preceding(n) = {m : SubtreeEnd(m) <= n}; only the largest source
+      // id matters. Its preceding set is every earlier-in-context node
+      // except its ancestors (whose subtrees extend past it).
+      const int last = sources.FindLastInRange(lo_, hi_);
+      if (last > lo_) {
+        out->SetRange(lo_, last);
+        for (NodeId a = tree_.Parent(last);; a = tree_.Parent(a)) {
+          out->Reset(a);
+          if (a == lo_) break;
         }
       }
       break;
     }
   }
+}
+
+Bitset Evaluator::AxisImage(Axis axis, const Bitset& sources) const {
+  Bitset out(tree_.size());
+  AxisImageInto(axis, sources, &out);
   return out;
 }
 
-Bitset Evaluator::EvalNode(const NodeExpr& node) {
+// ---------------------------------------------------------------------------
+// Node expressions.
+
+const Bitset& Evaluator::EvalNodeRef(const NodeExpr& node) {
   auto it = node_cache_.find(&node);
   if (it != node_cache_.end()) return it->second;
-  Bitset out(tree_.size());
+  Bitset out = ComputeNode(node);
+  return node_cache_.emplace(&node, std::move(out)).first->second;
+}
+
+Bitset Evaluator::ComputeNode(const NodeExpr& node) {
+  Bitset out = shared_->Acquire();
   switch (node.op) {
     case NodeOp::kLabel:
-      for (NodeId v = lo_; v < hi_; ++v) {
-        if (tree_.Label(v) == node.label) out.Set(v);
-      }
+      out.CopyRange(shared_->LabelSet(node.label), lo_, hi_);
       break;
     case NodeOp::kTrue:
-      out = All();
+      out.SetRange(lo_, hi_);
       break;
     case NodeOp::kNot:
-      out = All();
-      out.Subtract(EvalNode(*node.left));
+      out.SetRange(lo_, hi_);
+      out.SubtractRange(EvalNodeRef(*node.left), lo_, hi_);
       break;
     case NodeOp::kAnd:
-      out = EvalNode(*node.left);
-      out &= EvalNode(*node.right);
+      out.CopyRange(EvalNodeRef(*node.left), lo_, hi_);
+      out.AndRange(EvalNodeRef(*node.right), lo_, hi_);
       break;
     case NodeOp::kOr:
-      out = EvalNode(*node.left);
-      out |= EvalNode(*node.right);
+      out.CopyRange(EvalNodeRef(*node.left), lo_, hi_);
+      out.OrRange(EvalNodeRef(*node.right), lo_, hi_);
       break;
-    case NodeOp::kSome:
-      out = EvalBack(*node.path, All());
+    case NodeOp::kSome: {
+      Bitset all = shared_->Acquire();
+      all.SetRange(lo_, hi_);
+      shared_->Recycle(std::move(out), lo_, hi_);
+      out = EvalBackTmp(*node.path, all);
+      shared_->Recycle(std::move(all), lo_, hi_);
       break;
+    }
     case NodeOp::kWithin:
-      // W φ: for each node v, φ must hold at v inside the subtree T|v.
-      for (NodeId v = lo_; v < hi_; ++v) {
-        Evaluator sub(tree_, v);
-        if (sub.EvalNode(*node.left).Get(v)) out.Set(v);
-      }
+      // W φ is context-independent per node (see WithinSet), so the
+      // context's answer is just the window slice of the global set.
+      out.CopyRange(WithinSet(*node.left), lo_, hi_);
       break;
   }
-  node_cache_.emplace(&node, out);
   return out;
+}
+
+const Bitset& Evaluator::WithinSet(const NodeExpr& body) {
+  auto it = shared_->within_memo.find(&body);
+  if (it != shared_->within_memo.end()) return it->second;
+
+  // wset[v] = 1 iff `body` holds at v in context T|v. The result only
+  // depends on the subtree of v (context evaluation never leaves T|v, and
+  // T|v is the same subtree in every enclosing context), so it is computed
+  // once over the whole tree and shared by every context and every nesting
+  // level. One pooled sub-evaluator is rebound bottom-up (descending
+  // preorder id = leaves first), so scratch memory is reused across all
+  // |T| sub-contexts and inner `W`s hit this memo recursively.
+  const int n = tree_.size();
+  Bitset wset(n);
+  if (n > 0) {
+    Evaluator sub(tree_, n - 1, shared_);
+    for (NodeId v = n - 1;; --v) {
+      sub.Rebind(v);
+      if (sub.EvalNodeRef(body).Get(v)) wset.Set(v);
+      if (v == 0) break;
+    }
+  }
+  return shared_->within_memo.emplace(&body, std::move(wset)).first->second;
+}
+
+Bitset Evaluator::EvalNode(const NodeExpr& node) { return EvalNodeRef(node); }
+
+// ---------------------------------------------------------------------------
+// Path expressions. The *Tmp variants hand back pool-owned bitsets; every
+// internal temporary is recycled on the way out.
+
+Bitset Evaluator::EvalBackTmp(const PathExpr& path, const Bitset& targets) {
+  switch (path.op) {
+    case PathOp::kAxis: {
+      Bitset out = shared_->Acquire();
+      AxisImageInto(InverseAxis(path.axis), targets, &out);
+      return out;
+    }
+    case PathOp::kSeq: {
+      Bitset mid = EvalBackTmp(*path.right, targets);
+      Bitset out = EvalBackTmp(*path.left, mid);
+      shared_->Recycle(std::move(mid), lo_, hi_);
+      return out;
+    }
+    case PathOp::kUnion: {
+      Bitset out = EvalBackTmp(*path.left, targets);
+      Bitset other = EvalBackTmp(*path.right, targets);
+      out.OrRange(other, lo_, hi_);
+      shared_->Recycle(std::move(other), lo_, hi_);
+      return out;
+    }
+    case PathOp::kFilter: {
+      Bitset filtered = shared_->Acquire();
+      filtered.CopyRange(targets, lo_, hi_);
+      filtered.AndRange(EvalNodeRef(*path.pred), lo_, hi_);
+      Bitset out = EvalBackTmp(*path.left, filtered);
+      shared_->Recycle(std::move(filtered), lo_, hi_);
+      return out;
+    }
+    case PathOp::kStar: {
+      // Semi-naive least fixpoint of R = targets ∪ EvalBack(p, R): each
+      // round expands only the *delta* (newly reached nodes). Backward
+      // images distribute over union, so expanding frontiers one at a time
+      // reaches the same fixpoint with O(|reached|) total frontier work.
+      Bitset reached = shared_->Acquire();
+      reached.CopyRange(targets, lo_, hi_);
+      Bitset frontier = shared_->Acquire();
+      frontier.CopyRange(targets, lo_, hi_);
+      while (frontier.AnyInRange(lo_, hi_)) {
+        Bitset step = EvalBackTmp(*path.left, frontier);
+        step.SubtractRange(reached, lo_, hi_);
+        reached.OrRange(step, lo_, hi_);
+        shared_->Recycle(std::move(frontier), lo_, hi_);
+        frontier = std::move(step);
+      }
+      shared_->Recycle(std::move(frontier), lo_, hi_);
+      return reached;
+    }
+  }
+  XPTC_CHECK(false) << "bad path op";
+  return Bitset(tree_.size());
+}
+
+Bitset Evaluator::EvalFwdTmp(const PathExpr& path, const Bitset& sources) {
+  switch (path.op) {
+    case PathOp::kAxis: {
+      Bitset out = shared_->Acquire();
+      AxisImageInto(path.axis, sources, &out);
+      return out;
+    }
+    case PathOp::kSeq: {
+      Bitset mid = EvalFwdTmp(*path.left, sources);
+      Bitset out = EvalFwdTmp(*path.right, mid);
+      shared_->Recycle(std::move(mid), lo_, hi_);
+      return out;
+    }
+    case PathOp::kUnion: {
+      Bitset out = EvalFwdTmp(*path.left, sources);
+      Bitset other = EvalFwdTmp(*path.right, sources);
+      out.OrRange(other, lo_, hi_);
+      shared_->Recycle(std::move(other), lo_, hi_);
+      return out;
+    }
+    case PathOp::kFilter: {
+      Bitset out = EvalFwdTmp(*path.left, sources);
+      out.AndRange(EvalNodeRef(*path.pred), lo_, hi_);
+      return out;
+    }
+    case PathOp::kStar: {
+      Bitset reached = shared_->Acquire();
+      reached.CopyRange(sources, lo_, hi_);
+      Bitset frontier = shared_->Acquire();
+      frontier.CopyRange(sources, lo_, hi_);
+      while (frontier.AnyInRange(lo_, hi_)) {
+        Bitset step = EvalFwdTmp(*path.left, frontier);
+        step.SubtractRange(reached, lo_, hi_);
+        reached.OrRange(step, lo_, hi_);
+        shared_->Recycle(std::move(frontier), lo_, hi_);
+        frontier = std::move(step);
+      }
+      shared_->Recycle(std::move(frontier), lo_, hi_);
+      return reached;
+    }
+  }
+  XPTC_CHECK(false) << "bad path op";
+  return Bitset(tree_.size());
 }
 
 Bitset Evaluator::EvalBack(const PathExpr& path, const Bitset& targets) {
-  switch (path.op) {
-    case PathOp::kAxis:
-      return AxisImage(InverseAxis(path.axis), targets);
-    case PathOp::kSeq:
-      return EvalBack(*path.left, EvalBack(*path.right, targets));
-    case PathOp::kUnion: {
-      Bitset out = EvalBack(*path.left, targets);
-      out |= EvalBack(*path.right, targets);
-      return out;
-    }
-    case PathOp::kFilter: {
-      Bitset filtered = targets;
-      filtered &= EvalNode(*path.pred);
-      return EvalBack(*path.left, filtered);
-    }
-    case PathOp::kStar: {
-      // Least fixpoint of R = targets ∪ EvalBack(p, R).
-      Bitset reached = targets;
-      for (;;) {
-        Bitset step = EvalBack(*path.left, reached);
-        if (step.IsSubsetOf(reached)) return reached;
-        reached |= step;
-      }
-    }
-  }
-  XPTC_CHECK(false) << "bad path op";
-  return Bitset(tree_.size());
+  return EvalBackTmp(path, targets);
 }
 
 Bitset Evaluator::EvalFwd(const PathExpr& path, const Bitset& sources) {
-  switch (path.op) {
-    case PathOp::kAxis:
-      return AxisImage(path.axis, sources);
-    case PathOp::kSeq:
-      return EvalFwd(*path.right, EvalFwd(*path.left, sources));
-    case PathOp::kUnion: {
-      Bitset out = EvalFwd(*path.left, sources);
-      out |= EvalFwd(*path.right, sources);
-      return out;
-    }
-    case PathOp::kFilter: {
-      Bitset out = EvalFwd(*path.left, sources);
-      out &= EvalNode(*path.pred);
-      return out;
-    }
-    case PathOp::kStar: {
-      Bitset reached = sources;
-      for (;;) {
-        Bitset step = EvalFwd(*path.left, reached);
-        if (step.IsSubsetOf(reached)) return reached;
-        reached |= step;
-      }
-    }
-  }
-  XPTC_CHECK(false) << "bad path op";
-  return Bitset(tree_.size());
+  return EvalFwdTmp(path, sources);
 }
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers.
 
 Bitset EvalNodeSet(const Tree& tree, const NodeExpr& node) {
   Evaluator evaluator(tree);

@@ -1,0 +1,214 @@
+// Frozen copy of the seed evaluator (see eval_seed.h). The bodies below are
+// the pre-optimization `Evaluator` verbatim, renamed.
+
+#include "xpath/eval_seed.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace xptc {
+
+Bitset SeedEvaluator::AxisImage(Axis axis, const Bitset& sources) const {
+  Bitset out(tree_.size());
+  switch (axis) {
+    case Axis::kSelf:
+      out = sources;
+      break;
+    case Axis::kChild:
+      for (NodeId w = lo_ + 1; w < hi_; ++w) {
+        if (sources.Get(tree_.Parent(w))) out.Set(w);
+      }
+      break;
+    case Axis::kParent:
+      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
+        if (n != lo_) out.Set(tree_.Parent(n));
+      }
+      break;
+    case Axis::kDescendant:
+      // One preorder sweep: a node is in the image iff its parent is a
+      // source or already in the image.
+      for (NodeId w = lo_ + 1; w < hi_; ++w) {
+        const NodeId p = tree_.Parent(w);
+        if (sources.Get(p) || out.Get(p)) out.Set(w);
+      }
+      break;
+    case Axis::kAncestor:
+      // Reverse preorder sweep propagating "contains a source below".
+      for (NodeId w = hi_ - 1; w > lo_; --w) {
+        if (sources.Get(w) || out.Get(w)) out.Set(tree_.Parent(w));
+      }
+      break;
+    case Axis::kDescendantOrSelf:
+      out = AxisImage(Axis::kDescendant, sources);
+      out |= sources;
+      break;
+    case Axis::kAncestorOrSelf:
+      out = AxisImage(Axis::kAncestor, sources);
+      out |= sources;
+      break;
+    case Axis::kNextSibling:
+      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
+        if (n == lo_) continue;  // the context root has no siblings
+        const NodeId s = tree_.NextSibling(n);
+        if (s != kNoNode) out.Set(s);
+      }
+      break;
+    case Axis::kPrevSibling:
+      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
+        if (n == lo_) continue;
+        const NodeId s = tree_.PrevSibling(n);
+        if (s != kNoNode) out.Set(s);
+      }
+      break;
+    case Axis::kFollowingSibling:
+      // prev-sibling ids are smaller, so one increasing sweep suffices.
+      for (NodeId w = lo_ + 1; w < hi_; ++w) {
+        const NodeId prev = tree_.PrevSibling(w);
+        if (prev != kNoNode && (sources.Get(prev) || out.Get(prev))) {
+          out.Set(w);
+        }
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      for (NodeId w = hi_ - 1; w > lo_; --w) {
+        const NodeId next = tree_.NextSibling(w);
+        if (next != kNoNode && (sources.Get(next) || out.Get(next))) {
+          out.Set(w);
+        }
+      }
+      break;
+    case Axis::kFollowing: {
+      // following(n) = {m : m >= SubtreeEnd(n)} in preorder ids, so the
+      // image is an id suffix determined by the smallest source's subtree
+      // end (all within context).
+      NodeId threshold = hi_;
+      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
+        threshold = std::min(threshold, tree_.SubtreeEnd(n));
+      }
+      for (NodeId m = std::max(threshold, lo_); m < hi_; ++m) out.Set(m);
+      break;
+    }
+    case Axis::kPreceding: {
+      // preceding(n) = {m : SubtreeEnd(m) <= n}; image determined by the
+      // largest source id.
+      int max_source = -1;
+      for (int n = sources.FindFirst(); n >= 0; n = sources.FindNext(n)) {
+        max_source = n;
+      }
+      if (max_source >= 0) {
+        for (NodeId m = lo_; m < hi_; ++m) {
+          if (tree_.SubtreeEnd(m) <= max_source) out.Set(m);
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Bitset SeedEvaluator::EvalNode(const NodeExpr& node) {
+  auto it = node_cache_.find(&node);
+  if (it != node_cache_.end()) return it->second;
+  Bitset out(tree_.size());
+  switch (node.op) {
+    case NodeOp::kLabel:
+      for (NodeId v = lo_; v < hi_; ++v) {
+        if (tree_.Label(v) == node.label) out.Set(v);
+      }
+      break;
+    case NodeOp::kTrue:
+      out = All();
+      break;
+    case NodeOp::kNot:
+      out = All();
+      out.Subtract(EvalNode(*node.left));
+      break;
+    case NodeOp::kAnd:
+      out = EvalNode(*node.left);
+      out &= EvalNode(*node.right);
+      break;
+    case NodeOp::kOr:
+      out = EvalNode(*node.left);
+      out |= EvalNode(*node.right);
+      break;
+    case NodeOp::kSome:
+      out = EvalBack(*node.path, All());
+      break;
+    case NodeOp::kWithin:
+      // W φ: for each node v, φ must hold at v inside the subtree T|v.
+      for (NodeId v = lo_; v < hi_; ++v) {
+        SeedEvaluator sub(tree_, v);
+        if (sub.EvalNode(*node.left).Get(v)) out.Set(v);
+      }
+      break;
+  }
+  node_cache_.emplace(&node, out);
+  return out;
+}
+
+Bitset SeedEvaluator::EvalBack(const PathExpr& path, const Bitset& targets) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      return AxisImage(InverseAxis(path.axis), targets);
+    case PathOp::kSeq:
+      return EvalBack(*path.left, EvalBack(*path.right, targets));
+    case PathOp::kUnion: {
+      Bitset out = EvalBack(*path.left, targets);
+      out |= EvalBack(*path.right, targets);
+      return out;
+    }
+    case PathOp::kFilter: {
+      Bitset filtered = targets;
+      filtered &= EvalNode(*path.pred);
+      return EvalBack(*path.left, filtered);
+    }
+    case PathOp::kStar: {
+      // Least fixpoint of R = targets ∪ EvalBack(p, R).
+      Bitset reached = targets;
+      for (;;) {
+        Bitset step = EvalBack(*path.left, reached);
+        if (step.IsSubsetOf(reached)) return reached;
+        reached |= step;
+      }
+    }
+  }
+  XPTC_CHECK(false) << "bad path op";
+  return Bitset(tree_.size());
+}
+
+Bitset SeedEvaluator::EvalFwd(const PathExpr& path, const Bitset& sources) {
+  switch (path.op) {
+    case PathOp::kAxis:
+      return AxisImage(path.axis, sources);
+    case PathOp::kSeq:
+      return EvalFwd(*path.right, EvalFwd(*path.left, sources));
+    case PathOp::kUnion: {
+      Bitset out = EvalFwd(*path.left, sources);
+      out |= EvalFwd(*path.right, sources);
+      return out;
+    }
+    case PathOp::kFilter: {
+      Bitset out = EvalFwd(*path.left, sources);
+      out &= EvalNode(*path.pred);
+      return out;
+    }
+    case PathOp::kStar: {
+      Bitset reached = sources;
+      for (;;) {
+        Bitset step = EvalFwd(*path.left, reached);
+        if (step.IsSubsetOf(reached)) return reached;
+        reached |= step;
+      }
+    }
+  }
+  XPTC_CHECK(false) << "bad path op";
+  return Bitset(tree_.size());
+}
+
+Bitset SeedEvalNodeSet(const Tree& tree, const NodeExpr& node) {
+  SeedEvaluator evaluator(tree);
+  return evaluator.EvalNode(node);
+}
+
+}  // namespace xptc

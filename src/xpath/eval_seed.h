@@ -1,0 +1,70 @@
+#ifndef XPTC_XPATH_EVAL_SEED_H_
+#define XPTC_XPATH_EVAL_SEED_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// The original (seed) set-based evaluator, frozen verbatim when the
+/// kernel-optimized `Evaluator` replaced it on the production path.
+///
+/// Kept for two purposes only:
+///  - benchmarks (`bench/exp2_eval_scaling`, `bench/exp3_query_scaling`)
+///    measure the optimized engine's speedup against this baseline in the
+///    same process run;
+///  - differential tests use it as a second independent implementation of
+///    the set-based semantics (the primary oracle remains `eval_naive`).
+///
+/// Its characteristic costs: every axis image scans all |T| node ids, every
+/// temporary bitset is a fresh full-tree allocation, star fixpoints
+/// re-derive the image of the whole reached set each round, and each `W φ`
+/// spawns an independent full evaluator per context node. Do not "fix" any
+/// of that — it is the measured baseline.
+class SeedEvaluator {
+ public:
+  explicit SeedEvaluator(const Tree& tree, NodeId context_root = 0)
+      : tree_(tree),
+        lo_(context_root),
+        hi_(tree.SubtreeEnd(context_root)) {}
+
+  /// The set of nodes in context satisfying the node expression.
+  Bitset EvalNode(const NodeExpr& node);
+
+  /// Backward image: {n in context : ∃m ∈ targets, (n, m) ∈ [[path]]}.
+  Bitset EvalBack(const PathExpr& path, const Bitset& targets);
+
+  /// Forward image: {m in context : ∃n ∈ sources, (n, m) ∈ [[path]]}.
+  Bitset EvalFwd(const PathExpr& path, const Bitset& sources);
+
+  /// Forward image of a single axis step restricted to the context.
+  Bitset AxisImage(Axis axis, const Bitset& sources) const;
+
+  /// All nodes of the context subtree.
+  Bitset All() const {
+    Bitset out(tree_.size());
+    for (NodeId v = lo_; v < hi_; ++v) out.Set(v);
+    return out;
+  }
+
+  NodeId context_root() const { return lo_; }
+  NodeId context_end() const { return hi_; }
+
+ private:
+  const Tree& tree_;
+  NodeId lo_;
+  NodeId hi_;
+  std::unordered_map<const NodeExpr*, Bitset> node_cache_;
+};
+
+/// Convenience: evaluates a node expression on the whole tree with the
+/// seed engine.
+Bitset SeedEvalNodeSet(const Tree& tree, const NodeExpr& node);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_EVAL_SEED_H_

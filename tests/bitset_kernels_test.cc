@@ -1,0 +1,223 @@
+// Unit tests for the word-level Bitset kernels (ranged ops, set-bit
+// iteration), with deliberate coverage of the 63/64/65 word-boundary bits,
+// empty ranges, full-word windows, and sub-word windows. Every kernel is
+// also cross-checked against a naive per-bit reference on random inputs.
+
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xptc {
+namespace {
+
+Bitset RandomBitset(int size, Rng* rng, double density = 0.4) {
+  Bitset out(size);
+  for (int i = 0; i < size; ++i) {
+    if (rng->NextBool(density)) out.Set(i);
+  }
+  return out;
+}
+
+std::vector<int> CollectForEach(const Bitset& bits) {
+  std::vector<int> out;
+  bits.ForEachSetBit([&](int i) { out.push_back(i); });
+  return out;
+}
+
+std::vector<int> CollectForEachInRange(const Bitset& bits, int lo, int hi) {
+  std::vector<int> out;
+  bits.ForEachSetBitInRange(lo, hi, [&](int i) { out.push_back(i); });
+  return out;
+}
+
+TEST(BitsetKernelsTest, SetRangeBoundaries) {
+  // Ranges straddling the bit-63/bit-64 word boundary, in a 3-word bitset.
+  struct Case { int lo, hi; };
+  const Case cases[] = {{0, 0},    {0, 1},    {63, 64},  {63, 65},
+                        {64, 64},  {64, 65},  {0, 64},   {64, 128},
+                        {1, 63},   {62, 66},  {0, 130},  {127, 130},
+                        {130, 130}};
+  for (const auto& c : cases) {
+    Bitset bits(130);
+    bits.SetRange(c.lo, c.hi);
+    for (int i = 0; i < 130; ++i) {
+      EXPECT_EQ(bits.Get(i), i >= c.lo && i < c.hi)
+          << "bit " << i << " after SetRange(" << c.lo << ", " << c.hi << ")";
+    }
+    EXPECT_EQ(bits.Count(), c.hi - c.lo);
+  }
+}
+
+TEST(BitsetKernelsTest, ResetRangeBoundaries) {
+  const std::pair<int, int> cases[] = {{0, 0},  {63, 64}, {63, 65}, {64, 65},
+                                       {0, 64}, {64, 128}, {62, 66}, {0, 130}};
+  for (const auto& [lo, hi] : cases) {
+    Bitset bits(130, true);
+    bits.ResetRange(lo, hi);
+    for (int i = 0; i < 130; ++i) {
+      EXPECT_EQ(bits.Get(i), i < lo || i >= hi)
+          << "bit " << i << " after ResetRange(" << lo << ", " << hi << ")";
+    }
+  }
+}
+
+TEST(BitsetKernelsTest, EmptyAndDegenerateRanges) {
+  Bitset bits(100);
+  bits.SetRange(50, 50);  // empty
+  EXPECT_TRUE(bits.None());
+  EXPECT_EQ(bits.CountRange(30, 30), 0);
+  EXPECT_FALSE(bits.AnyInRange(0, 0));
+  EXPECT_EQ(bits.FindFirstInRange(64, 64), -1);
+  EXPECT_EQ(bits.FindLastInRange(10, 10), -1);
+  EXPECT_TRUE(CollectForEachInRange(bits, 20, 20).empty());
+
+  // Size-zero bitset: every whole-range query degenerates cleanly.
+  Bitset empty(0);
+  EXPECT_TRUE(empty.None());
+  EXPECT_EQ(empty.FindLast(), -1);
+  EXPECT_TRUE(CollectForEach(empty).empty());
+}
+
+TEST(BitsetKernelsTest, ForEachSetBitMatchesToVector) {
+  Rng rng(101);
+  for (int size : {1, 63, 64, 65, 128, 200}) {
+    const Bitset bits = RandomBitset(size, &rng);
+    EXPECT_EQ(CollectForEach(bits), bits.ToVector()) << "size " << size;
+  }
+  // Single bits at word-boundary positions.
+  for (int pos : {0, 62, 63, 64, 65, 126, 127, 128, 129}) {
+    Bitset bits(130);
+    bits.Set(pos);
+    EXPECT_EQ(CollectForEach(bits), std::vector<int>{pos});
+  }
+}
+
+TEST(BitsetKernelsTest, ForEachSetBitInRangeWindows) {
+  Bitset bits(192, true);
+  // Sub-word window inside the middle word.
+  EXPECT_EQ(CollectForEachInRange(bits, 70, 74),
+            (std::vector<int>{70, 71, 72, 73}));
+  // Full-word window, exactly word 1.
+  EXPECT_EQ(CollectForEachInRange(bits, 64, 128).size(), 64u);
+  // Window straddling the 63/64 boundary.
+  EXPECT_EQ(CollectForEachInRange(bits, 63, 65), (std::vector<int>{63, 64}));
+  // Randomized agreement with the per-bit reference.
+  Rng rng(202);
+  for (int round = 0; round < 50; ++round) {
+    const int size = rng.NextInt(1, 300);
+    const Bitset random = RandomBitset(size, &rng);
+    int lo = rng.NextInt(0, size);
+    int hi = rng.NextInt(0, size);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<int> expected;
+    for (int i = lo; i < hi; ++i) {
+      if (random.Get(i)) expected.push_back(i);
+    }
+    EXPECT_EQ(CollectForEachInRange(random, lo, hi), expected)
+        << "size " << size << " range [" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(BitsetKernelsTest, FindAndCountInRange) {
+  Bitset bits(256);
+  bits.Set(5);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(200);
+  EXPECT_EQ(bits.FindFirstInRange(0, 256), 5);
+  EXPECT_EQ(bits.FindFirstInRange(6, 256), 63);
+  EXPECT_EQ(bits.FindFirstInRange(64, 256), 64);
+  EXPECT_EQ(bits.FindFirstInRange(65, 200), -1);
+  EXPECT_EQ(bits.FindFirstInRange(65, 201), 200);
+  EXPECT_EQ(bits.FindLast(), 200);
+  EXPECT_EQ(bits.FindLastInRange(0, 200), 64);
+  EXPECT_EQ(bits.FindLastInRange(0, 64), 63);
+  EXPECT_EQ(bits.FindLastInRange(0, 63), 5);
+  EXPECT_EQ(bits.FindLastInRange(6, 63), -1);
+  EXPECT_EQ(bits.CountRange(0, 256), 4);
+  EXPECT_EQ(bits.CountRange(63, 65), 2);
+  EXPECT_EQ(bits.CountRange(64, 200), 1);
+  EXPECT_TRUE(bits.AnyInRange(63, 64));
+  EXPECT_FALSE(bits.AnyInRange(65, 200));
+}
+
+TEST(BitsetKernelsTest, RangedAssignOpsMatchPerBitReference) {
+  Rng rng(303);
+  for (int round = 0; round < 100; ++round) {
+    const int size = rng.NextInt(1, 300);
+    const Bitset a = RandomBitset(size, &rng);
+    const Bitset b = RandomBitset(size, &rng);
+    int lo = rng.NextInt(0, size);
+    int hi = rng.NextInt(0, size);
+    if (lo > hi) std::swap(lo, hi);
+
+    const auto check = [&](const char* op, const Bitset& got,
+                           bool (*combine)(bool, bool)) {
+      for (int i = 0; i < size; ++i) {
+        const bool expected = (i >= lo && i < hi)
+                                  ? combine(a.Get(i), b.Get(i))
+                                  : a.Get(i);  // outside range untouched
+        ASSERT_EQ(got.Get(i), expected)
+            << op << " bit " << i << " size " << size << " range [" << lo
+            << ", " << hi << ")";
+      }
+    };
+
+    Bitset or_result = a;
+    or_result.OrRange(b, lo, hi);
+    check("OrRange", or_result, [](bool x, bool y) { return x || y; });
+
+    Bitset and_result = a;
+    and_result.AndRange(b, lo, hi);
+    check("AndRange", and_result, [](bool x, bool y) { return x && y; });
+
+    Bitset sub_result = a;
+    sub_result.SubtractRange(b, lo, hi);
+    check("SubtractRange", sub_result, [](bool x, bool y) { return x && !y; });
+
+    Bitset copy_result = a;
+    copy_result.CopyRange(b, lo, hi);
+    check("CopyRange", copy_result, [](bool, bool y) { return y; });
+
+    // IsSubsetOfRange agrees with the definition.
+    bool expected_subset = true;
+    for (int i = lo; i < hi; ++i) {
+      if (a.Get(i) && !b.Get(i)) expected_subset = false;
+    }
+    EXPECT_EQ(a.IsSubsetOfRange(b, lo, hi), expected_subset);
+  }
+}
+
+TEST(BitsetKernelsTest, CountRangeMatchesPerBitReference) {
+  Rng rng(404);
+  for (int round = 0; round < 60; ++round) {
+    const int size = rng.NextInt(1, 300);
+    const Bitset bits = RandomBitset(size, &rng);
+    int lo = rng.NextInt(0, size);
+    int hi = rng.NextInt(0, size);
+    if (lo > hi) std::swap(lo, hi);
+    int expected = 0;
+    for (int i = lo; i < hi; ++i) expected += bits.Get(i);
+    EXPECT_EQ(bits.CountRange(lo, hi), expected);
+    EXPECT_EQ(bits.AnyInRange(lo, hi), expected > 0);
+    if (expected > 0) {
+      int first = lo;
+      while (!bits.Get(first)) ++first;
+      int last = hi - 1;
+      while (!bits.Get(last)) --last;
+      EXPECT_EQ(bits.FindFirstInRange(lo, hi), first);
+      EXPECT_EQ(bits.FindLastInRange(lo, hi), last);
+    } else {
+      EXPECT_EQ(bits.FindFirstInRange(lo, hi), -1);
+      EXPECT_EQ(bits.FindLastInRange(lo, hi), -1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xptc
