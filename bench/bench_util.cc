@@ -5,14 +5,33 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 namespace xptc {
 namespace bench {
 
+void RequireOptimizedBuild() {
+#ifndef NDEBUG
+  const char* allow = std::getenv("XPTC_ALLOW_DEBUG_BENCH");
+  if (allow != nullptr && allow[0] != '\0' && allow[0] != '0') {
+    std::fprintf(stderr,
+                 "WARNING: benchmark built without NDEBUG; numbers are not "
+                 "comparable (XPTC_ALLOW_DEBUG_BENCH set, continuing).\n");
+    return;
+  }
+  std::fprintf(stderr,
+               "FATAL: benchmark binary was built without NDEBUG (Debug "
+               "build?). Rebuild with -DCMAKE_BUILD_TYPE=RelWithDebInfo or "
+               "Release, or set XPTC_ALLOW_DEBUG_BENCH=1 to override.\n");
+  std::exit(1);
+#endif
+}
+
 void PrintHeader(const std::string& id, const std::string& claim,
                  const std::string& protocol) {
+  RequireOptimizedBuild();
   std::printf("\n================================================================\n");
   std::printf("%s\n", id.c_str());
   std::printf("Claim reproduced : %s\n", claim.c_str());
@@ -70,6 +89,12 @@ bool SmokeMode() {
 std::string BenchJsonPath() {
   const char* value = std::getenv("XPTC_BENCH_JSON");
   return (value != nullptr && value[0] != '\0') ? value : "BENCH_eval.json";
+}
+
+std::string ThroughputJsonPath() {
+  const char* value = std::getenv("XPTC_BENCH_THROUGHPUT_JSON");
+  return (value != nullptr && value[0] != '\0') ? value
+                                                : "BENCH_throughput.json";
 }
 
 namespace {
@@ -165,6 +190,10 @@ std::string SpeedupCasesJson(const std::vector<SpeedupCase>& cases) {
 
 bool UpdateBenchJson(const std::string& path, const std::string& key,
                      const std::string& section_json) {
+  // Serialise the whole read-merge-write cycle: concurrent in-process
+  // writers (multi-threaded benches) must not interleave file I/O.
+  static std::mutex* mu = new std::mutex;  // leaked: safe at any exit order
+  std::lock_guard<std::mutex> lock(*mu);
   std::string existing;
   {
     std::ifstream in(path);

@@ -18,8 +18,16 @@ namespace bench {
 
 /// Prints the experiment banner: id, the paper claim being reproduced, and
 /// the protocol, so `bench_output.txt` reads as a self-contained report.
+/// Also calls `RequireOptimizedBuild()` — benches refuse to report numbers
+/// from an unoptimized binary.
 void PrintHeader(const std::string& id, const std::string& claim,
                  const std::string& protocol);
+
+/// Fails loudly (exit 1) when this binary was compiled without NDEBUG:
+/// Debug-build timings are meaningless and have been mistaken for
+/// regressions before. Set XPTC_ALLOW_DEBUG_BENCH=1 to override when
+/// debugging a bench itself.
+void RequireOptimizedBuild();
 
 /// Prints a table row of the form "  col1  col2 ..." from preformatted
 /// cells (experiment reports are plain fixed-width text).
@@ -54,11 +62,31 @@ std::string SpeedupCasesJson(const std::vector<SpeedupCase>& cases);
 /// Read-merge-writes `section_json` under top-level key `key` in the JSON
 /// object file at `path` (other sections are preserved), so exp2 and exp3
 /// can share one BENCH_eval.json. Returns false on I/O failure.
+///
+/// BENCH_*.json schema: every file is one top-level JSON object mapping an
+/// experiment id ("exp2_eval_scaling", "exp11_throughput", ...) to that
+/// experiment's section object. Each section carries at least
+/// {"smoke": bool} so readers can discard CI smoke numbers; the remaining
+/// fields are experiment-specific and documented where the section is
+/// built (see SpeedupCasesJson here and bench/exp11_throughput.cc).
+/// Sections are replaced wholesale on rerun; unrelated sections survive.
+///
+/// Thread-safety: the read-merge-write cycle is serialised by a
+/// process-wide mutex, so concurrent writers (e.g. multi-threaded benches
+/// whose workers each report a section, or google-benchmark running
+/// registered benchmarks on threads) cannot interleave and corrupt the
+/// file. Cross-process writers are NOT serialised — CI runs benches
+/// sequentially for that reason.
 bool UpdateBenchJson(const std::string& path, const std::string& key,
                      const std::string& section_json);
 
 /// Path of the shared benchmark JSON (XPTC_BENCH_JSON or BENCH_eval.json).
 std::string BenchJsonPath();
+
+/// Path of the throughput benchmark JSON (XPTC_BENCH_THROUGHPUT_JSON or
+/// BENCH_throughput.json). Kept separate from BENCH_eval.json: throughput
+/// numbers depend on the host's core count, eval numbers do not.
+std::string ThroughputJsonPath();
 
 /// Deterministic tree for benchmarks.
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,

@@ -1,0 +1,105 @@
+#include "workload/batch.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "xpath/eval.h"
+
+namespace xptc {
+
+BatchEngine::BatchEngine(BatchOptions options) {
+  if (options.pool != nullptr) {
+    pool_ = options.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options.num_workers);
+    pool_ = owned_pool_.get();
+  }
+  scratch_.resize(static_cast<size_t>(pool_->num_workers()));
+}
+
+BatchEngine::~BatchEngine() {
+  // Scratch objects reference the TreeCaches; drain in-flight tasks before
+  // members destruct (owned pool joins here; external pools must be idle
+  // on this engine's tasks, which Run guarantees by blocking).
+  if (owned_pool_ != nullptr) owned_pool_.reset();
+}
+
+int BatchEngine::AddTree(std::shared_ptr<const Tree> tree) {
+  XPTC_CHECK(tree != nullptr);
+  const int index = num_trees();
+  caches_.push_back(std::make_shared<TreeCache>(tree));
+  trees_.push_back(std::move(tree));
+  return index;
+}
+
+void BatchEngine::EnsureScratchRows() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& row : scratch_) {
+    if (row.size() < trees_.size()) row.resize(trees_.size());
+  }
+}
+
+EvalScratch* BatchEngine::ScratchFor(int worker, int tree_index) {
+  auto& slot = scratch_[static_cast<size_t>(worker)]
+                       [static_cast<size_t>(tree_index)];
+  if (slot == nullptr) {
+    slot = std::make_unique<EvalScratch>(
+        *trees_[static_cast<size_t>(tree_index)],
+        caches_[static_cast<size_t>(tree_index)].get());
+  }
+  return slot.get();
+}
+
+std::vector<std::vector<Bitset>> BatchEngine::Run(
+    const std::vector<Query>& queries) {
+  const int num_t = num_trees();
+  const int num_q = static_cast<int>(queries.size());
+  std::vector<std::vector<Bitset>> results(static_cast<size_t>(num_t));
+  for (auto& row : results) row.resize(static_cast<size_t>(num_q));
+  if (num_t == 0 || num_q == 0) return results;
+  EnsureScratchRows();
+  pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    const int t = task / num_q;
+    const int q = task % num_q;
+    // Each task writes its own (t, q) slot; no two tasks share one.
+    results[static_cast<size_t>(t)][static_cast<size_t>(q)] =
+        queries[static_cast<size_t>(q)].Select(*trees_[static_cast<size_t>(t)],
+                                               ScratchFor(worker, t));
+  });
+  return results;
+}
+
+std::vector<std::vector<Bitset>> BatchEngine::RunPaths(
+    const std::vector<PathQuery>& queries) {
+  const int num_t = num_trees();
+  const int num_q = static_cast<int>(queries.size());
+  std::vector<std::vector<Bitset>> results(static_cast<size_t>(num_t));
+  for (auto& row : results) row.resize(static_cast<size_t>(num_q));
+  if (num_t == 0 || num_q == 0) return results;
+  EnsureScratchRows();
+  pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    const int t = task / num_q;
+    const int q = task % num_q;
+    const Tree& tree = *trees_[static_cast<size_t>(t)];
+    Bitset root_set(tree.size());
+    root_set.Set(tree.root());
+    results[static_cast<size_t>(t)][static_cast<size_t>(q)] =
+        queries[static_cast<size_t>(q)].FromSet(tree, root_set,
+                                                ScratchFor(worker, t));
+  });
+  return results;
+}
+
+// Defined here (not in engine.cc) so the xpath layer does not depend on
+// the workload layer at compile time — engine.h only declares it.
+std::vector<std::vector<Bitset>> Query::SelectBatch(
+    const std::vector<std::shared_ptr<const Tree>>& trees,
+    const std::vector<Query>& queries, int num_workers) {
+  BatchOptions options;
+  options.num_workers = num_workers;
+  BatchEngine engine(options);
+  for (const auto& tree : trees) engine.AddTree(tree);
+  return engine.Run(queries);
+}
+
+}  // namespace xptc

@@ -1,0 +1,97 @@
+#ifndef XPTC_WORKLOAD_BATCH_H_
+#define XPTC_WORKLOAD_BATCH_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/threadpool.h"
+#include "tree/tree.h"
+#include "xpath/engine.h"
+#include "workload/tree_cache.h"
+
+namespace xptc {
+
+/// Configuration for a `BatchEngine`.
+struct BatchOptions {
+  /// Worker threads for the owned pool; <= 0 selects hardware concurrency.
+  /// Ignored when `pool` is set.
+  int num_workers = 0;
+
+  /// Optional external pool to run on (not owned; must outlive the
+  /// engine). Lets several engines share one set of OS threads.
+  ThreadPool* pool = nullptr;
+};
+
+/// Parallel cross-product evaluator: a corpus of trees × a workload of
+/// queries, sharded as one (tree, query) task per pair on a work-stealing
+/// thread pool.
+///
+/// The throughput levers, in order of importance:
+///  - per-tree `TreeCache`s (built by `AddTree`, shared by every worker and
+///    every `Run`) memoise `W`-body results and label sets across queries,
+///    so a workload of q `W`-queries pays the bottom-up `W` pass once per
+///    distinct body, not q times;
+///  - per-(worker, tree) `EvalScratch` pools persist across tasks and
+///    `Run` calls, so steady-state evaluation allocates no bitsets — each
+///    worker touches only its own scratch row, no locks on the hot path;
+///  - work stealing keeps cores busy despite wildly uneven task costs
+///    (a `W`-heavy query on the biggest tree vs. a label test on the
+///    smallest).
+///
+/// Correctness bar (enforced by the differential tests): `Run` results are
+/// bit-for-bit equal to a sequential `Query::Select` loop.
+///
+/// Thread-safety: `Run`/`RunPaths` may be called concurrently with each
+/// other (tasks interleave on the pool; results are independent).
+/// `AddTree` must not race with `Run`. The same `TreeCache` objects may
+/// simultaneously be used by non-batch evaluations (e.g. a concurrent
+/// `Query::Select` over an `EvalScratch` attached to the same cache).
+class BatchEngine {
+ public:
+  explicit BatchEngine(BatchOptions options = BatchOptions{});
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  /// Registers a document and builds its `TreeCache`; returns its index.
+  int AddTree(std::shared_ptr<const Tree> tree);
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  int num_workers() const { return pool_->num_workers(); }
+  const std::shared_ptr<TreeCache>& tree_cache(int tree_index) const {
+    return caches_[static_cast<size_t>(tree_index)];
+  }
+
+  /// Evaluates every query on every registered tree; `result[t][q]` equals
+  /// `queries[q].Select(tree t)` bit for bit.
+  std::vector<std::vector<Bitset>> Run(const std::vector<Query>& queries);
+
+  /// Forward images from the document root; `result[t][q]` equals
+  /// `queries[q].FromSet(tree t, {root})` bit for bit.
+  std::vector<std::vector<Bitset>> RunPaths(
+      const std::vector<PathQuery>& queries);
+
+ private:
+  /// Lazily creates the per-(worker, tree) scratch. Only ever called from
+  /// worker `worker`'s thread, so no synchronisation is needed.
+  EvalScratch* ScratchFor(int worker, int tree_index);
+
+  /// Grows every worker's scratch row to cover all registered trees
+  /// (no-op when sizes are unchanged). Called at Run entry under mu_.
+  void EnsureScratchRows();
+
+  std::vector<std::shared_ptr<const Tree>> trees_;
+  std::vector<std::shared_ptr<TreeCache>> caches_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  std::mutex mu_;  // guards scratch row growth at Run entry
+  // scratch_[worker][tree]; each row is touched only by its worker.
+  std::vector<std::vector<std::unique_ptr<EvalScratch>>> scratch_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_WORKLOAD_BATCH_H_

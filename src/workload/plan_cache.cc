@@ -1,0 +1,133 @@
+#include "workload/plan_cache.h"
+
+#include <cctype>
+#include <utility>
+
+#include "common/check.h"
+#include "xpath/parser.h"
+#include "xpath/rewrite.h"
+
+namespace xptc {
+
+namespace {
+
+std::string NormaliseText(const std::string& text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t PlanCache::KeyHash::operator()(const Key& key) const {
+  size_t h = std::hash<std::string>()(key.text);
+  h = HashCombine(h, reinterpret_cast<size_t>(key.alphabet));
+  h = HashCombine(h, (key.optimize ? 2u : 0u) | (key.is_path ? 1u : 0u));
+  return h;
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  XPTC_CHECK_GT(capacity, 0u);
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+PlanCache::LruList::iterator PlanCache::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return lru_.begin();
+}
+
+void PlanCache::InsertLocked(Entry entry) {
+  lru_.push_front(std::move(entry));
+  index_[lru_.front().key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ExprInterner& PlanCache::InternerLocked(const Alphabet* alphabet) {
+  std::unique_ptr<ExprInterner>& slot = interners_[alphabet];
+  if (slot == nullptr) slot = std::make_unique<ExprInterner>();
+  return *slot;
+}
+
+Result<std::shared_ptr<const Query>> PlanCache::Parse(const std::string& text,
+                                                      Alphabet* alphabet,
+                                                      bool optimize) {
+  Key key{alphabet, optimize, /*is_path=*/false, NormaliseText(text)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      it->second = Touch(it->second);
+      return it->second->query;
+    }
+  }
+  // Parse outside the lock (the expensive part, and `Intern`/insert below
+  // re-checks nothing: a racing parse of the same text just replaces the
+  // entry with an equivalent plan).
+  XPTC_ASSIGN_OR_RETURN(NodePtr parsed, ParseNode(key.text, alphabet));
+  NodePtr optimized = optimize ? SimplifyNode(parsed) : parsed;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  ExprInterner& interner = InternerLocked(alphabet);
+  NodePtr original = interner.Intern(parsed);
+  NodePtr plan = interner.Intern(optimized);
+  auto query = std::shared_ptr<const Query>(
+      new Query(std::move(original), std::move(plan)));
+  InsertLocked(Entry{std::move(key), query, nullptr});
+  return query;
+}
+
+Result<std::shared_ptr<const PathQuery>> PlanCache::ParsePath(
+    const std::string& text, Alphabet* alphabet, bool optimize) {
+  Key key{alphabet, optimize, /*is_path=*/true, NormaliseText(text)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      it->second = Touch(it->second);
+      return it->second->path_query;
+    }
+  }
+  // Qualified: the unqualified name resolves to this member function.
+  XPTC_ASSIGN_OR_RETURN(PathPtr parsed, ::xptc::ParsePath(key.text, alphabet));
+  PathPtr optimized = optimize ? SimplifyPath(parsed) : parsed;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  ExprInterner& interner = InternerLocked(alphabet);
+  PathPtr original = interner.Intern(parsed);
+  PathPtr plan = interner.Intern(optimized);
+  auto query = std::shared_ptr<const PathQuery>(
+      new PathQuery(std::move(original), std::move(plan)));
+  InsertLocked(Entry{std::move(key), nullptr, query});
+  return query;
+}
+
+}  // namespace xptc

@@ -1,0 +1,105 @@
+#ifndef XPTC_WORKLOAD_PLAN_CACHE_H_
+#define XPTC_WORKLOAD_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "xpath/engine.h"
+#include "xpath/intern.h"
+
+namespace xptc {
+
+/// Thread-safe LRU cache of parsed, simplified, hash-consed query plans.
+///
+/// A serving workload re-parses the same query texts endlessly; a cache hit
+/// turns `Query::Parse` (lexing + parsing + simplifier fixpoint) into one
+/// hash lookup. Entries are keyed on (alphabet identity, normalised text,
+/// optimize flag) — normalisation is surrounding-whitespace stripping, so
+/// `" <child[a]> "` and `"<child[a]>"` share a plan. The stored `Query` is
+/// immutable and handed out by shared_ptr, safe to evaluate concurrently
+/// from any number of workers.
+///
+/// Every plan that enters the cache is routed through one `ExprInterner`
+/// per alphabet (hash-consing): structurally identical subexpressions
+/// *across different queries* collapse onto pointer-identical AST nodes,
+/// so the evaluator's pointer-keyed memos — per-context node sets and the
+/// per-tree `W` memo — hit across the whole workload, not just within one
+/// query. Dialects are classified per the engine policy (plan dialect +
+/// source dialect) and come along with the cached `Query`.
+///
+/// Parse *errors* are not cached; they return through `Result` as usual.
+class PlanCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  explicit PlanCache(size_t capacity = 1024);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Cached equivalent of `Query::Parse(text, alphabet, optimize)`.
+  Result<std::shared_ptr<const Query>> Parse(const std::string& text,
+                                             Alphabet* alphabet,
+                                             bool optimize = true);
+
+  /// Cached equivalent of `PathQuery::Parse(text, alphabet, optimize)`.
+  Result<std::shared_ptr<const PathQuery>> ParsePath(const std::string& text,
+                                                     Alphabet* alphabet,
+                                                     bool optimize = true);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  struct Key {
+    const Alphabet* alphabet;
+    bool optimize;
+    bool is_path;
+    std::string text;  // normalised
+
+    bool operator==(const Key& other) const {
+      return alphabet == other.alphabet && optimize == other.optimize &&
+             is_path == other.is_path && text == other.text;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const Query> query;          // is_path == false
+    std::shared_ptr<const PathQuery> path_query; // is_path == true
+  };
+
+  using LruList = std::list<Entry>;
+
+  /// Moves a hit to the front; inserts + evicts on miss. Caller holds mu_.
+  LruList::iterator Touch(LruList::iterator it);
+  void InsertLocked(Entry entry);
+  ExprInterner& InternerLocked(const Alphabet* alphabet);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<Key, LruList::iterator, KeyHash> index_;
+  // One interner per alphabet: symbols from different alphabets must never
+  // be conflated even when structurally equal.
+  std::unordered_map<const Alphabet*, std::unique_ptr<ExprInterner>>
+      interners_;
+  Stats stats_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_WORKLOAD_PLAN_CACHE_H_

@@ -1,0 +1,72 @@
+#include "workload/tree_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace xptc {
+
+TreeCache::TreeCache(std::shared_ptr<const Tree> tree)
+    : tree_(std::move(tree)) {
+  XPTC_CHECK(tree_ != nullptr);
+}
+
+const Bitset& TreeCache::LabelSet(Symbol label) {
+  Shard& shard = ShardFor(static_cast<size_t>(label));
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.labels.find(label);
+  if (it != shard.labels.end()) return it->second;
+  // Built under the shard lock: O(|T|), paid once per (tree, label), and
+  // holding the lock means concurrent first users don't duplicate the scan.
+  Bitset set(tree_->size());
+  for (NodeId v = 0; v < tree_->size(); ++v) {
+    if (tree_->Label(v) == label) set.Set(v);
+  }
+  return shard.labels.emplace(label, std::move(set)).first->second;
+}
+
+const Bitset* TreeCache::FindWithin(const NodeExpr& body) {
+  const size_t hash = NodeHash(body);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.within.find(hash);
+  if (it == shard.within.end()) return nullptr;
+  for (const WithinEntry& entry : it->second) {
+    if (NodeEquals(*entry.body, body)) return &entry.set;
+  }
+  return nullptr;
+}
+
+const Bitset& TreeCache::StoreWithin(const NodePtr& body, Bitset wset) {
+  XPTC_CHECK(body != nullptr);
+  XPTC_DCHECK(wset.size() == tree_->size());
+  const size_t hash = NodeHash(*body);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::deque<WithinEntry>& chain = shard.within[hash];
+  for (const WithinEntry& entry : chain) {
+    if (NodeEquals(*entry.body, *body)) return entry.set;  // lost the race
+  }
+  chain.push_back(WithinEntry{body, std::move(wset)});
+  return chain.back().set;
+}
+
+size_t TreeCache::within_entries() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [hash, chain] : shard.within) count += chain.size();
+  }
+  return count;
+}
+
+size_t TreeCache::label_entries() const {
+  size_t count = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count += shard.labels.size();
+  }
+  return count;
+}
+
+}  // namespace xptc

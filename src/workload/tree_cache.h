@@ -1,0 +1,86 @@
+#ifndef XPTC_WORKLOAD_TREE_CACHE_H_
+#define XPTC_WORKLOAD_TREE_CACHE_H_
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/alphabet.h"
+#include "common/bitset.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Per-tree, cross-query, cross-thread memoisation.
+///
+/// PR 1 made `W φ` and per-label node sets cheap *within* one evaluation by
+/// memoising them in the evaluation's shared state. This class lifts both
+/// memos to the lifetime of the *tree*: every evaluation of every query on
+/// the same document (from any worker thread) shares one copy, so the
+/// dominant `W` cost is paid once per (tree, body) instead of once per
+/// (tree, body, query).
+///
+/// Concurrency model: read-mostly, mutex-sharded. Entries are computed
+/// outside the lock, inserted under a shard lock, and never mutated or
+/// evicted afterwards — invalidation is a non-problem because `Tree` is
+/// immutable and both kinds of entry depend on nothing but the tree.
+/// Returned references stay valid for the cache's lifetime (node-based
+/// containers; entries are never erased). If two threads race to compute
+/// the same entry the first insert wins and the loser's work is discarded —
+/// wasted cycles, never wrong answers.
+///
+/// `W` results are keyed *structurally* (NodeHash/NodeEquals), not by
+/// pointer, so memoisation works across queries even when plans were not
+/// hash-consed through one `ExprInterner`; each entry pins its body
+/// expression via `NodePtr` so keys can never dangle.
+class TreeCache {
+ public:
+  explicit TreeCache(std::shared_ptr<const Tree> tree);
+
+  TreeCache(const TreeCache&) = delete;
+  TreeCache& operator=(const TreeCache&) = delete;
+
+  const Tree& tree() const { return *tree_; }
+  const std::shared_ptr<const Tree>& tree_ptr() const { return tree_; }
+
+  /// The node set {v : Label(v) == label}, computed on first use.
+  const Bitset& LabelSet(Symbol label);
+
+  /// The memoised `W`-body result for `body`, or nullptr if not yet stored.
+  const Bitset* FindWithin(const NodeExpr& body);
+
+  /// Stores `wset` as the result for `body` (pinning `body`); returns the
+  /// canonical entry — the previously stored one if another thread won the
+  /// race, else the one just inserted.
+  const Bitset& StoreWithin(const NodePtr& body, Bitset wset);
+
+  /// Stats (tests and reports).
+  size_t within_entries() const;
+  size_t label_entries() const;
+
+ private:
+  struct WithinEntry {
+    NodePtr body;
+    Bitset set;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // hash → chain of structurally distinct bodies with that hash. Deques
+    // keep element addresses stable across growth.
+    std::unordered_map<size_t, std::deque<WithinEntry>> within;
+    std::unordered_map<Symbol, Bitset> labels;
+  };
+
+  static constexpr int kNumShards = 8;
+
+  Shard& ShardFor(size_t hash) { return shards_[hash % kNumShards]; }
+
+  std::shared_ptr<const Tree> tree_;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_WORKLOAD_TREE_CACHE_H_

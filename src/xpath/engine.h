@@ -1,6 +1,7 @@
 #ifndef XPTC_XPATH_ENGINE_H_
 #define XPTC_XPATH_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,9 @@
 #include "xpath/fragment.h"
 
 namespace xptc {
+
+class EvalScratch;  // xpath/eval.h
+class PlanCache;    // workload/plan_cache.h
 
 /// High-level façade over the node-expression pipeline: parse → classify →
 /// (optionally) simplify → evaluate. The typical entry point for library
@@ -36,11 +40,32 @@ class Query {
   const NodePtr& expr() const { return original_; }
   const NodePtr& plan() const { return optimized_; }
 
-  /// The smallest dialect containing the query.
+  /// The smallest dialect containing the *plan* (the expression that is
+  /// actually executed) — the measure of what the engine pays for.
+  /// Simplification can shrink the dialect (e.g. `W φ ≡ φ` for downward φ
+  /// drops Regular XPath(W) to Core XPath); this accessor reflects that.
   Dialect dialect() const { return dialect_; }
+
+  /// The smallest dialect containing the query *as written* — what the
+  /// user asked for, before simplification. `source_dialect()` always
+  /// contains `dialect()` in the hierarchy.
+  Dialect source_dialect() const { return source_dialect_; }
 
   /// All nodes of `tree` satisfying the query.
   Bitset Select(const Tree& tree) const;
+
+  /// Same, evaluated over borrowed scratch (pool + per-tree memos) — the
+  /// batch engine's hot path. `scratch` must be bound to `tree`.
+  Bitset Select(const Tree& tree, EvalScratch* scratch) const;
+
+  /// Evaluates the cross product trees × queries in parallel on a
+  /// work-stealing pool and returns `result[t][q]`, bit-for-bit equal to
+  /// `queries[q].Select(*trees[t])`. Convenience façade over
+  /// `BatchEngine` (workload/batch.h); defined in src/workload/batch.cc.
+  /// `num_workers <= 0` selects hardware concurrency.
+  static std::vector<std::vector<Bitset>> SelectBatch(
+      const std::vector<std::shared_ptr<const Tree>>& trees,
+      const std::vector<Query>& queries, int num_workers = 0);
 
   /// Same, as a document-ordered id vector.
   std::vector<NodeId> SelectVector(const Tree& tree) const;
@@ -52,14 +77,18 @@ class Query {
   std::string ToString(const Alphabet& alphabet) const;
 
  private:
+  friend class PlanCache;  // builds Queries from pre-interned parts
+
   Query(NodePtr original, NodePtr optimized)
       : original_(std::move(original)),
         optimized_(std::move(optimized)),
-        dialect_(ClassifyNode(*original_)) {}
+        dialect_(ClassifyNode(*optimized_)),
+        source_dialect_(ClassifyNode(*original_)) {}
 
   NodePtr original_;
   NodePtr optimized_;
-  Dialect dialect_;
+  Dialect dialect_;         // of the plan (executed form)
+  Dialect source_dialect_;  // of the expression as written
 };
 
 /// Façade for path expressions (binary relations): navigation from context
@@ -72,13 +101,21 @@ class PathQuery {
 
   const PathPtr& expr() const { return original_; }
   const PathPtr& plan() const { return optimized_; }
-  Dialect dialect() const { return ClassifyPath(*optimized_); }
+
+  /// Dialect of the plan / of the expression as written — same policy as
+  /// `Query` (classify what executes; expose the source separately).
+  Dialect dialect() const { return dialect_; }
+  Dialect source_dialect() const { return source_dialect_; }
 
   /// Nodes reachable from `context` (document order).
   std::vector<NodeId> From(const Tree& tree, NodeId context) const;
 
   /// Nodes reachable from any node of `sources`.
   Bitset FromSet(const Tree& tree, const Bitset& sources) const;
+
+  /// Same, over borrowed scratch (the batch engine's hot path).
+  Bitset FromSet(const Tree& tree, const Bitset& sources,
+                 EvalScratch* scratch) const;
 
   /// Nodes from which something in `targets` is reachable (backward image).
   Bitset Into(const Tree& tree, const Bitset& targets) const;
@@ -89,11 +126,18 @@ class PathQuery {
   std::string ToString(const Alphabet& alphabet) const;
 
  private:
+  friend class PlanCache;  // builds PathQueries from pre-interned parts
+
   PathQuery(PathPtr original, PathPtr optimized)
-      : original_(std::move(original)), optimized_(std::move(optimized)) {}
+      : original_(std::move(original)),
+        optimized_(std::move(optimized)),
+        dialect_(ClassifyPath(*optimized_)),
+        source_dialect_(ClassifyPath(*original_)) {}
 
   PathPtr original_;
   PathPtr optimized_;
+  Dialect dialect_;
+  Dialect source_dialect_;
 };
 
 }  // namespace xptc

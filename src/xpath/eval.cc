@@ -1,20 +1,29 @@
 #include "xpath/eval.h"
 
 #include <algorithm>
+#include <deque>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
+#include "workload/tree_cache.h"
 
 namespace xptc {
 
 namespace internal {
 
-/// Shared evaluation state: one instance per root evaluator, reached by
-/// every sub-context evaluator spawned under it.
+/// Shared evaluation state: one instance per root evaluator (or per
+/// `EvalScratch`, when evaluations reuse scratch), reached by every
+/// sub-context evaluator spawned under it.
 struct EvalShared {
   explicit EvalShared(const Tree& tree) : tree(tree) {}
 
   const Tree& tree;
+
+  /// Optional per-tree cross-query memo store (thread-safe, shared across
+  /// workers); null for standalone evaluations. The maps below then act as
+  /// a lock-free L1 in front of it.
+  TreeCache* tree_cache = nullptr;
 
   /// Scratch pool. All bitsets in `free_list` are all-zero; `Acquire`
   /// hands one out, `Recycle` zeroes the producer's context window and
@@ -23,14 +32,22 @@ struct EvalShared {
   /// of O(|T|/64) to allocate it.
   std::vector<Bitset> free_list;
 
-  /// Global memo of `W φ` node sets, keyed by body identity. `W` results
-  /// are context-independent (see Evaluator docs), so one entry serves
-  /// every context — this is what makes nested `W`s share work.
-  std::unordered_map<const NodeExpr*, Bitset> within_memo;
+  /// Memo of `W φ` node sets, keyed by body identity. `W` results are
+  /// context-independent (see Evaluator docs), so one entry serves every
+  /// context — this is what makes nested `W`s share work. Values point
+  /// either into `local_within` or into the attached `TreeCache`; the
+  /// bodies are pinned in `within_pins` so pointer keys cannot be reused
+  /// by a freed-and-reallocated expression while the scratch lives.
+  std::unordered_map<const NodeExpr*, const Bitset*> within_refs;
+  std::deque<Bitset> local_within;  // deque: stable element addresses
+  std::vector<NodePtr> within_pins;
 
   /// Per-label node sets over the whole tree, built once on first use so
-  /// label tests in sub-contexts are word copies, not node scans.
+  /// label tests in sub-contexts are word copies, not node scans. With a
+  /// `TreeCache` attached the sets live there (shared across queries and
+  /// workers) and `label_refs` caches the lookups lock-free.
   std::unordered_map<Symbol, Bitset> label_sets;
+  std::unordered_map<Symbol, const Bitset*> label_refs;
 
   Bitset Acquire() {
     if (free_list.empty()) return Bitset(tree.size());
@@ -48,6 +65,13 @@ struct EvalShared {
   }
 
   const Bitset& LabelSet(Symbol label) {
+    if (tree_cache != nullptr) {
+      auto ref = label_refs.find(label);
+      if (ref != label_refs.end()) return *ref->second;
+      const Bitset& set = tree_cache->LabelSet(label);
+      label_refs.emplace(label, &set);
+      return set;
+    }
     auto it = label_sets.find(label);
     if (it != label_sets.end()) return it->second;
     Bitset set(tree.size());
@@ -62,12 +86,33 @@ struct EvalShared {
 
 using internal::EvalShared;
 
+EvalScratch::EvalScratch(const Tree& tree, TreeCache* tree_cache)
+    : shared_(std::make_unique<EvalShared>(tree)) {
+  if (tree_cache != nullptr) {
+    XPTC_CHECK(&tree_cache->tree() == &tree)
+        << "EvalScratch: TreeCache bound to a different tree";
+    shared_->tree_cache = tree_cache;
+  }
+}
+
+EvalScratch::~EvalScratch() = default;
+
 Evaluator::Evaluator(const Tree& tree, NodeId context_root)
     : tree_(tree),
       lo_(context_root),
       hi_(tree.SubtreeEnd(context_root)),
       owned_shared_(std::make_unique<EvalShared>(tree)),
       shared_(owned_shared_.get()) {}
+
+Evaluator::Evaluator(const Tree& tree, EvalScratch* scratch,
+                     NodeId context_root)
+    : tree_(tree),
+      lo_(context_root),
+      hi_(tree.SubtreeEnd(context_root)),
+      shared_(scratch->shared_.get()) {
+  XPTC_CHECK(&shared_->tree == &tree)
+      << "Evaluator: scratch bound to a different tree";
+}
 
 Evaluator::Evaluator(const Tree& tree, NodeId context_root,
                      EvalShared* shared)
@@ -259,34 +304,53 @@ Bitset Evaluator::ComputeNode(const NodeExpr& node) {
     case NodeOp::kWithin:
       // W φ is context-independent per node (see WithinSet), so the
       // context's answer is just the window slice of the global set.
-      out.CopyRange(WithinSet(*node.left), lo_, hi_);
+      out.CopyRange(WithinSet(node.left), lo_, hi_);
       break;
   }
   return out;
 }
 
-const Bitset& Evaluator::WithinSet(const NodeExpr& body) {
-  auto it = shared_->within_memo.find(&body);
-  if (it != shared_->within_memo.end()) return it->second;
+const Bitset& Evaluator::WithinSet(const NodePtr& body) {
+  auto it = shared_->within_refs.find(body.get());
+  if (it != shared_->within_refs.end()) return *it->second;
 
-  // wset[v] = 1 iff `body` holds at v in context T|v. The result only
-  // depends on the subtree of v (context evaluation never leaves T|v, and
-  // T|v is the same subtree in every enclosing context), so it is computed
-  // once over the whole tree and shared by every context and every nesting
-  // level. One pooled sub-evaluator is rebound bottom-up (descending
-  // preorder id = leaves first), so scratch memory is reused across all
-  // |T| sub-contexts and inner `W`s hit this memo recursively.
-  const int n = tree_.size();
-  Bitset wset(n);
-  if (n > 0) {
-    Evaluator sub(tree_, n - 1, shared_);
-    for (NodeId v = n - 1;; --v) {
-      sub.Rebind(v);
-      if (sub.EvalNodeRef(body).Get(v)) wset.Set(v);
-      if (v == 0) break;
+  // L2: the per-tree cross-query cache, shared with other workers. A hit
+  // means some earlier evaluation — possibly of a different query on a
+  // different thread — already paid for this body on this tree.
+  const Bitset* result = nullptr;
+  if (shared_->tree_cache != nullptr) {
+    result = shared_->tree_cache->FindWithin(*body);
+  }
+
+  if (result == nullptr) {
+    // wset[v] = 1 iff `body` holds at v in context T|v. The result only
+    // depends on the subtree of v (context evaluation never leaves T|v, and
+    // T|v is the same subtree in every enclosing context), so it is computed
+    // once over the whole tree and shared by every context and every nesting
+    // level. One pooled sub-evaluator is rebound bottom-up (descending
+    // preorder id = leaves first), so scratch memory is reused across all
+    // |T| sub-contexts and inner `W`s hit this memo recursively.
+    const int n = tree_.size();
+    Bitset wset(n);
+    if (n > 0) {
+      Evaluator sub(tree_, n - 1, shared_);
+      for (NodeId v = n - 1;; --v) {
+        sub.Rebind(v);
+        if (sub.EvalNodeRef(*body).Get(v)) wset.Set(v);
+        if (v == 0) break;
+      }
+    }
+    if (shared_->tree_cache != nullptr) {
+      // Racing computers of the same body converge on the first insert.
+      result = &shared_->tree_cache->StoreWithin(body, std::move(wset));
+    } else {
+      shared_->local_within.push_back(std::move(wset));
+      result = &shared_->local_within.back();
     }
   }
-  return shared_->within_memo.emplace(&body, std::move(wset)).first->second;
+  shared_->within_pins.push_back(body);
+  shared_->within_refs.emplace(body.get(), result);
+  return *result;
 }
 
 Bitset Evaluator::EvalNode(const NodeExpr& node) { return EvalNodeRef(node); }

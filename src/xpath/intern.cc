@@ -1,0 +1,91 @@
+#include "xpath/intern.h"
+
+#include <utility>
+
+namespace xptc {
+
+namespace {
+
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+size_t ExprInterner::NodeHasher::operator()(const NodePtr& n) const {
+  size_t h = static_cast<size_t>(n->op);
+  h = HashCombine(h, static_cast<size_t>(n->label) + 1);
+  h = HashCombine(h, reinterpret_cast<size_t>(n->left.get()));
+  h = HashCombine(h, reinterpret_cast<size_t>(n->right.get()));
+  h = HashCombine(h, reinterpret_cast<size_t>(n->path.get()));
+  return h;
+}
+
+bool ExprInterner::NodeShallowEq::operator()(const NodePtr& a,
+                                             const NodePtr& b) const {
+  return a->op == b->op && a->label == b->label && a->left == b->left &&
+         a->right == b->right && a->path == b->path;
+}
+
+size_t ExprInterner::PathHasher::operator()(const PathPtr& p) const {
+  size_t h = static_cast<size_t>(p->op);
+  h = HashCombine(h, static_cast<size_t>(p->axis) + 1);
+  h = HashCombine(h, reinterpret_cast<size_t>(p->left.get()));
+  h = HashCombine(h, reinterpret_cast<size_t>(p->right.get()));
+  h = HashCombine(h, reinterpret_cast<size_t>(p->pred.get()));
+  return h;
+}
+
+bool ExprInterner::PathShallowEq::operator()(const PathPtr& a,
+                                             const PathPtr& b) const {
+  return a->op == b->op && a->axis == b->axis && a->left == b->left &&
+         a->right == b->right && a->pred == b->pred;
+}
+
+NodePtr ExprInterner::Intern(const NodePtr& node) {
+  if (node == nullptr) return node;
+  auto memo = node_memo_.find(node);
+  if (memo != node_memo_.end()) return memo->second;
+
+  NodePtr left = Intern(node->left);
+  NodePtr right = Intern(node->right);
+  PathPtr path = Intern(node->path);
+  NodePtr candidate = node;
+  if (left != node->left || right != node->right || path != node->path) {
+    auto e = std::make_shared<NodeExpr>();
+    e->op = node->op;
+    e->label = node->label;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    e->path = std::move(path);
+    candidate = std::move(e);
+  }
+  NodePtr canonical = *nodes_.insert(candidate).first;
+  node_memo_.emplace(node, canonical);
+  return canonical;
+}
+
+PathPtr ExprInterner::Intern(const PathPtr& path) {
+  if (path == nullptr) return path;
+  auto memo = path_memo_.find(path);
+  if (memo != path_memo_.end()) return memo->second;
+
+  PathPtr left = Intern(path->left);
+  PathPtr right = Intern(path->right);
+  NodePtr pred = Intern(path->pred);
+  PathPtr candidate = path;
+  if (left != path->left || right != path->right || pred != path->pred) {
+    auto e = std::make_shared<PathExpr>();
+    e->op = path->op;
+    e->axis = path->axis;
+    e->left = std::move(left);
+    e->right = std::move(right);
+    e->pred = std::move(pred);
+    candidate = std::move(e);
+  }
+  PathPtr canonical = *paths_.insert(candidate).first;
+  path_memo_.emplace(path, canonical);
+  return canonical;
+}
+
+}  // namespace xptc

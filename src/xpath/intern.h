@@ -1,0 +1,77 @@
+#ifndef XPTC_XPATH_INTERN_H_
+#define XPTC_XPATH_INTERN_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Hash-consing interner for expression DAGs: structurally equal
+/// subexpressions are collapsed onto one shared node, so `Intern(a) ==
+/// Intern(b)` (pointer equality) iff `NodeEquals(*a, *b)`.
+///
+/// Why this matters for throughput: every pointer-keyed memo downstream —
+/// the evaluator's per-context `node_cache_`, the per-evaluation `W` memo,
+/// and the cross-query `TreeCache` — suddenly hits across *different*
+/// queries of a workload whenever they share a subexpression. The
+/// `PlanCache` routes every parsed plan through one interner per alphabet,
+/// which is what makes a query workload evaluate as a DAG instead of a
+/// forest.
+///
+/// Interning is bottom-up: children are interned first, so structural
+/// equality of a candidate reduces to *shallow* equality (same op, same
+/// label/axis, pointer-identical children) — each node costs O(1) hashing
+/// regardless of subtree size. Expressions are immutable and held by
+/// shared_ptr, so interned nodes stay alive as long as the interner does.
+///
+/// Not thread-safe; the `PlanCache` serialises access under its own lock.
+class ExprInterner {
+ public:
+  ExprInterner() = default;
+  ExprInterner(const ExprInterner&) = delete;
+  ExprInterner& operator=(const ExprInterner&) = delete;
+  ExprInterner(ExprInterner&&) = default;
+  ExprInterner& operator=(ExprInterner&&) = default;
+
+  /// Returns the canonical representative of `node` (possibly `node`
+  /// itself, if it is the first of its equivalence class). Null passes
+  /// through (absent optional children).
+  NodePtr Intern(const NodePtr& node);
+  PathPtr Intern(const PathPtr& path);
+
+  /// Number of distinct equivalence classes seen so far.
+  size_t unique_nodes() const { return nodes_.size(); }
+  size_t unique_paths() const { return paths_.size(); }
+
+ private:
+  // Shallow hash/equality: valid only once children are interned, which
+  // Intern guarantees by recursing first.
+  struct NodeHasher {
+    size_t operator()(const NodePtr& n) const;
+  };
+  struct NodeShallowEq {
+    bool operator()(const NodePtr& a, const NodePtr& b) const;
+  };
+  struct PathHasher {
+    size_t operator()(const PathPtr& p) const;
+  };
+  struct PathShallowEq {
+    bool operator()(const PathPtr& a, const PathPtr& b) const;
+  };
+
+  std::unordered_set<NodePtr, NodeHasher, NodeShallowEq> nodes_;
+  std::unordered_set<PathPtr, PathHasher, PathShallowEq> paths_;
+  // Fast path for re-interning an already-processed pointer (repeated
+  // parses of equal texts hand the interner fresh ASTs, but callers also
+  // re-intern cached plans; both stay O(nodes) / O(1) respectively).
+  // Keyed by shared_ptr — pointer-hashed, and pins the input so a freed
+  // expression's address can never be reused into a stale hit.
+  std::unordered_map<NodePtr, NodePtr> node_memo_;
+  std::unordered_map<PathPtr, PathPtr> path_memo_;
+};
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_INTERN_H_

@@ -7,7 +7,10 @@
 /// walking automata" (PODS 2008 / JACM 2010): Core/Regular XPath(W) engines,
 /// FO with monadic transitive closure, tree-walking and nested tree-walking
 /// automata, bottom-up (regular) tree automata, translations between the
-/// formalisms, and bounded decision procedures.
+/// formalisms, and bounded decision procedures. The workload layer adds
+/// throughput machinery on top: a work-stealing thread pool, a parallel
+/// corpus × queries batch engine, per-tree cross-query caches, and a
+/// hash-consed plan cache.
 
 #include "bta/bta.h"
 #include "bta/languages.h"
@@ -17,6 +20,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "compile/compile.h"
 #include "compile/to_dfta.h"
 #include "logic/fo.h"
@@ -32,7 +36,11 @@
 #include "twa/brute.h"
 #include "twa/trace.h"
 #include "twa/twa.h"
+#include "workload/batch.h"
+#include "workload/plan_cache.h"
+#include "workload/tree_cache.h"
 #include "xpath/ast.h"
+#include "xpath/intern.h"
 #include "xpath/engine.h"
 #include "xpath/eval.h"
 #include "xpath/eval_naive.h"

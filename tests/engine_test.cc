@@ -49,6 +49,54 @@ TEST_F(EngineTest, OptimizationIsTransparent) {
             NodeToString(*opt.plan(), alphabet_));
 }
 
+TEST_F(EngineTest, DialectReflectsPlanSourceDialectReflectsText) {
+  // Regression for the dialect-source inconsistency: Query used to
+  // classify the original text while PathQuery classified the plan. Policy
+  // now: dialect() is the plan's (what executes), source_dialect() is the
+  // text's (what was written). `W φ ≡ φ` for downward φ makes the two
+  // observably differ.
+  Query w = Query::Parse("W(<desc[a]>)", &alphabet_).ValueOrDie();
+  EXPECT_EQ(w.source_dialect(), Dialect::kRegularXPathW);
+  EXPECT_EQ(w.dialect(), Dialect::kCoreXPath);
+
+  // Unoptimized: plan == text, so the two dialects coincide.
+  Query raw = Query::Parse("W(<desc[a]>)", &alphabet_, /*optimize=*/false)
+                  .ValueOrDie();
+  EXPECT_EQ(raw.dialect(), Dialect::kRegularXPathW);
+  EXPECT_EQ(raw.source_dialect(), Dialect::kRegularXPathW);
+
+  // A W that simplification cannot remove stays Regular XPath(W) in both.
+  Query hard = Query::Parse("W(<anc[a]>)", &alphabet_).ValueOrDie();
+  EXPECT_EQ(hard.dialect(), Dialect::kRegularXPathW);
+  EXPECT_EQ(hard.source_dialect(), Dialect::kRegularXPathW);
+
+  // Core queries are Core under both views.
+  Query core = Query::Parse("<child[d]>", &alphabet_).ValueOrDie();
+  EXPECT_EQ(core.dialect(), Dialect::kCoreXPath);
+  EXPECT_EQ(core.source_dialect(), Dialect::kCoreXPath);
+}
+
+TEST_F(EngineTest, PathQueryDialectFollowsSamePolicy) {
+  // `(child)*` is Regular XPath as written; star-of-base-axis simplifies
+  // to a Core-expressible plan only if the rewriter knows it. Whatever the
+  // rewriter does, the invariant under test is: dialect() classifies the
+  // plan, source_dialect() classifies the text, and the source dialect
+  // never shrinks below the plan dialect.
+  PathQuery star = PathQuery::Parse("(child)*", &alphabet_).ValueOrDie();
+  EXPECT_EQ(star.source_dialect(), ClassifyPath(*star.expr()));
+  EXPECT_EQ(star.dialect(), ClassifyPath(*star.plan()));
+  EXPECT_GE(static_cast<int>(star.source_dialect()),
+            static_cast<int>(star.dialect()));
+
+  PathQuery core = PathQuery::Parse("child/desc[d]", &alphabet_).ValueOrDie();
+  EXPECT_EQ(core.dialect(), Dialect::kCoreXPath);
+  EXPECT_EQ(core.source_dialect(), Dialect::kCoreXPath);
+
+  PathQuery raw = PathQuery::Parse("(child)*", &alphabet_, /*optimize=*/false)
+                      .ValueOrDie();
+  EXPECT_EQ(raw.dialect(), raw.source_dialect());
+}
+
 TEST_F(EngineTest, PathQueryNavigation) {
   PathQuery path = PathQuery::Parse("child/child", &alphabet_).ValueOrDie();
   EXPECT_EQ(path.From(tree_, 0), (std::vector<NodeId>{2, 3}));

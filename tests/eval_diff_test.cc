@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "tree/generate.h"
+#include "workload/batch.h"
 #include "xpath/ast.h"
+#include "xpath/engine.h"
 #include "xpath/eval.h"
 #include "xpath/eval_naive.h"
 #include "xpath/eval_seed.h"
@@ -185,6 +189,43 @@ TEST(EvalDiffTest, DeepStarsOnChains) {
     }
   }
   EXPECT_GE(pairs, 144);
+}
+
+TEST(EvalDiffTest, BatchEngineMatchesSequentialLoop) {
+  // The throughput layer re-enters this harness: random trees × random
+  // W-enabled queries, the parallel BatchEngine against a plain sequential
+  // Query::Select loop (which itself is covered against naive/seed above).
+  Alphabet alphabet;
+  Rng rng(31337);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  QueryGenOptions options;
+  options.max_depth = 4;
+  options.allow_within = true;
+  std::vector<std::shared_ptr<const Tree>> trees;
+  for (int i = 0; i < 12; ++i) {
+    TreeGenOptions tree_options;
+    tree_options.num_nodes = rng.NextInt(1, 24);
+    tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
+    trees.push_back(
+        std::make_shared<Tree>(GenerateTree(tree_options, labels, &rng)));
+  }
+  std::vector<Query> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back(Query::FromExpr(GenerateNode(options, labels, &rng)));
+  }
+  const auto batched = Query::SelectBatch(trees, queries, /*num_workers=*/3);
+  ASSERT_EQ(batched.size(), trees.size());
+  int pairs = 0;
+  for (size_t t = 0; t < trees.size(); ++t) {
+    ASSERT_EQ(batched[t].size(), queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      ASSERT_EQ(batched[t][q], queries[q].Select(*trees[t]))
+          << "tree " << t << " query "
+          << NodeToString(*queries[q].plan(), alphabet);
+      ++pairs;
+    }
+  }
+  EXPECT_GE(pairs, 240);
 }
 
 TEST(EvalDiffTest, SubtreeContextAgainstExtractedSubtree) {

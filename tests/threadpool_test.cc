@@ -1,0 +1,136 @@
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xptc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> counts(kTasks);
+  for (auto& c : counts) c.store(0);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&counts, i](int) { counts[i].fetch_add(1); });
+  }
+  pool.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreInRange) {
+  ThreadPool pool(3);
+  ASSERT_EQ(pool.num_workers(), 3);
+  std::atomic<bool> bad{false};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&](int worker) {
+      if (worker < 0 || worker >= 3) bad.store(true);
+    });
+  }
+  pool.Wait();
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversIndexRangeOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 777;
+  std::vector<std::atomic<int>> seen(kN);
+  for (auto& s : seen) s.store(0);
+  pool.ParallelFor(kN, [&](int index, int worker) {
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, kN);
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, pool.num_workers());
+    seen[index].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+  }
+  // Zero-length range is a no-op, not a hang.
+  pool.ParallelFor(0, [&](int, int) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, WaitAllowsReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&](int) { total.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(total.load(), (round + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing pending
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsSubmittedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&](int) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+      });
+    }
+    // No Wait(): the destructor must finish queued work before joining.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, TasksSubmittedFromManyThreads) {
+  // Submit is called concurrently from external threads (the BatchEngine
+  // only submits from one, but the pool's contract is broader).
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(4);
+  for (int s = 0; s < 4; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        pool.Submit([&](int) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPoolTest, WorkStealingFinishesUnevenLoads) {
+  // One long task plus many short ones: if idle workers could not steal,
+  // this would serialise behind the long task's queue.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.Submit([&](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    total.fetch_add(1);
+  });
+  for (int i = 0; i < 300; ++i) {
+    pool.Submit([&](int) { total.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), 301);
+}
+
+TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultWorkers(), 1);
+  ThreadPool pool;  // default-sized pool constructs and joins cleanly
+  EXPECT_GE(pool.num_workers(), 1);
+}
+
+}  // namespace
+}  // namespace xptc
