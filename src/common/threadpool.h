@@ -78,14 +78,21 @@ class ThreadPool {
     XPTC_CHECK(task != nullptr);
     const size_t qi =
         next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-    {
-      std::lock_guard<std::mutex> lock(queues_[qi]->mu);
-      queues_[qi]->tasks.push_back(std::move(task));
-    }
+    // Count the task BEFORE publishing it. The other order is unsound: a
+    // worker still holding an entitlement from an earlier submission could
+    // steal and finish the not-yet-counted task, driving pending_ to 0
+    // while counted tasks still sit in deques — a concurrent Wait() would
+    // then return before its own tasks ran. Counting first only errs the
+    // safe way (a claim may briefly precede the push; TakeTask's retry
+    // loop tolerates that, see below).
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++queued_;
       ++pending_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queues_[qi]->mu);
+      queues_[qi]->tasks.push_back(std::move(task));
     }
     work_cv_.notify_one();
   }
@@ -118,10 +125,11 @@ class ThreadPool {
         std::unique_lock<std::mutex> lock(mu_);
         work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
         if (queued_ == 0) return;  // stop_ set and nothing left to drain
-        // Claim an entitlement to exactly one queued task. The task is
-        // guaranteed to be found below: tasks are only removed by workers
-        // holding an entitlement, so (tasks in deques) >= (claims in
-        // flight) at all times.
+        // Claim an entitlement to exactly one queued task. Each counted
+        // task is pushed into a deque shortly after being counted and
+        // tasks are only removed by workers holding an entitlement, so a
+        // claim is matched by a task that is either already in a deque or
+        // about to land there — TakeTask retries until it appears.
         --queued_;
       }
       Task task = TakeTask(id);
@@ -153,7 +161,9 @@ class ThreadPool {
         }
         return task;
       }
-      std::this_thread::yield();  // racing another claimant; retry
+      // Racing another claimant, or the push matching this claim has not
+      // landed yet (Submit counts before publishing); retry.
+      std::this_thread::yield();
     }
   }
 
@@ -164,7 +174,8 @@ class ThreadPool {
   std::mutex mu_;  // guards queued_, pending_, stop_
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  int queued_ = 0;   // tasks sitting in deques, not yet claimed
+  int queued_ = 0;   // tasks counted by Submit, not yet claimed (the push
+                     // into a deque may trail the count by an instant)
   int pending_ = 0;  // tasks submitted, not yet finished
   bool stop_ = false;
 };

@@ -52,6 +52,19 @@ PlanCache::Stats PlanCache::stats() const {
   return stats_;
 }
 
+void PlanCache::Purge(const Alphabet* alphabet) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.alphabet == alphabet) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  interners_.erase(alphabet);
+}
+
 PlanCache::LruList::iterator PlanCache::Touch(LruList::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
   return lru_.begin();
@@ -86,13 +99,21 @@ Result<std::shared_ptr<const Query>> PlanCache::Parse(const std::string& text,
       return it->second->query;
     }
   }
-  // Parse outside the lock (the expensive part, and `Intern`/insert below
-  // re-checks nothing: a racing parse of the same text just replaces the
-  // entry with an equivalent plan).
+  // Parse outside the lock (the expensive part); the insert below re-checks
+  // the index so a racing parse of the same text cannot create a duplicate
+  // LRU entry (which would later make eviction erase the live index slot).
   XPTC_ASSIGN_OR_RETURN(NodePtr parsed, ParseNode(key.text, alphabet));
   NodePtr optimized = optimize ? SimplifyNode(parsed) : parsed;
 
   std::lock_guard<std::mutex> lock(mu_);
+  auto raced = index_.find(key);
+  if (raced != index_.end()) {
+    // A concurrent thread inserted this key while we parsed: keep its
+    // entry, discard our redundant (but equivalent) parse.
+    ++stats_.hits;
+    raced->second = Touch(raced->second);
+    return raced->second->query;
+  }
   ++stats_.misses;
   ExprInterner& interner = InternerLocked(alphabet);
   NodePtr original = interner.Intern(parsed);
@@ -120,6 +141,12 @@ Result<std::shared_ptr<const PathQuery>> PlanCache::ParsePath(
   PathPtr optimized = optimize ? SimplifyPath(parsed) : parsed;
 
   std::lock_guard<std::mutex> lock(mu_);
+  auto raced = index_.find(key);
+  if (raced != index_.end()) {
+    ++stats_.hits;
+    raced->second = Touch(raced->second);
+    return raced->second->path_query;
+  }
   ++stats_.misses;
   ExprInterner& interner = InternerLocked(alphabet);
   PathPtr original = interner.Intern(parsed);

@@ -34,6 +34,14 @@ namespace xptc {
 /// source dialect) and come along with the cached `Query`.
 ///
 /// Parse *errors* are not cached; they return through `Result` as usual.
+///
+/// Lifetime: entries are keyed on the `Alphabet*` address, so every alphabet
+/// passed to `Parse`/`ParsePath` must outlive the cache — or be withdrawn
+/// with `Purge(alphabet)` *before* it is destroyed. Without the purge, a new
+/// alphabet allocated at a recycled address would alias the dead one's key
+/// and hit plans whose Symbols were minted by the dead alphabet; the purge
+/// also reclaims the per-alphabet interner, which otherwise lives for the
+/// cache's lifetime.
 class PlanCache {
  public:
   struct Stats {
@@ -56,6 +64,11 @@ class PlanCache {
   Result<std::shared_ptr<const PathQuery>> ParsePath(const std::string& text,
                                                      Alphabet* alphabet,
                                                      bool optimize = true);
+
+  /// Drops every cached plan and the interner belonging to `alphabet`.
+  /// Call before destroying an alphabet the cache has seen (see class
+  /// comment). Plans already handed out stay valid (shared_ptr).
+  void Purge(const Alphabet* alphabet);
 
   size_t capacity() const { return capacity_; }
   size_t size() const;

@@ -42,14 +42,14 @@ bool ExprInterner::PathShallowEq::operator()(const PathPtr& a,
          a->right == b->right && a->pred == b->pred;
 }
 
-NodePtr ExprInterner::Intern(const NodePtr& node) {
+NodePtr ExprInterner::InternNode(const NodePtr& node) {
   if (node == nullptr) return node;
   auto memo = node_memo_.find(node);
   if (memo != node_memo_.end()) return memo->second;
 
-  NodePtr left = Intern(node->left);
-  NodePtr right = Intern(node->right);
-  PathPtr path = Intern(node->path);
+  NodePtr left = InternNode(node->left);
+  NodePtr right = InternNode(node->right);
+  PathPtr path = InternPath(node->path);
   NodePtr candidate = node;
   if (left != node->left || right != node->right || path != node->path) {
     auto e = std::make_shared<NodeExpr>();
@@ -65,14 +65,14 @@ NodePtr ExprInterner::Intern(const NodePtr& node) {
   return canonical;
 }
 
-PathPtr ExprInterner::Intern(const PathPtr& path) {
+PathPtr ExprInterner::InternPath(const PathPtr& path) {
   if (path == nullptr) return path;
   auto memo = path_memo_.find(path);
   if (memo != path_memo_.end()) return memo->second;
 
-  PathPtr left = Intern(path->left);
-  PathPtr right = Intern(path->right);
-  NodePtr pred = Intern(path->pred);
+  PathPtr left = InternPath(path->left);
+  PathPtr right = InternPath(path->right);
+  NodePtr pred = InternNode(path->pred);
   PathPtr candidate = path;
   if (left != path->left || right != path->right || pred != path->pred) {
     auto e = std::make_shared<PathExpr>();
@@ -86,6 +86,41 @@ PathPtr ExprInterner::Intern(const PathPtr& path) {
   PathPtr canonical = *paths_.insert(candidate).first;
   path_memo_.emplace(path, canonical);
   return canonical;
+}
+
+void ExprInterner::MaybeTrim() {
+  if (node_memo_.size() + path_memo_.size() <= kMemoTrimThreshold) return;
+  TrimMemos();
+  SweepUnreferenced();
+}
+
+void ExprInterner::SweepUnreferenced() {
+  // A canonical node with use_count() == 1 is held only by the set itself:
+  // no cached/handed-out plan and no interned parent references it (a
+  // parent in the set holds a child ref, so such a child counts >= 2).
+  // Erasing it releases its children, which may in turn become sweepable —
+  // iterate to the fixpoint. Runs only from MaybeTrim, so the quadratic
+  // worst case is amortised over >= kMemoTrimThreshold interning calls.
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    for (auto it = nodes_.begin(); it != nodes_.end();) {
+      if (it->use_count() == 1) {
+        it = nodes_.erase(it);
+        removed = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = paths_.begin(); it != paths_.end();) {
+      if (it->use_count() == 1) {
+        it = paths_.erase(it);
+        removed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 }  // namespace xptc

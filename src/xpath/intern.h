@@ -24,7 +24,9 @@ namespace xptc {
 /// equality of a candidate reduces to *shallow* equality (same op, same
 /// label/axis, pointer-identical children) — each node costs O(1) hashing
 /// regardless of subtree size. Expressions are immutable and held by
-/// shared_ptr, so interned nodes stay alive as long as the interner does.
+/// shared_ptr. Memory is bounded: the pointer memos self-trim past
+/// `kMemoTrimThreshold`, and canonical nodes that no live plan references
+/// any more are swept at the same time (see `MaybeTrim`).
 ///
 /// Not thread-safe; the `PlanCache` serialises access under its own lock.
 class ExprInterner {
@@ -38,14 +40,46 @@ class ExprInterner {
   /// Returns the canonical representative of `node` (possibly `node`
   /// itself, if it is the first of its equivalence class). Null passes
   /// through (absent optional children).
-  NodePtr Intern(const NodePtr& node);
-  PathPtr Intern(const PathPtr& path);
+  NodePtr Intern(const NodePtr& node) {
+    MaybeTrim();
+    return InternNode(node);
+  }
+  PathPtr Intern(const PathPtr& path) {
+    MaybeTrim();
+    return InternPath(path);
+  }
 
   /// Number of distinct equivalence classes seen so far.
   size_t unique_nodes() const { return nodes_.size(); }
   size_t unique_paths() const { return paths_.size(); }
 
+  /// Drops the input-pointer memo maps (a pure fast path — they pin every
+  /// AST ever handed to `Intern`, so a long-running caller must not let
+  /// them grow forever). Canonical nodes are untouched; the next `Intern`
+  /// of a previously seen pointer just re-walks it. Called automatically
+  /// once the memos exceed `kMemoTrimThreshold` entries.
+  void TrimMemos() {
+    node_memo_.clear();
+    path_memo_.clear();
+  }
+
+  /// Memo-size bound above which `Intern` self-trims. Large enough that
+  /// trims are rare under any realistic workload, small enough that the
+  /// pinned-AST footprint stays bounded.
+  static constexpr size_t kMemoTrimThreshold = 1u << 16;
+
  private:
+  NodePtr InternNode(const NodePtr& node);
+  PathPtr InternPath(const PathPtr& path);
+
+  /// Self-trim, run at each top-level `Intern` entry (never mid-recursion):
+  /// once the memos cross `kMemoTrimThreshold`, drop them and then sweep
+  /// canonical nodes no longer referenced outside the interner — i.e. not
+  /// reachable from any live plan — so the canonical sets track the live
+  /// working set instead of growing monotonically.
+  void MaybeTrim();
+  void SweepUnreferenced();
+
   // Shallow hash/equality: valid only once children are interned, which
   // Intern guarantees by recursing first.
   struct NodeHasher {
@@ -67,7 +101,9 @@ class ExprInterner {
   // parses of equal texts hand the interner fresh ASTs, but callers also
   // re-intern cached plans; both stay O(nodes) / O(1) respectively).
   // Keyed by shared_ptr — pointer-hashed, and pins the input so a freed
-  // expression's address can never be reused into a stale hit.
+  // expression's address can never be reused into a stale hit. Bounded:
+  // MaybeTrim clears both maps past kMemoTrimThreshold, so the pinning is
+  // temporary, not a leak.
   std::unordered_map<NodePtr, NodePtr> node_memo_;
   std::unordered_map<PathPtr, PathPtr> path_memo_;
 };

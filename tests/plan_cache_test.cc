@@ -162,6 +162,47 @@ TEST(PlanCacheTest, ConcurrentParsesAreSafeAndConverge) {
   }
 }
 
+TEST(PlanCacheTest, RacingColdMissesDoNotDuplicateEntries) {
+  // Regression: two threads missing on the same cold key both parse; the
+  // insert path must re-check the index under the lock so the loser reuses
+  // the winner's entry. The old code blindly inserted both, leaving a
+  // stale duplicate in the LRU list whose eventual eviction erased the
+  // LIVE entry's index slot (hot key became a permanent miss).
+  for (int round = 0; round < 25; ++round) {
+    Alphabet alphabet;
+    PlanCache cache;
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        ASSERT_TRUE(cache.Parse("W(<desc[a]>)", &alphabet).ok());
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(cache.size(), 1u);  // one key -> exactly one LRU entry
+    const PlanCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, 4u);
+  }
+}
+
+TEST(PlanCacheTest, PurgeDropsAlphabetEntriesAndInterner) {
+  Alphabet keep, drop;
+  PlanCache cache;
+  auto kept = cache.Parse("<child[a]>", &keep).ValueOrDie();
+  cache.Parse("<child[a]>", &drop).ValueOrDie();
+  cache.Parse("<desc[b]>", &drop).ValueOrDie();
+  EXPECT_EQ(cache.size(), 3u);
+  cache.Purge(&drop);
+  EXPECT_EQ(cache.size(), 1u);
+  // The purged alphabet's entries are gone: same text + address is a miss.
+  const size_t misses = cache.stats().misses;
+  auto reparsed = cache.Parse("<child[a]>", &drop).ValueOrDie();
+  EXPECT_EQ(cache.stats().misses, misses + 1);
+  EXPECT_NE(reparsed, nullptr);
+  // The surviving alphabet still hits the very same plan object.
+  EXPECT_EQ(cache.Parse("<child[a]>", &keep).ValueOrDie().get(), kept.get());
+}
+
 TEST(ExprInternerTest, InternsStructurallyEqualTrees) {
   Alphabet alphabet;
   ExprInterner interner;
@@ -194,6 +235,47 @@ TEST(ExprInternerTest, InternsPathsIncludingPredicates) {
   PathPtr p2 =
       interner.Intern(ParsePath("(child[a])*", &alphabet).ValueOrDie());
   EXPECT_EQ(p1.get(), p2.get());
+}
+
+TEST(ExprInternerTest, TrimMemosKeepsCanonicalsAndStaysCorrect) {
+  Alphabet alphabet;
+  ExprInterner interner;
+  NodePtr kept =
+      interner.Intern(ParseNode("<child[keep]>", &alphabet).ValueOrDie());
+  interner.TrimMemos();
+  // Memos are a pure fast path: after the trim, re-interning an equal tree
+  // (or the canonical itself) still lands on the same representative.
+  NodePtr again =
+      interner.Intern(ParseNode("<child[keep]>", &alphabet).ValueOrDie());
+  EXPECT_EQ(again.get(), kept.get());
+  EXPECT_EQ(interner.Intern(kept).get(), kept.get());
+}
+
+TEST(ExprInternerTest, SelfTrimSweepsUnreferencedCanonicals) {
+  // A long-running interner must not grow without bound: once the memos
+  // cross kMemoTrimThreshold they are dropped and canonical nodes no live
+  // plan references are swept. Intern many distinct throwaway queries
+  // (results immediately discarded) — enough that the self-trim fires at
+  // least once — and check the canonical sets shrank while a held plan
+  // survived.
+  Alphabet alphabet;
+  ExprInterner interner;
+  NodePtr kept =
+      interner.Intern(ParseNode("<child[keep]>", &alphabet).ValueOrDie());
+  constexpr size_t kDistinct = 30000;  // ~3 memo entries each > threshold
+  for (size_t i = 0; i < kDistinct; ++i) {
+    NodePtr throwaway =
+        ParseNode("<child[x" + std::to_string(i) + "]>", &alphabet)
+            .ValueOrDie();
+    ASSERT_NE(interner.Intern(throwaway), nullptr);
+  }
+  EXPECT_LT(interner.unique_nodes(), kDistinct)
+      << "self-trim never swept the discarded canonicals";
+  EXPECT_EQ(interner
+                .Intern(ParseNode("<child[keep]>", &alphabet).ValueOrDie())
+                .get(),
+            kept.get())
+      << "sweep must not evict canonicals still referenced by live plans";
 }
 
 }  // namespace

@@ -126,6 +126,34 @@ TEST(ThreadPoolTest, WorkStealingFinishesUnevenLoads) {
   EXPECT_EQ(total.load(), 301);
 }
 
+TEST(ThreadPoolTest, ConcurrentParallelForsNeverReturnEarly) {
+  // Regression: Submit must count a task (queued_/pending_) BEFORE pushing
+  // it into a deque. With the opposite order, a worker holding an
+  // entitlement from another submitter could finish the not-yet-counted
+  // task and drive pending_ to 0 while counted tasks still sat in deques,
+  // so a concurrent ParallelFor could return before its own iterations ran
+  // — and its by-reference captures (fn, out) would then be used after
+  // destruction. Detectable here as unwritten slots (and as UAF under
+  // ASan/TSan).
+  ThreadPool pool(4);
+  std::atomic<bool> incomplete{false};
+  std::vector<std::thread> callers;
+  callers.reserve(3);
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        std::vector<int> out(17, 0);
+        pool.ParallelFor(17, [&out](int i, int) { out[static_cast<size_t>(i)] = i + 1; });
+        for (int i = 0; i < 17; ++i) {
+          if (out[static_cast<size_t>(i)] != i + 1) incomplete.store(true);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_FALSE(incomplete.load());
+}
+
 TEST(ThreadPoolTest, DefaultWorkersIsPositive) {
   EXPECT_GE(ThreadPool::DefaultWorkers(), 1);
   ThreadPool pool;  // default-sized pool constructs and joins cleanly
