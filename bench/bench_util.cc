@@ -9,6 +9,8 @@
 #include <sstream>
 #include <utility>
 
+#include "testing/corpus.h"
+
 namespace xptc {
 namespace bench {
 
@@ -73,6 +75,17 @@ std::string Fmt(double value, int precision) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+std::string DumpMismatchCase(const Tree& tree, const Alphabet& alphabet,
+                             const std::string& query_text,
+                             const std::string& comment) {
+  testing::CorpusCase c;
+  c.xml = testing::CompactXml(tree, alphabet);
+  c.query = query_text;
+  const std::string path = "bench-mismatch.case";
+  const Status status = testing::WriteCaseFile(path, c, comment);
+  return status.ok() ? path : std::string();
 }
 
 double MedianSecondsN(const std::function<void()>& fn, int inner, int reps) {

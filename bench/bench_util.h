@@ -92,6 +92,15 @@ std::string ThroughputJsonPath();
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
                uint64_t seed, int num_labels = 3);
 
+/// Serialises a (tree, query) pair that failed a bit-for-bit check as a
+/// replayable `.case` file (src/testing/corpus.h format, written to the
+/// working directory) and returns its path, so bench-found mismatches
+/// enter the same replay workflow as fuzzer findings
+/// (`xptc_fuzz --replay .`). Returns "" on I/O failure.
+std::string DumpMismatchCase(const Tree& tree, const Alphabet& alphabet,
+                             const std::string& query_text,
+                             const std::string& comment);
+
 /// Formats a double with fixed precision.
 std::string Fmt(double value, int precision = 2);
 

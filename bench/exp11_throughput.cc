@@ -27,8 +27,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -71,6 +73,7 @@ const char* kWorkload[] = {
     "W(<desc[a]>)",  // downward body: simplifies to Core XPath
     "<child[a]/desc[b]/anc[c]>",  // duplicate text
 };
+const size_t kNumWorkloadTexts = sizeof(kWorkload) / sizeof(kWorkload[0]);
 
 struct Corpus {
   Alphabet alphabet;
@@ -135,16 +138,19 @@ void ParseReport(Corpus& corpus, std::ostringstream* json) {
         << ", \"speedup\": " << bench::Fmt(speedup, 1) << "}";
 }
 
-bool ResultsMatch(const std::vector<std::vector<Bitset>>& got,
-                  const std::vector<std::vector<Bitset>>& want) {
-  if (got.size() != want.size()) return false;
+// First (tree, query) index pair where the matrices differ, if any. A
+// shape mismatch reports {0, 0}.
+std::optional<std::pair<size_t, size_t>> FirstMismatch(
+    const std::vector<std::vector<Bitset>>& got,
+    const std::vector<std::vector<Bitset>>& want) {
+  if (got.size() != want.size()) return std::make_pair(size_t{0}, size_t{0});
   for (size_t t = 0; t < got.size(); ++t) {
-    if (got[t].size() != want[t].size()) return false;
+    if (got[t].size() != want[t].size()) return std::make_pair(t, size_t{0});
     for (size_t q = 0; q < got[t].size(); ++q) {
-      if (!(got[t][q] == want[t][q])) return false;
+      if (!(got[t][q] == want[t][q])) return std::make_pair(t, q);
     }
   }
-  return true;
+  return std::nullopt;
 }
 
 // (1) + (3): batch throughput sweep with a bit-for-bit check against the
@@ -172,6 +178,7 @@ void ThroughputReport(Corpus& corpus, std::ostringstream* json) {
   std::vector<int> worker_counts = smoke ? std::vector<int>{1, 2}
                                          : std::vector<int>{1, 2, 4, 8};
   bool all_match = true;
+  std::string mismatch_case;
   double warm_qps_1 = 0;
   *json << "\"workers\": [";
   for (size_t wi = 0; wi < worker_counts.size(); ++wi) {
@@ -193,7 +200,18 @@ void ThroughputReport(Corpus& corpus, std::ostringstream* json) {
     BatchEngine engine(options);
     for (const auto& tree : corpus.trees) engine.AddTree(tree);
     auto warm_results = engine.Run(corpus.queries);  // warm-up run
-    all_match = all_match && ResultsMatch(warm_results, reference);
+    if (const auto bad = FirstMismatch(warm_results, reference)) {
+      all_match = false;
+      // Dump the first offending (tree, query) pair in the fuzzer's .case
+      // format so it enters the standard replay/shrink workflow.
+      if (mismatch_case.empty() && bad->second < kNumWorkloadTexts) {
+        mismatch_case = bench::DumpMismatchCase(
+            *corpus.trees[bad->first], corpus.alphabet,
+            kWorkload[bad->second],
+            "exp11: BatchEngine (workers=" + std::to_string(workers) +
+                ") differs from sequential Query::Select");
+      }
+    }
     const double warm_seconds = bench::MedianSeconds([&] {
       auto results = engine.Run(corpus.queries);
       benchmark::DoNotOptimize(results);
@@ -214,7 +232,9 @@ void ThroughputReport(Corpus& corpus, std::ostringstream* json) {
   if (!all_match) {
     std::fprintf(stderr,
                  "FATAL: BatchEngine results differ from sequential "
-                 "Query::Select\n");
+                 "Query::Select%s%s\n",
+                 mismatch_case.empty() ? "" : "; repro written to ",
+                 mismatch_case.c_str());
     std::exit(1);
   }
   std::printf("Match vs sequential Select: yes (bit-for-bit)\n");

@@ -170,7 +170,25 @@ class FOParser {
     return v;
   }
 
+  // Depth/size bounds mirroring xpath/parser.cc: recursive descent plus
+  // recursive formula destructors mean unbounded input is unbounded stack.
+  static constexpr int kMaxNestingDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+  Status CheckDepth() const {
+    if (depth_ > kMaxNestingDepth) {
+      return Error("formula nesting too deep (limit " +
+                   std::to_string(kMaxNestingDepth) + ")");
+    }
+    return Status::OK();
+  }
+
   Result<FormulaPtr> ParseIff() {
+    DepthGuard guard(&depth_);
+    XPTC_RETURN_NOT_OK(CheckDepth());
     XPTC_ASSIGN_OR_RETURN(FormulaPtr left, ParseImplies());
     while (Match(TokKind::kIff)) {
       XPTC_ASSIGN_OR_RETURN(FormulaPtr right, ParseImplies());
@@ -207,6 +225,8 @@ class FOParser {
   }
 
   Result<FormulaPtr> ParseUnary() {
+    DepthGuard guard(&depth_);
+    XPTC_RETURN_NOT_OK(CheckDepth());
     if (Match(TokKind::kNot)) {
       XPTC_ASSIGN_OR_RETURN(FormulaPtr arg, ParseUnary());
       return FONot(std::move(arg));
@@ -289,6 +309,7 @@ class FOParser {
   std::vector<Tok> tokens_;
   Alphabet* alphabet_;
   size_t index_ = 0;
+  mutable int depth_ = 0;
 };
 
 }  // namespace
@@ -296,6 +317,15 @@ class FOParser {
 Result<FormulaPtr> ParseFormula(const std::string& text, Alphabet* alphabet) {
   std::vector<Tok> tokens;
   XPTC_RETURN_NOT_OK(TokenizeFormula(text, &tokens));
+  // Flat-chain counterpart of the nesting bound: a huge conjunction chain
+  // builds a left-deep formula whose recursive destructor would otherwise
+  // exhaust the stack.
+  constexpr size_t kMaxTokens = 20000;
+  if (tokens.size() > kMaxTokens) {
+    return Status::InvalidArgument(
+        "formula too large (" + std::to_string(tokens.size()) +
+        " tokens; limit " + std::to_string(kMaxTokens) + ")");
+  }
   FOParser parser(std::move(tokens), alphabet);
   return parser.Parse();
 }

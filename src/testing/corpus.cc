@@ -1,0 +1,171 @@
+#include "testing/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "tree/xml.h"
+
+namespace xptc {
+namespace testing {
+
+namespace {
+
+void CompactXmlNode(const Tree& tree, const Alphabet& alphabet, NodeId v,
+                    std::string* out) {
+  // Iterative preorder with an explicit close stack: corpus trees are
+  // usually tiny, but shrinker inputs can be arbitrary caller trees and
+  // this writer must never be the thing that overflows.
+  struct Frame {
+    NodeId node;
+    bool closing;
+  };
+  std::vector<Frame> stack = {{v, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const std::string& name = alphabet.Name(tree.Label(frame.node));
+    if (frame.closing) {
+      out->append("</").append(name).append(">");
+      continue;
+    }
+    if (tree.IsLeaf(frame.node)) {
+      out->append("<").append(name).append("/>");
+      continue;
+    }
+    out->append("<").append(name).append(">");
+    stack.push_back({frame.node, true});
+    const std::vector<NodeId> children = tree.ChildrenOf(frame.node);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
+}
+
+}  // namespace
+
+std::string CompactXml(const Tree& tree, const Alphabet& alphabet) {
+  std::string out;
+  if (!tree.empty()) CompactXmlNode(tree, alphabet, tree.root(), &out);
+  return out;
+}
+
+std::string FormatCaseLine(const CorpusCase& c) {
+  return std::to_string(c.seed) + "\t" + c.xml + "\t" + c.query;
+}
+
+Result<CorpusCase> ParseCaseLine(const std::string& line) {
+  const size_t tab1 = line.find('\t');
+  if (tab1 == std::string::npos) {
+    return Status::InvalidArgument("case line: missing first tab separator");
+  }
+  const size_t tab2 = line.find('\t', tab1 + 1);
+  if (tab2 == std::string::npos) {
+    return Status::InvalidArgument("case line: missing second tab separator");
+  }
+  if (line.find('\t', tab2 + 1) != std::string::npos) {
+    return Status::InvalidArgument("case line: more than three fields");
+  }
+  CorpusCase c;
+  const std::string seed_text = line.substr(0, tab1);
+  if (seed_text.empty() ||
+      seed_text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("case line: seed is not a decimal number: '" +
+                                   seed_text + "'");
+  }
+  try {
+    c.seed = std::stoull(seed_text);
+  } catch (...) {
+    return Status::InvalidArgument("case line: seed out of 64-bit range: '" +
+                                   seed_text + "'");
+  }
+  c.xml = line.substr(tab1 + 1, tab2 - tab1 - 1);
+  c.query = line.substr(tab2 + 1);
+  if (c.xml.empty()) {
+    return Status::InvalidArgument("case line: empty xml field");
+  }
+  if (c.query.empty()) {
+    return Status::InvalidArgument("case line: empty query field");
+  }
+  return c;
+}
+
+Result<CorpusCase> LoadCaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open case file: " + path);
+  }
+  std::string line;
+  bool found = false;
+  CorpusCase c;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (found) {
+      return Status::InvalidArgument("more than one case line in " + path);
+    }
+    XPTC_ASSIGN_OR_RETURN(c, ParseCaseLine(line));
+    found = true;
+  }
+  if (!found) {
+    return Status::InvalidArgument("no case line in " + path);
+  }
+  return c;
+}
+
+Status WriteCaseFile(const std::string& path, const CorpusCase& c,
+                     const std::string& comment) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot write case file: " + path);
+  }
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) {
+      out << "# " << line << "\n";
+    }
+  }
+  out << FormatCaseLine(c) << "\n";
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("write failed for case file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<std::string, CorpusCase>>> LoadCorpusDir(
+    const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument("not a directory: " + dir);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::InvalidArgument("cannot list directory: " + dir + ": " +
+                                   ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::pair<std::string, CorpusCase>> out;
+  for (const std::string& path : paths) {
+    XPTC_ASSIGN_OR_RETURN(CorpusCase c, LoadCaseFile(path));
+    out.emplace_back(path, std::move(c));
+  }
+  return out;
+}
+
+Result<Tree> CaseTree(const CorpusCase& c, Alphabet* alphabet) {
+  return ParseXml(c.xml, alphabet);
+}
+
+}  // namespace testing
+}  // namespace xptc

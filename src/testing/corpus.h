@@ -1,0 +1,67 @@
+#ifndef XPTC_TESTING_CORPUS_H_
+#define XPTC_TESTING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/result.h"
+#include "tree/tree.h"
+
+namespace xptc {
+namespace testing {
+
+/// One replayable differential case. The serialised form is ONE line of
+/// three tab-separated fields
+///
+///     <seed>\t<xml>\t<query>\n
+///
+/// where `seed` is the decimal 64-bit case seed it was derived from
+/// (provenance only — replay never re-runs the generators), `xml` is the
+/// tree as a single-line XML document, and `query` is the node expression
+/// in the concrete syntax of xpath/parser.h. Case files (`*.case`) may
+/// carry any number of `#`-prefixed comment lines (provenance: which
+/// oracle pair disagreed, campaign flags, shrink stats) before the case
+/// line; blank lines are ignored. Exactly one case per file.
+struct CorpusCase {
+  uint64_t seed = 0;
+  std::string xml;
+  std::string query;
+};
+
+/// Single-line XML serialisation (`<a><b/></a>`): `tree/xml.h`'s WriteXml
+/// pretty-prints across lines, which the one-line case format cannot use.
+/// Output re-parses with ParseXml to an equal tree.
+std::string CompactXml(const Tree& tree, const Alphabet& alphabet);
+
+/// The case line, without trailing newline.
+std::string FormatCaseLine(const CorpusCase& c);
+
+/// Parses a case line (the inverse of FormatCaseLine).
+Result<CorpusCase> ParseCaseLine(const std::string& line);
+
+/// Reads a `.case` file: skips comments/blank lines, requires exactly one
+/// case line.
+Result<CorpusCase> LoadCaseFile(const std::string& path);
+
+/// Writes a `.case` file: `comment` (may be multi-line) is emitted as
+/// `#`-prefixed lines above the case line.
+Status WriteCaseFile(const std::string& path, const CorpusCase& c,
+                     const std::string& comment = "");
+
+/// All `*.case` files under `dir` (non-recursive), sorted by filename for
+/// deterministic replay order. Returns (path, case) pairs.
+Result<std::vector<std::pair<std::string, CorpusCase>>> LoadCorpusDir(
+    const std::string& dir);
+
+/// Materialises the case: parses the XML into a tree over `*alphabet`.
+/// (The query string is left to the caller — oracle adapters parse it so
+/// parse *errors* are themselves findings.)
+Result<Tree> CaseTree(const CorpusCase& c, Alphabet* alphabet);
+
+}  // namespace testing
+}  // namespace xptc
+
+#endif  // XPTC_TESTING_CORPUS_H_

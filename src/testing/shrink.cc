@@ -1,0 +1,229 @@
+#include "testing/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace xptc {
+namespace testing {
+
+Tree DeleteSubtree(const Tree& tree, NodeId v) {
+  XPTC_CHECK(!tree.empty() && v != tree.root())
+      << "DeleteSubtree: cannot delete the root";
+  TreeBuilder builder;
+  struct Frame {
+    NodeId node;
+    bool closing;
+  };
+  std::vector<Frame> stack = {{tree.root(), false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.closing) {
+      builder.End();
+      continue;
+    }
+    if (frame.node == v) continue;  // drop the whole subtree
+    builder.Begin(tree.Label(frame.node));
+    stack.push_back({frame.node, true});
+    const std::vector<NodeId> children = tree.ChildrenOf(frame.node);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+std::vector<PathPtr> PathShrinkCandidates(const PathPtr& path) {
+  std::vector<PathPtr> out;
+  switch (path->op) {
+    case PathOp::kAxis:
+      // `self` is the bottom of the path lattice; nothing strictly smaller.
+      break;
+    case PathOp::kSeq:
+    case PathOp::kUnion: {
+      out.push_back(path->left);
+      out.push_back(path->right);
+      for (const PathPtr& l : PathShrinkCandidates(path->left)) {
+        out.push_back(path->op == PathOp::kSeq ? MakeSeq(l, path->right)
+                                               : MakeUnion(l, path->right));
+      }
+      for (const PathPtr& r : PathShrinkCandidates(path->right)) {
+        out.push_back(path->op == PathOp::kSeq ? MakeSeq(path->left, r)
+                                               : MakeUnion(path->left, r));
+      }
+      break;
+    }
+    case PathOp::kFilter: {
+      out.push_back(path->left);  // drop the predicate
+      for (const PathPtr& l : PathShrinkCandidates(path->left)) {
+        out.push_back(MakeFilter(l, path->pred));
+      }
+      for (const NodePtr& p : NodeShrinkCandidates(path->pred)) {
+        out.push_back(MakeFilter(path->left, p));
+      }
+      break;
+    }
+    case PathOp::kStar: {
+      out.push_back(MakeAxis(Axis::kSelf));  // the reflexive part alone
+      out.push_back(path->left);             // one unrolling
+      for (const PathPtr& l : PathShrinkCandidates(path->left)) {
+        out.push_back(MakeStar(l));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<NodePtr> NodeShrinkCandidates(const NodePtr& node) {
+  std::vector<NodePtr> out;
+  if (node->op != NodeOp::kTrue) out.push_back(MakeTrue());
+  switch (node->op) {
+    case NodeOp::kLabel:
+    case NodeOp::kTrue:
+      break;
+    case NodeOp::kNot:
+    case NodeOp::kWithin: {
+      out.push_back(node->left);
+      for (const NodePtr& l : NodeShrinkCandidates(node->left)) {
+        out.push_back(node->op == NodeOp::kNot ? MakeNot(l) : MakeWithin(l));
+      }
+      break;
+    }
+    case NodeOp::kAnd:
+    case NodeOp::kOr: {
+      out.push_back(node->left);
+      out.push_back(node->right);
+      for (const NodePtr& l : NodeShrinkCandidates(node->left)) {
+        out.push_back(node->op == NodeOp::kAnd ? MakeAnd(l, node->right)
+                                               : MakeOr(l, node->right));
+      }
+      for (const NodePtr& r : NodeShrinkCandidates(node->right)) {
+        out.push_back(node->op == NodeOp::kAnd ? MakeAnd(node->left, r)
+                                               : MakeOr(node->left, r));
+      }
+      break;
+    }
+    case NodeOp::kSome: {
+      for (const PathPtr& p : PathShrinkCandidates(node->path)) {
+        out.push_back(MakeSome(p));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One sweep of each shrinking pass, greedily committing the first
+/// candidate on which the failure still reproduces. Returns the number of
+/// committed steps. Every committed step strictly decreases a monotone
+/// measure — tree node count for hoist/delete, count of nodes not yet
+/// labelled `collapse_label` for relabel, query AST size for the query
+/// pass — so sweeping to a fixpoint terminates even without the step cap.
+int SweepOnce(Tree* tree, NodePtr* query, const FailurePredicate& still_fails,
+              Symbol collapse_label, int budget) {
+  int steps = 0;
+  const auto spend = [&]() { return ++steps > budget; };
+
+  // Pass 1: hoist — replace the whole tree by one of its proper subtrees
+  // (smallest first, so a deep 1-node witness is found in one commit).
+  for (bool hoisted = true; hoisted && steps < budget;) {
+    hoisted = false;
+    std::vector<NodeId> nodes;
+    for (NodeId v = 1; v < tree->size(); ++v) nodes.push_back(v);
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return tree->SubtreeSize(a) < tree->SubtreeSize(b);
+    });
+    for (NodeId v : nodes) {
+      Tree candidate = tree->ExtractSubtree(v);
+      if (still_fails(candidate, *query)) {
+        *tree = std::move(candidate);
+        if (spend()) return steps;
+        hoisted = true;
+        break;
+      }
+    }
+  }
+
+  // Pass 2: subtree deletion (largest first: fast early progress).
+  for (bool deleted = true; deleted && steps < budget;) {
+    deleted = false;
+    std::vector<NodeId> nodes;
+    for (NodeId v = 1; v < tree->size(); ++v) nodes.push_back(v);
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return tree->SubtreeSize(a) > tree->SubtreeSize(b);
+    });
+    for (NodeId v : nodes) {
+      Tree candidate = DeleteSubtree(*tree, v);
+      if (still_fails(candidate, *query)) {
+        *tree = std::move(candidate);
+        if (spend()) return steps;
+        deleted = true;
+        break;  // ids shifted; recompute the candidate order
+      }
+    }
+  }
+
+  // Pass 3: label collapse toward `collapse_label`.
+  for (NodeId v = 0; v < tree->size() && steps < budget; ++v) {
+    if (tree->Label(v) == collapse_label) continue;
+    Tree candidate = tree->RelabelNode(v, collapse_label);
+    if (still_fails(candidate, *query)) {
+      *tree = std::move(candidate);
+      if (spend()) return steps;
+    }
+  }
+
+  // Pass 4: query AST shrinking, greedy first-improvement restarted after
+  // each commit (candidates are stale once the root changes). Only
+  // strictly smaller candidates are committed, so this terminates.
+  for (bool shrunk = true; shrunk && steps < budget;) {
+    shrunk = false;
+    for (const NodePtr& candidate : NodeShrinkCandidates(*query)) {
+      if (NodeSize(*candidate) >= NodeSize(**query)) continue;
+      if (still_fails(*tree, candidate)) {
+        *query = candidate;
+        if (spend()) return steps;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+
+  return steps;
+}
+
+}  // namespace
+
+ShrunkCase ShrinkCounterexample(const Tree& tree, const NodePtr& query,
+                                const FailurePredicate& still_fails,
+                                Symbol collapse_label, int max_steps) {
+  XPTC_CHECK(still_fails(tree, query))
+      << "ShrinkCounterexample: the input case does not fail";
+  ShrunkCase result{tree, query, {}};
+  result.stats.tree_nodes_before = tree.size();
+  result.stats.query_size_before = NodeSize(*query);
+
+  // Interleave the passes to a global fixpoint: deleting tree nodes can
+  // unlock query shrinks and vice versa.
+  int total = 0;
+  while (total < max_steps) {
+    const int steps = SweepOnce(&result.tree, &result.query, still_fails,
+                                collapse_label, max_steps - total);
+    total += steps;
+    if (steps == 0) break;
+  }
+
+  result.stats.steps = total;
+  result.stats.tree_nodes_after = result.tree.size();
+  result.stats.query_size_after = NodeSize(*result.query);
+  return result;
+}
+
+}  // namespace testing
+}  // namespace xptc

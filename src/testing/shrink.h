@@ -1,0 +1,63 @@
+#ifndef XPTC_TESTING_SHRINK_H_
+#define XPTC_TESTING_SHRINK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+namespace testing {
+
+/// "Does the failure still reproduce on this candidate?" — typically a
+/// re-run of the oracle pair that originally disagreed
+/// (OracleRegistry::PairDisagrees). The predicate must be deterministic;
+/// candidates on which it is false (including candidates that left the
+/// fragment an oracle is gated to) are simply not taken.
+using FailurePredicate = std::function<bool(const Tree&, const NodePtr&)>;
+
+struct ShrinkStats {
+  int tree_nodes_before = 0;
+  int tree_nodes_after = 0;
+  int query_size_before = 0;
+  int query_size_after = 0;
+  int steps = 0;  // committed shrink steps
+};
+
+struct ShrunkCase {
+  Tree tree;
+  NodePtr query;
+  ShrinkStats stats;
+};
+
+/// A copy of `tree` with the subtree of `v` removed (`v` must not be the
+/// root).
+Tree DeleteSubtree(const Tree& tree, NodeId v);
+
+/// One-step shrink candidates of a node expression, most aggressive first:
+/// every subexpression position replaced by one of its children, by ⊤, or
+/// (for paths) by a one-step-shrunk path. Every candidate is no larger
+/// than the input; most are strictly smaller.
+std::vector<NodePtr> NodeShrinkCandidates(const NodePtr& node);
+
+/// Same for path expressions (used under ⟨·⟩ and filters).
+std::vector<PathPtr> PathShrinkCandidates(const PathPtr& path);
+
+/// Greedy delta-debugging of a failing (tree, query) case:
+///  - tree passes: hoist to a child subtree, delete subtrees (deepest
+///    effect first via repeated sweeps), collapse labels to
+///    `collapse_label`;
+///  - query passes: greedy first-improvement over NodeShrinkCandidates;
+/// iterated to a fixpoint (or `max_steps` commits). The result still
+/// satisfies `still_fails`. Typical counterexamples land under ~5 nodes
+/// on both sides.
+ShrunkCase ShrinkCounterexample(const Tree& tree, const NodePtr& query,
+                                const FailurePredicate& still_fails,
+                                Symbol collapse_label, int max_steps = 10000);
+
+}  // namespace testing
+}  // namespace xptc
+
+#endif  // XPTC_TESTING_SHRINK_H_

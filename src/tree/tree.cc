@@ -81,7 +81,26 @@ class TermParser {
   }
 
  private:
+  // One recursion level per nesting level of the term; without a cap a
+  // pathological `a(a(a(...` input overflows the stack instead of failing
+  // with Status (found by the parser-facing fuzzer). 8192 comfortably
+  // covers every legitimate corpus tree while staying far below stack
+  // limits.
+  static constexpr int kMaxNestingDepth = 8192;
+
   Status ParseNode() {
+    if (++depth_ > kMaxNestingDepth) {
+      --depth_;
+      return Status::InvalidArgument("term nesting too deep at position " +
+                                     std::to_string(pos_) + " (limit " +
+                                     std::to_string(kMaxNestingDepth) + ")");
+    }
+    const Status status = ParseNodeInner();
+    --depth_;
+    return status;
+  }
+
+  Status ParseNodeInner() {
     SkipSpace();
     const size_t start = pos_;
     while (pos_ < text_.size() && (std::isalnum(static_cast<unsigned char>(
@@ -133,6 +152,7 @@ class TermParser {
   Alphabet* alphabet_;
   TreeBuilder* builder_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void WriteTerm(const Tree& tree, const Alphabet& alphabet, NodeId v,

@@ -104,18 +104,123 @@ NodePtr GenNode(const QueryGenOptions& options,
   }
 }
 
+bool PathHasStar(const PathExpr& path);
+bool NodeHasStar(const NodeExpr& node);
+
+bool PathHasStar(const PathExpr& path) {
+  switch (path.op) {
+    case PathOp::kStar:
+      return true;
+    case PathOp::kAxis:
+      return false;
+    case PathOp::kFilter:
+      return PathHasStar(*path.left) || NodeHasStar(*path.pred);
+    case PathOp::kSeq:
+    case PathOp::kUnion:
+      return PathHasStar(*path.left) || PathHasStar(*path.right);
+  }
+  return false;
+}
+
+bool NodeHasStar(const NodeExpr& node) {
+  switch (node.op) {
+    case NodeOp::kLabel:
+    case NodeOp::kTrue:
+      return false;
+    case NodeOp::kNot:
+    case NodeOp::kWithin:
+      return NodeHasStar(*node.left);
+    case NodeOp::kAnd:
+    case NodeOp::kOr:
+      return NodeHasStar(*node.left) || NodeHasStar(*node.right);
+    case NodeOp::kSome:
+      return PathHasStar(*node.path);
+  }
+  return false;
+}
+
 }  // namespace
+
+const char* QueryFragmentToString(QueryFragment fragment) {
+  switch (fragment) {
+    case QueryFragment::kCore:
+      return "core";
+    case QueryFragment::kRegular:
+      return "regular";
+    case QueryFragment::kRegularW:
+      return "regular-w";
+    case QueryFragment::kDownward:
+      return "downward";
+  }
+  return "?";
+}
+
+std::optional<QueryFragment> QueryFragmentFromString(std::string_view name) {
+  if (name == "core") return QueryFragment::kCore;
+  if (name == "regular") return QueryFragment::kRegular;
+  if (name == "regular-w") return QueryFragment::kRegularW;
+  if (name == "downward") return QueryFragment::kDownward;
+  return std::nullopt;
+}
+
+QueryGenOptions OptionsForFragment(QueryFragment fragment, int max_depth) {
+  QueryGenOptions options;
+  options.max_depth = max_depth;
+  switch (fragment) {
+    case QueryFragment::kCore:
+      options.allow_star = false;
+      options.allow_within = false;
+      break;
+    case QueryFragment::kRegular:
+      options.allow_within = false;
+      options.require_star = true;
+      break;
+    case QueryFragment::kRegularW:
+      options.require_within = true;
+      break;
+    case QueryFragment::kDownward:
+      options.downward_only = true;
+      break;
+  }
+  return options;
+}
 
 PathPtr GeneratePath(const QueryGenOptions& options,
                      const std::vector<Symbol>& labels, Rng* rng) {
   XPTC_CHECK(!labels.empty());
-  return GenPath(options, labels, options.max_depth, rng);
+  PathPtr path = GenPath(options, labels, options.max_depth, rng);
+  if (options.require_star && options.allow_star && !PathHasStar(*path)) {
+    path = MakeStar(std::move(path));
+  }
+  return path;
 }
 
 NodePtr GenerateNode(const QueryGenOptions& options,
                      const std::vector<Symbol>& labels, Rng* rng) {
   XPTC_CHECK(!labels.empty());
-  return GenNode(options, labels, options.max_depth, rng);
+  NodePtr node = GenNode(options, labels, options.max_depth, rng);
+  if (options.require_within && options.allow_within && !UsesWithin(*node)) {
+    node = MakeWithin(std::move(node));
+  }
+  if (options.require_star && options.allow_star && !NodeHasStar(*node)) {
+    // Force a star through a ⟨π*⟩ wrapper: conjunction with a trivially
+    // true starred reachability test keeps the original semantics visible.
+    node = MakeAnd(std::move(node),
+                   MakeSome(MakeStar(MakeAxis(RandomAxis(options, rng)))));
+  }
+  return node;
+}
+
+PathPtr GeneratePathSeeded(const QueryGenOptions& options,
+                           const std::vector<Symbol>& labels, uint64_t seed) {
+  Rng rng(seed);
+  return GeneratePath(options, labels, &rng);
+}
+
+NodePtr GenerateNodeSeeded(const QueryGenOptions& options,
+                           const std::vector<Symbol>& labels, uint64_t seed) {
+  Rng rng(seed);
+  return GenerateNode(options, labels, &rng);
 }
 
 }  // namespace xptc

@@ -93,6 +93,19 @@ Status Tokenize(const std::string& text, std::vector<Token>* out) {
   return Status::OK();
 }
 
+// Robustness bounds discovered by the parser-facing fuzzer (see
+// tests/fuzz_robustness_test.cc): without them, adversarial inputs crash
+// instead of returning Status.
+//  - kMaxNestingDepth caps recursive-descent depth — `((((...` or
+//    `not not not ...` otherwise overflows the parser stack;
+//  - kMaxTokens caps total expression size — even a *flat* chain like
+//    `self/self/.../self` builds a left-deep AST whose recursive
+//    destructors, classifiers and simplifier walk one stack frame per
+//    node, so unbounded size is unbounded stack too.
+// Both bounds are far above anything a legitimate query reaches.
+constexpr int kMaxNestingDepth = 200;
+constexpr size_t kMaxTokens = 20000;
+
 bool IsReserved(const std::string& word) {
   static const char* kWords[] = {"true", "false", "root", "leaf",
                                  "not",  "and",   "or",   "W"};
@@ -141,7 +154,24 @@ class Parser {
     return Status::OK();
   }
 
+  // RAII depth accounting for every recursive production; `Enter` fails
+  // with a clean Status once nesting exceeds kMaxNestingDepth.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth(depth) { ++*depth; }
+    ~DepthGuard() { --*depth; }
+    int* depth;
+  };
+  Status CheckDepth() const {
+    if (depth_ > kMaxNestingDepth) {
+      return Error("expression nesting too deep (limit " +
+                   std::to_string(kMaxNestingDepth) + ")");
+    }
+    return Status::OK();
+  }
+
   Result<PathPtr> ParsePathExpr() {
+    DepthGuard guard(&depth_);
+    XPTC_RETURN_NOT_OK(CheckDepth());
     XPTC_ASSIGN_OR_RETURN(PathPtr left, ParseSeq());
     while (Match(TokenKind::kPipe)) {
       XPTC_ASSIGN_OR_RETURN(PathPtr right, ParseSeq());
@@ -193,7 +223,11 @@ class Parser {
     return Error("expected path expression");
   }
 
-  Result<NodePtr> ParseNodeExpr() { return ParseOr(); }
+  Result<NodePtr> ParseNodeExpr() {
+    DepthGuard guard(&depth_);
+    XPTC_RETURN_NOT_OK(CheckDepth());
+    return ParseOr();
+  }
 
   Result<NodePtr> ParseOr() {
     XPTC_ASSIGN_OR_RETURN(NodePtr left, ParseAnd());
@@ -217,6 +251,8 @@ class Parser {
 
   Result<NodePtr> ParseUnary() {
     if (Check(TokenKind::kIdent) && Peek().text == "not") {
+      DepthGuard guard(&depth_);
+      XPTC_RETURN_NOT_OK(CheckDepth());
       Advance();
       XPTC_ASSIGN_OR_RETURN(NodePtr arg, ParseUnary());
       return MakeNot(std::move(arg));
@@ -258,13 +294,26 @@ class Parser {
   std::vector<Token> tokens_;
   Alphabet* alphabet_;
   size_t index_ = 0;
+  mutable int depth_ = 0;
 };
 
+}  // namespace
+
+namespace {
+Status CheckSize(const std::vector<Token>& tokens) {
+  if (tokens.size() > kMaxTokens) {
+    return Status::InvalidArgument(
+        "expression too large (" + std::to_string(tokens.size()) +
+        " tokens; limit " + std::to_string(kMaxTokens) + ")");
+  }
+  return Status::OK();
+}
 }  // namespace
 
 Result<PathPtr> ParsePath(const std::string& text, Alphabet* alphabet) {
   std::vector<Token> tokens;
   XPTC_RETURN_NOT_OK(Tokenize(text, &tokens));
+  XPTC_RETURN_NOT_OK(CheckSize(tokens));
   Parser parser(std::move(tokens), alphabet);
   return parser.ParseFullPath();
 }
@@ -272,6 +321,7 @@ Result<PathPtr> ParsePath(const std::string& text, Alphabet* alphabet) {
 Result<NodePtr> ParseNode(const std::string& text, Alphabet* alphabet) {
   std::vector<Token> tokens;
   XPTC_RETURN_NOT_OK(Tokenize(text, &tokens));
+  XPTC_RETURN_NOT_OK(CheckSize(tokens));
   Parser parser(std::move(tokens), alphabet);
   return parser.ParseFullNode();
 }

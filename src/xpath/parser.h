@@ -27,6 +27,11 @@ namespace xptc {
 /// `p+` desugars to `p/p*`; `root` to `not <parent>`; `leaf` to
 /// `not <child>`; `false` to `not true`. Labels are identifiers that are not
 /// reserved words, interned into `*alphabet`.
+///
+/// Robustness: inputs nested deeper than 200 levels or longer than 20000
+/// tokens are rejected with InvalidArgument instead of risking parser /
+/// AST-walk stack overflow (bounds found by the differential fuzzer's
+/// parser entry; see tests/fuzz_robustness_test.cc).
 Result<PathPtr> ParsePath(const std::string& text, Alphabet* alphabet);
 
 /// Parses a node expression in the same syntax.

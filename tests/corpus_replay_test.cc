@@ -1,0 +1,64 @@
+// Tier-1 deterministic replay of the checked-in fuzzing corpus
+// (tests/corpus/*.case): every case must load, parse, and cross-check
+// clean on the full seven-oracle registry. Replay never re-runs the
+// generators — the XML and query text in the case line are authoritative,
+// so a finding file keeps reproducing even if generator internals change.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing/corpus.h"
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+
+#ifndef XPTC_TEST_DATA_DIR
+#error "XPTC_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace xptc {
+namespace {
+
+using xptc::testing::CorpusCase;
+using xptc::testing::Disagreement;
+using xptc::testing::LoadCorpusDir;
+using xptc::testing::MakeDefaultRegistry;
+using xptc::testing::ReplayCase;
+
+const char kCorpusDir[] = XPTC_TEST_DATA_DIR "/corpus";
+
+TEST(CorpusReplayTest, CorpusIsPresentAndWellFormed) {
+  auto corpus = LoadCorpusDir(kCorpusDir);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  EXPECT_GE(corpus->size(), 25u);
+  for (const auto& [path, corpus_case] : *corpus) {
+    EXPECT_FALSE(corpus_case.xml.empty()) << path;
+    EXPECT_FALSE(corpus_case.query.empty()) << path;
+  }
+}
+
+TEST(CorpusReplayTest, EveryCaseReplaysCleanOnAllOracles) {
+  Alphabet alphabet;
+  auto registry = MakeDefaultRegistry(&alphabet);
+  auto corpus = LoadCorpusDir(kCorpusDir);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+  for (const auto& [path, corpus_case] : *corpus) {
+    auto outcome = ReplayCase(registry.get(), &alphabet, corpus_case);
+    ASSERT_TRUE(outcome.ok()) << path << ": " << outcome.status().ToString();
+    ASSERT_FALSE(outcome->has_value())
+        << path << ": " << (*outcome)->Describe();
+  }
+  // Replay must exercise more than the engine tier: the corpus is seeded
+  // so the logic/automata oracles run on at least some cases.
+  const auto& runs = registry->stats().runs;
+  for (const char* name : {"naive", "sets", "seed", "fo", "ntwa", "dfta"}) {
+    const auto it = runs.find(name);
+    EXPECT_TRUE(it != runs.end() && it->second > 0)
+        << "oracle never ran on the corpus: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace xptc

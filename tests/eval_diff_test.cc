@@ -1,19 +1,22 @@
 // Randomized differential test for the optimized evaluator: generated
-// trees × generated queries, asserting the kernel-optimized `Evaluator`
-// matches the naive reference semantics (`eval_naive`) bit-for-bit on
-// EvalNode, EvalFwd, and EvalBack — including `W`-heavy queries, nested
-// stars, and deep chain trees that stress the semi-naive fixpoints. The
-// retained seed engine (`SeedEvaluator`) is checked as a third independent
-// implementation on every pair. Well over 1000 (tree, query) pairs run per
+// trees × generated queries. Node-expression checks go through the
+// cross-formalism oracle registry (src/testing/oracle.h), which compares
+// the kernel-optimized `Evaluator` against the naive reference semantics
+// and the retained `SeedEvaluator` bit for bit — including `W`-heavy
+// queries, nested stars, and deep chain trees that stress the semi-naive
+// fixpoints. Path (binary-relation) checks stay direct: the registry's
+// oracle interface is unary. Well over 1000 (tree, query) pairs run per
 // invocation (the exact count is asserted at the bottom of each suite).
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "testing/oracle.h"
 #include "tree/generate.h"
 #include "workload/batch.h"
 #include "xpath/ast.h"
@@ -30,6 +33,18 @@ namespace {
 
 using testing_util::N;
 using testing_util::P;
+using xptc::testing::Disagreement;
+using xptc::testing::MakeDefaultRegistry;
+using xptc::testing::OracleRegistry;
+
+/// The cheap three-engine registry (naive / sets / seed) used by the node
+/// sweeps below; heavy logic/automata oracles have their own suites.
+std::unique_ptr<OracleRegistry> MakeCheapRegistry(Alphabet* alphabet) {
+  xptc::testing::DefaultRegistryOptions options;
+  options.include_heavy = false;
+  options.include_batch = false;
+  return MakeDefaultRegistry(alphabet, options);
+}
 
 Bitset RandomNodeSet(const Tree& tree, Rng* rng, double density = 0.35) {
   Bitset out(tree.size());
@@ -87,21 +102,19 @@ void CheckPath(const Tree& tree, const PathExpr& path, Rng* rng,
       << tree.ToTerm(alphabet);
 }
 
-void CheckNode(const Tree& tree, const NodeExpr& node,
-               const Alphabet& alphabet) {
-  const Bitset opt = EvalNodeSet(tree, node);
-  ASSERT_EQ(opt, EvalNodeNaive(tree, node))
-      << "EvalNode vs naive for " << NodeToString(node, alphabet) << " on "
-      << tree.ToTerm(alphabet);
-  ASSERT_EQ(opt, SeedEvalNodeSet(tree, node))
-      << "EvalNode vs seed for " << NodeToString(node, alphabet) << " on "
-      << tree.ToTerm(alphabet);
+void CheckNode(OracleRegistry* registry, const Tree& tree,
+               const NodePtr& node, const Alphabet& alphabet) {
+  const std::optional<Disagreement> disagreement = registry->Check(tree, node);
+  ASSERT_FALSE(disagreement.has_value())
+      << disagreement->Describe() << " for " << NodeToString(*node, alphabet)
+      << " on " << tree.ToTerm(alphabet);
 }
 
 TEST(EvalDiffTest, RandomTreesRandomQueries) {
   Alphabet alphabet;
   Rng rng(20260805);
   const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  auto registry = MakeCheapRegistry(&alphabet);
   QueryGenOptions options;
   options.max_depth = 4;
   int pairs = 0;
@@ -113,11 +126,15 @@ TEST(EvalDiffTest, RandomTreesRandomQueries) {
     for (int q = 0; q < 3; ++q) {
       CheckPath(tree, *GeneratePath(options, labels, &rng), &rng, alphabet);
       ++pairs;
-      CheckNode(tree, *GenerateNode(options, labels, &rng), alphabet);
+      CheckNode(registry.get(), tree, GenerateNode(options, labels, &rng),
+                alphabet);
       ++pairs;
     }
   }
   EXPECT_GE(pairs, 780);
+  // Every node case must have been compared against the reference by at
+  // least two other engines (sets + seed vs naive).
+  EXPECT_GE(registry->stats().comparisons, 2 * 390);
 }
 
 TEST(EvalDiffTest, WithinHeavyQueries) {
@@ -127,6 +144,7 @@ TEST(EvalDiffTest, WithinHeavyQueries) {
   Alphabet alphabet;
   Rng rng(424242);
   const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  auto registry = MakeCheapRegistry(&alphabet);
   QueryGenOptions options;
   options.max_depth = 3;
   options.allow_within = true;
@@ -146,14 +164,14 @@ TEST(EvalDiffTest, WithinHeavyQueries) {
     tree_options.shape = static_cast<TreeShape>(rng.NextInt(0, 6));
     const Tree tree = GenerateTree(tree_options, labels, &rng);
     for (const char* text : handwritten) {
-      CheckNode(tree, *N(text, &alphabet), alphabet);
+      CheckNode(registry.get(), tree, N(text, &alphabet), alphabet);
       ++pairs;
     }
     for (int q = 0; q < 2; ++q) {
       // Wrap a random body in W, nested once more half the time.
       NodePtr body = GenerateNode(options, labels, &rng);
       NodePtr w = MakeWithin(rng.NextBool() ? MakeWithin(body) : body);
-      CheckNode(tree, *w, alphabet);
+      CheckNode(registry.get(), tree, w, alphabet);
       ++pairs;
     }
   }

@@ -1,15 +1,22 @@
 // Robustness sweeps: all text-facing entry points must return clean
 // Status errors (never crash, never accept garbage silently) on random
-// byte soup and on systematically mutated valid inputs.
+// byte soup, on systematically mutated valid inputs, and on adversarial
+// depth/length extremes (regressions for a class of recursive-descent
+// stack overflows found by the differential fuzzer). Inputs that DO parse
+// are additionally pushed through the oracle registry, so "survives the
+// parser" extends to "survives every evaluation pipeline".
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 
 #include "common/rng.h"
 #include "logic/fo_parser.h"
+#include "testing/oracle.h"
 #include "tree/generate.h"
 #include "tree/xml.h"
+#include "xpath/ast.h"
 #include "xpath/generator.h"
 #include "xpath/parser.h"
 
@@ -107,6 +114,110 @@ TEST(FuzzTest, MutatedXmlNeverCrashes) {
       ASSERT_EQ(*reparsed, *parsed);
     }
   }
+}
+
+// Regression: every recursive-descent parser used to crash with a stack
+// overflow on deeply nested input (`((((…`, `not not not …`, `!!!…`,
+// `a(a(a(…`) instead of returning a Status. They now enforce an explicit
+// nesting-depth limit.
+TEST(FuzzTest, DeeplyNestedInputRejectedWithStatus) {
+  Alphabet alphabet;
+  const int kDepth = 100000;  // far beyond any stack's capacity pre-fix
+
+  const std::string deep_parens =
+      std::string(kDepth, '(') + "self" + std::string(kDepth, ')');
+  const Status path_status = ParsePath(deep_parens, &alphabet).status();
+  EXPECT_TRUE(path_status.IsInvalidArgument()) << path_status.ToString();
+
+  std::string deep_not;
+  for (int i = 0; i < kDepth; ++i) deep_not += "not ";
+  deep_not += "true";
+  EXPECT_FALSE(ParseNode(deep_not, &alphabet).ok());
+
+  std::string deep_within;
+  for (int i = 0; i < kDepth; ++i) deep_within += "W(";
+  deep_within += "true" + std::string(kDepth, ')');
+  EXPECT_FALSE(ParseNode(deep_within, &alphabet).ok());
+
+  const std::string deep_fo = std::string(kDepth, '!') + "x1=x1";
+  EXPECT_FALSE(ParseFormula(deep_fo, &alphabet).ok());
+
+  std::string deep_term;
+  for (int i = 0; i < kDepth; ++i) deep_term += "a(";
+  deep_term += "a" + std::string(kDepth, ')');
+  EXPECT_FALSE(Tree::FromTerm(deep_term, &alphabet).ok());
+}
+
+// Regression: flat-but-huge inputs (`self/self/…` ten thousand steps
+// deep) parse into left-deep ASTs whose recursive destructors, dialect
+// classifiers, and simplifier then blow the stack — so the parsers cap
+// total token count, rejecting before any AST exists.
+TEST(FuzzTest, TokenFloodRejectedWithStatus) {
+  Alphabet alphabet;
+  std::string flood = "self";
+  for (int i = 0; i < 60000; ++i) flood += "/self";
+  const Status status = ParsePath(flood, &alphabet).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+
+  std::string node_flood = "true";
+  for (int i = 0; i < 60000; ++i) node_flood += " and true";
+  EXPECT_FALSE(ParseNode(node_flood, &alphabet).ok());
+
+  std::string fo_flood = "x1=x1";
+  for (int i = 0; i < 60000; ++i) fo_flood += " & x1=x1";
+  EXPECT_FALSE(ParseFormula(fo_flood, &alphabet).ok());
+}
+
+// The limits must not reject reasonable inputs: nesting below the bound
+// and chains below the token cap still parse and round-trip.
+TEST(FuzzTest, LimitsDoNotRejectReasonableInput) {
+  Alphabet alphabet;
+  const std::string nested =
+      std::string(150, '(') + "self" + std::string(150, ')');
+  Result<PathPtr> parsed = ParsePath(nested, &alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  std::string chain = "self";
+  for (int i = 0; i < 2000; ++i) chain += "/self";
+  Result<PathPtr> chain_parsed = ParsePath(chain, &alphabet);
+  ASSERT_TRUE(chain_parsed.ok()) << chain_parsed.status().ToString();
+  const std::string printed = PathToString(**chain_parsed, alphabet);
+  Result<PathPtr> reparsed = ParsePath(printed, &alphabet);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(PathEquals(**chain_parsed, **reparsed));
+
+  std::string wide_term = "a(";
+  for (int i = 0; i < 500; ++i) wide_term += "b,";
+  wide_term += "b)";
+  EXPECT_TRUE(Tree::FromTerm(wide_term, &alphabet).ok());
+}
+
+// Soup that happens to parse as a node expression must also evaluate
+// cleanly — and identically — in every engine-tier pipeline.
+TEST(FuzzTest, ParseableSoupAgreesAcrossOracles) {
+  Alphabet alphabet;
+  xptc::testing::DefaultRegistryOptions registry_options;
+  registry_options.include_heavy = false;
+  registry_options.include_batch = false;
+  auto registry = xptc::testing::MakeDefaultRegistry(&alphabet,
+                                                     registry_options);
+  Rng rng(0xD1FF);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  TreeGenOptions tree_options;
+  tree_options.num_nodes = 9;
+  const Tree tree = GenerateTree(tree_options, labels, &rng);
+  int parsed_count = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string soup = RandomSoup(&rng, 40);
+    Result<NodePtr> parsed = ParseNode(soup, &alphabet);
+    if (!parsed.ok()) continue;
+    ++parsed_count;
+    const std::optional<xptc::testing::Disagreement> disagreement =
+        registry->Check(tree, *parsed);
+    ASSERT_FALSE(disagreement.has_value())
+        << disagreement->Describe() << " for soup '" << soup << "'";
+  }
+  EXPECT_GT(parsed_count, 0);  // the soup alphabet guarantees some hits
 }
 
 TEST(FuzzTest, ErrorMessagesCarryPositions) {

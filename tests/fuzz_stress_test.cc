@@ -1,0 +1,103 @@
+// Fuzzer smoke campaigns and the multi-threaded differential stress
+// harness. The stress test is additionally registered as `fuzz_stress_tsan`
+// (tests/CMakeLists.txt) and run under ThreadSanitizer in the clang-tsan
+// CI job — the races it targets (PlanCache LRU, TreeCache shards,
+// BatchEngine scratch growth, work stealing) only show under load.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+#include "testing/stress.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+namespace {
+
+using xptc::testing::CampaignResult;
+using xptc::testing::Fuzzer;
+using xptc::testing::FuzzFragment;
+using xptc::testing::FuzzOptions;
+using xptc::testing::MakeDefaultRegistry;
+using xptc::testing::RunConcurrencyStress;
+using xptc::testing::StressOptions;
+using xptc::testing::StressReport;
+
+TEST(FuzzCampaignTest, SmokeCampaignAcrossAllFragmentsIsClean) {
+  Alphabet alphabet;
+  auto registry = MakeDefaultRegistry(&alphabet);
+  FuzzOptions options;
+  options.seed = 20260806;
+  options.max_cases = 400;
+  options.fragment = FuzzFragment::kAll;
+  Fuzzer fuzzer(registry.get(), &alphabet, options);
+  const CampaignResult result = fuzzer.Run();
+  EXPECT_EQ(result.cases, 400);
+  for (const auto& finding : result.findings) {
+    ADD_FAILURE() << finding.reference << " vs " << finding.other << ": "
+                  << finding.description << "\n  shrunk: "
+                  << xptc::testing::FormatCaseLine(finding.shrunk);
+  }
+  // The campaign must have exercised the heavy oracles, not only gated
+  // them away.
+  const auto& runs = registry->stats().runs;
+  for (const char* name : {"fo", "ntwa", "dfta", "batch"}) {
+    const auto it = runs.find(name);
+    EXPECT_TRUE(it != runs.end() && it->second > 0)
+        << "oracle never ran in the smoke campaign: " << name;
+  }
+}
+
+TEST(FuzzCampaignTest, CaseDerivationIsDeterministicAndRandomAccess) {
+  Alphabet alphabet;
+  auto registry = MakeDefaultRegistry(&alphabet);
+  FuzzOptions options;
+  options.seed = 42;
+  options.max_cases = 1;
+  Fuzzer a(registry.get(), &alphabet, options);
+  Fuzzer b(registry.get(), &alphabet, options);
+  for (int64_t i : {int64_t{0}, int64_t{17}, int64_t{12345}}) {
+    const uint64_t seed = Fuzzer::CaseSeedAt(options.seed, i);
+    EXPECT_EQ(seed, Fuzzer::CaseSeedAt(options.seed, i));
+    const auto case_a = a.DeriveCase(seed);
+    const auto case_b = b.DeriveCase(seed);
+    EXPECT_EQ(case_a.tree, case_b.tree);
+    EXPECT_TRUE(NodeEquals(*case_a.query, *case_b.query));
+    EXPECT_EQ(case_a.fragment, case_b.fragment);
+  }
+  // Different indices give different cases (no accidental stream reuse).
+  EXPECT_NE(Fuzzer::CaseSeedAt(options.seed, 0),
+            Fuzzer::CaseSeedAt(options.seed, 1));
+}
+
+TEST(StressTest, ConcurrentResultsMatchSequentialBaseline) {
+  StressOptions options;
+  options.seed = 7;
+  const StressReport report = RunConcurrencyStress(options);
+  EXPECT_TRUE(report.ok()) << report.mismatches
+                           << " mismatches; first: " << report.first_mismatch;
+  EXPECT_GT(report.evaluations, 0);
+  // The tiny plan cache must actually have churned, or the LRU eviction
+  // path was not under test.
+  EXPECT_GT(report.plan_cache_evictions, 0);
+}
+
+TEST(StressTest, ManyThreadsSmallWorkload) {
+  // Oversubscribed variant: more client threads than cores onto a smaller
+  // workload maximises interleavings on the same cache lines.
+  StressOptions options;
+  options.seed = 8;
+  options.num_threads = 8;
+  options.num_trees = 2;
+  options.num_queries = 6;
+  options.iterations_per_thread = 60;
+  options.plan_cache_capacity = 2;
+  const StressReport report = RunConcurrencyStress(options);
+  EXPECT_TRUE(report.ok()) << report.first_mismatch;
+}
+
+}  // namespace
+}  // namespace xptc

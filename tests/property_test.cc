@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+
 #include "compile/compile.h"
 #include "logic/fo_eval.h"
 #include "logic/xpath_to_fo.h"
+#include "testing/oracle.h"
 #include "tree/generate.h"
 #include "xpath/eval.h"
 #include "xpath/eval_naive.h"
@@ -18,7 +22,18 @@
 namespace xptc {
 namespace {
 
+using xptc::testing::DefaultRegistryOptions;
+using xptc::testing::Disagreement;
+using xptc::testing::MakeDefaultRegistry;
+using xptc::testing::OracleRegistry;
+
 constexpr uint64_t kSeeds[] = {11, 22, 33, 44, 55, 66, 77, 88};
+
+int64_t RunsOf(const OracleRegistry& registry, const std::string& name) {
+  const auto& runs = registry.stats().runs;
+  const auto it = runs.find(name);
+  return it == runs.end() ? 0 : it->second;
+}
 
 class SeededProperty : public ::testing::TestWithParam<uint64_t> {
  protected:
@@ -36,16 +51,25 @@ class SeededProperty : public ::testing::TestWithParam<uint64_t> {
   std::vector<Symbol> labels_;
 };
 
-// Property 1: the linear set-based evaluator agrees with the naive
-// relational semantics on node sets and full relations.
+// Property 1: all engine-tier evaluation pipelines (naive relational
+// semantics, set-based evaluator, retained seed engine) agree on node
+// sets — checked through the oracle registry — and the set-based
+// evaluator agrees with the naive semantics on full relations.
 class EvaluatorAgreement : public SeededProperty {};
 TEST_P(EvaluatorAgreement, HoldsOnRandomInstances) {
+  DefaultRegistryOptions registry_options;
+  registry_options.include_heavy = false;
+  registry_options.include_batch = false;
+  auto registry = MakeDefaultRegistry(&alphabet_, registry_options);
   QueryGenOptions options;
   options.max_depth = 4;
   for (int i = 0; i < 25; ++i) {
     const Tree tree = RandomTree(18);
     NodePtr node = GenerateNode(options, labels_, &rng_);
-    ASSERT_EQ(EvalNodeSet(tree, *node), EvalNodeNaive(tree, *node))
+    const std::optional<Disagreement> disagreement =
+        registry->Check(tree, node);
+    ASSERT_FALSE(disagreement.has_value())
+        << disagreement->Describe() << " for "
         << NodeToString(*node, alphabet_) << " on " << tree.ToTerm(alphabet_);
     PathPtr path = GeneratePath(options, labels_, &rng_);
     const BitMatrix reference = EvalPathNaive(tree, *path);
@@ -53,6 +77,9 @@ TEST_P(EvaluatorAgreement, HoldsOnRandomInstances) {
     ASSERT_EQ(evaluator.EvalBack(*path, evaluator.All()), reference.Domain())
         << PathToString(*path, alphabet_);
   }
+  EXPECT_EQ(RunsOf(*registry, "naive"), 25);
+  EXPECT_EQ(RunsOf(*registry, "sets"), 25);
+  EXPECT_EQ(RunsOf(*registry, "seed"), 25);
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorAgreement,
                          ::testing::ValuesIn(kSeeds));
@@ -141,44 +168,62 @@ TEST_P(SimplifierProperty, HoldsOnRandomInstances) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SimplifierProperty,
                          ::testing::ValuesIn(kSeeds));
 
-// Property 6: the FO(MTC) translation preserves unary-query semantics
-// (small trees — FO model checking is expensive).
+// Property 6: the FO(MTC) translation preserves unary-query semantics —
+// the `fo` oracle (NodeToFO + model checker) cross-checked against the
+// engine tier through the registry (small trees — FO model checking is
+// expensive; the query-size gate is lifted so every case runs).
 class TranslationProperty : public SeededProperty {};
 TEST_P(TranslationProperty, HoldsOnRandomInstances) {
+  DefaultRegistryOptions registry_options;
+  registry_options.include_batch = false;
+  registry_options.fo_max_tree_nodes = 8;
+  registry_options.fo_max_query_size = 1 << 20;
+  auto registry = MakeDefaultRegistry(&alphabet_, registry_options);
   QueryGenOptions options;
   options.max_depth = 2;
   for (int i = 0; i < 10; ++i) {
     const Tree tree = RandomTree(8);
     NodePtr node = GenerateNode(options, labels_, &rng_);
-    FormulaPtr formula = NodeToFO(*node, 0);
-    ASSERT_EQ(EvalFormulaUnary(tree, *formula, 0),
-              EvalNodeNaive(tree, *node))
-        << NodeToString(*node, alphabet_);
+    const std::optional<Disagreement> disagreement =
+        registry->Check(tree, node);
+    ASSERT_FALSE(disagreement.has_value())
+        << disagreement->Describe() << " for "
+        << NodeToString(*node, alphabet_) << " on " << tree.ToTerm(alphabet_);
   }
+  // The FO oracle must actually have run (not been fragment-gated away).
+  EXPECT_EQ(RunsOf(*registry, "fo"), 10);
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, TranslationProperty,
                          ::testing::ValuesIn(kSeeds));
 
 // Property 7: the NTWA compiler preserves unary-query semantics on the
-// supported fragment.
+// supported fragment — the `ntwa` oracle cross-checked against the engine
+// tier (and, where applicable, `fo` and `dfta`) through the registry.
 class CompilationProperty : public SeededProperty {};
 TEST_P(CompilationProperty, HoldsOnRandomInstances) {
+  DefaultRegistryOptions registry_options;
+  registry_options.include_batch = false;
+  registry_options.ntwa_max_tree_nodes = 12;
+  registry_options.ntwa_max_query_size = 1 << 20;
+  auto registry = MakeDefaultRegistry(&alphabet_, registry_options);
   QueryGenOptions options;
   options.max_depth = 3;
   const std::vector<Symbol> universe = {labels_[0], labels_[1]};
-  XPathToNtwaCompiler compiler(&alphabet_, universe);
   for (int i = 0; i < 12; ++i) {
     NodePtr query = GenerateCompilableNode(options, universe, &rng_);
-    Result<CompiledQuery> compiled = compiler.Compile(*query);
-    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    ASSERT_TRUE(XPathToNtwaCompiler::CheckSupported(*query).ok());
     TreeGenOptions tree_options;
     tree_options.num_nodes = rng_.NextInt(1, 12);
     tree_options.shape = static_cast<TreeShape>(rng_.NextInt(0, 6));
     const Tree tree = GenerateTree(tree_options, universe, &rng_);
-    ASSERT_EQ(compiled->EvalAll(tree), EvalNodeSet(tree, *query))
+    const std::optional<Disagreement> disagreement =
+        registry->Check(tree, query);
+    ASSERT_FALSE(disagreement.has_value())
+        << disagreement->Describe() << " for "
         << NodeToString(*query, alphabet_) << " on "
         << tree.ToTerm(alphabet_);
   }
+  EXPECT_EQ(RunsOf(*registry, "ntwa"), 12);
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, CompilationProperty,
                          ::testing::ValuesIn(kSeeds));

@@ -1,0 +1,276 @@
+// Differential fuzzing campaign driver over the oracle registry
+// (src/testing/): cross-checks all seven evaluation pipelines on random
+// (tree, query) cases, shrinks disagreements, and replays the checked-in
+// corpus. See DESIGN.md §9 and README for usage.
+//
+// Exit codes: 0 = clean campaign, 1 = findings (or a failed self-check /
+// stress run), 2 = usage error.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "testing/corpus.h"
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+#include "testing/stress.h"
+
+namespace {
+
+using xptc::Alphabet;
+using xptc::testing::CampaignResult;
+using xptc::testing::CorpusCase;
+using xptc::testing::DefaultRegistryOptions;
+using xptc::testing::Finding;
+using xptc::testing::FuzzFragment;
+using xptc::testing::FuzzFragmentFromString;
+using xptc::testing::FuzzFragmentToString;
+using xptc::testing::Fuzzer;
+using xptc::testing::FuzzOptions;
+using xptc::testing::MakeDefaultRegistry;
+using xptc::testing::MutationToString;
+using xptc::testing::OracleRegistry;
+using xptc::testing::ReplayCase;
+using xptc::testing::RunConcurrencyStress;
+using xptc::testing::RunSelfCheck;
+using xptc::testing::SelfCheckReport;
+using xptc::testing::StressOptions;
+using xptc::testing::StressReport;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [mode] [options]\n"
+      "\n"
+      "modes (default: fuzz campaign)\n"
+      "  --replay DIR        replay every *.case file in DIR, then exit\n"
+      "  --self-check        mutation-test the harness itself: inject\n"
+      "                      synthetic one-line evaluator bugs and require\n"
+      "                      each to be found and shrunk small\n"
+      "  --stress            multi-threaded differential stress of the\n"
+      "                      throughput layer (PlanCache/TreeCache/Batch)\n"
+      "\n"
+      "campaign options\n"
+      "  --cases N           stop after N cases\n"
+      "  --seconds S         stop after S wall-clock seconds\n"
+      "  --seed N            campaign seed (default 1)\n"
+      "  --fragment F        core|regular|regularw|downward|compilable|all\n"
+      "                      (default all)\n"
+      "  --max-tree-nodes N  per-case tree size cap (default 24)\n"
+      "  --corpus DIR        write shrunk findings to DIR as .case files\n"
+      "  --no-heavy          drop the FO/NTWA/DFTA oracles (fast smoke)\n"
+      "\n"
+      "stress options\n"
+      "  --threads N         client threads (default 4)\n"
+      "  --iterations N      evaluations per client thread (default 120)\n",
+      argv0);
+  return 2;
+}
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+void PrintFinding(const Finding& finding, const Alphabet&) {
+  std::printf("FINDING (case seed %" PRIu64 "): %s vs %s\n", finding.case_seed,
+              finding.reference.c_str(), finding.other.c_str());
+  std::printf("  %s\n", finding.description.c_str());
+  std::printf("  original: %s\n",
+              xptc::testing::FormatCaseLine(finding.original).c_str());
+  std::printf("  shrunk  : %s\n",
+              xptc::testing::FormatCaseLine(finding.shrunk).c_str());
+  std::printf("  shrink  : tree %d -> %d nodes, query %d -> %d AST nodes, "
+              "%d steps\n",
+              finding.shrink.tree_nodes_before, finding.shrink.tree_nodes_after,
+              finding.shrink.query_size_before,
+              finding.shrink.query_size_after, finding.shrink.steps);
+}
+
+int RunReplayMode(const std::string& dir) {
+  Alphabet alphabet;
+  auto registry = MakeDefaultRegistry(&alphabet);
+  auto corpus = xptc::testing::LoadCorpusDir(dir);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "error: %s\n", corpus.status().ToString().c_str());
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& [path, corpus_case] : corpus.ValueOrDie()) {
+    auto outcome = ReplayCase(registry.get(), &alphabet, corpus_case);
+    if (!outcome.ok()) {
+      std::printf("ERROR %s: %s\n", path.c_str(),
+                  outcome.status().ToString().c_str());
+      ++failures;
+    } else if (outcome.ValueOrDie().has_value()) {
+      std::printf("DISAGREE %s: %s\n", path.c_str(),
+                  outcome.ValueOrDie()->Describe().c_str());
+      ++failures;
+    } else {
+      std::printf("ok %s\n", path.c_str());
+    }
+  }
+  std::printf("replayed %zu cases, %d failures\n",
+              corpus.ValueOrDie().size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int RunSelfCheckMode(uint64_t seed) {
+  Alphabet alphabet;
+  const std::vector<SelfCheckReport> reports = RunSelfCheck(&alphabet, seed);
+  int failures = 0;
+  for (const SelfCheckReport& report : reports) {
+    if (!report.found) {
+      std::printf("self-check %-12s: NOT FOUND in %" PRId64 " cases\n",
+                  MutationToString(report.mutation), report.cases);
+      ++failures;
+      continue;
+    }
+    const auto& shrink = report.finding.shrink;
+    // The acceptance bar: an injected one-line bug must shrink to a tiny
+    // reproducible case.
+    const bool small = shrink.tree_nodes_after <= 8 &&
+                       shrink.query_size_after <= 6;
+    std::printf("self-check %-12s: found after %" PRId64
+                " cases, shrunk to %d tree nodes / %d AST nodes%s\n",
+                MutationToString(report.mutation), report.cases,
+                shrink.tree_nodes_after, shrink.query_size_after,
+                small ? "" : "  [TOO BIG]");
+    std::printf("  repro: %s\n",
+                xptc::testing::FormatCaseLine(report.finding.shrunk).c_str());
+    if (!small) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int RunStressMode(const StressOptions& options) {
+  const StressReport report = RunConcurrencyStress(options);
+  std::printf("stress: %" PRId64 " evaluations across %d threads, "
+              "%" PRId64 " plan-cache hits, %" PRId64 " evictions\n",
+              report.evaluations, options.num_threads, report.plan_cache_hits,
+              report.plan_cache_evictions);
+  if (!report.ok()) {
+    std::printf("MISMATCHES: %d (first: %s)\n", report.mismatches,
+                report.first_mismatch.c_str());
+    return 1;
+  }
+  std::printf("all concurrent results matched the sequential baseline\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  StressOptions stress_options;
+  DefaultRegistryOptions registry_options;
+  std::string replay_dir;
+  bool self_check = false;
+  bool stress = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    int64_t value = 0;
+    if (arg == "--replay") {
+      const char* dir = next();
+      if (dir == nullptr) return Usage(argv[0]);
+      replay_dir = dir;
+    } else if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--stress") {
+      stress = true;
+    } else if (arg == "--cases") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
+      options.max_cases = value;
+    } else if (arg == "--seconds") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
+      options.max_seconds = static_cast<double>(value);
+    } else if (arg == "--seed") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
+      options.seed = static_cast<uint64_t>(value);
+      stress_options.seed = static_cast<uint64_t>(value);
+    } else if (arg == "--fragment") {
+      const char* text = next();
+      if (text == nullptr) return Usage(argv[0]);
+      const std::optional<FuzzFragment> fragment =
+          FuzzFragmentFromString(text);
+      if (!fragment.has_value()) return Usage(argv[0]);
+      options.fragment = *fragment;
+    } else if (arg == "--max-tree-nodes") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value <= 0) {
+        return Usage(argv[0]);
+      }
+      options.max_tree_nodes = static_cast<int>(value);
+    } else if (arg == "--corpus") {
+      const char* dir = next();
+      if (dir == nullptr) return Usage(argv[0]);
+      options.corpus_dir = dir;
+    } else if (arg == "--no-heavy") {
+      registry_options.include_heavy = false;
+    } else if (arg == "--threads") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value <= 0) {
+        return Usage(argv[0]);
+      }
+      stress_options.num_threads = static_cast<int>(value);
+    } else if (arg == "--iterations") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value <= 0) {
+        return Usage(argv[0]);
+      }
+      stress_options.iterations_per_thread = static_cast<int>(value);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!replay_dir.empty()) return RunReplayMode(replay_dir);
+  if (self_check) return RunSelfCheckMode(options.seed);
+  if (stress) return RunStressMode(stress_options);
+
+  if (options.max_cases == 0 && options.max_seconds == 0) {
+    options.max_cases = 10000;  // a default smoke budget
+  }
+
+  Alphabet alphabet;
+  auto registry = MakeDefaultRegistry(&alphabet, registry_options);
+  Fuzzer fuzzer(registry.get(), &alphabet, options);
+  const CampaignResult result = fuzzer.Run();
+
+  std::printf("campaign: %" PRId64 " cases in %.2fs (%.0f cases/s), "
+              "fragment %s, seed %" PRIu64 "\n",
+              result.cases, result.seconds,
+              result.seconds > 0 ? result.cases / result.seconds : 0.0,
+              FuzzFragmentToString(options.fragment), options.seed);
+  const OracleRegistry::Stats& stats = registry->stats();
+  std::printf("oracles: %" PRId64 " comparisons, %" PRId64 " soft skips;",
+              stats.comparisons, stats.soft_skips);
+  for (const auto& [name, runs] : stats.runs) {
+    std::printf(" %s=%" PRId64, name.c_str(), runs);
+  }
+  std::printf("\n");
+  for (const Finding& finding : result.findings) {
+    PrintFinding(finding, alphabet);
+  }
+  if (result.findings.empty()) {
+    std::printf("no disagreements\n");
+    return 0;
+  }
+  std::printf("%zu findings\n", result.findings.size());
+  return 1;
+}
