@@ -110,6 +110,12 @@ std::string ThroughputJsonPath() {
                                                 : "BENCH_throughput.json";
 }
 
+std::string CompiledJsonPath() {
+  const char* value = std::getenv("XPTC_BENCH_COMPILED_JSON");
+  return (value != nullptr && value[0] != '\0') ? value
+                                                : "BENCH_compiled.json";
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& text) {

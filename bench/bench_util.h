@@ -88,6 +88,11 @@ std::string BenchJsonPath();
 /// numbers depend on the host's core count, eval numbers do not.
 std::string ThroughputJsonPath();
 
+/// Path of the compiled-engine benchmark JSON (XPTC_BENCH_COMPILED_JSON or
+/// BENCH_compiled.json): interpreter-vs-compiled comparisons from
+/// bench/exp12_compiled.cc.
+std::string CompiledJsonPath();
+
 /// Deterministic tree for benchmarks.
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
                uint64_t seed, int num_labels = 3);

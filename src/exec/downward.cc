@@ -1,0 +1,438 @@
+#include "exec/downward.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace xptc {
+namespace exec {
+
+namespace {
+
+// Demand-driven lowering of a downward expression DAG into single-assignment
+// bit definitions. Every definition is emitted exactly once; fixpoint bits
+// (star results and descendant helpers) are allocated first and defined
+// after their body, so a definition may *reference* a bit whose defining
+// instruction comes later. The scheduler below then reorders definitions so
+// that only genuinely cyclic references (same-node fixpoint feedback) stay
+// forward — everything else, in particular every bit the parent reads
+// through the child-aggregate, is computed from final operand values.
+class DownwardLowerer {
+ public:
+  bool Lower(const NodePtr& plan, std::vector<BitInstr>* code, int* num_bits,
+             int* result_bit) {
+    const int result = LowerNode(plan.get());
+    if (!ok_) return false;
+    if (!Schedule(code)) return false;
+    *num_bits = next_bit_;
+    *result_bit = result;
+    return true;
+  }
+
+ private:
+  int Alloc() { return next_bit_++; }
+
+  int Emit(BitOp op, int a = -1, int b = -1, Symbol label = kInvalidSymbol) {
+    const int dst = Alloc();
+    Define(dst, op, a, b, label);
+    return dst;
+  }
+
+  void Define(int dst, BitOp op, int a = -1, int b = -1,
+              Symbol label = kInvalidSymbol) {
+    defs_.push_back(BitInstr{op, dst, a, b, label});
+  }
+
+  int TrueBit() {
+    if (true_bit_ < 0) true_bit_ = Emit(BitOp::kTrue);
+    return true_bit_;
+  }
+
+  // Bit holding the value of node expression `e` at the current node.
+  // Memoized per canonical pointer: the DAG lowers once.
+  int LowerNode(const NodeExpr* e) {
+    if (!ok_) return 0;
+    auto it = node_memo_.find(e);
+    if (it != node_memo_.end()) return it->second;
+    int bit = 0;
+    switch (e->op) {
+      case NodeOp::kTrue:
+        bit = TrueBit();
+        break;
+      case NodeOp::kLabel:
+        bit = Emit(BitOp::kLabel, -1, -1, e->label);
+        break;
+      case NodeOp::kNot:
+        bit = Emit(BitOp::kNot, LowerNode(e->left.get()));
+        break;
+      case NodeOp::kAnd:
+        bit = Emit(BitOp::kAnd, LowerNode(e->left.get()),
+                   LowerNode(e->right.get()));
+        break;
+      case NodeOp::kOr:
+        bit = Emit(BitOp::kOr, LowerNode(e->left.get()),
+                   LowerNode(e->right.get()));
+        break;
+      case NodeOp::kSome:
+        bit = LowerPath(e->path.get(), TrueBit());
+        break;
+      case NodeOp::kWithin:
+        // Downward φ only sees the subtree, so W φ ≡ φ.
+        bit = LowerNode(e->left.get());
+        break;
+    }
+    node_memo_.emplace(e, bit);
+    return bit;
+  }
+
+  // Bit holding ⟨p⟩cont at the current node: "some node reachable via p
+  // (within the subtree) satisfies the continuation bit". Memoized per
+  // (canonical path, continuation bit).
+  int LowerPath(const PathExpr* p, int cont) {
+    if (!ok_) return 0;
+    const auto key = std::make_pair(p, cont);
+    auto it = path_memo_.find(key);
+    if (it != path_memo_.end()) return it->second;
+    int bit = 0;
+    switch (p->op) {
+      case PathOp::kAxis:
+        switch (p->axis) {
+          case Axis::kSelf:
+            bit = cont;
+            break;
+          case Axis::kChild:
+            bit = Emit(BitOp::kAgg, cont);
+            break;
+          case Axis::kDescendant:
+          case Axis::kDescendantOrSelf: {
+            // m := cont ∨ A[m] — "cont holds somewhere in the subtree";
+            // the strict-descendant result is t := A[m].
+            const int m = Alloc();
+            const int t = Emit(BitOp::kAgg, m);
+            Define(m, BitOp::kOr, cont, t);
+            bit = p->axis == Axis::kDescendant ? t : m;
+            break;
+          }
+          default:
+            ok_ = false;  // non-downward axis; caller falls back
+            break;
+        }
+        break;
+      case PathOp::kSeq:
+        bit = LowerPath(p->left.get(), LowerPath(p->right.get(), cont));
+        break;
+      case PathOp::kUnion: {
+        const int l = LowerPath(p->left.get(), cont);
+        const int r = LowerPath(p->right.get(), cont);
+        bit = Emit(BitOp::kOr, l, r);
+        break;
+      }
+      case PathOp::kFilter: {
+        const int pred = LowerNode(p->pred.get());
+        const int gated = Emit(BitOp::kAnd, pred, cont);
+        bit = LowerPath(p->left.get(), gated);
+        break;
+      }
+      case PathOp::kStar: {
+        // s := cont ∨ ⟨p⟩s — allocate the fixpoint bit first so the body
+        // can reference it (directly for pure-self feedback, via A for
+        // descending feedback), then close the equation.
+        const int s = Alloc();
+        path_memo_.emplace(key, s);
+        const int h = LowerPath(p->left.get(), s);
+        Define(s, BitOp::kOr, cont, h);
+        return s;  // memo entry inserted above (before recursing)
+      }
+    }
+    path_memo_.emplace(key, bit);
+    return bit;
+  }
+
+  // Reorders definitions so every *own-bit* operand (kNot/kAnd/kOr) is
+  // defined before its use, except inside strongly connected groups of
+  // mutually recursive fixpoint equations, which are emitted as |SCC|
+  // repeated rounds (chaotic iteration over a monotone boolean system of
+  // |SCC| unknowns reaches the least fixpoint within |SCC| full passes;
+  // reads of a not-yet-computed bit see 0 = ⊥). kAgg operands impose no
+  // order: they read the children's completed words.
+  bool Schedule(std::vector<BitInstr>* code) {
+    const int n = static_cast<int>(defs_.size());
+    std::vector<int> def_of_bit(static_cast<size_t>(next_bit_), -1);
+    for (int i = 0; i < n; ++i) def_of_bit[defs_[i].dst] = i;
+    // Own-bit dependency edges: instruction i depends on dep(i).
+    auto own_deps = [&](const BitInstr& ins, auto&& fn) {
+      if (ins.op == BitOp::kNot || ins.op == BitOp::kAnd ||
+          ins.op == BitOp::kOr) {
+        if (ins.a >= 0) fn(def_of_bit[static_cast<size_t>(ins.a)]);
+        if (ins.b >= 0) fn(def_of_bit[static_cast<size_t>(ins.b)]);
+      }
+    };
+    // Tarjan SCC over the instruction dependency graph.
+    std::vector<int> index(static_cast<size_t>(n), -1),
+        low(static_cast<size_t>(n), 0), comp(static_cast<size_t>(n), -1);
+    std::vector<bool> on_stack(static_cast<size_t>(n), false);
+    std::vector<int> stack;
+    std::vector<std::vector<int>> sccs;
+    int next_index = 0;
+    // Iterative Tarjan (defensive: program depth tracks query size, which
+    // fuzzers make deep).
+    struct Frame {
+      int v;
+      int dep_pos;
+      std::vector<int> deps;
+    };
+    std::vector<Frame> frames;
+    for (int start = 0; start < n; ++start) {
+      if (index[start] >= 0) continue;
+      frames.push_back(Frame{start, 0, {}});
+      while (!frames.empty()) {
+        Frame& f = frames.back();
+        if (f.dep_pos == 0 && index[f.v] < 0) {
+          index[f.v] = low[f.v] = next_index++;
+          stack.push_back(f.v);
+          on_stack[f.v] = true;
+          own_deps(defs_[f.v], [&](int d) { f.deps.push_back(d); });
+        }
+        bool descended = false;
+        while (f.dep_pos < static_cast<int>(f.deps.size())) {
+          const int d = f.deps[f.dep_pos++];
+          if (index[d] < 0) {
+            frames.push_back(Frame{d, 0, {}});
+            descended = true;
+            break;
+          }
+          if (on_stack[d]) low[f.v] = std::min(low[f.v], index[d]);
+        }
+        if (descended) continue;
+        if (low[f.v] == index[f.v]) {
+          sccs.emplace_back();
+          for (;;) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = static_cast<int>(sccs.size()) - 1;
+            sccs.back().push_back(w);
+            if (w == f.v) break;
+          }
+        }
+        const int v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+      }
+    }
+    // Topological order over the SCC condensation, deterministic: ready
+    // components are taken smallest-original-instruction first.
+    const int num_comps = static_cast<int>(sccs.size());
+    std::vector<int> pending(static_cast<size_t>(num_comps), 0);
+    std::vector<std::vector<int>> dependents(static_cast<size_t>(num_comps));
+    for (int i = 0; i < n; ++i) {
+      own_deps(defs_[i], [&](int d) {
+        if (comp[d] != comp[i]) {
+          dependents[comp[d]].push_back(comp[i]);
+          ++pending[comp[i]];
+        }
+      });
+    }
+    for (auto& scc : sccs) std::sort(scc.begin(), scc.end());
+    std::map<int, int> ready;  // min member instr -> comp (deterministic)
+    for (int c = 0; c < num_comps; ++c) {
+      if (pending[c] == 0) ready.emplace(sccs[c].front(), c);
+    }
+    code->clear();
+    int emitted = 0;
+    while (!ready.empty()) {
+      const int c = ready.begin()->second;
+      ready.erase(ready.begin());
+      const auto& members = sccs[c];
+      // A singleton with a self-loop (s := cont ∨ s, from p = self*) still
+      // needs only one application: for a single monotone unknown,
+      // g(0) = 0 makes 0 the least fixpoint and g(0) = 1 is a fixpoint.
+      const int rounds =
+          members.size() > 1 ? static_cast<int>(members.size()) : 1;
+      for (int r = 0; r < rounds; ++r) {
+        for (const int i : members) {
+          // A negation inside a recursive group would make the chaotic
+          // iteration unsound; lowering never produces one (negation only
+          // applies to node expressions, whose lowering never references a
+          // pending fixpoint), but fail closed rather than miscompile.
+          if (rounds > 1 && defs_[i].op == BitOp::kNot) return false;
+          code->push_back(defs_[i]);
+        }
+      }
+      emitted += static_cast<int>(members.size());
+      for (const int d : dependents[c]) {
+        if (--pending[d] == 0) ready.emplace(sccs[d].front(), d);
+      }
+    }
+    return emitted == n;
+  }
+
+  std::vector<BitInstr> defs_;
+  std::unordered_map<const NodeExpr*, int> node_memo_;
+  std::map<std::pair<const PathExpr*, int>, int> path_memo_;
+  int next_bit_ = 0;
+  int true_bit_ = -1;
+  bool ok_ = true;
+};
+
+inline bool GetBit(const uint64_t* words, int i) {
+  return (words[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
+}
+
+}  // namespace
+
+std::optional<DownwardProgram> DownwardProgram::Compile(const NodePtr& plan) {
+  DownwardProgram program;
+  DownwardLowerer lowerer;
+  if (!lowerer.Lower(plan, &program.code_, &program.num_bits_,
+                     &program.result_bit_)) {
+    return std::nullopt;
+  }
+  return program;
+}
+
+Bitset DownwardProgram::Run(const Tree& tree,
+                            std::vector<uint64_t>* agg) const {
+  XPTC_CHECK(!tree.empty());
+  Bitset out(tree.size());
+  if (num_bits_ <= 64) {
+    RunNarrow(tree, agg, &out);
+  } else {
+    RunWide(tree, (num_bits_ + 63) / 64, agg, &out);
+  }
+  return out;
+}
+
+void DownwardProgram::RunNarrow(const Tree& tree, std::vector<uint64_t>* agg,
+                                Bitset* out) const {
+  const int n = tree.size();
+  agg->assign(static_cast<size_t>(n), 0);
+  uint64_t* aggw = agg->data();
+  const BitInstr* code = code_.data();
+  const size_t num_instrs = code_.size();
+  for (NodeId v = n - 1; v >= 0; --v) {
+    const uint64_t adjacent = aggw[v];
+    const Symbol label = tree.Label(v);
+    uint64_t w = 0;
+    for (size_t i = 0; i < num_instrs; ++i) {
+      const BitInstr& ins = code[i];
+      uint64_t bit;
+      switch (ins.op) {
+        case BitOp::kTrue:
+          bit = 1;
+          break;
+        case BitOp::kLabel:
+          bit = label == ins.label ? 1 : 0;
+          break;
+        case BitOp::kNot:
+          bit = ~(w >> ins.a) & 1;
+          break;
+        case BitOp::kAnd:
+          bit = (w >> ins.a) & (w >> ins.b) & 1;
+          break;
+        case BitOp::kOr:
+          bit = ((w >> ins.a) | (w >> ins.b)) & 1;
+          break;
+        case BitOp::kAgg:
+          bit = (adjacent >> ins.a) & 1;
+          break;
+        default:
+          bit = 0;
+          break;
+      }
+      w |= bit << ins.dst;
+    }
+    if ((w >> result_bit_) & 1) out->Set(v);
+    const NodeId parent = tree.Parent(v);
+    if (parent != kNoNode) aggw[parent] |= w;
+  }
+}
+
+void DownwardProgram::RunWide(const Tree& tree, int words,
+                              std::vector<uint64_t>* agg, Bitset* out) const {
+  const int n = tree.size();
+  agg->assign(static_cast<size_t>(n) * static_cast<size_t>(words), 0);
+  std::vector<uint64_t> w(static_cast<size_t>(words));
+  for (NodeId v = n - 1; v >= 0; --v) {
+    const uint64_t* adjacent =
+        agg->data() + static_cast<size_t>(v) * static_cast<size_t>(words);
+    const Symbol label = tree.Label(v);
+    std::fill(w.begin(), w.end(), 0);
+    for (const BitInstr& ins : code_) {
+      bool bit;
+      switch (ins.op) {
+        case BitOp::kTrue:
+          bit = true;
+          break;
+        case BitOp::kLabel:
+          bit = label == ins.label;
+          break;
+        case BitOp::kNot:
+          bit = !GetBit(w.data(), ins.a);
+          break;
+        case BitOp::kAnd:
+          bit = GetBit(w.data(), ins.a) && GetBit(w.data(), ins.b);
+          break;
+        case BitOp::kOr:
+          bit = GetBit(w.data(), ins.a) || GetBit(w.data(), ins.b);
+          break;
+        case BitOp::kAgg:
+          bit = GetBit(adjacent, ins.a);
+          break;
+        default:
+          bit = false;
+          break;
+      }
+      if (bit) {
+        w[static_cast<size_t>(ins.dst) >> 6] |= uint64_t{1} << (ins.dst & 63);
+      }
+    }
+    if (GetBit(w.data(), result_bit_)) out->Set(v);
+    const NodeId parent = tree.Parent(v);
+    if (parent != kNoNode) {
+      uint64_t* pw = agg->data() +
+                     static_cast<size_t>(parent) * static_cast<size_t>(words);
+      for (int k = 0; k < words; ++k) pw[k] |= w[k];
+    }
+  }
+}
+
+std::string DownwardProgram::ToString(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  os << "downward program: " << num_bits_ << " bits, " << code_.size()
+     << " ops, result b" << result_bit_ << "\n";
+  for (const BitInstr& ins : code_) {
+    os << "  b" << ins.dst << " = ";
+    switch (ins.op) {
+      case BitOp::kTrue:
+        os << "true";
+        break;
+      case BitOp::kLabel:
+        os << "label " << alphabet.Name(ins.label);
+        break;
+      case BitOp::kNot:
+        os << "not b" << ins.a;
+        break;
+      case BitOp::kAnd:
+        os << "and b" << ins.a << " b" << ins.b;
+        break;
+      case BitOp::kOr:
+        os << "or b" << ins.a << " b" << ins.b;
+        break;
+      case BitOp::kAgg:
+        os << "agg b" << ins.a;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace exec
+}  // namespace xptc

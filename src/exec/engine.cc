@@ -1,0 +1,147 @@
+#include "exec/engine.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "workload/tree_cache.h"
+#include "xpath/axis_kernels.h"
+
+namespace xptc {
+namespace exec {
+
+ExecEngine::ExecEngine(const Tree& tree, TreeCache* tree_cache)
+    : tree_(tree), tree_cache_(tree_cache), n_(tree.size()) {
+  XPTC_CHECK(!tree.empty());
+  XPTC_CHECK(tree_cache == nullptr || &tree_cache->tree() == &tree)
+      << "TreeCache bound to a different tree";
+}
+
+ExecEngine::~ExecEngine() = default;
+
+namespace {
+
+// Star-round budget for the hybrid dispatch: one register-machine star
+// round costs a few full-bitset word ops (O(n/64) each), one node of the
+// one-pass sweep costs ~bit_ops dependent dispatches — so past roughly
+// 8 rounds per bit op the sweep wins even counting the abandoned prefix.
+// Shallow trees and dense star seeds converge in far fewer rounds and
+// never hit the budget; only the adversarial deep-tree/sparse-seed regime
+// (where the register machine would go quadratic) falls back.
+int64_t StarRoundBudget(const Program& program) {
+  return 32 + 8 * static_cast<int64_t>(program.stats().bit_ops);
+}
+
+}  // namespace
+
+Bitset ExecEngine::Eval(const Program& program) {
+  last_used_downward_ = false;
+  if (program.downward() == nullptr) return EvalGeneral(program);
+  while (static_cast<int>(regs_.size()) < program.num_regs()) {
+    regs_.emplace_back(n_);
+  }
+  star_rounds_left_ = StarRoundBudget(program);
+  if (RunRange(program, 0, program.main_end())) {
+    return regs_[static_cast<size_t>(program.result_reg())];
+  }
+  return EvalDownward(program);
+}
+
+Bitset ExecEngine::EvalDownward(const Program& program) {
+  XPTC_CHECK(program.downward() != nullptr)
+      << "program has no downward compilation";
+  last_used_downward_ = true;
+  return program.downward()->Run(tree_, &agg_);
+}
+
+Bitset ExecEngine::EvalGeneral(const Program& program) {
+  last_used_downward_ = false;
+  while (static_cast<int>(regs_.size()) < program.num_regs()) {
+    regs_.emplace_back(n_);
+  }
+  star_rounds_left_ = std::numeric_limits<int64_t>::max();
+  RunRange(program, 0, program.main_end());
+  return regs_[static_cast<size_t>(program.result_reg())];
+}
+
+const Bitset& ExecEngine::LabelSet(Symbol label) {
+  auto it = label_refs_.find(label);
+  if (it != label_refs_.end()) return *it->second;
+  const Bitset* set;
+  if (tree_cache_ != nullptr) {
+    set = &tree_cache_->LabelSet(label);
+  } else {
+    Bitset local(n_);
+    for (NodeId v = 0; v < n_; ++v) {
+      if (tree_.Label(v) == label) local.Set(v);
+    }
+    set = &local_labels_.emplace(label, std::move(local)).first->second;
+  }
+  label_refs_.emplace(label, set);
+  return *set;
+}
+
+bool ExecEngine::RunRange(const Program& program, int begin, int end) {
+  const std::vector<Instr>& code = program.code();
+  for (int i = begin; i < end; ++i) {
+    const Instr& ins = code[static_cast<size_t>(i)];
+    Bitset& dst = regs_[static_cast<size_t>(ins.dst)];
+    switch (ins.op) {
+      case Op::kTrue:
+        dst.SetAll();
+        break;
+      case Op::kLabel:
+        dst.CopyRange(LabelSet(ins.label), 0, n_);
+        break;
+      case Op::kNot:
+        dst.CopyRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
+        dst.Flip();
+        break;
+      case Op::kAnd:
+        dst.CopyRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
+        dst &= regs_[static_cast<size_t>(ins.b)];
+        break;
+      case Op::kOr:
+        dst.CopyRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
+        dst |= regs_[static_cast<size_t>(ins.b)];
+        break;
+      case Op::kAxis:
+        dst.ResetAll();  // the kernels require a clear output window
+        AxisImageInto(tree_, ins.axis, regs_[static_cast<size_t>(ins.a)], 0,
+                      n_, &dst);
+        break;
+      case Op::kStar: {
+        // Semi-naive closure: dst accumulates everything reached, the body
+        // maps the newly-reached frontier (`in`) one step to `out`, and
+        // only genuinely new nodes re-enter the loop. The allocator keeps
+        // dst/in/out in distinct registers and anything read inside the
+        // body live across the whole loop.
+        const Bitset& seed = regs_[static_cast<size_t>(ins.a)];
+        Bitset& frontier = regs_[static_cast<size_t>(ins.in)];
+        Bitset& step = regs_[static_cast<size_t>(ins.out)];
+        dst.CopyRange(seed, 0, n_);
+        frontier.CopyRange(seed, 0, n_);
+        while (frontier.Any()) {
+          if (--star_rounds_left_ < 0) return false;
+          if (!RunRange(program, ins.body_begin, ins.body_end)) return false;
+          step.Subtract(dst);
+          dst |= step;
+          frontier.CopyRange(step, 0, n_);
+        }
+        break;
+      }
+      case Op::kWithin: {
+        if (w_scratch_ == nullptr) {
+          w_scratch_ = std::make_unique<EvalScratch>(tree_, tree_cache_);
+        }
+        Evaluator ev(tree_, w_scratch_.get());
+        dst = ev.EvalNode(*ins.within);
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace exec
+}  // namespace xptc

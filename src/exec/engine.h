@@ -1,0 +1,88 @@
+#ifndef XPTC_EXEC_ENGINE_H_
+#define XPTC_EXEC_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "exec/program.h"
+#include "tree/tree.h"
+#include "xpath/eval.h"
+
+namespace xptc {
+
+class TreeCache;  // workload/tree_cache.h
+
+namespace exec {
+
+/// Executes compiled `Program`s against one tree. Owns all per-run mutable
+/// state — the physical bitset register file, the per-tree label index, the
+/// downward sweep's aggregate buffer, and the interpreter scratch used to
+/// delegate `W` instructions — so repeated runs (the batch-engine steady
+/// state) allocate nothing: registers are overwritten in place, and the
+/// file only grows when a program needs more registers than any before it.
+///
+/// Optionally attaches a `TreeCache`, which shares the label index and the
+/// memoised `W` results across queries and worker threads. An ExecEngine is
+/// NOT thread-safe: use one per (worker, tree), like `EvalScratch`.
+class ExecEngine {
+ public:
+  /// `tree_cache`, if given, must be bound to the same `tree` object and
+  /// must outlive the engine.
+  explicit ExecEngine(const Tree& tree, TreeCache* tree_cache = nullptr);
+  ~ExecEngine();
+
+  ExecEngine(const ExecEngine&) = delete;
+  ExecEngine& operator=(const ExecEngine&) = delete;
+
+  /// The set of nodes satisfying the program's query. Programs without a
+  /// downward compilation run on the register machine. Programs with one
+  /// run a *hybrid*: the register machine is usually faster (every word op
+  /// is 64-way node-parallel), but its star fixpoints can take up to
+  /// tree-depth rounds of full-bitset work — quadratic on deep trees with
+  /// sparse star seeds — so star rounds are budgeted, and blowing the
+  /// budget abandons the run and re-executes as the one-pass downward
+  /// sweep, whose O(|code|·|T|) bound is unconditional (T2 linearity as
+  /// the safety net, word-parallelism as the fast path).
+  Bitset Eval(const Program& program);
+
+  /// True iff the last `Eval` fell back to (or a direct `EvalDownward`
+  /// ran) the one-pass sweep — observability for tests and benches.
+  bool last_used_downward() const { return last_used_downward_; }
+
+  /// Forces the general register machine (differential testing and
+  /// benchmarking against the downward engine).
+  Bitset EvalGeneral(const Program& program);
+
+  /// Forces the one-pass downward sweep; requires `program.downward()`.
+  Bitset EvalDownward(const Program& program);
+
+  const Tree& tree() const { return tree_; }
+
+ private:
+  /// Executes [begin, end); returns false iff the star-round budget ran
+  /// out (only possible under `Eval`'s hybrid dispatch — `EvalGeneral`
+  /// runs with an unbounded budget).
+  bool RunRange(const Program& program, int begin, int end);
+  const Bitset& LabelSet(Symbol label);
+
+  const Tree& tree_;
+  TreeCache* tree_cache_;
+  const int n_;
+  std::vector<Bitset> regs_;
+  int64_t star_rounds_left_ = 0;  // per-run star-round budget (see Eval)
+  bool last_used_downward_ = false;
+  // Label index: refs into the shared TreeCache when attached (lock-free
+  // after first touch), else locally built sets.
+  std::unordered_map<Symbol, const Bitset*> label_refs_;
+  std::unordered_map<Symbol, Bitset> local_labels_;
+  std::vector<uint64_t> agg_;  // downward sweep child-aggregate buffer
+  std::unique_ptr<EvalScratch> w_scratch_;  // lazily built, kWithin only
+};
+
+}  // namespace exec
+}  // namespace xptc
+
+#endif  // XPTC_EXEC_ENGINE_H_

@@ -1,0 +1,449 @@
+#include "exec/program.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "xpath/fragment.h"
+#include "xpath/intern.h"
+
+namespace xptc {
+namespace exec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lowering: NodeExpr DAG -> flat instruction sequences (SSA virtual regs).
+//
+// The plan is hash-consed before lowering, so pointer-keyed memos collapse
+// every repeated subexpression onto one instruction. Node-expression
+// results are context-free, so they are always emitted into the top-level
+// sequence — in particular filter predicates are hoisted out of star loop
+// bodies and computed once. Star bodies are lowered into their own
+// sequences first; the owning kStar instruction is appended afterwards, so
+// within every sequence definitions precede uses in execution order.
+
+struct LoopSeq {
+  std::vector<Instr> instrs;
+  // Backward-image memo: (canonical path, targets vreg) -> result vreg.
+  // Sequence-local: a body re-entered each iteration recomputes, but two
+  // occurrences of the same sub-path over the same operand share.
+  std::map<std::pair<const PathExpr*, int>, int> path_memo;
+};
+
+class Lowerer {
+ public:
+  struct Output {
+    std::vector<Instr> code;
+    int main_end = 0;
+    int result_vreg = -1;
+    int num_vregs = 0;
+    int dag_hits = 0;
+  };
+
+  Output Lower(const NodePtr& plan) {
+    seqs_.emplace_back();  // seq 0: the top-level sequence
+    const int result = LowerNode(plan);
+    Output out;
+    out.result_vreg = result;
+    out.num_vregs = num_vregs_;
+    out.dag_hits = dag_hits_;
+    // Linearize: main first, then loop bodies in creation order; rewrite
+    // each kStar's body reference from sequence id to instruction range.
+    std::vector<int> offset(seqs_.size(), 0);
+    out.main_end = static_cast<int>(seqs_[0].instrs.size());
+    int at = 0;
+    for (size_t s = 0; s < seqs_.size(); ++s) {
+      offset[s] = at;
+      at += static_cast<int>(seqs_[s].instrs.size());
+    }
+    out.code.reserve(static_cast<size_t>(at));
+    for (auto& seq : seqs_) {
+      for (auto& ins : seq.instrs) out.code.push_back(std::move(ins));
+    }
+    for (auto& ins : out.code) {
+      if (ins.op == Op::kStar) {
+        const int seq = ins.body_begin;
+        ins.body_begin = offset[static_cast<size_t>(seq)];
+        ins.body_end =
+            ins.body_begin +
+            static_cast<int>(seqs_[static_cast<size_t>(seq)].instrs.size());
+      }
+    }
+    return out;
+  }
+
+ private:
+  int NewVreg() { return num_vregs_++; }
+
+  int NewSeq() {
+    seqs_.emplace_back();
+    return static_cast<int>(seqs_.size()) - 1;
+  }
+
+  void Append(int seq, Instr ins) {
+    seqs_[static_cast<size_t>(seq)].instrs.push_back(std::move(ins));
+  }
+
+  // The all-nodes register (lazily emitted once, in the main sequence).
+  int TrueReg() {
+    if (true_vreg_ < 0) {
+      Instr ins;
+      ins.op = Op::kTrue;
+      ins.dst = NewVreg();
+      Append(0, ins);
+      true_vreg_ = ins.dst;
+    }
+    return true_vreg_;
+  }
+
+  // Register holding the node set of `node`. Node-expression values are
+  // context-free, so they always live in the main sequence.
+  int LowerNode(const NodePtr& node) {
+    auto it = node_memo_.find(node.get());
+    if (it != node_memo_.end()) {
+      ++dag_hits_;
+      return it->second;
+    }
+    int reg = -1;
+    switch (node->op) {
+      case NodeOp::kTrue:
+        reg = TrueReg();
+        break;
+      case NodeOp::kLabel: {
+        Instr ins;
+        ins.op = Op::kLabel;
+        ins.label = node->label;
+        ins.dst = NewVreg();
+        Append(0, ins);
+        reg = ins.dst;
+        break;
+      }
+      case NodeOp::kNot: {
+        Instr ins;
+        ins.op = Op::kNot;
+        ins.a = LowerNode(node->left);
+        ins.dst = NewVreg();
+        Append(0, ins);
+        reg = ins.dst;
+        break;
+      }
+      case NodeOp::kAnd:
+      case NodeOp::kOr: {
+        Instr ins;
+        ins.op = node->op == NodeOp::kAnd ? Op::kAnd : Op::kOr;
+        ins.a = LowerNode(node->left);
+        ins.b = LowerNode(node->right);
+        ins.dst = NewVreg();
+        Append(0, ins);
+        reg = ins.dst;
+        break;
+      }
+      case NodeOp::kSome:
+        reg = LowerPathBack(node->path, TrueReg(), 0);
+        break;
+      case NodeOp::kWithin: {
+        // Delegated to the shared-context interpreter engine: W results
+        // are context-independent and memoized per tree, and the compiled
+        // pipeline stays free of sub-context plumbing.
+        Instr ins;
+        ins.op = Op::kWithin;
+        ins.within = node;
+        ins.dst = NewVreg();
+        Append(0, ins);
+        reg = ins.dst;
+        break;
+      }
+    }
+    node_memo_.emplace(node.get(), reg);
+    return reg;
+  }
+
+  // Register holding the backward image {v : ∃t ∈ targets, (v, t) ∈ [[p]]},
+  // emitted into sequence `seq`. ⟨p⟩φ = back(p, φ), which is why kAxis
+  // stores the *inverse* axis.
+  int LowerPathBack(const PathPtr& path, int targets, int seq) {
+    const auto key = std::make_pair(path.get(), targets);
+    {
+      const auto& memo = seqs_[static_cast<size_t>(seq)].path_memo;
+      auto it = memo.find(key);
+      if (it != memo.end()) {
+        ++dag_hits_;
+        return it->second;
+      }
+    }
+    int reg = -1;
+    switch (path->op) {
+      case PathOp::kAxis: {
+        Instr ins;
+        ins.op = Op::kAxis;
+        ins.axis = InverseAxis(path->axis);
+        ins.a = targets;
+        ins.dst = NewVreg();
+        Append(seq, ins);
+        reg = ins.dst;
+        break;
+      }
+      case PathOp::kSeq: {
+        const int mid = LowerPathBack(path->right, targets, seq);
+        reg = LowerPathBack(path->left, mid, seq);
+        break;
+      }
+      case PathOp::kUnion: {
+        Instr ins;
+        ins.op = Op::kOr;
+        ins.a = LowerPathBack(path->left, targets, seq);
+        ins.b = LowerPathBack(path->right, targets, seq);
+        ins.dst = NewVreg();
+        Append(seq, ins);
+        reg = ins.dst;
+        break;
+      }
+      case PathOp::kFilter: {
+        Instr ins;
+        ins.op = Op::kAnd;
+        ins.a = targets;
+        ins.b = LowerNode(path->pred);  // hoisted: computed once, in main
+        ins.dst = NewVreg();
+        Append(seq, ins);
+        reg = LowerPathBack(path->left, ins.dst, seq);
+        break;
+      }
+      case PathOp::kStar: {
+        // Semi-naive closure: the body maps the frontier `in` one p-step
+        // back to `out`; the engine accumulates into dst until empty.
+        const int body = NewSeq();
+        Instr ins;
+        ins.op = Op::kStar;
+        ins.a = targets;
+        ins.in = NewVreg();
+        ins.out = LowerPathBack(path->left, ins.in, body);
+        ins.dst = NewVreg();
+        ins.body_begin = body;  // sequence id; linearization rewrites
+        Append(seq, ins);
+        reg = ins.dst;
+        break;
+      }
+    }
+    seqs_[static_cast<size_t>(seq)].path_memo.emplace(key, reg);
+    return reg;
+  }
+
+  std::vector<LoopSeq> seqs_;
+  std::unordered_map<const NodeExpr*, int> node_memo_;
+  int num_vregs_ = 0;
+  int dag_hits_ = 0;
+  int true_vreg_ = -1;
+};
+
+// ---------------------------------------------------------------------------
+// Register allocation: loop-aware liveness + linear scan.
+//
+// Positions are assigned in execution order (loop bodies numbered at their
+// kStar site; the star itself gets a loop-entry position, where it reads
+// the seed and defines dst/in, and a loop-exit position, where the engine
+// last touches dst/in/out). A value defined before a loop and used inside
+// it must survive every iteration, so its interval is extended to the loop
+// exit. Values defined inside a body are fully recomputed each iteration
+// and need no extension.
+
+class RegisterAllocator {
+ public:
+  // Rewrites vreg operands in `code` to physical registers; returns the
+  // physical register count.
+  int Run(std::vector<Instr>* code, int main_end, int num_vregs,
+          int* result_reg, int result_vreg) {
+    live_.resize(static_cast<size_t>(num_vregs));
+    int pos = 0;
+    WalkRange(*code, 0, main_end, &pos);
+    for (auto& lv : live_) {
+      XPTC_CHECK(lv.def != kUnset) << "vreg never defined";
+      lv.last = std::max(lv.last, lv.def);
+    }
+    // Loop extension: anything defined before a loop and used inside it is
+    // re-read on every iteration, so it must stay live to the loop exit.
+    for (const auto& [start, end] : loops_) {
+      for (auto& lv : live_) {
+        if (lv.def >= start) continue;
+        const auto it = std::upper_bound(lv.uses.begin(), lv.uses.end(), start);
+        if (it != lv.uses.end() && *it <= end) lv.last = std::max(lv.last, end);
+      }
+    }
+    // Linear scan over def order. Two vregs may share a physical register
+    // only if their intervals are disjoint; an operand live at another
+    // vreg's definition therefore never aliases its destination (the
+    // engine overwrites dst before reading it would be catastrophic).
+    std::vector<int> order(static_cast<size_t>(num_vregs));
+    for (int v = 0; v < num_vregs; ++v) order[static_cast<size_t>(v)] = v;
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+      const auto& la = live_[static_cast<size_t>(a)];
+      const auto& lb = live_[static_cast<size_t>(b)];
+      return la.def != lb.def ? la.def < lb.def : a < b;
+    });
+    std::vector<int> assign(static_cast<size_t>(num_vregs), -1);
+    std::priority_queue<int, std::vector<int>, std::greater<int>> free_regs;
+    using Active = std::pair<int, int>;  // (last position, physical reg)
+    std::priority_queue<Active, std::vector<Active>, std::greater<Active>>
+        active;
+    int num_regs = 0;
+    for (const int v : order) {
+      const auto& lv = live_[static_cast<size_t>(v)];
+      while (!active.empty() && active.top().first < lv.def) {
+        free_regs.push(active.top().second);
+        active.pop();
+      }
+      int reg;
+      if (!free_regs.empty()) {
+        reg = free_regs.top();
+        free_regs.pop();
+      } else {
+        reg = num_regs++;
+      }
+      assign[static_cast<size_t>(v)] = reg;
+      active.emplace(lv.last, reg);
+    }
+    auto remap = [&assign](int* field) {
+      if (*field >= 0) *field = assign[static_cast<size_t>(*field)];
+    };
+    for (auto& ins : *code) {
+      remap(&ins.dst);
+      remap(&ins.a);
+      remap(&ins.b);
+      remap(&ins.in);
+      remap(&ins.out);
+    }
+    *result_reg = assign[static_cast<size_t>(result_vreg)];
+    return num_regs;
+  }
+
+ private:
+  static constexpr int kUnset = std::numeric_limits<int>::max();
+
+  struct Live {
+    int def = kUnset;
+    int last = -1;
+    std::vector<int> uses;  // increasing (walk order)
+  };
+
+  void Def(int vreg, int pos) {
+    auto& lv = live_[static_cast<size_t>(vreg)];
+    lv.def = std::min(lv.def, pos);
+  }
+
+  void Use(int vreg, int pos) {
+    if (vreg < 0) return;
+    auto& lv = live_[static_cast<size_t>(vreg)];
+    lv.last = std::max(lv.last, pos);
+    lv.uses.push_back(pos);
+  }
+
+  void WalkRange(const std::vector<Instr>& code, int begin, int end,
+                 int* pos) {
+    for (int i = begin; i < end; ++i) {
+      const Instr& ins = code[static_cast<size_t>(i)];
+      if (ins.op == Op::kStar) {
+        const int entry = (*pos)++;
+        Use(ins.a, entry);
+        Def(ins.dst, entry);
+        Def(ins.in, entry);
+        WalkRange(code, ins.body_begin, ins.body_end, pos);
+        const int exit = (*pos)++;
+        Use(ins.out, exit);
+        Use(ins.in, exit);
+        Use(ins.dst, exit);
+        loops_.emplace_back(entry, exit);
+      } else {
+        const int at = (*pos)++;
+        Use(ins.a, at);
+        Use(ins.b, at);
+        Def(ins.dst, at);
+      }
+    }
+  }
+
+  std::vector<Live> live_;
+  std::vector<std::pair<int, int>> loops_;
+};
+
+}  // namespace
+
+std::shared_ptr<const Program> Program::Compile(const NodePtr& query) {
+  XPTC_CHECK(query != nullptr);
+  std::shared_ptr<Program> program(new Program());
+  program->stats_.ast_nodes = NodeSize(*query);
+  // A private interner: collapses repeated subexpressions of *this* query.
+  // (PlanCache additionally shares canonical plans — and thus programs —
+  // across the whole workload.)
+  ExprInterner interner;
+  program->plan_ = interner.Intern(query);
+  Lowerer lowerer;
+  Lowerer::Output lowered = lowerer.Lower(program->plan_);
+  program->code_ = std::move(lowered.code);
+  program->main_end_ = lowered.main_end;
+  RegisterAllocator allocator;
+  program->num_regs_ =
+      allocator.Run(&program->code_, program->main_end_, lowered.num_vregs,
+                    &program->result_reg_, lowered.result_vreg);
+  program->stats_.num_instrs = static_cast<int>(program->code_.size());
+  program->stats_.num_vregs = lowered.num_vregs;
+  program->stats_.num_regs = program->num_regs_;
+  program->stats_.dag_hits = lowered.dag_hits;
+  if (IsDownwardNode(*program->plan_)) {
+    if (auto downward = DownwardProgram::Compile(program->plan_)) {
+      program->downward_ =
+          std::make_unique<const DownwardProgram>(std::move(*downward));
+      program->stats_.downward = true;
+      program->stats_.bit_ops =
+          static_cast<int>(program->downward_->code().size());
+    }
+  }
+  return program;
+}
+
+std::string Program::ToString(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  os << "program: " << code_.size() << " instrs, " << num_regs_
+     << " regs, result r" << result_reg_ << ", main [0," << main_end_ << ")\n";
+  for (size_t i = 0; i < code_.size(); ++i) {
+    const Instr& ins = code_[i];
+    os << "  " << i << ": r" << ins.dst << " = ";
+    switch (ins.op) {
+      case Op::kTrue:
+        os << "true";
+        break;
+      case Op::kLabel:
+        os << "label " << alphabet.Name(ins.label);
+        break;
+      case Op::kNot:
+        os << "not r" << ins.a;
+        break;
+      case Op::kAnd:
+        os << "and r" << ins.a << " r" << ins.b;
+        break;
+      case Op::kOr:
+        os << "or r" << ins.a << " r" << ins.b;
+        break;
+      case Op::kAxis:
+        os << "axis " << AxisToString(ins.axis) << " r" << ins.a;
+        break;
+      case Op::kStar:
+        os << "star r" << ins.a << " body=[" << ins.body_begin << ","
+           << ins.body_end << ") in=r" << ins.in << " out=r" << ins.out;
+        break;
+      case Op::kWithin:
+        os << "within " << NodeToString(*ins.within, alphabet);
+        break;
+    }
+    os << "\n";
+  }
+  if (downward_) os << downward_->ToString(alphabet);
+  return os.str();
+}
+
+}  // namespace exec
+}  // namespace xptc

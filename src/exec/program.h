@@ -1,0 +1,114 @@
+#ifndef XPTC_EXEC_PROGRAM_H_
+#define XPTC_EXEC_PROGRAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "exec/downward.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+namespace exec {
+
+/// Bytecode operations over whole-tree bitset registers. Every operation
+/// runs in full-tree context; `W` sub-contexts never surface here (kWithin
+/// delegates to the shared-context interpreter engine, whose results are
+/// context-independent and memoized per tree).
+enum class Op : uint8_t {
+  kTrue,    // dst := all nodes
+  kLabel,   // dst := {v : label(v) == label}
+  kNot,     // dst := complement(a)
+  kAnd,     // dst := a ∩ b
+  kOr,      // dst := a ∪ b
+  kAxis,    // dst := axis-image(axis, a)   (axis already inverted: the
+            //        lowering of ⟨p⟩ computes backward images)
+  kStar,    // dst := reflexive-transitive back-image closure of a; the
+            //        loop body [body_begin, body_end) maps register `in`
+            //        (current frontier) to register `out` (one p-step)
+  kWithin,  // dst := {v : W-expression holds at v} via the interpreter
+};
+
+struct Instr {
+  Op op;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  Axis axis = Axis::kSelf;        // kAxis
+  Symbol label = kInvalidSymbol;  // kLabel
+  int body_begin = 0;             // kStar: loop body instruction range
+  int body_end = 0;
+  int in = -1;   // kStar: frontier register read by the body
+  int out = -1;  // kStar: one-step image register written by the body
+  NodePtr within;  // kWithin: the full `W φ` node (canonical)
+};
+
+struct CompileStats {
+  int ast_nodes = 0;   // size of the query expression tree (with repeats)
+  int num_instrs = 0;  // flat instruction count after DAG collapse
+  int num_vregs = 0;   // SSA virtual registers before allocation
+  int num_regs = 0;    // physical bitset registers after linear scan
+  int dag_hits = 0;    // lowering memo hits — shared subcomputations
+  bool downward = false;  // one-pass downward program attached
+  int bit_ops = 0;        // downward bit-program length (0 if !downward)
+};
+
+/// A compiled query plan: the result of lowering a `NodeExpr` DAG into a
+/// flat, topologically ordered instruction sequence over bitset registers.
+///
+///  - The expression is hash-consed first (a private `ExprInterner`), so
+///    every structurally distinct subexpression — even when the source AST
+///    repeats it — is computed by exactly one instruction.
+///  - Registers are allocated by loop-aware liveness (linear scan over the
+///    execution-order positions, with values that cross a star-loop kept
+///    live to the loop end), so hundreds of operations typically run in a
+///    handful of reusable bitsets: steady-state execution allocates
+///    nothing.
+///  - Layout: instructions [0, main_end) are the top-level sequence; star
+///    loop bodies follow, each a contiguous range referenced by its kStar
+///    instruction. Executing [0, main_end) in order (recursing into bodies
+///    at kStar sites) leaves the answer in `result_reg()`.
+///  - If the plan lies in the downward fragment, a `DownwardProgram` is
+///    attached for the one-pass linear engine.
+///
+/// A Program is immutable and shareable across threads and trees; per-run
+/// state (the register file) lives in `ExecEngine`.
+class Program {
+ public:
+  /// Lowers `query` (any Regular XPath(W) node expression) into a program.
+  static std::shared_ptr<const Program> Compile(const NodePtr& query);
+
+  const std::vector<Instr>& code() const { return code_; }
+  int main_end() const { return main_end_; }
+  int num_regs() const { return num_regs_; }
+  int result_reg() const { return result_reg_; }
+  const CompileStats& stats() const { return stats_; }
+
+  /// The hash-consed plan; pins every expression referenced by kWithin
+  /// instructions and serves as the cache identity in `PlanCache`.
+  const NodePtr& plan() const { return plan_; }
+
+  /// Non-null iff the plan is downward-compilable.
+  const DownwardProgram* downward() const { return downward_.get(); }
+
+  /// Deterministic disassembly (used by lowering-determinism tests).
+  std::string ToString(const Alphabet& alphabet) const;
+
+ private:
+  Program() = default;
+
+  std::vector<Instr> code_;
+  int main_end_ = 0;
+  int num_regs_ = 0;
+  int result_reg_ = -1;
+  CompileStats stats_;
+  NodePtr plan_;
+  std::unique_ptr<const DownwardProgram> downward_;
+};
+
+}  // namespace exec
+}  // namespace xptc
+
+#endif  // XPTC_EXEC_PROGRAM_H_

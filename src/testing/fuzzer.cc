@@ -81,6 +81,11 @@ Fuzzer::Fuzzer(OracleRegistry* registry, Alphabet* alphabet,
       << "Fuzzer: at least one of max_cases / max_seconds must be set";
   XPTC_CHECK_GT(options_.num_labels, 0);
   XPTC_CHECK_GT(options_.max_tree_nodes, 0);
+  if (!options_.candidate.empty()) {
+    candidate_ = registry_->Find(options_.candidate);
+    XPTC_CHECK(candidate_ != nullptr)
+        << "unknown candidate oracle: " << options_.candidate;
+  }
   labels_ = DefaultLabels(alphabet_, options_.num_labels);
 }
 
@@ -126,7 +131,10 @@ FuzzCase Fuzzer::DeriveCase(uint64_t case_seed) const {
 
 std::optional<Finding> Fuzzer::CheckOne(const FuzzCase& fuzz_case) {
   std::optional<Disagreement> disagreement =
-      registry_->Check(fuzz_case.tree, fuzz_case.query);
+      candidate_ != nullptr
+          ? registry_->CheckCandidate(fuzz_case.tree, fuzz_case.query,
+                                      candidate_)
+          : registry_->Check(fuzz_case.tree, fuzz_case.query);
   if (!disagreement.has_value()) return std::nullopt;
 
   Finding finding;

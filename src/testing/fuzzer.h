@@ -54,6 +54,12 @@ struct FuzzOptions {
   /// Stop the campaign after this many findings (each is shrunk first).
   int max_findings = 8;
 
+  /// When non-empty, targeted mode: only the named oracle runs as the
+  /// candidate on each case, compared against the first other applicable
+  /// oracle (OracleRegistry::CheckCandidate) — a cheap way to point a long
+  /// campaign at one engine. Must name a registered oracle.
+  std::string candidate;
+
   /// When non-empty, every shrunk finding is written there as a
   /// `finding-<case seed>.case` file with provenance comments.
   std::string corpus_dir;
@@ -109,6 +115,7 @@ class Fuzzer {
   OracleRegistry* registry_;
   Alphabet* alphabet_;
   FuzzOptions options_;
+  Oracle* candidate_ = nullptr;  // resolved from options_.candidate
   std::vector<Symbol> labels_;
 };
 

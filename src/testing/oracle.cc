@@ -7,6 +7,8 @@
 #include "common/threadpool.h"
 #include "compile/compile.h"
 #include "compile/to_dfta.h"
+#include "exec/engine.h"
+#include "exec/program.h"
 #include "logic/fo_eval.h"
 #include "logic/xpath_to_fo.h"
 #include "workload/batch.h"
@@ -148,6 +150,54 @@ bool OracleRegistry::PairDisagrees(Oracle* reference, Oracle* other,
   return !(expected.ValueOrDie() == actual.ValueOrDie());
 }
 
+std::optional<Disagreement> OracleRegistry::CheckCandidate(
+    const Tree& tree, const NodePtr& query, Oracle* candidate) {
+  ++stats_.checks;
+  if (!candidate->Handles(tree, *query)) return std::nullopt;
+  for (const auto& oracle : oracles_) {
+    if (oracle.get() == candidate || !oracle->Handles(tree, *query)) continue;
+    ++stats_.runs[oracle->name()];
+    Result<SelectedSet> expected = oracle->Run(tree, query);
+    if (!expected.ok()) {
+      if (expected.status().IsNotSupported() ||
+          expected.status().IsOutOfRange()) {
+        ++stats_.soft_skips;
+        continue;  // try the next oracle as reference
+      }
+      Disagreement d;
+      d.reference = candidate->name();
+      d.other = oracle->name();
+      d.error = expected.status();
+      return d;
+    }
+    ++stats_.runs[candidate->name()];
+    Result<SelectedSet> actual = candidate->Run(tree, query);
+    if (!actual.ok()) {
+      if (actual.status().IsNotSupported() || actual.status().IsOutOfRange()) {
+        ++stats_.soft_skips;
+        return std::nullopt;
+      }
+      Disagreement d;
+      d.reference = oracle->name();
+      d.other = candidate->name();
+      d.expected = std::move(expected).ValueOrDie();
+      d.error = actual.status();
+      return d;
+    }
+    ++stats_.comparisons;
+    if (!(actual.ValueOrDie() == expected.ValueOrDie())) {
+      Disagreement d;
+      d.reference = oracle->name();
+      d.other = candidate->name();
+      d.expected = std::move(expected).ValueOrDie();
+      d.actual = std::move(actual).ValueOrDie();
+      return d;
+    }
+    return std::nullopt;  // agreed with the reference
+  }
+  return std::nullopt;  // no reference applied
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -213,6 +263,45 @@ class BatchOracle : public Oracle {
 
  private:
   ThreadPool pool_;
+};
+
+/// The compiled execution backend: each case is lowered to a DAG bytecode
+/// program (hash-consing, register allocation) and run on the general
+/// register machine — deliberately bypassing the downward fast path so the
+/// bytecode interpreter itself is what gets cross-checked.
+class ExecOracle : public Oracle {
+ public:
+  ExecOracle()
+      : Oracle({.name = "exec", .total_on = Dialect::kRegularXPathW}) {}
+
+  Result<SelectedSet> Run(const Tree& tree, const NodePtr& query) override {
+    std::shared_ptr<const exec::Program> program =
+        exec::Program::Compile(query);
+    exec::ExecEngine engine(tree);
+    return engine.EvalGeneral(*program);
+  }
+};
+
+/// The one-pass downward engine: a single bottom-up sweep over the
+/// preorder arrays evaluating the compiled bit program.
+class DownwardExecOracle : public Oracle {
+ public:
+  DownwardExecOracle()
+      : Oracle({.name = "dexec",
+                .total_on = Dialect::kRegularXPathW,
+                .downward_only = true}) {}
+
+  Result<SelectedSet> Run(const Tree& tree, const NodePtr& query) override {
+    std::shared_ptr<const exec::Program> program =
+        exec::Program::Compile(query);
+    if (program->downward() == nullptr) {
+      // The downward gate is IsDownwardNode; a downward query that fails
+      // bit-program compilation is residual softness, not a wrong answer.
+      return Status::NotSupported("no downward compilation");
+    }
+    exec::ExecEngine engine(tree);
+    return engine.EvalDownward(*program);
+  }
 };
 
 /// Translation to FO(MTC) + the naive logic-side model checker.
@@ -381,6 +470,8 @@ std::unique_ptr<OracleRegistry> MakeDefaultRegistry(
   if (options.include_batch) {
     registry->Register(std::make_unique<BatchOracle>());
   }
+  registry->Register(std::make_unique<ExecOracle>());
+  registry->Register(std::make_unique<DownwardExecOracle>());
   if (options.include_heavy) {
     registry->Register(std::make_unique<FOOracle>(options));
     registry->Register(std::make_unique<NtwaOracle>(alphabet, options));

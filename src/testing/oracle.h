@@ -112,6 +112,14 @@ class OracleRegistry {
   bool PairDisagrees(Oracle* reference, Oracle* other, const Tree& tree,
                      const NodePtr& query);
 
+  /// Targeted mode: runs only `candidate` against the first *other*
+  /// applicable oracle (the reference chain), instead of all pairs — the
+  /// cheap way to hammer one new engine with a long campaign. nullopt when
+  /// the candidate or no reference handles the case, or they agree.
+  std::optional<Disagreement> CheckCandidate(const Tree& tree,
+                                             const NodePtr& query,
+                                             Oracle* candidate);
+
   /// Cumulative campaign counters (not thread-safe; the fuzzer is
   /// single-threaded — the concurrency harness lives in stress.h).
   struct Stats {
@@ -148,7 +156,7 @@ struct DefaultRegistryOptions {
   int dfta_max_query_size = 10;
 };
 
-/// Builds the seven-pipeline registry:
+/// Builds the nine-pipeline registry:
 ///
 ///   name   | pipeline                              | total on
 ///   -------+---------------------------------------+--------------------
@@ -156,6 +164,8 @@ struct DefaultRegistryOptions {
 ///   sets   | Evaluator (word-level kernel engine)  | RegXPath(W)
 ///   seed   | SeedEvaluator (frozen baseline)       | RegXPath(W)
 ///   batch  | BatchEngine (parallel throughput path)| RegXPath(W)
+///   exec   | compiled bytecode register machine    | RegXPath(W)
+///   dexec  | one-pass downward bit-program engine  | downward fragment
 ///   fo     | xpath_to_fo + FO(MTC) model checker   | RegXPath(W), gated
 ///   ntwa   | XPathToNtwaCompiler + EvalAll         | compilable frag.
 ///   dfta   | DownwardQueryToDfta + subtree Accepts | downward compilable

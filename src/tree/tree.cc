@@ -31,6 +31,7 @@ Tree Tree::ExtractSubtree(NodeId v) const {
   out.prev_sibling_.resize(static_cast<size_t>(n));
   out.depth_.resize(static_cast<size_t>(n));
   out.subtree_end_.resize(static_cast<size_t>(n));
+  out.child_count_.resize(static_cast<size_t>(n));
   auto remap = [v](NodeId id) { return id == kNoNode ? kNoNode : id - v; };
   const int base_depth = Depth(v);
   for (NodeId w = v; w < end; ++w) {
@@ -40,6 +41,7 @@ Tree Tree::ExtractSubtree(NodeId v) const {
     out.last_child_[i] = remap(LastChild(w));
     out.depth_[i] = Depth(w) - base_depth;
     out.subtree_end_[i] = SubtreeEnd(w) - v;
+    out.child_count_[i] = ChildCount(w);
     if (w == v) {
       // `v` becomes a root: detach it from its context.
       out.parent_[i] = kNoNode;
@@ -196,10 +198,12 @@ NodeId TreeBuilder::Begin(Symbol label) {
   tree_.next_sibling_.push_back(kNoNode);
   tree_.prev_sibling_.push_back(kNoNode);
   tree_.subtree_end_.push_back(kNoNode);
+  tree_.child_count_.push_back(0);
   if (parent == kNoNode) {
     tree_.depth_.push_back(0);
     ++root_count_;
   } else {
+    ++tree_.child_count_[static_cast<size_t>(parent)];
     tree_.depth_.push_back(tree_.depth_[static_cast<size_t>(parent)] + 1);
     const NodeId prev = tree_.last_child_[static_cast<size_t>(parent)];
     if (prev == kNoNode) {

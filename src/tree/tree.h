@@ -61,14 +61,20 @@ class Tree {
     return v >= ancestor && v < SubtreeEnd(ancestor);
   }
 
-  int ChildCount(NodeId v) const {
-    int count = 0;
-    for (NodeId c = FirstChild(v); c != kNoNode; c = NextSibling(c)) ++count;
-    return count;
+  /// Number of children, O(1) (precomputed at build time — this is called
+  /// from hot evaluator loops).
+  int ChildCount(NodeId v) const { return child_count_[Index(v)]; }
+
+  /// Invokes `fn(NodeId child)` for each child of `v` in sibling order.
+  /// The allocation-free alternative to `ChildrenOf` for hot paths.
+  template <typename Fn>
+  void ForEachChild(NodeId v, Fn&& fn) const {
+    for (NodeId c = FirstChild(v); c != kNoNode; c = NextSibling(c)) fn(c);
   }
 
   std::vector<NodeId> ChildrenOf(NodeId v) const {
     std::vector<NodeId> out;
+    out.reserve(static_cast<size_t>(ChildCount(v)));
     for (NodeId c = FirstChild(v); c != kNoNode; c = NextSibling(c)) {
       out.push_back(c);
     }
@@ -128,6 +134,7 @@ class Tree {
   std::vector<NodeId> prev_sibling_;
   std::vector<int> depth_;
   std::vector<NodeId> subtree_end_;
+  std::vector<int> child_count_;
 };
 
 /// Incremental preorder construction of a `Tree`:

@@ -15,6 +15,7 @@ BatchEngine::BatchEngine(BatchOptions options) {
     pool_ = owned_pool_.get();
   }
   scratch_.resize(static_cast<size_t>(pool_->num_workers()));
+  engines_.resize(static_cast<size_t>(pool_->num_workers()));
 }
 
 BatchEngine::~BatchEngine() {
@@ -37,6 +38,9 @@ void BatchEngine::EnsureScratchRows() {
   for (auto& row : scratch_) {
     if (row.size() < trees_.size()) row.resize(trees_.size());
   }
+  for (auto& row : engines_) {
+    if (row.size() < trees_.size()) row.resize(trees_.size());
+  }
 }
 
 EvalScratch* BatchEngine::ScratchFor(int worker, int tree_index) {
@@ -44,6 +48,17 @@ EvalScratch* BatchEngine::ScratchFor(int worker, int tree_index) {
                        [static_cast<size_t>(tree_index)];
   if (slot == nullptr) {
     slot = std::make_unique<EvalScratch>(
+        *trees_[static_cast<size_t>(tree_index)],
+        caches_[static_cast<size_t>(tree_index)].get());
+  }
+  return slot.get();
+}
+
+exec::ExecEngine* BatchEngine::EngineFor(int worker, int tree_index) {
+  auto& slot = engines_[static_cast<size_t>(worker)]
+                       [static_cast<size_t>(tree_index)];
+  if (slot == nullptr) {
+    slot = std::make_unique<exec::ExecEngine>(
         *trees_[static_cast<size_t>(tree_index)],
         caches_[static_cast<size_t>(tree_index)].get());
   }
@@ -88,6 +103,34 @@ std::vector<std::vector<Bitset>> BatchEngine::RunPaths(
                                                 ScratchFor(worker, t));
   });
   return results;
+}
+
+std::vector<std::vector<Bitset>> BatchEngine::RunCompiled(
+    const std::vector<std::shared_ptr<const exec::Program>>& programs) {
+  const int num_t = num_trees();
+  const int num_q = static_cast<int>(programs.size());
+  std::vector<std::vector<Bitset>> results(static_cast<size_t>(num_t));
+  for (auto& row : results) row.resize(static_cast<size_t>(num_q));
+  if (num_t == 0 || num_q == 0) return results;
+  for (const auto& program : programs) XPTC_CHECK(program != nullptr);
+  EnsureScratchRows();
+  pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    const int t = task / num_q;
+    const int q = task % num_q;
+    results[static_cast<size_t>(t)][static_cast<size_t>(q)] =
+        EngineFor(worker, t)->Eval(*programs[static_cast<size_t>(q)]);
+  });
+  return results;
+}
+
+std::vector<std::vector<Bitset>> BatchEngine::RunCompiled(
+    const std::vector<Query>& queries) {
+  std::vector<std::shared_ptr<const exec::Program>> programs;
+  programs.reserve(queries.size());
+  for (const Query& query : queries) {
+    programs.push_back(exec::Program::Compile(query.plan()));
+  }
+  return RunCompiled(programs);
 }
 
 // Defined here (not in engine.cc) so the xpath layer does not depend on

@@ -7,6 +7,8 @@
 
 #include "common/bitset.h"
 #include "common/threadpool.h"
+#include "exec/engine.h"
+#include "exec/program.h"
 #include "tree/tree.h"
 #include "xpath/engine.h"
 #include "workload/tree_cache.h"
@@ -74,13 +76,30 @@ class BatchEngine {
   std::vector<std::vector<Bitset>> RunPaths(
       const std::vector<PathQuery>& queries);
 
+  /// Compiled execution path: runs pre-compiled bytecode programs (see
+  /// exec/program.h) instead of the tree-walking interpreter. One immutable
+  /// `Program` per query is shared by every worker on every tree; mutable
+  /// state (the register file) lives in per-(worker, tree) `ExecEngine`s
+  /// that persist across calls, so steady-state runs allocate nothing.
+  /// `result[t][q]` is bit-for-bit equal to `Run` on the same plans.
+  std::vector<std::vector<Bitset>> RunCompiled(
+      const std::vector<std::shared_ptr<const exec::Program>>& programs);
+
+  /// Convenience overload: compiles each query's plan, then runs. Use a
+  /// `PlanCache::ParseCompiled` workload to share lowering across calls.
+  std::vector<std::vector<Bitset>> RunCompiled(
+      const std::vector<Query>& queries);
+
  private:
   /// Lazily creates the per-(worker, tree) scratch. Only ever called from
   /// worker `worker`'s thread, so no synchronisation is needed.
   EvalScratch* ScratchFor(int worker, int tree_index);
 
-  /// Grows every worker's scratch row to cover all registered trees
-  /// (no-op when sizes are unchanged). Called at Run entry under mu_.
+  /// Same pattern for the compiled path's per-(worker, tree) engines.
+  exec::ExecEngine* EngineFor(int worker, int tree_index);
+
+  /// Grows every worker's scratch and engine rows to cover all registered
+  /// trees (no-op when sizes are unchanged). Called at Run entry under mu_.
   void EnsureScratchRows();
 
   std::vector<std::shared_ptr<const Tree>> trees_;
@@ -88,8 +107,10 @@ class BatchEngine {
   std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* pool_;
   std::mutex mu_;  // guards scratch row growth at Run entry
-  // scratch_[worker][tree]; each row is touched only by its worker.
+  // scratch_[worker][tree] / engines_[worker][tree]; each row is touched
+  // only by its worker.
   std::vector<std::vector<std::unique_ptr<EvalScratch>>> scratch_;
+  std::vector<std::vector<std::unique_ptr<exec::ExecEngine>>> engines_;
 };
 
 }  // namespace xptc

@@ -1,6 +1,7 @@
 #include "workload/plan_cache.h"
 
 #include <cctype>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -63,6 +64,7 @@ void PlanCache::Purge(const Alphabet* alphabet) {
     }
   }
   interners_.erase(alphabet);
+  programs_.erase(alphabet);
 }
 
 PlanCache::LruList::iterator PlanCache::Touch(LruList::iterator it) {
@@ -84,6 +86,23 @@ ExprInterner& PlanCache::InternerLocked(const Alphabet* alphabet) {
   std::unique_ptr<ExprInterner>& slot = interners_[alphabet];
   if (slot == nullptr) slot = std::make_unique<ExprInterner>();
   return *slot;
+}
+
+std::shared_ptr<const exec::Program> PlanCache::ProgramHitLocked(
+    const Alphabet* alphabet, const NodeExpr* root) {
+  auto per_alphabet = programs_.find(alphabet);
+  if (per_alphabet == programs_.end()) return nullptr;
+  auto it = per_alphabet->second.find(root);
+  if (it == per_alphabet->second.end()) return nullptr;
+  std::shared_ptr<const exec::Program> program = it->second.program.lock();
+  if (program != nullptr) ++stats_.program_hits;
+  return program;
+}
+
+void PlanCache::AttachProgramLocked(
+    const Key& key, std::shared_ptr<const exec::Program> program) {
+  auto it = index_.find(key);
+  if (it != index_.end()) it->second->program = std::move(program);
 }
 
 Result<std::shared_ptr<const Query>> PlanCache::Parse(const std::string& text,
@@ -122,6 +141,56 @@ Result<std::shared_ptr<const Query>> PlanCache::Parse(const std::string& text,
       new Query(std::move(original), std::move(plan)));
   InsertLocked(Entry{std::move(key), query, nullptr});
   return query;
+}
+
+Result<PlanCache::CompiledQuery> PlanCache::ParseCompiled(
+    const std::string& text, Alphabet* alphabet, bool optimize) {
+  CompiledQuery out;
+  XPTC_ASSIGN_OR_RETURN(out.query, Parse(text, alphabet, optimize));
+  const Key key{alphabet, optimize, /*is_path=*/false, NormaliseText(text)};
+  const NodeExpr* root = out.query->plan().get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.program = ProgramHitLocked(alphabet, root);
+    if (out.program != nullptr) {
+      AttachProgramLocked(key, out.program);
+      return out;
+    }
+  }
+  // Lower outside the lock (the expensive part), then re-check: when two
+  // threads race to compile the same root, the first insert wins and the
+  // loser's redundant (but equivalent) program is discarded.
+  const auto lower_start = std::chrono::steady_clock::now();
+  std::shared_ptr<const exec::Program> program =
+      exec::Program::Compile(out.query->plan());
+  const double lower_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    lower_start)
+          .count();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out.program = ProgramHitLocked(alphabet, root);
+  if (out.program == nullptr) {
+    ++stats_.program_misses;
+    stats_.lowering_seconds += lower_seconds;
+    ProgramMap& per_alphabet = programs_[alphabet];
+    // Lazy sweep once the index outgrows the cache capacity: expired slots
+    // release their canonical-root pins, so plans evicted from the LRU are
+    // not pinned here forever.
+    if (per_alphabet.size() >= capacity_) {
+      for (auto it = per_alphabet.begin(); it != per_alphabet.end();) {
+        if (it->second.program.expired()) {
+          it = per_alphabet.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    per_alphabet[root] = ProgramSlot{out.query->plan(), program};
+    out.program = std::move(program);
+  }
+  AttachProgramLocked(key, out.program);
+  return out;
 }
 
 Result<std::shared_ptr<const PathQuery>> PlanCache::ParsePath(

@@ -10,6 +10,7 @@
 
 #include "common/alphabet.h"
 #include "common/result.h"
+#include "exec/program.h"
 #include "xpath/engine.h"
 #include "xpath/intern.h"
 
@@ -48,6 +49,22 @@ class PlanCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t evictions = 0;
+    // Compiled-program counters (`ParseCompiled` only). Programs are keyed
+    // by the *canonical plan root*, so two different texts whose plans
+    // hash-cons to the same root share one lowering: the second is a
+    // program hit even though it was a text miss.
+    size_t program_hits = 0;
+    size_t program_misses = 0;   // == number of lowering runs
+    double lowering_seconds = 0; // total wall time inside Program::Compile
+  };
+
+  /// What `ParseCompiled` hands out: the cached plan plus its compiled
+  /// bytecode program (see exec/program.h). Both are immutable and safe to
+  /// share across threads; the program stays valid for as long as the
+  /// caller holds it, independent of cache eviction.
+  struct CompiledQuery {
+    std::shared_ptr<const Query> query;
+    std::shared_ptr<const exec::Program> program;
   };
 
   explicit PlanCache(size_t capacity = 1024);
@@ -64,6 +81,16 @@ class PlanCache {
   Result<std::shared_ptr<const PathQuery>> ParsePath(const std::string& text,
                                                      Alphabet* alphabet,
                                                      bool optimize = true);
+
+  /// `Parse` plus a compiled bytecode program for the plan (the compiled
+  /// execution backend's entry point). Programs are cached keyed by the
+  /// canonical (hash-consed) plan root, so texts that simplify to the same
+  /// plan compile once; lowering runs outside the cache lock. The strong
+  /// program reference rides on the LRU entry: eviction releases it, but
+  /// handed-out `CompiledQuery`s keep theirs alive (shared_ptr).
+  Result<CompiledQuery> ParseCompiled(const std::string& text,
+                                      Alphabet* alphabet,
+                                      bool optimize = true);
 
   /// Drops every cached plan and the interner belonging to `alphabet`.
   /// Call before destroying an alphabet the cache has seen (see class
@@ -93,14 +120,37 @@ class PlanCache {
     Key key;
     std::shared_ptr<const Query> query;          // is_path == false
     std::shared_ptr<const PathQuery> path_query; // is_path == true
+    // Strong reference to the compiled program, set by ParseCompiled:
+    // LRU residency is what keeps a program cached (the by-root map below
+    // holds only weak references).
+    std::shared_ptr<const exec::Program> program;
   };
 
   using LruList = std::list<Entry>;
+
+  /// One slot of the by-canonical-root program index. `plan` pins the
+  /// canonical root NodePtr so the raw-pointer key can never be recycled
+  /// by the interner's sweep while the slot exists; `program` is weak so a
+  /// program's lifetime is governed by LRU entries and handed-out
+  /// CompiledQuerys, not by this index. Expired slots are swept lazily
+  /// when the per-alphabet map outgrows the cache capacity.
+  struct ProgramSlot {
+    NodePtr plan;
+    std::weak_ptr<const exec::Program> program;
+  };
+  using ProgramMap = std::unordered_map<const NodeExpr*, ProgramSlot>;
 
   /// Moves a hit to the front; inserts + evicts on miss. Caller holds mu_.
   LruList::iterator Touch(LruList::iterator it);
   void InsertLocked(Entry entry);
   ExprInterner& InternerLocked(const Alphabet* alphabet);
+
+  /// Looks up a live program for `root` under mu_; also records a hit.
+  std::shared_ptr<const exec::Program> ProgramHitLocked(
+      const Alphabet* alphabet, const NodeExpr* root);
+  /// Attaches `program` to the LRU entry for `key`, if resident.
+  void AttachProgramLocked(const Key& key,
+                           std::shared_ptr<const exec::Program> program);
 
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -110,6 +160,9 @@ class PlanCache {
   // be conflated even when structurally equal.
   std::unordered_map<const Alphabet*, std::unique_ptr<ExprInterner>>
       interners_;
+  // Compiled programs keyed (alphabet, canonical plan root). Per-alphabet
+  // because canonical pointers are per-interner; purged with the alphabet.
+  std::unordered_map<const Alphabet*, ProgramMap> programs_;
   Stats stats_;
 };
 

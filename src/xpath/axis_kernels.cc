@@ -1,0 +1,119 @@
+#include "xpath/axis_kernels.h"
+
+#include <algorithm>
+
+namespace xptc {
+
+void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
+                   NodeId lo, NodeId hi, Bitset* out) {
+  switch (axis) {
+    case Axis::kSelf:
+      out->CopyRange(sources, lo, hi);
+      break;
+    case Axis::kChild:
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        for (NodeId c = tree.FirstChild(v); c != kNoNode;
+             c = tree.NextSibling(c)) {
+          out->Set(c);
+        }
+      });
+      break;
+    case Axis::kParent:
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        if (v != lo) out->Set(tree.Parent(v));
+      });
+      break;
+    case Axis::kDescendant:
+      // The image is a union of preorder intervals [v+1, SubtreeEnd(v)).
+      // Sources inside an already-covered interval are nested subtrees and
+      // contribute nothing new, so jump straight past each interval.
+      for (int v = sources.FindFirstInRange(lo, hi); v >= 0;) {
+        const NodeId end = tree.SubtreeEnd(v);
+        out->SetRange(v + 1, end);
+        v = end >= hi ? -1 : sources.FindFirstInRange(end, hi);
+      }
+      break;
+    case Axis::kAncestor:
+      // Climb parent chains, stopping at the first already-marked ancestor
+      // (everything above it is marked too): O(sources + |image|) total.
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        while (v != lo) {
+          v = tree.Parent(v);
+          if (out->Get(v)) break;
+          out->Set(v);
+        }
+      });
+      break;
+    case Axis::kDescendantOrSelf:
+      AxisImageInto(tree, Axis::kDescendant, sources, lo, hi, out);
+      out->OrRange(sources, lo, hi);
+      break;
+    case Axis::kAncestorOrSelf:
+      AxisImageInto(tree, Axis::kAncestor, sources, lo, hi, out);
+      out->OrRange(sources, lo, hi);
+      break;
+    case Axis::kNextSibling:
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        if (v == lo) return;  // the context root has no siblings
+        const NodeId s = tree.NextSibling(v);
+        if (s != kNoNode) out->Set(s);
+      });
+      break;
+    case Axis::kPrevSibling:
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        if (v == lo) return;
+        const NodeId s = tree.PrevSibling(v);
+        if (s != kNoNode) out->Set(s);
+      });
+      break;
+    case Axis::kFollowingSibling:
+      // Walk each sibling chain, stopping at the first already-marked
+      // sibling (the rest of that chain is already marked).
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        if (v == lo) return;
+        for (NodeId s = tree.NextSibling(v); s != kNoNode && !out->Get(s);
+             s = tree.NextSibling(s)) {
+          out->Set(s);
+        }
+      });
+      break;
+    case Axis::kPrecedingSibling:
+      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
+        if (v == lo) return;
+        for (NodeId s = tree.PrevSibling(v); s != kNoNode && !out->Get(s);
+             s = tree.PrevSibling(s)) {
+          out->Set(s);
+        }
+      });
+      break;
+    case Axis::kFollowing: {
+      // following(n) = {m : m >= SubtreeEnd(n)} in preorder ids, so the
+      // image is the id suffix [min SubtreeEnd over sources, hi). Once a
+      // source id passes the running minimum, SubtreeEnd(v) > v >= min can
+      // no longer improve it, so the scan stops early.
+      NodeId threshold = hi;
+      for (int v = sources.FindFirstInRange(lo, hi);
+           v >= 0 && v < threshold && v < hi; v = sources.FindNext(v)) {
+        threshold = std::min(threshold, tree.SubtreeEnd(v));
+      }
+      out->SetRange(std::max(threshold, lo), hi);
+      break;
+    }
+    case Axis::kPreceding: {
+      // preceding(n) = {m : SubtreeEnd(m) <= n}; only the largest source
+      // id matters. Its preceding set is every earlier-in-context node
+      // except its ancestors (whose subtrees extend past it).
+      const int last = sources.FindLastInRange(lo, hi);
+      if (last > lo) {
+        out->SetRange(lo, last);
+        for (NodeId a = tree.Parent(last);; a = tree.Parent(a)) {
+          out->Reset(a);
+          if (a == lo) break;
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace xptc

@@ -1,0 +1,27 @@
+#ifndef XPTC_XPATH_AXIS_KERNELS_H_
+#define XPTC_XPATH_AXIS_KERNELS_H_
+
+#include "common/bitset.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+
+/// Word-level axis image kernels, shared by the interpreting `Evaluator`
+/// (xpath/eval.cc) and the compiled execution backend (src/exec/). One
+/// implementation means one set of bugs and one perf contract: every kernel
+/// iterates the *set bits* of `sources` (word-at-a-time ctz) or writes
+/// whole id ranges; none probes every node id of the context. Per-axis
+/// costs are tabulated in DESIGN.md §7.
+///
+/// The image is computed within the context subtree [lo, hi) of `tree`
+/// (`hi == tree.SubtreeEnd(lo)`), with `lo` acting as the context root: it
+/// has no parent and no siblings. `sources` must be a subset of the
+/// context, and `out` must be all-zero inside the window on entry; bits
+/// outside [lo, hi) are never written.
+void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
+                   NodeId lo, NodeId hi, Bitset* out);
+
+}  // namespace xptc
+
+#endif  // XPTC_XPATH_AXIS_KERNELS_H_

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "workload/tree_cache.h"
+#include "xpath/axis_kernels.h"
 
 namespace xptc {
 
@@ -137,123 +138,12 @@ void Evaluator::Rebind(NodeId context_root) {
 }
 
 // ---------------------------------------------------------------------------
-// Axis kernels.
-//
-// `out` must be all-zero inside the window on entry. Every kernel iterates
-// the *set bits* of `sources` (word-at-a-time ctz) or writes whole id
-// ranges; none probes every node id of the context. Per-axis costs are
-// tabulated in DESIGN.md §7.
+// Axis kernels: shared with the compiled backend (xpath/axis_kernels.h).
+// `out` must be all-zero inside the window on entry.
 
 void Evaluator::AxisImageInto(Axis axis, const Bitset& sources,
                               Bitset* out) const {
-  switch (axis) {
-    case Axis::kSelf:
-      out->CopyRange(sources, lo_, hi_);
-      break;
-    case Axis::kChild:
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        for (NodeId c = tree_.FirstChild(v); c != kNoNode;
-             c = tree_.NextSibling(c)) {
-          out->Set(c);
-        }
-      });
-      break;
-    case Axis::kParent:
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        if (v != lo_) out->Set(tree_.Parent(v));
-      });
-      break;
-    case Axis::kDescendant:
-      // The image is a union of preorder intervals [v+1, SubtreeEnd(v)).
-      // Sources inside an already-covered interval are nested subtrees and
-      // contribute nothing new, so jump straight past each interval.
-      for (int v = sources.FindFirstInRange(lo_, hi_); v >= 0;) {
-        const NodeId end = tree_.SubtreeEnd(v);
-        out->SetRange(v + 1, end);
-        v = end >= hi_ ? -1 : sources.FindFirstInRange(end, hi_);
-      }
-      break;
-    case Axis::kAncestor:
-      // Climb parent chains, stopping at the first already-marked ancestor
-      // (everything above it is marked too): O(sources + |image|) total.
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        while (v != lo_) {
-          v = tree_.Parent(v);
-          if (out->Get(v)) break;
-          out->Set(v);
-        }
-      });
-      break;
-    case Axis::kDescendantOrSelf:
-      AxisImageInto(Axis::kDescendant, sources, out);
-      out->OrRange(sources, lo_, hi_);
-      break;
-    case Axis::kAncestorOrSelf:
-      AxisImageInto(Axis::kAncestor, sources, out);
-      out->OrRange(sources, lo_, hi_);
-      break;
-    case Axis::kNextSibling:
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        if (v == lo_) return;  // the context root has no siblings
-        const NodeId s = tree_.NextSibling(v);
-        if (s != kNoNode) out->Set(s);
-      });
-      break;
-    case Axis::kPrevSibling:
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        if (v == lo_) return;
-        const NodeId s = tree_.PrevSibling(v);
-        if (s != kNoNode) out->Set(s);
-      });
-      break;
-    case Axis::kFollowingSibling:
-      // Walk each sibling chain, stopping at the first already-marked
-      // sibling (the rest of that chain is already marked).
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        if (v == lo_) return;
-        for (NodeId s = tree_.NextSibling(v); s != kNoNode && !out->Get(s);
-             s = tree_.NextSibling(s)) {
-          out->Set(s);
-        }
-      });
-      break;
-    case Axis::kPrecedingSibling:
-      sources.ForEachSetBitInRange(lo_, hi_, [&](int v) {
-        if (v == lo_) return;
-        for (NodeId s = tree_.PrevSibling(v); s != kNoNode && !out->Get(s);
-             s = tree_.PrevSibling(s)) {
-          out->Set(s);
-        }
-      });
-      break;
-    case Axis::kFollowing: {
-      // following(n) = {m : m >= SubtreeEnd(n)} in preorder ids, so the
-      // image is the id suffix [min SubtreeEnd over sources, hi). Once a
-      // source id passes the running minimum, SubtreeEnd(v) > v >= min can
-      // no longer improve it, so the scan stops early.
-      NodeId threshold = hi_;
-      for (int v = sources.FindFirstInRange(lo_, hi_);
-           v >= 0 && v < threshold && v < hi_; v = sources.FindNext(v)) {
-        threshold = std::min(threshold, tree_.SubtreeEnd(v));
-      }
-      out->SetRange(std::max(threshold, lo_), hi_);
-      break;
-    }
-    case Axis::kPreceding: {
-      // preceding(n) = {m : SubtreeEnd(m) <= n}; only the largest source
-      // id matters. Its preceding set is every earlier-in-context node
-      // except its ancestors (whose subtrees extend past it).
-      const int last = sources.FindLastInRange(lo_, hi_);
-      if (last > lo_) {
-        out->SetRange(lo_, last);
-        for (NodeId a = tree_.Parent(last);; a = tree_.Parent(a)) {
-          out->Reset(a);
-          if (a == lo_) break;
-        }
-      }
-      break;
-    }
-  }
+  xptc::AxisImageInto(tree_, axis, sources, lo_, hi_, out);
 }
 
 Bitset Evaluator::AxisImage(Axis axis, const Bitset& sources) const {

@@ -64,6 +64,8 @@ int Usage(const char* argv0) {
       "  --max-tree-nodes N  per-case tree size cap (default 24)\n"
       "  --corpus DIR        write shrunk findings to DIR as .case files\n"
       "  --no-heavy          drop the FO/NTWA/DFTA oracles (fast smoke)\n"
+      "  --oracle NAME       targeted mode: run only NAME as candidate\n"
+      "                      against the reference chain (e.g. exec)\n"
       "\n"
       "stress options\n"
       "  --threads N         client threads (default 4)\n"
@@ -220,6 +222,10 @@ int main(int argc, char** argv) {
       const char* dir = next();
       if (dir == nullptr) return Usage(argv[0]);
       options.corpus_dir = dir;
+    } else if (arg == "--oracle") {
+      const char* name = next();
+      if (name == nullptr) return Usage(argv[0]);
+      options.candidate = name;
     } else if (arg == "--no-heavy") {
       registry_options.include_heavy = false;
     } else if (arg == "--threads") {
@@ -249,6 +255,12 @@ int main(int argc, char** argv) {
 
   Alphabet alphabet;
   auto registry = MakeDefaultRegistry(&alphabet, registry_options);
+  if (!options.candidate.empty() &&
+      registry->Find(options.candidate) == nullptr) {
+    std::fprintf(stderr, "error: unknown oracle '%s'\n",
+                 options.candidate.c_str());
+    return Usage(argv[0]);
+  }
   Fuzzer fuzzer(registry.get(), &alphabet, options);
   const CampaignResult result = fuzzer.Run();
 
