@@ -231,17 +231,33 @@ bool UpdateBenchJson(const std::string& path, const std::string& key,
     }
   }
   if (!replaced) sections.emplace_back(key, section_json);
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << "{\n";
-  for (size_t i = 0; i < sections.size(); ++i) {
-    out << "  \"" << JsonEscape(sections[i].first)
-        << "\": " << sections[i].second;
-    if (i + 1 < sections.size()) out << ",";
-    out << "\n";
+  // Write-to-temp + rename: a bench that crashes (or is killed) mid-write
+  // must never leave a truncated BENCH_*.json behind — the old file stays
+  // intact until the new one is durably complete, and rename(2) swaps them
+  // atomically on POSIX filesystems.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return false;
+    out << "{\n";
+    for (size_t i = 0; i < sections.size(); ++i) {
+      out << "  \"" << JsonEscape(sections[i].first)
+          << "\": " << sections[i].second;
+      if (i + 1 < sections.size()) out << ",";
+      out << "\n";
+    }
+    out << "}\n";
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp_path.c_str());
+      return false;
+    }
   }
-  out << "}\n";
-  return out.good();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace bench

@@ -77,6 +77,16 @@ std::string SpeedupCasesJson(const std::vector<SpeedupCase>& cases);
 /// registered benchmarks on threads) cannot interleave and corrupt the
 /// file. Cross-process writers are NOT serialised — CI runs benches
 /// sequentially for that reason.
+///
+/// Crash-safety: the merged object is written to `<path>.tmp` and renamed
+/// over `path` (atomic on POSIX), so a bench that dies mid-write leaves
+/// the previous file intact instead of a truncated one.
+///
+/// Provenance: since the obs layer (DESIGN.md §11), the counter-valued
+/// fields in these sections (cache hits/misses, lowering totals, dispatch
+/// counts) are read from `obs::Registry::Default()` — component `stats()`
+/// accessors are point-in-time views over the same registry counters — so
+/// a BENCH section is a thin, named slice of the registry's JSON export.
 bool UpdateBenchJson(const std::string& path, const std::string& key,
                      const std::string& section_json);
 

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
 #include "workload/batch.h"
 #include "workload/plan_cache.h"
 #include "xpath/engine.h"
@@ -315,6 +316,12 @@ int main(int argc, char** argv) {
   json << "}";
   xptc::bench::UpdateBenchJson(xptc::bench::ThroughputJsonPath(),
                                "exp11_throughput", json.str());
+  // The full registry export rides along: the section fields above are a
+  // named slice of these counters (PlanCache/TreeCache/ThreadPool/Batch
+  // stats() all read the same registry-backed counters).
+  xptc::bench::UpdateBenchJson(xptc::bench::ThroughputJsonPath(),
+                               "obs_registry",
+                               xptc::obs::Registry::Default().Json());
   std::printf("(recorded in %s)\n",
               xptc::bench::ThroughputJsonPath().c_str());
   ::benchmark::Initialize(&argc, argv);

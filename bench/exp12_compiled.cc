@@ -39,6 +39,7 @@
 
 #include "bench_util.h"
 #include "exec/engine.h"
+#include "obs/metrics.h"
 #include "exec/program.h"
 #include "xpath/eval.h"
 #include "xpath/parser.h"
@@ -450,6 +451,12 @@ int main(int argc, char** argv) {
       xptc::bench::CompiledJsonPath(), "exp12_compiled",
       xptc::SectionJson(dag, dag_n, downward, adversarial,
                         compiled_not_slower));
+  // The full registry export rides along (dispatch counts, star rounds,
+  // instruction totals for every run above) — the section's counter-valued
+  // fields are a named slice of these.
+  xptc::bench::UpdateBenchJson(xptc::bench::CompiledJsonPath(),
+                               "obs_registry",
+                               xptc::obs::Registry::Default().Json());
   std::printf("(recorded in %s)\n", xptc::bench::CompiledJsonPath().c_str());
   if (!all_match) return 1;
   if (!compiled_not_slower) {

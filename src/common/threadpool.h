@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace xptc {
 
@@ -50,6 +51,11 @@ class ThreadPool {
     for (int i = 0; i < num_workers; ++i) {
       threads_.emplace_back([this, i] { WorkerLoop(i); });
     }
+    collector_ = obs::Registry::Default().AddCollector(
+        [this](obs::Snapshot* snap) {
+          snap->AddCounter("threadpool.tasks_executed", executed_.value());
+          snap->AddCounter("threadpool.steals", steals_.value());
+        });
   }
 
   /// Drains all remaining tasks, then joins the workers.
@@ -134,6 +140,7 @@ class ThreadPool {
       }
       Task task = TakeTask(id);
       task(id);
+      executed_.Inc();
       {
         std::lock_guard<std::mutex> lock(mu_);
         --pending_;
@@ -158,6 +165,7 @@ class ThreadPool {
         } else {
           task = std::move(q.tasks.front());
           q.tasks.pop_front();
+          steals_.Inc();
         }
         return task;
       }
@@ -178,6 +186,14 @@ class ThreadPool {
                      // into a deque may trail the count by an instant)
   int pending_ = 0;  // tasks submitted, not yet finished
   bool stop_ = false;
+
+  // Per-instance obs counters, summed into `threadpool.*` registry names
+  // by the collector. The handle is the last member: it unregisters before
+  // the counters (or anything else) is destroyed, and worker threads are
+  // joined in the destructor body before any member goes away.
+  obs::Counter executed_;
+  obs::Counter steals_;
+  obs::Registry::CollectorHandle collector_;
 };
 
 }  // namespace xptc

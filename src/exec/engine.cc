@@ -1,10 +1,13 @@
 #include "exec/engine.h"
 
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "workload/tree_cache.h"
+#include "xpath/ast.h"
 #include "xpath/axis_kernels.h"
 
 namespace xptc {
@@ -32,36 +35,155 @@ int64_t StarRoundBudget(const Program& program) {
   return 32 + 8 * static_cast<int64_t>(program.stats().bit_ops);
 }
 
+// Process-wide execution counters, fetched once (registry lookups lock;
+// the hot path pays relaxed atomic adds, flushed once per Eval).
+struct ExecMetrics {
+  obs::Counter& evals;
+  obs::Counter& instrs;
+  obs::Counter& star_rounds;
+  obs::Counter& disp_register;
+  obs::Counter& disp_fallback;
+  obs::Counter& disp_downward;
+  obs::Counter& disp_general;
+  static ExecMetrics& Get() {
+    obs::Registry& reg = obs::Registry::Default();
+    static ExecMetrics* m = new ExecMetrics{
+        reg.counter("exec.evals"),
+        reg.counter("exec.instrs_executed"),
+        reg.counter("exec.star_rounds"),
+        reg.counter("exec.dispatch.register_machine"),
+        reg.counter("exec.dispatch.downward_fallback"),
+        reg.counter("exec.dispatch.downward_direct"),
+        reg.counter("exec.dispatch.general")};
+    return *m;
+  }
+};
+
+obs::Histogram& EvalFlame() {
+  static obs::Histogram* h =
+      &obs::Registry::Default().histogram("exec.eval_ns");
+  return *h;
+}
+
 }  // namespace
 
+const char* ExecEngine::DispatchName(RunInfo::Dispatch dispatch) {
+  switch (dispatch) {
+    case RunInfo::Dispatch::kRegisterMachine: return "register_machine";
+    case RunInfo::Dispatch::kDownwardFallback: return "downward_fallback";
+    case RunInfo::Dispatch::kDownwardDirect: return "downward_direct";
+    case RunInfo::Dispatch::kGeneral: return "general";
+  }
+  return "unknown";
+}
+
+void ExecEngine::BeginRun(const Program& program, RunInfo::Dispatch dispatch,
+                          int64_t budget) {
+  last_run_.dispatch = dispatch;
+  last_run_.star_rounds_used = 0;
+  last_run_.star_round_budget = budget;
+  last_run_.instrs_executed = 0;
+  // assign() reuses capacity, so steady-state evals stay allocation-free
+  // once the vector has grown to the largest program seen.
+  last_run_.instr_execs.assign(program.code().size(), 0);
+}
+
+void ExecEngine::FinishRun(const Bitset* result) {
+  ExecMetrics& metrics = ExecMetrics::Get();
+  metrics.instrs.Add(last_run_.instrs_executed);
+  metrics.star_rounds.Add(last_run_.star_rounds_used);
+  switch (last_run_.dispatch) {
+    case RunInfo::Dispatch::kRegisterMachine:
+      metrics.disp_register.Inc();
+      break;
+    case RunInfo::Dispatch::kDownwardFallback:
+      metrics.disp_fallback.Inc();
+      break;
+    case RunInfo::Dispatch::kDownwardDirect:
+      metrics.disp_downward.Inc();
+      break;
+    case RunInfo::Dispatch::kGeneral:
+      metrics.disp_general.Inc();
+      break;
+  }
+  obs::TraceNode* cur = obs::QueryTrace::Current();
+  if (cur == nullptr) return;
+  cur->notes.push_back(std::string("dispatch: ") +
+                       DispatchName(last_run_.dispatch));
+  if (last_run_.dispatch == RunInfo::Dispatch::kDownwardFallback) {
+    cur->notes.push_back(
+        "star-round budget blown at " +
+        std::to_string(last_run_.star_round_budget) +
+        " rounds; abandoned register machine, re-ran one-pass sweep");
+  }
+  cur->SetAttr("star_rounds_used", last_run_.star_rounds_used);
+  cur->SetAttr("star_round_budget", last_run_.star_round_budget);
+  cur->SetAttr("instrs_executed", last_run_.instrs_executed);
+  if (result != nullptr) cur->SetAttr("result_count", result->Count());
+}
+
 Bitset ExecEngine::Eval(const Program& program) {
+  obs::TraceSpan span("exec.eval", &EvalFlame());
+  ExecMetrics::Get().evals.Inc();
   last_used_downward_ = false;
-  if (program.downward() == nullptr) return EvalGeneral(program);
+  if (program.downward() == nullptr) {
+    BeginRun(program, RunInfo::Dispatch::kGeneral, 0);
+    while (static_cast<int>(regs_.size()) < program.num_regs()) {
+      regs_.emplace_back(n_);
+    }
+    star_rounds_left_ = std::numeric_limits<int64_t>::max();
+    RunRange(program, 0, program.main_end());
+    Bitset& result = regs_[static_cast<size_t>(program.result_reg())];
+    FinishRun(&result);
+    return result;
+  }
   while (static_cast<int>(regs_.size()) < program.num_regs()) {
     regs_.emplace_back(n_);
   }
-  star_rounds_left_ = StarRoundBudget(program);
+  const int64_t budget = StarRoundBudget(program);
+  BeginRun(program, RunInfo::Dispatch::kRegisterMachine, budget);
+  star_rounds_left_ = budget;
   if (RunRange(program, 0, program.main_end())) {
-    return regs_[static_cast<size_t>(program.result_reg())];
+    Bitset& result = regs_[static_cast<size_t>(program.result_reg())];
+    FinishRun(&result);
+    return result;
   }
-  return EvalDownward(program);
+  // Budget blown: abandon the register machine (its partial instruction
+  // counts stay in last_run_ — the EXPLAIN dump shows the abandoned
+  // prefix) and re-run as the unconditionally-linear sweep.
+  last_run_.dispatch = RunInfo::Dispatch::kDownwardFallback;
+  last_used_downward_ = true;
+  Bitset result = program.downward()->Run(tree_, &agg_);
+  FinishRun(&result);
+  return result;
 }
 
 Bitset ExecEngine::EvalDownward(const Program& program) {
   XPTC_CHECK(program.downward() != nullptr)
       << "program has no downward compilation";
+  obs::TraceSpan span("exec.eval", &EvalFlame());
+  ExecMetrics::Get().evals.Inc();
+  BeginRun(program, RunInfo::Dispatch::kDownwardDirect, 0);
+  last_run_.instr_execs.clear();
   last_used_downward_ = true;
-  return program.downward()->Run(tree_, &agg_);
+  Bitset result = program.downward()->Run(tree_, &agg_);
+  FinishRun(&result);
+  return result;
 }
 
 Bitset ExecEngine::EvalGeneral(const Program& program) {
+  obs::TraceSpan span("exec.eval", &EvalFlame());
+  ExecMetrics::Get().evals.Inc();
+  BeginRun(program, RunInfo::Dispatch::kGeneral, 0);
   last_used_downward_ = false;
   while (static_cast<int>(regs_.size()) < program.num_regs()) {
     regs_.emplace_back(n_);
   }
   star_rounds_left_ = std::numeric_limits<int64_t>::max();
   RunRange(program, 0, program.main_end());
-  return regs_[static_cast<size_t>(program.result_reg())];
+  Bitset& result = regs_[static_cast<size_t>(program.result_reg())];
+  FinishRun(&result);
+  return result;
 }
 
 const Bitset& ExecEngine::LabelSet(Symbol label) {
@@ -85,6 +207,8 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
   const std::vector<Instr>& code = program.code();
   for (int i = begin; i < end; ++i) {
     const Instr& ins = code[static_cast<size_t>(i)];
+    ++last_run_.instrs_executed;
+    ++last_run_.instr_execs[static_cast<size_t>(i)];
     Bitset& dst = regs_[static_cast<size_t>(ins.dst)];
     switch (ins.op) {
       case Op::kTrue:
@@ -109,6 +233,14 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
         dst.ResetAll();  // the kernels require a clear output window
         AxisImageInto(tree_, ins.axis, regs_[static_cast<size_t>(ins.a)], 0,
                       n_, &dst);
+        // Per-axis-kernel node touches: the size of the produced image,
+        // keyed by axis. Only counted (and only paid — CountRange is
+        // O(n/64)) when a trace is active on this thread.
+        if (obs::TraceNode* cur = obs::QueryTrace::Current()) {
+          cur->AddAttr(std::string("axis.") + AxisToString(ins.axis) +
+                           ".touches",
+                       dst.CountRange(0, n_));
+        }
         break;
       case Op::kStar: {
         // Semi-naive closure: dst accumulates everything reached, the body
@@ -122,6 +254,7 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
         dst.CopyRange(seed, 0, n_);
         frontier.CopyRange(seed, 0, n_);
         while (frontier.Any()) {
+          ++last_run_.star_rounds_used;
           if (--star_rounds_left_ < 0) return false;
           if (!RunRange(program, ins.body_begin, ins.body_end)) return false;
           step.Subtract(dst);

@@ -52,6 +52,30 @@ class ExecEngine {
   /// ran) the one-pass sweep — observability for tests and benches.
   bool last_used_downward() const { return last_used_downward_; }
 
+  /// How the last evaluation ran: which engine the hybrid dispatch picked
+  /// (and why — the budget that a blown run abandoned against), how many
+  /// star fixpoint rounds it took, and how often each instruction of the
+  /// program executed (star bodies re-run once per round). Filled by
+  /// `Eval`/`EvalGeneral`/`EvalDownward`; the EXPLAIN facility reads it.
+  struct RunInfo {
+    enum class Dispatch {
+      kRegisterMachine,    // hybrid: register machine within budget
+      kDownwardFallback,   // hybrid: budget blown, re-ran as the sweep
+      kDownwardDirect,     // EvalDownward called directly
+      kGeneral,            // register machine, unbounded (no downward
+                           // compilation, or EvalGeneral called directly)
+    };
+    Dispatch dispatch = Dispatch::kGeneral;
+    int64_t star_rounds_used = 0;
+    int64_t star_round_budget = 0;  // 0 = unbounded
+    int64_t instrs_executed = 0;
+    // Execution count per instruction index; on a fallback these hold the
+    // abandoned register-machine prefix. Empty for kDownwardDirect.
+    std::vector<int64_t> instr_execs;
+  };
+  static const char* DispatchName(RunInfo::Dispatch dispatch);
+  const RunInfo& last_run() const { return last_run_; }
+
   /// Forces the general register machine (differential testing and
   /// benchmarking against the downward engine).
   Bitset EvalGeneral(const Program& program);
@@ -68,12 +92,20 @@ class ExecEngine {
   bool RunRange(const Program& program, int begin, int end);
   const Bitset& LabelSet(Symbol label);
 
+  /// Resets `last_run_` for a fresh evaluation of `program`, then (on
+  /// completion) `FinishRun` publishes the per-run totals to the registry
+  /// and the active trace span, if any.
+  void BeginRun(const Program& program, RunInfo::Dispatch dispatch,
+                int64_t budget);
+  void FinishRun(const Bitset* result);
+
   const Tree& tree_;
   TreeCache* tree_cache_;
   const int n_;
   std::vector<Bitset> regs_;
   int64_t star_rounds_left_ = 0;  // per-run star-round budget (see Eval)
   bool last_used_downward_ = false;
+  RunInfo last_run_;
   // Label index: refs into the shared TreeCache when attached (lock-free
   // after first touch), else locally built sets.
   std::unordered_map<Symbol, const Bitset*> label_refs_;

@@ -405,41 +405,47 @@ std::shared_ptr<const Program> Program::Compile(const NodePtr& query) {
   return program;
 }
 
+std::string Program::InstrToString(int i, const Alphabet& alphabet) const {
+  const Instr& ins = code_[static_cast<size_t>(i)];
+  std::ostringstream os;
+  os << "r" << ins.dst << " = ";
+  switch (ins.op) {
+    case Op::kTrue:
+      os << "true";
+      break;
+    case Op::kLabel:
+      os << "label " << alphabet.Name(ins.label);
+      break;
+    case Op::kNot:
+      os << "not r" << ins.a;
+      break;
+    case Op::kAnd:
+      os << "and r" << ins.a << " r" << ins.b;
+      break;
+    case Op::kOr:
+      os << "or r" << ins.a << " r" << ins.b;
+      break;
+    case Op::kAxis:
+      os << "axis " << AxisToString(ins.axis) << " r" << ins.a;
+      break;
+    case Op::kStar:
+      os << "star r" << ins.a << " body=[" << ins.body_begin << ","
+         << ins.body_end << ") in=r" << ins.in << " out=r" << ins.out;
+      break;
+    case Op::kWithin:
+      os << "within " << NodeToString(*ins.within, alphabet);
+      break;
+  }
+  return os.str();
+}
+
 std::string Program::ToString(const Alphabet& alphabet) const {
   std::ostringstream os;
   os << "program: " << code_.size() << " instrs, " << num_regs_
      << " regs, result r" << result_reg_ << ", main [0," << main_end_ << ")\n";
   for (size_t i = 0; i < code_.size(); ++i) {
-    const Instr& ins = code_[i];
-    os << "  " << i << ": r" << ins.dst << " = ";
-    switch (ins.op) {
-      case Op::kTrue:
-        os << "true";
-        break;
-      case Op::kLabel:
-        os << "label " << alphabet.Name(ins.label);
-        break;
-      case Op::kNot:
-        os << "not r" << ins.a;
-        break;
-      case Op::kAnd:
-        os << "and r" << ins.a << " r" << ins.b;
-        break;
-      case Op::kOr:
-        os << "or r" << ins.a << " r" << ins.b;
-        break;
-      case Op::kAxis:
-        os << "axis " << AxisToString(ins.axis) << " r" << ins.a;
-        break;
-      case Op::kStar:
-        os << "star r" << ins.a << " body=[" << ins.body_begin << ","
-           << ins.body_end << ") in=r" << ins.in << " out=r" << ins.out;
-        break;
-      case Op::kWithin:
-        os << "within " << NodeToString(*ins.within, alphabet);
-        break;
-    }
-    os << "\n";
+    os << "  " << i << ": " << InstrToString(static_cast<int>(i), alphabet)
+       << "\n";
   }
   if (downward_) os << downward_->ToString(alphabet);
   return os.str();

@@ -96,6 +96,11 @@ class Program {
   /// Deterministic disassembly (used by lowering-determinism tests).
   std::string ToString(const Alphabet& alphabet) const;
 
+  /// One instruction of the disassembly, e.g. `r3 = axis child r1` — the
+  /// unit the EXPLAIN dump annotates with per-instruction execution
+  /// counts. `ToString` is the concatenation of these plus headers.
+  std::string InstrToString(int i, const Alphabet& alphabet) const;
+
  private:
   Program() = default;
 

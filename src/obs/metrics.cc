@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace xptc {
+namespace obs {
+
+int Counter::ShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local int shard =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<unsigned>(kShards));
+  return shard;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int k = 0; k < kBuckets; ++k) {
+    int64_t b = other.buckets_[k].load(std::memory_order_relaxed);
+    if (b != 0) buckets_[k].fetch_add(b, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+}
+
+void Snapshot::AddHistogram(const std::string& name, const Histogram& h) {
+  HistogramData& data = histograms[name];
+  data.count += h.count();
+  data.sum += h.sum();
+  for (int k = 0; k < Histogram::kBuckets; ++k) {
+    int64_t b = h.bucket(k);
+    if (b != 0) data.buckets[k] += b;
+  }
+}
+
+Snapshot Snapshot::Delta(const Snapshot& base) const {
+  Snapshot out;
+  for (const auto& [name, v] : counters) {
+    auto it = base.counters.find(name);
+    int64_t d = v - (it == base.counters.end() ? 0 : it->second);
+    if (d != 0) out.counters[name] = d;
+  }
+  for (const auto& [name, h] : histograms) {
+    auto it = base.histograms.find(name);
+    HistogramData d = h;
+    if (it != base.histograms.end()) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+      for (const auto& [k, b] : it->second.buckets) {
+        d.buckets[k] -= b;
+        if (d.buckets[k] == 0) d.buckets.erase(k);
+      }
+    }
+    if (d.count != 0 || !d.buckets.empty()) out.histograms[name] = d;
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  // Metric names are dotted identifiers (no quotes/backslashes/control
+  // characters), so no escaping is needed.
+  out->append(name);
+  out->append("\": ");
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "xptc_";
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string Snapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendInt(&out, v);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonKey(&out, name);
+    AppendInt(&out, v);
+  }
+  out.append(first ? "},\n" : "\n  },\n");
+  out.append("  \"histograms\": {");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out.append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendJsonKey(&out, name);
+    out.append("{\"count\": ");
+    AppendInt(&out, h.count);
+    out.append(", \"sum\": ");
+    AppendInt(&out, h.sum);
+    out.append(", \"buckets\": {");
+    bool bfirst = true;
+    for (const auto& [k, b] : h.buckets) {
+      if (!bfirst) out.append(", ");
+      bfirst = false;
+      out.push_back('"');
+      AppendInt(&out, k);
+      out.append("\": ");
+      AppendInt(&out, b);
+    }
+    out.append("}}");
+  }
+  out.append(first ? "}\n" : "\n  }\n");
+  out.append("}\n");
+  return out;
+}
+
+std::string Snapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    std::string p = PromName(name);
+    out.append("# TYPE ").append(p).append(" counter\n");
+    out.append(p).append(" ");
+    AppendInt(&out, v);
+    out.push_back('\n');
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string p = PromName(name);
+    out.append("# TYPE ").append(p).append(" gauge\n");
+    out.append(p).append(" ");
+    AppendInt(&out, v);
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : histograms) {
+    std::string p = PromName(name);
+    out.append("# TYPE ").append(p).append(" histogram\n");
+    int64_t cumulative = 0;
+    for (const auto& [k, b] : h.buckets) {
+      cumulative += b;
+      out.append(p).append("_bucket{le=\"");
+      AppendInt(&out, Histogram::BucketUpperBound(k) - 1);
+      out.append("\"} ");
+      AppendInt(&out, cumulative);
+      out.push_back('\n');
+    }
+    out.append(p).append("_bucket{le=\"+Inf\"} ");
+    AppendInt(&out, h.count);
+    out.push_back('\n');
+    out.append(p).append("_sum ");
+    AppendInt(&out, h.sum);
+    out.push_back('\n');
+    out.append(p).append("_count ");
+    AppendInt(&out, h.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Registry& Registry::Default() {
+  static Registry* instance = new Registry();  // leaked: see header
+  return *instance;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Registry::CollectorHandle::CollectorHandle(CollectorHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+Registry::CollectorHandle& Registry::CollectorHandle::operator=(
+    CollectorHandle&& other) noexcept {
+  if (this != &other) {
+    this->~CollectorHandle();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+Registry::CollectorHandle::~CollectorHandle() {
+  if (registry_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  auto it = registry_->collectors_.find(id_);
+  if (it != registry_->collectors_.end()) {
+    // Retire the instance's final contribution so process-lifetime totals
+    // survive the instance. Gauges are levels of a now-dead instance and
+    // are intentionally dropped.
+    Snapshot last;
+    it->second(&last);
+    Snapshot& retired = registry_->retired_;
+    for (const auto& [name, v] : last.counters) retired.counters[name] += v;
+    for (const auto& [name, h] : last.histograms) {
+      Snapshot::HistogramData& data = retired.histograms[name];
+      data.count += h.count;
+      data.sum += h.sum;
+      for (const auto& [k, b] : h.buckets) data.buckets[k] += b;
+    }
+    registry_->collectors_.erase(it);
+  }
+  registry_ = nullptr;
+}
+
+Registry::CollectorHandle Registry::AddCollector(Collector fn) {
+  CollectorHandle handle;
+  std::lock_guard<std::mutex> lock(mu_);
+  handle.registry_ = this;
+  handle.id_ = next_collector_id_++;
+  collectors_.emplace(handle.id_, std::move(fn));
+  return handle;
+}
+
+Snapshot Registry::Collect() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters = retired_.counters;
+  snap.histograms = retired_.histograms;
+  for (const auto& [name, c] : counters_) snap.counters[name] += c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) snap.AddHistogram(name, *h);
+  for (const auto& [id, fn] : collectors_) fn(&snap);
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace xptc

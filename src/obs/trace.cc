@@ -1,0 +1,212 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace xptc {
+namespace obs {
+
+namespace {
+
+thread_local TraceNode* g_current = nullptr;
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NodeToJson(const TraceNode& node, bool with_times, int indent,
+                std::string* out) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  out->append(pad).append("{\"name\": ");
+  AppendJsonString(out, node.name);
+  if (with_times) {
+    out->append(", \"elapsed_ns\": ");
+    AppendInt(out, node.elapsed_ns);
+  }
+  if (!node.attrs.empty()) {
+    out->append(", \"attrs\": {");
+    bool first = true;
+    for (const auto& [key, v] : node.attrs) {
+      if (!first) out->append(", ");
+      first = false;
+      AppendJsonString(out, key);
+      out->append(": ");
+      AppendInt(out, v);
+    }
+    out->push_back('}');
+  }
+  if (!node.notes.empty()) {
+    out->append(", \"notes\": [");
+    bool first = true;
+    for (const std::string& note : node.notes) {
+      if (!first) out->append(", ");
+      first = false;
+      AppendJsonString(out, note);
+    }
+    out->push_back(']');
+  }
+  if (!node.children.empty()) {
+    out->append(", \"children\": [\n");
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      NodeToJson(*node.children[i], with_times, indent + 2, out);
+      if (i + 1 < node.children.size()) out->push_back(',');
+      out->push_back('\n');
+    }
+    out->append(pad).push_back(']');
+  }
+  out->push_back('}');
+}
+
+void NodeToText(const TraceNode& node, bool with_times, int indent,
+                std::string* out) {
+  out->append(static_cast<size_t>(indent), ' ');
+  out->append(node.name);
+  for (const auto& [key, v] : node.attrs) {
+    out->push_back(' ');
+    out->append(key).push_back('=');
+    AppendInt(out, v);
+  }
+  if (with_times && node.elapsed_ns > 0) {
+    out->append(" elapsed_ns=");
+    AppendInt(out, node.elapsed_ns);
+  }
+  out->push_back('\n');
+  for (const std::string& note : node.notes) {
+    out->append(static_cast<size_t>(indent + 2), ' ');
+    out->append("- ").append(note).push_back('\n');
+  }
+  for (const auto& child : node.children) {
+    NodeToText(*child, with_times, indent + 2, out);
+  }
+}
+
+}  // namespace
+
+void TraceNode::AddAttr(const std::string& key, int64_t delta) {
+  for (auto& [k, v] : attrs) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  attrs.emplace_back(key, delta);
+}
+
+void TraceNode::SetAttr(const std::string& key, int64_t v) {
+  for (auto& [k, existing] : attrs) {
+    if (k == key) {
+      existing = v;
+      return;
+    }
+  }
+  attrs.emplace_back(key, v);
+}
+
+const int64_t* TraceNode::FindAttr(const std::string& key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+QueryTrace::QueryTrace() { root_.name = "query"; }
+QueryTrace::~QueryTrace() = default;
+
+QueryTrace::Scope::Scope(QueryTrace* trace) : saved_(g_current) {
+  g_current = &trace->root();
+}
+
+QueryTrace::Scope::~Scope() { g_current = saved_; }
+
+TraceNode* QueryTrace::Current() { return g_current; }
+
+std::string QueryTrace::ToJson(bool with_times) const {
+  std::string out;
+  NodeToJson(root_, with_times, 0, &out);
+  out.push_back('\n');
+  return out;
+}
+
+std::string QueryTrace::ToText(bool with_times) const {
+  std::string out;
+  NodeToText(root_, with_times, 0, &out);
+  return out;
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceSpan::TraceSpan(const char* name, Histogram* flame) : flame_(flame) {
+  if (g_current != nullptr) {
+    saved_ = g_current;
+    auto child = std::make_unique<TraceNode>();
+    child->name = name;
+    node_ = child.get();
+    saved_->children.push_back(std::move(child));
+    g_current = node_;
+  }
+#if XPTC_OBS
+  if (node_ != nullptr || flame_ != nullptr) start_ns_ = NowNs();
+#endif
+}
+
+TraceSpan::~TraceSpan() {
+#if XPTC_OBS
+  if (node_ != nullptr || flame_ != nullptr) {
+    int64_t elapsed = NowNs() - start_ns_;
+    if (node_ != nullptr) node_->elapsed_ns = elapsed;
+    if (flame_ != nullptr) flame_->Observe(elapsed);
+  }
+#endif
+  if (node_ != nullptr) g_current = saved_;
+}
+
+void TraceSpan::Attr(const char* key, int64_t v) {
+  if (node_ != nullptr) node_->SetAttr(key, v);
+}
+
+void TraceSpan::AddAttr(const char* key, int64_t delta) {
+  if (node_ != nullptr) node_->AddAttr(key, delta);
+}
+
+void TraceSpan::Note(std::string note) {
+  if (node_ != nullptr) node_->notes.push_back(std::move(note));
+}
+
+void TraceAddCount(const char* key, int64_t delta) {
+  if (g_current != nullptr) g_current->AddAttr(key, delta);
+}
+
+void TraceNote(std::string note) {
+  if (g_current != nullptr) g_current->notes.push_back(std::move(note));
+}
+
+}  // namespace obs
+}  // namespace xptc

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "compile/compile.h"
+#include "obs/metrics.h"
 #include "tree/generate.h"
 #include "xpath/generator.h"
 #include "xpath/parser.h"
@@ -182,6 +183,12 @@ std::optional<Finding> Fuzzer::CheckOne(const FuzzCase& fuzz_case) {
 }
 
 CampaignResult Fuzzer::Run() {
+  // Campaign-loop counters live in the process-wide registry, so a long
+  // campaign is scrapeable mid-flight (Prometheus export) instead of only
+  // reporting totals at exit.
+  obs::Registry& reg = obs::Registry::Default();
+  obs::Counter& cases_counter = reg.counter("fuzz.cases");
+  obs::Counter& findings_counter = reg.counter("fuzz.findings");
   CampaignResult result;
   const double start = Now();
   for (int64_t i = 0;; ++i) {
@@ -191,8 +198,10 @@ CampaignResult Fuzzer::Run() {
     }
     const FuzzCase fuzz_case = DeriveCase(CaseSeedAt(options_.seed, i));
     ++result.cases;
+    cases_counter.Inc();
     std::optional<Finding> finding = CheckOne(fuzz_case);
     if (finding.has_value()) {
+      findings_counter.Inc();
       result.findings.push_back(std::move(*finding));
       if (static_cast<int>(result.findings.size()) >= options_.max_findings) {
         break;

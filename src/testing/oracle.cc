@@ -11,6 +11,7 @@
 #include "exec/program.h"
 #include "logic/fo_eval.h"
 #include "logic/xpath_to_fo.h"
+#include "obs/trace.h"
 #include "workload/batch.h"
 #include "xpath/engine.h"
 #include "xpath/eval.h"
@@ -56,6 +57,17 @@ bool Oracle::Handles(const Tree& tree, const NodeExpr& query) const {
   return true;
 }
 
+Result<SelectedSet> Oracle::TimedRun(const Tree& tree, const NodePtr& query) {
+  if (flame_ == nullptr) {
+    obs::Registry& reg = obs::Registry::Default();
+    flame_ = &reg.histogram("oracle." + name() + ".run_ns");
+    runs_counter_ = &reg.counter("oracle." + name() + ".runs");
+  }
+  runs_counter_->Inc();
+  obs::TraceSpan span(name().c_str(), flame_);
+  return Run(tree, query);
+}
+
 std::string Disagreement::Describe() const {
   std::ostringstream out;
   out << other << " vs " << reference << ": ";
@@ -96,7 +108,7 @@ std::optional<Disagreement> OracleRegistry::Check(const Tree& tree,
   for (const auto& oracle : oracles_) {
     if (!oracle->Handles(tree, *query)) continue;
     ++stats_.runs[oracle->name()];
-    Result<SelectedSet> got = oracle->Run(tree, query);
+    Result<SelectedSet> got = oracle->TimedRun(tree, query);
     if (!got.ok()) {
       // Static gates may over-approximate what Run can actually do
       // (state-space blow-ups); anything else is a finding.
@@ -137,9 +149,9 @@ bool OracleRegistry::PairDisagrees(Oracle* reference, Oracle* other,
   }
   stats_.runs[reference->name()]++;
   stats_.runs[other->name()]++;
-  Result<SelectedSet> expected = reference->Run(tree, query);
+  Result<SelectedSet> expected = reference->TimedRun(tree, query);
   if (!expected.ok()) return false;
-  Result<SelectedSet> actual = other->Run(tree, query);
+  Result<SelectedSet> actual = other->TimedRun(tree, query);
   if (!actual.ok()) {
     // An unexpected hard error still counts as a disagreement so error
     // cases shrink too; residual fragment softness does not.
@@ -157,7 +169,7 @@ std::optional<Disagreement> OracleRegistry::CheckCandidate(
   for (const auto& oracle : oracles_) {
     if (oracle.get() == candidate || !oracle->Handles(tree, *query)) continue;
     ++stats_.runs[oracle->name()];
-    Result<SelectedSet> expected = oracle->Run(tree, query);
+    Result<SelectedSet> expected = oracle->TimedRun(tree, query);
     if (!expected.ok()) {
       if (expected.status().IsNotSupported() ||
           expected.status().IsOutOfRange()) {
@@ -171,7 +183,7 @@ std::optional<Disagreement> OracleRegistry::CheckCandidate(
       return d;
     }
     ++stats_.runs[candidate->name()];
-    Result<SelectedSet> actual = candidate->Run(tree, query);
+    Result<SelectedSet> actual = candidate->TimedRun(tree, query);
     if (!actual.ok()) {
       if (actual.status().IsNotSupported() || actual.status().IsOutOfRange()) {
         ++stats_.soft_skips;

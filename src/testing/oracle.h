@@ -12,6 +12,7 @@
 #include "common/alphabet.h"
 #include "common/bitset.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "tree/tree.h"
 #include "xpath/ast.h"
 #include "xpath/fragment.h"
@@ -65,10 +66,21 @@ class Oracle {
   /// The selected set of `query` on `tree`.
   virtual Result<SelectedSet> Run(const Tree& tree, const NodePtr& query) = 0;
 
+  /// `Run` wrapped in this oracle's flame histogram
+  /// (`oracle.<name>.run_ns`, timing gated on XPTC_OBS) and run counter
+  /// (`oracle.<name>.runs`), and — when a trace is active — a trace span
+  /// named after the oracle. Every registry call site runs through this.
+  Result<SelectedSet> TimedRun(const Tree& tree, const NodePtr& query);
+
  protected:
   explicit Oracle(OracleProfile profile) : profile_(std::move(profile)) {}
 
   OracleProfile profile_;
+
+ private:
+  // Lazily-fetched registry metrics (stable references; see TimedRun).
+  obs::Histogram* flame_ = nullptr;
+  obs::Counter* runs_counter_ = nullptr;
 };
 
 /// A cross-check failure: two oracles that both declared themselves total

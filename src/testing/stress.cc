@@ -11,6 +11,7 @@
 #include "common/bitset.h"
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "tree/generate.h"
 #include "workload/batch.h"
 #include "workload/plan_cache.h"
@@ -75,6 +76,10 @@ StressReport RunConcurrencyStress(const StressOptions& options) {
   PlanCache plan_cache(static_cast<size_t>(options.plan_cache_capacity));
 
   std::atomic<int64_t> evaluations{0};
+  // Shared target of the obs::Histogram merge-under-concurrency check:
+  // client threads Merge their per-thread histograms into this one while
+  // other threads are still merging and the driver is still Observing.
+  obs::Histogram merged_hist;
   std::mutex report_mu;
   StressReport report;
   const auto record_mismatch = [&](const std::string& description) {
@@ -85,6 +90,9 @@ StressReport RunConcurrencyStress(const StressOptions& options) {
 
   const auto client = [&](int id, uint64_t client_seed) {
     Rng client_rng(client_seed);
+    // Per-thread histogram (no contention while observing); merged into
+    // the shared one when the thread finishes.
+    obs::Histogram local_hist;
     // Per-thread scratch, lazily bound per tree, attached to the engine's
     // shared TreeCaches (EvalScratch is single-thread; the cache behind it
     // is the contended part).
@@ -116,12 +124,15 @@ StressReport RunConcurrencyStress(const StressOptions& options) {
             *trees[static_cast<size_t>(t)]);
       }
       evaluations.fetch_add(1, std::memory_order_relaxed);
+      local_hist.Observe(got.Count());
       if (!(got == expected[static_cast<size_t>(t)][static_cast<size_t>(q)])) {
         record_mismatch("thread " + std::to_string(id) + ": tree " +
                         std::to_string(t) + ", query '" +
                         texts[static_cast<size_t>(q)] + "' diverged");
       }
     }
+    // Concurrent with other clients' merges and the driver's Observes.
+    merged_hist.Merge(local_hist);
   };
 
   std::vector<std::thread> threads;
@@ -137,6 +148,7 @@ StressReport RunConcurrencyStress(const StressOptions& options) {
     for (size_t t = 0; t < got.size(); ++t) {
       for (size_t q = 0; q < got[t].size(); ++q) {
         evaluations.fetch_add(1, std::memory_order_relaxed);
+        merged_hist.Observe(got[t][q].Count());
         if (!(got[t][q] == expected[t][q])) {
           record_mismatch("batch sweep " + std::to_string(sweep) + ": tree " +
                           std::to_string(t) + ", query '" + texts[q] +
@@ -152,6 +164,15 @@ StressReport RunConcurrencyStress(const StressOptions& options) {
   report.plan_cache_hits = static_cast<int64_t>(plan_cache.stats().hits);
   report.plan_cache_evictions =
       static_cast<int64_t>(plan_cache.stats().evictions);
+  // Merge invariants, checked after all writers quiesced: no observation
+  // was lost or duplicated, and the buckets account for every observation.
+  report.histogram_count = merged_hist.count();
+  int64_t bucket_sum = 0;
+  for (int k = 0; k < obs::Histogram::kBuckets; ++k) {
+    bucket_sum += merged_hist.bucket(k);
+  }
+  report.histogram_ok = report.histogram_count == report.evaluations &&
+                        bucket_sum == report.histogram_count;
   return report;
 }
 

@@ -38,7 +38,15 @@ struct StressReport {
   int mismatches = 0;
   std::string first_mismatch;  // description of the first divergence
 
-  bool ok() const { return mismatches == 0; }
+  // obs::Histogram merge-under-concurrency check: every evaluation
+  // Observes its result count into a per-thread histogram, threads Merge
+  // into one shared histogram while others still observe, and the run
+  // verifies the merged totals (count == evaluations, bucket sum ==
+  // count). Exercised under TSan by the fuzz_stress_tsan ctest entry.
+  int64_t histogram_count = 0;
+  bool histogram_ok = false;
+
+  bool ok() const { return mismatches == 0 && histogram_ok; }
 };
 
 /// Differential concurrency stress of the throughput layer: one shared

@@ -3,9 +3,23 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "xpath/eval.h"
 
 namespace xptc {
+
+namespace {
+
+// Per-task flame histogram (nanoseconds per (tree, query) task), shared by
+// all engines. Fetched once; Observe is a relaxed atomic add, and the clock
+// reads around it are compiled out under XPTC_OBS=OFF.
+obs::Histogram& TaskFlame() {
+  static obs::Histogram* h =
+      &obs::Registry::Default().histogram("batch.task_ns");
+  return *h;
+}
+
+}  // namespace
 
 BatchEngine::BatchEngine(BatchOptions options) {
   if (options.pool != nullptr) {
@@ -16,6 +30,11 @@ BatchEngine::BatchEngine(BatchOptions options) {
   }
   scratch_.resize(static_cast<size_t>(pool_->num_workers()));
   engines_.resize(static_cast<size_t>(pool_->num_workers()));
+  collector_ =
+      obs::Registry::Default().AddCollector([this](obs::Snapshot* snap) {
+        snap->AddCounter("batch.runs", runs_.value());
+        snap->AddCounter("batch.tasks", tasks_.value());
+      });
 }
 
 BatchEngine::~BatchEngine() {
@@ -72,8 +91,11 @@ std::vector<std::vector<Bitset>> BatchEngine::Run(
   std::vector<std::vector<Bitset>> results(static_cast<size_t>(num_t));
   for (auto& row : results) row.resize(static_cast<size_t>(num_q));
   if (num_t == 0 || num_q == 0) return results;
+  runs_.Inc();
+  tasks_.Add(num_t * num_q);
   EnsureScratchRows();
   pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    obs::TraceSpan span("batch.task", &TaskFlame());
     const int t = task / num_q;
     const int q = task % num_q;
     // Each task writes its own (t, q) slot; no two tasks share one.
@@ -91,8 +113,11 @@ std::vector<std::vector<Bitset>> BatchEngine::RunPaths(
   std::vector<std::vector<Bitset>> results(static_cast<size_t>(num_t));
   for (auto& row : results) row.resize(static_cast<size_t>(num_q));
   if (num_t == 0 || num_q == 0) return results;
+  runs_.Inc();
+  tasks_.Add(num_t * num_q);
   EnsureScratchRows();
   pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    obs::TraceSpan span("batch.task", &TaskFlame());
     const int t = task / num_q;
     const int q = task % num_q;
     const Tree& tree = *trees_[static_cast<size_t>(t)];
@@ -113,8 +138,11 @@ std::vector<std::vector<Bitset>> BatchEngine::RunCompiled(
   for (auto& row : results) row.resize(static_cast<size_t>(num_q));
   if (num_t == 0 || num_q == 0) return results;
   for (const auto& program : programs) XPTC_CHECK(program != nullptr);
+  runs_.Inc();
+  tasks_.Add(num_t * num_q);
   EnsureScratchRows();
   pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    obs::TraceSpan span("batch.task", &TaskFlame());
     const int t = task / num_q;
     const int q = task % num_q;
     results[static_cast<size_t>(t)][static_cast<size_t>(q)] =

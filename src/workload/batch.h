@@ -9,6 +9,7 @@
 #include "common/threadpool.h"
 #include "exec/engine.h"
 #include "exec/program.h"
+#include "obs/metrics.h"
 #include "tree/tree.h"
 #include "xpath/engine.h"
 #include "workload/tree_cache.h"
@@ -111,6 +112,11 @@ class BatchEngine {
   // only by its worker.
   std::vector<std::vector<std::unique_ptr<EvalScratch>>> scratch_;
   std::vector<std::vector<std::unique_ptr<exec::ExecEngine>>> engines_;
+  // Per-instance obs counters; the collector sums them into `batch.*`
+  // registry names across engines (declared last: unregisters first).
+  obs::Counter runs_;
+  obs::Counter tasks_;
+  obs::Registry::CollectorHandle collector_;
 };
 
 }  // namespace xptc

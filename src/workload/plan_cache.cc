@@ -1,10 +1,10 @@
 #include "workload/plan_cache.h"
 
 #include <cctype>
-#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "xpath/parser.h"
 #include "xpath/rewrite.h"
 
@@ -41,6 +41,15 @@ size_t PlanCache::KeyHash::operator()(const Key& key) const {
 
 PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
   XPTC_CHECK_GT(capacity, 0u);
+  collector_ = obs::Registry::Default().AddCollector([this](
+      obs::Snapshot* snap) {
+    snap->AddCounter("plan_cache.hits", hits_.value());
+    snap->AddCounter("plan_cache.misses", misses_.value());
+    snap->AddCounter("plan_cache.evictions", evictions_.value());
+    snap->AddCounter("plan_cache.program_hits", program_hits_.value());
+    snap->AddCounter("plan_cache.program_misses", program_misses_.value());
+    snap->AddCounter("plan_cache.lowering_ns", lowering_ns_.value());
+  });
 }
 
 size_t PlanCache::size() const {
@@ -49,8 +58,14 @@ size_t PlanCache::size() const {
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats;
+  stats.hits = static_cast<size_t>(hits_.value());
+  stats.misses = static_cast<size_t>(misses_.value());
+  stats.evictions = static_cast<size_t>(evictions_.value());
+  stats.program_hits = static_cast<size_t>(program_hits_.value());
+  stats.program_misses = static_cast<size_t>(program_misses_.value());
+  stats.lowering_seconds = static_cast<double>(lowering_ns_.value()) * 1e-9;
+  return stats;
 }
 
 void PlanCache::Purge(const Alphabet* alphabet) {
@@ -78,7 +93,7 @@ void PlanCache::InsertLocked(Entry entry) {
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.Inc();
   }
 }
 
@@ -95,7 +110,7 @@ std::shared_ptr<const exec::Program> PlanCache::ProgramHitLocked(
   auto it = per_alphabet->second.find(root);
   if (it == per_alphabet->second.end()) return nullptr;
   std::shared_ptr<const exec::Program> program = it->second.program.lock();
-  if (program != nullptr) ++stats_.program_hits;
+  if (program != nullptr) program_hits_.Inc();
   return program;
 }
 
@@ -113,7 +128,8 @@ Result<std::shared_ptr<const Query>> PlanCache::Parse(const std::string& text,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      ++stats_.hits;
+      hits_.Inc();
+      obs::TraceNote("plan_cache: text hit");
       it->second = Touch(it->second);
       return it->second->query;
     }
@@ -129,11 +145,12 @@ Result<std::shared_ptr<const Query>> PlanCache::Parse(const std::string& text,
   if (raced != index_.end()) {
     // A concurrent thread inserted this key while we parsed: keep its
     // entry, discard our redundant (but equivalent) parse.
-    ++stats_.hits;
+    hits_.Inc();
     raced->second = Touch(raced->second);
     return raced->second->query;
   }
-  ++stats_.misses;
+  misses_.Inc();
+  obs::TraceNote("plan_cache: text miss, parsed + interned");
   ExprInterner& interner = InternerLocked(alphabet);
   NodePtr original = interner.Intern(parsed);
   NodePtr plan = interner.Intern(optimized);
@@ -153,6 +170,7 @@ Result<PlanCache::CompiledQuery> PlanCache::ParseCompiled(
     std::lock_guard<std::mutex> lock(mu_);
     out.program = ProgramHitLocked(alphabet, root);
     if (out.program != nullptr) {
+      obs::TraceNote("plan_cache: program hit (canonical root)");
       AttachProgramLocked(key, out.program);
       return out;
     }
@@ -160,19 +178,17 @@ Result<PlanCache::CompiledQuery> PlanCache::ParseCompiled(
   // Lower outside the lock (the expensive part), then re-check: when two
   // threads race to compile the same root, the first insert wins and the
   // loser's redundant (but equivalent) program is discarded.
-  const auto lower_start = std::chrono::steady_clock::now();
+  const int64_t lower_start_ns = obs::NowNs();
   std::shared_ptr<const exec::Program> program =
       exec::Program::Compile(out.query->plan());
-  const double lower_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    lower_start)
-          .count();
+  const int64_t lower_ns = obs::NowNs() - lower_start_ns;
 
   std::lock_guard<std::mutex> lock(mu_);
   out.program = ProgramHitLocked(alphabet, root);
   if (out.program == nullptr) {
-    ++stats_.program_misses;
-    stats_.lowering_seconds += lower_seconds;
+    program_misses_.Inc();
+    lowering_ns_.Add(lower_ns);
+    obs::TraceNote("plan_cache: program miss, lowered");
     ProgramMap& per_alphabet = programs_[alphabet];
     // Lazy sweep once the index outgrows the cache capacity: expired slots
     // release their canonical-root pins, so plans evicted from the LRU are
@@ -200,7 +216,8 @@ Result<std::shared_ptr<const PathQuery>> PlanCache::ParsePath(
     std::lock_guard<std::mutex> lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
-      ++stats_.hits;
+      hits_.Inc();
+      obs::TraceNote("plan_cache: text hit");
       it->second = Touch(it->second);
       return it->second->path_query;
     }
@@ -212,11 +229,12 @@ Result<std::shared_ptr<const PathQuery>> PlanCache::ParsePath(
   std::lock_guard<std::mutex> lock(mu_);
   auto raced = index_.find(key);
   if (raced != index_.end()) {
-    ++stats_.hits;
+    hits_.Inc();
     raced->second = Touch(raced->second);
     return raced->second->path_query;
   }
-  ++stats_.misses;
+  misses_.Inc();
+  obs::TraceNote("plan_cache: text miss, parsed + interned");
   ExprInterner& interner = InternerLocked(alphabet);
   PathPtr original = interner.Intern(parsed);
   PathPtr plan = interner.Intern(optimized);

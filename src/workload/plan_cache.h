@@ -11,6 +11,7 @@
 #include "common/alphabet.h"
 #include "common/result.h"
 #include "exec/program.h"
+#include "obs/metrics.h"
 #include "xpath/engine.h"
 #include "xpath/intern.h"
 
@@ -45,6 +46,8 @@ namespace xptc {
 /// cache's lifetime.
 class PlanCache {
  public:
+  /// A point-in-time read of the cache's obs counters (see the `plan_cache.*`
+  /// names this instance also publishes into `obs::Registry::Default()`).
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
@@ -163,7 +166,17 @@ class PlanCache {
   // Compiled programs keyed (alphabet, canonical plan root). Per-alphabet
   // because canonical pointers are per-interner; purged with the alphabet.
   std::unordered_map<const Alphabet*, ProgramMap> programs_;
-  Stats stats_;
+  // Per-instance obs counters (`stats()` stays correct with many caches in
+  // one process); a registry collector sums them across instances under
+  // the `plan_cache.*` names. Declared after the counters it reads so the
+  // collector unregisters before they are destroyed.
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter program_hits_;
+  obs::Counter program_misses_;
+  obs::Counter lowering_ns_;
+  obs::Registry::CollectorHandle collector_;
 };
 
 }  // namespace xptc

@@ -6,10 +6,40 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/trace.h"
 #include "workload/tree_cache.h"
 #include "xpath/axis_kernels.h"
 
 namespace xptc {
+
+namespace {
+
+// Process-wide interpreter counters, fetched once. `W` provenance (L1 =
+// this scratch's lock-free memo, L2 = the shared TreeCache, computed =
+// paid the bottom-up pass) is the cache story the EXPLAIN dump tells.
+struct EvalMetrics {
+  obs::Counter& within_l1_hits;
+  obs::Counter& within_l2_hits;
+  obs::Counter& within_computed;
+  obs::Counter& star_rounds;
+  static EvalMetrics& Get() {
+    obs::Registry& reg = obs::Registry::Default();
+    static EvalMetrics* m = new EvalMetrics{
+        reg.counter("eval.within_l1_hits"),
+        reg.counter("eval.within_l2_hits"),
+        reg.counter("eval.within_computed"),
+        reg.counter("eval.star_rounds")};
+    return *m;
+  }
+};
+
+obs::Histogram& WComputeFlame() {
+  static obs::Histogram* h =
+      &obs::Registry::Default().histogram("eval.w_compute_ns");
+  return *h;
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -144,6 +174,12 @@ void Evaluator::Rebind(NodeId context_root) {
 void Evaluator::AxisImageInto(Axis axis, const Bitset& sources,
                               Bitset* out) const {
   xptc::AxisImageInto(tree_, axis, sources, lo_, hi_, out);
+  // Per-axis-kernel node touches (image size), keyed by axis. The count is
+  // O(window/64) and only paid while a trace is active on this thread.
+  if (obs::TraceNode* cur = obs::QueryTrace::Current()) {
+    cur->AddAttr(std::string("axis.") + AxisToString(axis) + ".touches",
+                 out->CountRange(lo_, hi_));
+  }
 }
 
 Bitset Evaluator::AxisImage(Axis axis, const Bitset& sources) const {
@@ -202,7 +238,11 @@ Bitset Evaluator::ComputeNode(const NodeExpr& node) {
 
 const Bitset& Evaluator::WithinSet(const NodePtr& body) {
   auto it = shared_->within_refs.find(body.get());
-  if (it != shared_->within_refs.end()) return *it->second;
+  if (it != shared_->within_refs.end()) {
+    EvalMetrics::Get().within_l1_hits.Inc();
+    obs::TraceAddCount("w.l1_hits", 1);
+    return *it->second;
+  }
 
   // L2: the per-tree cross-query cache, shared with other workers. A hit
   // means some earlier evaluation — possibly of a different query on a
@@ -210,9 +250,18 @@ const Bitset& Evaluator::WithinSet(const NodePtr& body) {
   const Bitset* result = nullptr;
   if (shared_->tree_cache != nullptr) {
     result = shared_->tree_cache->FindWithin(*body);
+    if (result != nullptr) {
+      EvalMetrics::Get().within_l2_hits.Inc();
+      obs::TraceAddCount("w.l2_hits", 1);
+      obs::TraceNote("W: tree_cache (L2) hit");
+    }
   }
 
   if (result == nullptr) {
+    EvalMetrics::Get().within_computed.Inc();
+    obs::TraceAddCount("w.computed", 1);
+    obs::TraceSpan w_span("eval.w_compute", &WComputeFlame());
+    w_span.Note("W: no cached set, computed bottom-up");
     // wset[v] = 1 iff `body` holds at v in context T|v. The result only
     // depends on the subtree of v (context evaluation never leaves T|v, and
     // T|v is the same subtree in every enclosing context), so it is computed
@@ -286,13 +335,17 @@ Bitset Evaluator::EvalBackTmp(const PathExpr& path, const Bitset& targets) {
       reached.CopyRange(targets, lo_, hi_);
       Bitset frontier = shared_->Acquire();
       frontier.CopyRange(targets, lo_, hi_);
+      int64_t rounds = 0;
       while (frontier.AnyInRange(lo_, hi_)) {
+        ++rounds;
         Bitset step = EvalBackTmp(*path.left, frontier);
         step.SubtractRange(reached, lo_, hi_);
         reached.OrRange(step, lo_, hi_);
         shared_->Recycle(std::move(frontier), lo_, hi_);
         frontier = std::move(step);
       }
+      EvalMetrics::Get().star_rounds.Add(rounds);
+      obs::TraceAddCount("star_rounds", rounds);
       shared_->Recycle(std::move(frontier), lo_, hi_);
       return reached;
     }
@@ -331,13 +384,17 @@ Bitset Evaluator::EvalFwdTmp(const PathExpr& path, const Bitset& sources) {
       reached.CopyRange(sources, lo_, hi_);
       Bitset frontier = shared_->Acquire();
       frontier.CopyRange(sources, lo_, hi_);
+      int64_t rounds = 0;
       while (frontier.AnyInRange(lo_, hi_)) {
+        ++rounds;
         Bitset step = EvalFwdTmp(*path.left, frontier);
         step.SubtractRange(reached, lo_, hi_);
         reached.OrRange(step, lo_, hi_);
         shared_->Recycle(std::move(frontier), lo_, hi_);
         frontier = std::move(step);
       }
+      EvalMetrics::Get().star_rounds.Add(rounds);
+      obs::TraceAddCount("star_rounds", rounds);
       shared_->Recycle(std::move(frontier), lo_, hi_);
       return reached;
     }

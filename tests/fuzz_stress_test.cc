@@ -83,6 +83,11 @@ TEST(StressTest, ConcurrentResultsMatchSequentialBaseline) {
   // The tiny plan cache must actually have churned, or the LRU eviction
   // path was not under test.
   EXPECT_GT(report.plan_cache_evictions, 0);
+  // obs::Histogram merge-under-concurrency: per-thread histograms merged
+  // into one shared histogram while other threads still observe/merge must
+  // account for every evaluation exactly once (ok() includes histogram_ok;
+  // assert the count too so a zero-observation run cannot pass vacuously).
+  EXPECT_EQ(report.histogram_count, report.evaluations);
 }
 
 TEST(StressTest, ManyThreadsSmallWorkload) {

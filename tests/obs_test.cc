@@ -1,0 +1,354 @@
+// The observability layer (src/obs/): sharded counters, log₂-bucketed
+// histograms (boundary exactness + merge under concurrency — this suite is
+// part of the clang-tsan surface via the registry/stress paths), the
+// process-wide registry with per-instance collectors, snapshot deltas, the
+// JSON/Prometheus exporters, and the trace/span facility the EXPLAIN dump
+// is built on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xptc {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries.
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0: everything ≤ 0. Bucket k ≥ 1: [2^(k-1), 2^k).
+  EXPECT_EQ(Histogram::BucketFor(-5), 0);
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1), 1);
+  EXPECT_EQ(Histogram::BucketFor(2), 2);
+  EXPECT_EQ(Histogram::BucketFor(3), 2);
+  EXPECT_EQ(Histogram::BucketFor(4), 3);
+  EXPECT_EQ(Histogram::BucketFor(7), 3);
+  EXPECT_EQ(Histogram::BucketFor(8), 4);
+  EXPECT_EQ(Histogram::BucketFor(INT64_MAX), 63);
+}
+
+TEST(HistogramTest, EveryBucketsBoundsRoundTripThroughBucketFor) {
+  for (int k = 1; k < Histogram::kBuckets; ++k) {
+    const int64_t lo = Histogram::BucketLowerBound(k);
+    SCOPED_TRACE("bucket " + std::to_string(k));
+    EXPECT_EQ(Histogram::BucketFor(lo), k);
+    if (k > 1) EXPECT_EQ(Histogram::BucketFor(lo - 1), k - 1);
+    const int64_t hi = Histogram::BucketUpperBound(k);
+    if (k < 63) {
+      EXPECT_EQ(Histogram::BucketFor(hi - 1), k);
+      EXPECT_EQ(Histogram::BucketFor(hi), k + 1);
+    } else {
+      EXPECT_EQ(hi, INT64_MAX);
+    }
+  }
+  // Bucket 0 holds exactly v ≤ 0.
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+}
+
+TEST(HistogramTest, ObserveFillsTheRightBucketAndTotals) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(3);
+  h.Observe(1000);  // 2^9 = 512 ≤ 1000 < 1024 = 2^10 → bucket 10
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.sum(), 1007);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(10), 1);
+}
+
+TEST(HistogramTest, MergeAddsBucketsCountAndSum) {
+  Histogram a, b;
+  a.Observe(1);
+  a.Observe(100);
+  b.Observe(1);
+  b.Observe(5);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4);
+  EXPECT_EQ(a.sum(), 107);
+  EXPECT_EQ(a.bucket(1), 2);
+  EXPECT_EQ(a.bucket(3), 1);  // 5 → [4,8)
+  EXPECT_EQ(a.bucket(7), 1);  // 100 → [64,128)
+}
+
+TEST(HistogramTest, MergeUnderConcurrencyLosesNothing) {
+  // The stress harness's invariant, isolated: writer threads observe into
+  // thread-local histograms and merge into one shared histogram while other
+  // threads are still observing directly into it. After the join, the
+  // shared totals must account for every observation exactly once.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  Histogram shared;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &shared] {
+      if (t % 2 == 0) {
+        // Direct writers: concurrent Observes on the shared histogram.
+        for (int i = 0; i < kPerThread; ++i) shared.Observe(i % 97);
+      } else {
+        // Merge writers: local accumulation, then a merge that races with
+        // the direct writers and the other merges.
+        Histogram local;
+        for (int i = 0; i < kPerThread; ++i) local.Observe(i % 97);
+        shared.Merge(local);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(shared.count(), int64_t{kThreads} * kPerThread);
+  int64_t bucket_sum = 0;
+  int64_t expected_sum = 0;
+  for (int k = 0; k < Histogram::kBuckets; ++k) bucket_sum += shared.bucket(k);
+  for (int i = 0; i < kPerThread; ++i) expected_sum += i % 97;
+  EXPECT_EQ(bucket_sum, shared.count());
+  EXPECT_EQ(shared.sum(), expected_sum * kThreads);
+}
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Registry, snapshots, exporters.
+
+TEST(RegistryTest, SameNameReturnsSameMetric) {
+  Registry registry;
+  Counter& a = registry.counter("test.counter");
+  Counter& b = registry.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &registry.counter("test.other"));
+}
+
+TEST(RegistryTest, CollectSeesMetricsAndCollectors) {
+  Registry registry;
+  registry.counter("c.one").Add(5);
+  registry.gauge("g.depth").Set(3);
+  registry.histogram("h.lat").Observe(9);
+  {
+    auto handle = registry.AddCollector([](Snapshot* snap) {
+      snap->AddCounter("c.instance", 11);
+      snap->SetGauge("g.instance", 4);
+    });
+    Snapshot snap = registry.Collect();
+    EXPECT_EQ(snap.counters.at("c.one"), 5);
+    EXPECT_EQ(snap.counters.at("c.instance"), 11);
+    EXPECT_EQ(snap.gauges.at("g.depth"), 3);
+    EXPECT_EQ(snap.gauges.at("g.instance"), 4);
+    EXPECT_EQ(snap.histograms.at("h.lat").count, 1);
+    EXPECT_EQ(snap.histograms.at("h.lat").buckets.at(4), 1);  // 9 → [8,16)
+  }
+  // Handle destruction retires the collector: its counter contribution
+  // survives (process-lifetime totals stay monotonic after the instance
+  // dies), while its gauge — a level of a dead instance — drops.
+  Snapshot snap = registry.Collect();
+  EXPECT_EQ(snap.counters.at("c.instance"), 11);
+  EXPECT_EQ(snap.gauges.count("g.instance"), 0u);
+}
+
+TEST(RegistryTest, RetiredContributionsAccumulateAcrossInstances) {
+  Registry registry;
+  for (int i = 0; i < 3; ++i) {
+    Histogram lat;
+    lat.Observe(5);
+    auto handle = registry.AddCollector([&lat](Snapshot* snap) {
+      snap->AddCounter("inst.total", 2);
+      snap->AddHistogram("inst.lat", lat);
+    });
+  }  // each instance retires on scope exit
+  Snapshot snap = registry.Collect();
+  EXPECT_EQ(snap.counters.at("inst.total"), 6);
+  EXPECT_EQ(snap.histograms.at("inst.lat").count, 3);
+  EXPECT_EQ(snap.histograms.at("inst.lat").buckets.at(3), 3);  // 5 → [4,8)
+}
+
+TEST(RegistryTest, CollectorsSumAcrossInstances) {
+  // Two "instances" publishing under one registry-level name, the
+  // PlanCache/BatchEngine/ThreadPool pattern.
+  Registry registry;
+  auto h1 = registry.AddCollector(
+      [](Snapshot* snap) { snap->AddCounter("x.total", 2); });
+  auto h2 = registry.AddCollector(
+      [](Snapshot* snap) { snap->AddCounter("x.total", 3); });
+  EXPECT_EQ(registry.Collect().counters.at("x.total"), 5);
+}
+
+TEST(SnapshotTest, DeltaDropsZeroCountersAndIgnoresGauges) {
+  Snapshot base, now;
+  base.counters["a"] = 3;
+  base.counters["b"] = 7;
+  now.counters["a"] = 10;
+  now.counters["b"] = 7;   // unchanged → dropped
+  now.counters["c"] = 1;   // absent from base → counts from zero
+  base.gauges["g"] = 5;
+  now.gauges["g"] = 9;
+  Snapshot delta = now.Delta(base);
+  EXPECT_EQ(delta.counters.at("a"), 7);
+  EXPECT_EQ(delta.counters.count("b"), 0u);
+  EXPECT_EQ(delta.counters.at("c"), 1);
+  EXPECT_TRUE(delta.gauges.empty());
+}
+
+TEST(SnapshotTest, DeltaSubtractsHistograms) {
+  Histogram early, late;
+  early.Observe(3);
+  late.Observe(3);
+  late.Observe(3);
+  late.Observe(40);
+  Snapshot base, now;
+  base.AddHistogram("h", early);
+  now.AddHistogram("h", late);
+  Snapshot delta = now.Delta(base);
+  EXPECT_EQ(delta.histograms.at("h").count, 2);
+  EXPECT_EQ(delta.histograms.at("h").sum, 43);  // 46 − 3
+  EXPECT_EQ(delta.histograms.at("h").buckets.at(2), 1);   // one extra 3
+  EXPECT_EQ(delta.histograms.at("h").buckets.at(6), 1);   // 40 → [32,64)
+}
+
+TEST(SnapshotTest, JsonIsDeterministicAndSorted) {
+  Registry registry;
+  registry.counter("z.last").Inc();
+  registry.counter("a.first").Add(2);
+  registry.histogram("h.x").Observe(5);
+  const std::string json = registry.Json();
+  EXPECT_EQ(json, registry.Json());  // stable
+  EXPECT_LT(json.find("a.first"), json.find("z.last"));
+  EXPECT_NE(json.find("\"a.first\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1, \"sum\": 5, \"buckets\": {\"3\": 1}"),
+            std::string::npos);
+}
+
+TEST(SnapshotTest, PrometheusTextEmitsCumulativeBuckets) {
+  Registry registry;
+  registry.counter("plan.hits").Add(4);
+  Histogram& h = registry.histogram("run.ns");
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(3);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE xptc_plan_hits counter\nxptc_plan_hits 4\n"),
+            std::string::npos);
+  // Buckets are cumulative and le-labelled with inclusive upper bounds.
+  EXPECT_NE(text.find("xptc_run_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("xptc_run_ns_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("xptc_run_ns_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xptc_run_ns_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("xptc_run_ns_count 3\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Traces and spans.
+
+TEST(TraceTest, SpansRecordNothingWithoutAnActiveTrace) {
+  TraceSpan span("orphan");
+  EXPECT_FALSE(span.recording());
+  span.Attr("ignored", 1);
+  TraceAddCount("ignored", 1);
+  TraceNote("ignored");
+  EXPECT_EQ(QueryTrace::Current(), nullptr);
+}
+
+TEST(TraceTest, NestedSpansBuildTheTree) {
+  QueryTrace trace;
+  {
+    QueryTrace::Scope scope(&trace);
+    {
+      TraceSpan outer("parse");
+      outer.Attr("instrs", 4);
+      TraceSpan inner("lower");
+      inner.Note("cold");
+      TraceAddCount("steps", 2);
+      TraceAddCount("steps", 3);
+    }
+    TraceSpan sibling("exec");
+    sibling.Attr("rounds", 1);
+  }
+  EXPECT_EQ(QueryTrace::Current(), nullptr);  // scope restored
+  const TraceNode& root = trace.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  const TraceNode& parse = *root.children[0];
+  EXPECT_EQ(parse.name, "parse");
+  ASSERT_EQ(parse.children.size(), 1u);
+  EXPECT_EQ(parse.children[0]->name, "lower");
+  ASSERT_EQ(parse.children[0]->attrs.size(), 1u);
+  EXPECT_EQ(parse.children[0]->attrs[0].second, 5);  // 2 + 3 accumulated
+  EXPECT_EQ(parse.children[0]->notes.front(), "cold");
+  EXPECT_EQ(root.children[1]->name, "exec");
+}
+
+TEST(TraceTest, ScopesAreReentrant) {
+  QueryTrace outer_trace, inner_trace;
+  QueryTrace::Scope outer(&outer_trace);
+  EXPECT_EQ(QueryTrace::Current(), &outer_trace.root());
+  {
+    QueryTrace::Scope inner(&inner_trace);
+    EXPECT_EQ(QueryTrace::Current(), &inner_trace.root());
+  }
+  EXPECT_EQ(QueryTrace::Current(), &outer_trace.root());
+}
+
+TEST(TraceTest, TextAndJsonRenderingsAreDeterministic) {
+  QueryTrace trace;
+  {
+    QueryTrace::Scope scope(&trace);
+    TraceSpan span("exec.eval");
+    span.Attr("instrs_executed", 7);
+    span.Note("dispatch: register_machine");
+  }
+  EXPECT_EQ(trace.ToText(),
+            "query\n"
+            "  exec.eval instrs_executed=7\n"
+            "    - dispatch: register_machine\n");
+  EXPECT_EQ(trace.ToJson(),
+            "{\"name\": \"query\", \"children\": [\n"
+            "  {\"name\": \"exec.eval\", \"attrs\": {\"instrs_executed\": 7},"
+            " \"notes\": [\"dispatch: register_machine\"]}\n"
+            "]}\n");
+}
+
+TEST(TraceTest, FlameHistogramObservedEvenWithoutTrace) {
+  Histogram flame;
+  { TraceSpan span("timed", &flame); }
+#if XPTC_OBS
+  // Timing on: the span observed one (non-negative) elapsed value.
+  EXPECT_EQ(flame.count(), 1);
+#else
+  // Timing compiled out: the flame path must cost nothing.
+  EXPECT_EQ(flame.count(), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xptc

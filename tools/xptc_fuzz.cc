@@ -257,9 +257,15 @@ int main(int argc, char** argv) {
   auto registry = MakeDefaultRegistry(&alphabet, registry_options);
   if (!options.candidate.empty() &&
       registry->Find(options.candidate) == nullptr) {
-    std::fprintf(stderr, "error: unknown oracle '%s'\n",
-                 options.candidate.c_str());
-    return Usage(argv[0]);
+    std::string valid;
+    for (const auto& oracle : registry->oracles()) {
+      if (!valid.empty()) valid += ", ";
+      valid += oracle->name();
+    }
+    std::fprintf(stderr,
+                 "error: unknown oracle '%s' (valid with these flags: %s)\n",
+                 options.candidate.c_str(), valid.c_str());
+    return 2;
   }
   Fuzzer fuzzer(registry.get(), &alphabet, options);
   const CampaignResult result = fuzzer.Run();
