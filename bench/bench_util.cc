@@ -116,6 +116,12 @@ std::string CompiledJsonPath() {
                                                 : "BENCH_compiled.json";
 }
 
+std::string KernelsJsonPath() {
+  const char* value = std::getenv("XPTC_BENCH_KERNELS_JSON");
+  return (value != nullptr && value[0] != '\0') ? value
+                                                : "BENCH_kernels.json";
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& text) {
@@ -181,6 +187,10 @@ std::vector<std::pair<std::string, std::string>> ParseTopLevel(
            std::isspace(static_cast<unsigned char>(value.back()))) {
       value.pop_back();
     }
+    // A truncated file ({"key": <EOF>) parses to an empty value; keeping
+    // it would re-serialize as invalid JSON. Drop it — the caller's merge
+    // treats the section as absent and writes a fresh one.
+    if (value.empty()) continue;
     sections.emplace_back(std::move(key), std::move(value));
   }
   return sections;

@@ -103,6 +103,13 @@ std::string ThroughputJsonPath();
 /// bench/exp12_compiled.cc.
 std::string CompiledJsonPath();
 
+/// Path of the SIMD-kernel / superoptimizer benchmark JSON
+/// (XPTC_BENCH_KERNELS_JSON or BENCH_kernels.json): scalar-vs-vector
+/// kernel microbenches and superopt end-to-end comparisons from
+/// bench/exp13_kernels.cc. Separate file because the numbers depend on
+/// the host's vector ISA.
+std::string KernelsJsonPath();
+
 /// Deterministic tree for benchmarks.
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
                uint64_t seed, int num_labels = 3);

@@ -1,26 +1,46 @@
 #ifndef XPTC_COMMON_BITSET_H_
 #define XPTC_COMMON_BITSET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace xptc {
 
 /// Dense dynamic bitset sized at construction; the workhorse node-set
 /// representation for evaluators (one bit per tree node).
+///
+/// Storage and padding invariants (every mutator preserves these; the
+/// word-span kernels in common/simd.h rely on them):
+///  - Words are 64-byte aligned (one cache line) and the word count is
+///    rounded up to a multiple of 8, so vector kernels may always read
+///    whole 64-byte blocks of the live range without running off the
+///    allocation.
+///  - "Live" words are the first WordCount(size) words; everything after
+///    them is padding and is ZERO at all times. Bits >= size inside the
+///    last live word are likewise always zero (`ClearPadding` re-masks
+///    them after the only operations that can set them: SetAll and Flip).
+///    Bulk operations touch live words only, so padding stays zero by
+///    construction and `operator==` can compare raw word vectors.
 class Bitset {
  public:
   Bitset() : size_(0) {}
   explicit Bitset(int size, bool value = false)
-      : size_(size),
-        words_(WordCount(size), value ? ~uint64_t{0} : uint64_t{0}) {
+      : size_(size), words_(PaddedWordCount(size), 0) {
     XPTC_CHECK_GE(size, 0);
-    ClearPadding();
+    if (value) SetAll();
   }
 
   int size() const { return size_; }
+
+  /// Raw word storage (read-only): `word_count()` live words, 64-byte
+  /// aligned, padding bits zero. The kernel benches and alignment tests
+  /// read these; semantic callers should use the bit-level API.
+  const uint64_t* words() const { return words_.data(); }
+  size_t word_count() const { return LiveWords(); }
 
   bool Get(int i) const {
     XPTC_DCHECK(i >= 0 && i < size_);
@@ -43,30 +63,28 @@ class Bitset {
   }
 
   void SetAll() {
-    for (auto& w : words_) w = ~uint64_t{0};
+    for (size_t wi = 0, n = LiveWords(); wi < n; ++wi) {
+      words_[wi] = ~uint64_t{0};
+    }
     ClearPadding();
   }
   void ResetAll() {
-    for (auto& w : words_) w = 0;
+    for (size_t wi = 0, n = LiveWords(); wi < n; ++wi) words_[wi] = 0;
   }
 
   bool Any() const {
-    for (auto w : words_) {
-      if (w != 0) return true;
-    }
-    return false;
+    return simd::Active().any_words(words_.data(), LiveWords());
   }
   bool None() const { return !Any(); }
 
   int Count() const {
-    int count = 0;
-    for (auto w : words_) count += __builtin_popcountll(w);
-    return count;
+    return static_cast<int>(
+        simd::Active().popcount_words(words_.data(), LiveWords()));
   }
 
   /// Index of the lowest set bit, or -1 if empty.
   int FindFirst() const {
-    for (size_t wi = 0; wi < words_.size(); ++wi) {
+    for (size_t wi = 0, n = LiveWords(); wi < n; ++wi) {
       if (words_[wi] != 0) {
         return static_cast<int>(wi * 64) + __builtin_ctzll(words_[wi]);
       }
@@ -79,10 +97,11 @@ class Bitset {
     ++i;
     if (i >= size_) return -1;
     size_t wi = static_cast<size_t>(i) >> 6;
+    const size_t n = LiveWords();
     uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63));
     for (;;) {
       if (w != 0) return static_cast<int>(wi * 64) + __builtin_ctzll(w);
-      if (++wi == words_.size()) return -1;
+      if (++wi == n) return -1;
       w = words_[wi];
     }
   }
@@ -119,7 +138,7 @@ class Bitset {
   /// word at a time (ctz iteration — no per-clear-bit work).
   template <typename Fn>
   void ForEachSetBit(Fn&& fn) const {
-    for (size_t wi = 0; wi < words_.size(); ++wi) {
+    for (size_t wi = 0, n = LiveWords(); wi < n; ++wi) {
       for (uint64_t w = words_[wi]; w != 0; w &= w - 1) {
         fn(static_cast<int>(wi * 64) + __builtin_ctzll(w));
       }
@@ -157,11 +176,16 @@ class Bitset {
 
   /// Popcount over [lo, hi).
   int CountRange(int lo, int hi) const {
-    int count = 0;
-    ForEachRangeWord(lo, hi, [this, &count](size_t wi, uint64_t mask) {
-      count += __builtin_popcountll(words_[wi] & mask);
-    });
-    return count;
+    int64_t count = 0;
+    ForEachRangeRun(
+        lo, hi,
+        [this, &count](size_t wi, uint64_t mask) {
+          count += __builtin_popcountll(words_[wi] & mask);
+        },
+        [this, &count](size_t wi, size_t n) {
+          count += simd::Active().popcount_words(&words_[wi], n);
+        });
+    return static_cast<int>(count);
   }
 
   /// True iff some bit in [lo, hi) is set.
@@ -170,108 +194,197 @@ class Bitset {
     if (lo >= hi) return false;
     const size_t wlo = static_cast<size_t>(lo) >> 6;
     const size_t whi = static_cast<size_t>(hi - 1) >> 6;
-    for (size_t wi = wlo; wi <= whi; ++wi) {
-      uint64_t w = words_[wi];
-      if (wi == wlo) w &= HeadMask(lo);
-      if (wi == whi) w &= TailMask(hi);
-      if (w != 0) return true;
+    if (wlo == whi) return (words_[wlo] & HeadMask(lo) & TailMask(hi)) != 0;
+    size_t first_full = wlo;
+    if ((lo & 63) != 0) {
+      if ((words_[wlo] & HeadMask(lo)) != 0) return true;
+      first_full = wlo + 1;
     }
-    return false;
+    size_t last_full = whi;
+    if ((hi & 63) != 0) {
+      if ((words_[whi] & TailMask(hi)) != 0) return true;
+      last_full = whi - 1;
+    }
+    return first_full <= last_full &&
+           simd::Active().any_words(&words_[first_full],
+                                    last_full - first_full + 1);
   }
 
   // Ranged compound assignments: exact [lo, hi) bit semantics (bits outside
   // the range are untouched), word-at-a-time inside. These are the kernels
   // the subtree-context evaluator runs on, so a context of s nodes costs
-  // O(s/64 + 1) words per operation instead of O(|T|/64).
+  // O(s/64 + 1) words per operation instead of O(|T|/64). Partial head/tail
+  // words are handled with masks inline; the whole-word middle run goes
+  // through the simd dispatch table (common/simd.h).
 
   /// this[lo,hi) |= other[lo,hi).
   void OrRange(const Bitset& other, int lo, int hi) {
     XPTC_DCHECK(size_ == other.size_);
-    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
-      words_[wi] |= other.words_[wi] & mask;
-    });
+    ForEachRangeRun(
+        lo, hi,
+        [this, &other](size_t wi, uint64_t mask) {
+          words_[wi] |= other.words_[wi] & mask;
+        },
+        [this, &other](size_t wi, size_t n) {
+          simd::Active().or_words(&words_[wi], &other.words_[wi], n);
+        });
   }
 
   /// this[lo,hi) &= other[lo,hi).
   void AndRange(const Bitset& other, int lo, int hi) {
     XPTC_DCHECK(size_ == other.size_);
-    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
-      words_[wi] &= other.words_[wi] | ~mask;
-    });
+    ForEachRangeRun(
+        lo, hi,
+        [this, &other](size_t wi, uint64_t mask) {
+          words_[wi] &= other.words_[wi] | ~mask;
+        },
+        [this, &other](size_t wi, size_t n) {
+          simd::Active().and_words(&words_[wi], &other.words_[wi], n);
+        });
   }
 
   /// this[lo,hi) &= ~other[lo,hi).
   void SubtractRange(const Bitset& other, int lo, int hi) {
     XPTC_DCHECK(size_ == other.size_);
-    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
-      words_[wi] &= ~(other.words_[wi] & mask);
-    });
+    ForEachRangeRun(
+        lo, hi,
+        [this, &other](size_t wi, uint64_t mask) {
+          words_[wi] &= ~(other.words_[wi] & mask);
+        },
+        [this, &other](size_t wi, size_t n) {
+          simd::Active().andnot_words(&words_[wi], &other.words_[wi], n);
+        });
   }
 
   /// this[lo,hi) = other[lo,hi).
   void CopyRange(const Bitset& other, int lo, int hi) {
     XPTC_DCHECK(size_ == other.size_);
-    ForEachRangeWord(lo, hi, [this, &other](size_t wi, uint64_t mask) {
-      words_[wi] = (words_[wi] & ~mask) | (other.words_[wi] & mask);
-    });
+    ForEachRangeRun(
+        lo, hi,
+        [this, &other](size_t wi, uint64_t mask) {
+          words_[wi] = (words_[wi] & ~mask) | (other.words_[wi] & mask);
+        },
+        [this, &other](size_t wi, size_t n) {
+          simd::Active().copy_words(&words_[wi], &other.words_[wi], n);
+        });
   }
 
-  /// True iff this[lo,hi) ⊆ other[lo,hi).
+  /// this[lo,hi) = ~other[lo,hi). The fused form of CopyRange + Flip that
+  /// the compiled engine's kNot instruction runs (one pass, not two).
+  void NotRange(const Bitset& other, int lo, int hi) {
+    XPTC_DCHECK(size_ == other.size_);
+    ForEachRangeRun(
+        lo, hi,
+        [this, &other](size_t wi, uint64_t mask) {
+          words_[wi] = (words_[wi] & ~mask) | (~other.words_[wi] & mask);
+        },
+        [this, &other](size_t wi, size_t n) {
+          simd::Active().not_words(&words_[wi], &other.words_[wi], n);
+        });
+  }
+
+  /// this[lo,hi) = a[lo,hi) & ~b[lo,hi). Fused kernel for the
+  /// superoptimizer's kAndNot instruction: one pass where the unfused
+  /// bytecode (copy, flip, and) takes three.
+  void AndNotRange(const Bitset& a, const Bitset& b, int lo, int hi) {
+    XPTC_DCHECK(size_ == a.size_ && size_ == b.size_);
+    ForEachRangeRun(
+        lo, hi,
+        [this, &a, &b](size_t wi, uint64_t mask) {
+          words_[wi] =
+              (words_[wi] & ~mask) | (a.words_[wi] & ~b.words_[wi] & mask);
+        },
+        [this, &a, &b](size_t wi, size_t n) {
+          simd::Active().assign_andnot_words(&words_[wi], &a.words_[wi],
+                                             &b.words_[wi], n);
+        });
+  }
+
+  /// this[lo,hi) = a[lo,hi) | ~b[lo,hi). Fused kernel for kOrNot.
+  void OrNotRange(const Bitset& a, const Bitset& b, int lo, int hi) {
+    XPTC_DCHECK(size_ == a.size_ && size_ == b.size_);
+    ForEachRangeRun(
+        lo, hi,
+        [this, &a, &b](size_t wi, uint64_t mask) {
+          words_[wi] =
+              (words_[wi] & ~mask) | ((a.words_[wi] | ~b.words_[wi]) & mask);
+        },
+        [this, &a, &b](size_t wi, size_t n) {
+          simd::Active().assign_ornot_words(&words_[wi], &a.words_[wi],
+                                            &b.words_[wi], n);
+        });
+  }
+
+  /// True iff this[lo,hi) ⊆ other[lo,hi). Exits at the first word with an
+  /// extra bit — the star-fixpoint convergence probe runs this every
+  /// round, and non-final rounds fail fast.
   bool IsSubsetOfRange(const Bitset& other, int lo, int hi) const {
     XPTC_DCHECK(size_ == other.size_);
     CheckRange(lo, hi);
     if (lo >= hi) return true;
     const size_t wlo = static_cast<size_t>(lo) >> 6;
     const size_t whi = static_cast<size_t>(hi - 1) >> 6;
-    for (size_t wi = wlo; wi <= whi; ++wi) {
-      uint64_t extra = words_[wi] & ~other.words_[wi];
-      if (wi == wlo) extra &= HeadMask(lo);
-      if (wi == whi) extra &= TailMask(hi);
-      if (extra != 0) return false;
+    if (wlo == whi) {
+      return (words_[wlo] & ~other.words_[wlo] & HeadMask(lo) &
+              TailMask(hi)) == 0;
     }
-    return true;
+    size_t first_full = wlo;
+    if ((lo & 63) != 0) {
+      if ((words_[wlo] & ~other.words_[wlo] & HeadMask(lo)) != 0) return false;
+      first_full = wlo + 1;
+    }
+    size_t last_full = whi;
+    if ((hi & 63) != 0) {
+      if ((words_[whi] & ~other.words_[whi] & TailMask(hi)) != 0) return false;
+      last_full = whi - 1;
+    }
+    return first_full > last_full ||
+           simd::Active().subset_words(&words_[first_full],
+                                       &other.words_[first_full],
+                                       last_full - first_full + 1);
   }
 
   Bitset& operator|=(const Bitset& other) {
     XPTC_DCHECK(size_ == other.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    simd::Active().or_words(words_.data(), other.words_.data(), LiveWords());
     return *this;
   }
   Bitset& operator&=(const Bitset& other) {
     XPTC_DCHECK(size_ == other.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    simd::Active().and_words(words_.data(), other.words_.data(), LiveWords());
     return *this;
   }
   Bitset& operator^=(const Bitset& other) {
     XPTC_DCHECK(size_ == other.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    simd::Active().xor_words(words_.data(), other.words_.data(), LiveWords());
     return *this;
   }
   /// Removes all bits present in `other`.
   Bitset& Subtract(const Bitset& other) {
     XPTC_DCHECK(size_ == other.size_);
-    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    simd::Active().andnot_words(words_.data(), other.words_.data(),
+                                LiveWords());
     return *this;
   }
   /// Complements in place (within [0, size)).
   Bitset& Flip() {
-    for (auto& w : words_) w = ~w;
+    simd::Active().not_words(words_.data(), words_.data(), LiveWords());
     ClearPadding();
     return *this;
   }
 
   bool operator==(const Bitset& other) const {
+    // Valid word-for-word because padding is always zero on both sides.
     return size_ == other.size_ && words_ == other.words_;
   }
   bool operator!=(const Bitset& other) const { return !(*this == other); }
 
-  /// True if this set is a subset of `other`.
+  /// True if this set is a subset of `other` (early-exit, see
+  /// IsSubsetOfRange).
   bool IsSubsetOf(const Bitset& other) const {
     XPTC_DCHECK(size_ == other.size_);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if ((words_[i] & ~other.words_[i]) != 0) return false;
-    }
-    return true;
+    return simd::Active().subset_words(words_.data(), other.words_.data(),
+                                       LiveWords());
   }
 
   /// Materializes the set as a sorted index vector.
@@ -286,6 +399,11 @@ class Bitset {
   static size_t WordCount(int size) {
     return (static_cast<size_t>(size) + 63) / 64;
   }
+  /// Live words rounded up to a whole number of 64-byte lines.
+  static size_t PaddedWordCount(int size) {
+    return (WordCount(size) + 7) & ~size_t{7};
+  }
+  size_t LiveWords() const { return WordCount(size_); }
   void CheckRange(int lo, int hi) const {
     XPTC_DCHECK(lo >= 0 && lo <= size_);
     XPTC_DCHECK(hi >= 0 && hi <= size_);
@@ -312,14 +430,43 @@ class Bitset {
     for (size_t wi = wlo + 1; wi < whi; ++wi) op(wi, ~uint64_t{0});
     op(whi, TailMask(hi));
   }
+  /// Like ForEachRangeWord, but splits the range into at most two masked
+  /// partial words (`masked(word_index, mask)`) and one contiguous run of
+  /// whole words (`run(first_word, word_count)`) so the run can go through
+  /// a word-span kernel instead of a per-word lambda.
+  template <typename MaskedOp, typename RunOp>
+  void ForEachRangeRun(int lo, int hi, MaskedOp&& masked, RunOp&& run) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    if (wlo == whi) {
+      masked(wlo, HeadMask(lo) & TailMask(hi));
+      return;
+    }
+    size_t first_full = wlo;
+    if ((lo & 63) != 0) {
+      masked(wlo, HeadMask(lo));
+      first_full = wlo + 1;
+    }
+    size_t last_full = whi;
+    if ((hi & 63) != 0) {
+      masked(whi, TailMask(hi));
+      last_full = whi - 1;
+    }
+    if (first_full <= last_full) run(first_full, last_full - first_full + 1);
+  }
+  /// Zeroes bits >= size in the last live word. Padding words past the
+  /// live range are zero from construction and never written, so only the
+  /// tail word can pick up stray bits (from SetAll / Flip).
   void ClearPadding() {
     if (size_ % 64 != 0 && !words_.empty()) {
-      words_.back() &= (~uint64_t{0}) >> (64 - size_ % 64);
+      words_[LiveWords() - 1] &= (~uint64_t{0}) >> (64 - size_ % 64);
     }
   }
 
   int size_;
-  std::vector<uint64_t> words_;
+  std::vector<uint64_t, simd::AlignedAllocator<uint64_t, 64>> words_;
 };
 
 /// Square boolean matrix over node ids; the explicit binary-relation

@@ -1,0 +1,479 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+// The XPTC_SIMD compile gate (CMake option of the same name): 0 strips the
+// vector levels from the binary entirely — the generic table is all there
+// is, and `XPTC_SIMD=avx2` in the environment is an error at dispatch.
+#ifndef XPTC_SIMD
+#define XPTC_SIMD 1
+#endif
+
+#if XPTC_SIMD && defined(__x86_64__) && defined(__GNUC__)
+#define XPTC_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define XPTC_SIMD_AVX2 0
+#endif
+
+#if XPTC_SIMD && defined(__aarch64__)
+#define XPTC_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define XPTC_SIMD_NEON 0
+#endif
+
+namespace xptc {
+namespace simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generic level: portable word loops, the semantic reference for every
+// vector level. Deliberately plain — whatever auto-vectorization the
+// compiler applies at -O2 is part of the honest scalar baseline.
+
+void OrWordsGeneric(uint64_t* dst, const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= a[i];
+}
+void AndWordsGeneric(uint64_t* dst, const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= a[i];
+}
+void AndNotWordsGeneric(uint64_t* dst, const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= ~a[i];
+}
+void XorWordsGeneric(uint64_t* dst, const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] ^= a[i];
+}
+void CopyWordsGeneric(uint64_t* dst, const uint64_t* a, size_t n) {
+  // n == 0 may arrive with null pointers (empty sets); memmove's nonnull
+  // contract makes that UB even for zero lengths.
+  if (n != 0) std::memmove(dst, a, n * sizeof(uint64_t));
+}
+void NotWordsGeneric(uint64_t* dst, const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = ~a[i];
+}
+void AssignAndNotWordsGeneric(uint64_t* dst, const uint64_t* a,
+                              const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+void AssignOrNotWordsGeneric(uint64_t* dst, const uint64_t* a,
+                             const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = a[i] | ~b[i];
+}
+int64_t PopcountWordsGeneric(const uint64_t* a, size_t n) {
+  int64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += __builtin_popcountll(a[i]);
+  return count;
+}
+bool AnyWordsGeneric(const uint64_t* a, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != 0) return true;
+  }
+  return false;
+}
+bool SubsetWordsGeneric(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+constexpr Kernels kGenericKernels = {
+    Level::kGeneric,        OrWordsGeneric,       AndWordsGeneric,
+    AndNotWordsGeneric,     XorWordsGeneric,      CopyWordsGeneric,
+    NotWordsGeneric,        AssignAndNotWordsGeneric,
+    AssignOrNotWordsGeneric, PopcountWordsGeneric, AnyWordsGeneric,
+    SubsetWordsGeneric,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 level: 4 words per 256-bit op. Function-level target("avx2") keeps
+// the rest of the binary baseline-x86_64; the tail (< 4 words) runs the
+// scalar epilogue. Popcount stays scalar — AVX2 has no vector popcount,
+// and the hardware popcnt the builtin emits already does a word per cycle.
+
+#if XPTC_SIMD_AVX2
+
+#define XPTC_AVX2 __attribute__((target("avx2")))
+
+XPTC_AVX2 void OrWordsAvx2(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(x, y));
+  }
+  for (; i < n; ++i) dst[i] |= a[i];
+}
+
+XPTC_AVX2 void AndWordsAvx2(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(x, y));
+  }
+  for (; i < n; ++i) dst[i] &= a[i];
+}
+
+XPTC_AVX2 void AndNotWordsAvx2(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    // andnot(y, x) = ~y & x = x & ~y.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(y, x));
+  }
+  for (; i < n; ++i) dst[i] &= ~a[i];
+}
+
+XPTC_AVX2 void XorWordsAvx2(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(x, y));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i];
+}
+
+XPTC_AVX2 void CopyWordsAvx2(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i];
+}
+
+XPTC_AVX2 void NotWordsAvx2(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(y, ones));
+  }
+  for (; i < n; ++i) dst[i] = ~a[i];
+}
+
+XPTC_AVX2 void AssignAndNotWordsAvx2(uint64_t* dst, const uint64_t* a,
+                                     const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(y, x));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+XPTC_AVX2 void AssignOrNotWordsAvx2(uint64_t* dst, const uint64_t* a,
+                                    const uint64_t* b, size_t n) {
+  size_t i = 0;
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(x, _mm256_xor_si256(y, ones)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | ~b[i];
+}
+
+XPTC_AVX2 bool AnyWordsAvx2(const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    if (!_mm256_testz_si256(y, y)) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return true;
+  }
+  return false;
+}
+
+XPTC_AVX2 bool SubsetWordsAvx2(const uint64_t* a, const uint64_t* b,
+                               size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // testc(y, x) == 1  iff  (~y & x) == 0  iff  a-block ⊆ b-block.
+    if (!_mm256_testc_si256(y, x)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+#undef XPTC_AVX2
+
+constexpr Kernels kAvx2Kernels = {
+    Level::kAvx2,         OrWordsAvx2,        AndWordsAvx2,
+    AndNotWordsAvx2,      XorWordsAvx2,       CopyWordsAvx2,
+    NotWordsAvx2,         AssignAndNotWordsAvx2,
+    AssignOrNotWordsAvx2, PopcountWordsGeneric, AnyWordsAvx2,
+    SubsetWordsAvx2,
+};
+
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // XPTC_SIMD_AVX2
+
+// ---------------------------------------------------------------------------
+// NEON level: 2 words per 128-bit op. NEON is architecturally baseline on
+// aarch64, so there is no runtime CPU probe — compiled in means available.
+
+#if XPTC_SIMD_NEON
+
+void OrWordsNeon(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(a + i)));
+  }
+  for (; i < n; ++i) dst[i] |= a[i];
+}
+void AndWordsNeon(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(a + i)));
+  }
+  for (; i < n; ++i) dst[i] &= a[i];
+}
+void AndNotWordsNeon(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // bic(x, y) = x & ~y.
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(a + i)));
+  }
+  for (; i < n; ++i) dst[i] &= ~a[i];
+}
+void XorWordsNeon(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(dst + i), vld1q_u64(a + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i];
+}
+void NotWordsNeon(uint64_t* dst, const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vreinterpretq_u64_u8(
+                           vmvnq_u8(vreinterpretq_u8_u64(vld1q_u64(a + i)))));
+  }
+  for (; i < n; ++i) dst[i] = ~a[i];
+}
+void AssignAndNotWordsNeon(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                           size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+void AssignOrNotWordsNeon(uint64_t* dst, const uint64_t* a, const uint64_t* b,
+                          size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // orn(x, y) = x | ~y.
+    vst1q_u64(dst + i, vornq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | ~b[i];
+}
+bool AnyWordsNeon(const uint64_t* a, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t y = vld1q_u64(a + i);
+    if ((vgetq_lane_u64(y, 0) | vgetq_lane_u64(y, 1)) != 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (a[i] != 0) return true;
+  }
+  return false;
+}
+bool SubsetWordsNeon(const uint64_t* a, const uint64_t* b, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t extra = vbicq_u64(vld1q_u64(a + i), vld1q_u64(b + i));
+    if ((vgetq_lane_u64(extra, 0) | vgetq_lane_u64(extra, 1)) != 0) {
+      return false;
+    }
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+constexpr Kernels kNeonKernels = {
+    Level::kNeon,         OrWordsNeon,        AndWordsNeon,
+    AndNotWordsNeon,      XorWordsNeon,       CopyWordsGeneric,
+    NotWordsNeon,         AssignAndNotWordsNeon,
+    AssignOrNotWordsNeon, PopcountWordsGeneric, AnyWordsNeon,
+    SubsetWordsNeon,
+};
+
+#endif  // XPTC_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+obs::Gauge& LevelGauge() {
+  static obs::Gauge* gauge = &obs::Registry::Default().gauge("simd.level");
+  return *gauge;
+}
+
+const Kernels* Detect() {
+  const char* env = std::getenv("XPTC_SIMD");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "auto") != 0) {
+    if (std::strcmp(env, "generic") == 0) return &kGenericKernels;
+#if XPTC_SIMD_AVX2
+    if (std::strcmp(env, "avx2") == 0) {
+      XPTC_CHECK(CpuHasAvx2()) << "XPTC_SIMD=avx2 but the CPU lacks AVX2";
+      return &kAvx2Kernels;
+    }
+#endif
+#if XPTC_SIMD_NEON
+    if (std::strcmp(env, "neon") == 0) return &kNeonKernels;
+#endif
+    XPTC_CHECK(false) << "unsupported XPTC_SIMD level '" << env
+                      << "' (compiled out, or unknown; valid here: auto, "
+                         "generic"
+#if XPTC_SIMD_AVX2
+                         ", avx2"
+#endif
+#if XPTC_SIMD_NEON
+                         ", neon"
+#endif
+                         ")";
+  }
+#if XPTC_SIMD_AVX2
+  if (CpuHasAvx2()) return &kAvx2Kernels;
+#endif
+#if XPTC_SIMD_NEON
+  return &kNeonKernels;
+#endif
+  return &kGenericKernels;
+}
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kGeneric:
+      return "generic";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const Kernels& Active() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = Detect();
+    const Kernels* expected = nullptr;
+    // First caller wins; a racing caller's Detect() returns the same table
+    // (detection is deterministic within one process environment).
+    if (g_active.compare_exchange_strong(expected, table,
+                                         std::memory_order_acq_rel)) {
+      LevelGauge().Set(static_cast<int64_t>(table->level));
+    } else {
+      table = expected;
+    }
+  }
+  return *table;
+}
+
+Level ActiveLevel() { return Active().level; }
+
+bool LevelAvailable(Level level) {
+  switch (level) {
+    case Level::kGeneric:
+      return true;
+    case Level::kAvx2:
+#if XPTC_SIMD_AVX2
+      return CpuHasAvx2();
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if XPTC_SIMD_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const Kernels& KernelsFor(Level level) {
+  XPTC_CHECK(LevelAvailable(level))
+      << "simd level " << LevelName(level) << " unavailable";
+  switch (level) {
+    case Level::kGeneric:
+      return kGenericKernels;
+    case Level::kAvx2:
+#if XPTC_SIMD_AVX2
+      return kAvx2Kernels;
+#else
+      break;
+#endif
+    case Level::kNeon:
+#if XPTC_SIMD_NEON
+      return kNeonKernels;
+#else
+      break;
+#endif
+  }
+  return kGenericKernels;
+}
+
+void SetLevelForTesting(Level level) {
+  const Kernels& table = KernelsFor(level);
+  g_active.store(&table, std::memory_order_release);
+  LevelGauge().Set(static_cast<int64_t>(level));
+}
+
+void ResetLevelForTesting() {
+  const Kernels* table = Detect();
+  g_active.store(table, std::memory_order_release);
+  LevelGauge().Set(static_cast<int64_t>(table->level));
+}
+
+}  // namespace simd
+}  // namespace xptc

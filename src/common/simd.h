@@ -1,0 +1,128 @@
+#ifndef XPTC_COMMON_SIMD_H_
+#define XPTC_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace xptc {
+namespace simd {
+
+/// The word-kernel dispatch shim: every bulk boolean loop of the engine
+/// (bitset ranged ops, the downward sweep's child-aggregate OR) funnels
+/// through one table of kernels over raw `uint64_t` word spans, selected
+/// once at runtime.
+///
+/// Levels:
+///  - kGeneric — portable word-at-a-time loops, always available. This is
+///    the semantic reference: every other level must be bit-identical
+///    (tests/simd_kernels_test.cc enforces it on random inputs).
+///  - kAvx2   — 4 words per vector op, compiled as target("avx2")
+///    functions (the translation unit itself is built without -mavx2, so
+///    the binary still runs on non-AVX2 hosts) and selected only when
+///    `__builtin_cpu_supports("avx2")` says so.
+///  - kNeon   — 2 words per vector op on aarch64, where NEON is baseline.
+///
+/// Selection: the `XPTC_SIMD` CMake option compiles the vector levels in
+/// or out entirely; at runtime the `XPTC_SIMD` environment variable
+/// (`auto` | `generic` | `avx2` | `neon`) overrides CPU detection —
+/// `XPTC_SIMD=generic ./bench` is how the scalar baseline is measured on
+/// an AVX2 host. The active level is published as the `simd.level` gauge
+/// (0 = generic, 1 = avx2, 2 = neon).
+enum class Level : int {
+  kGeneric = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+const char* LevelName(Level level);
+
+/// One dispatch table. All kernels operate on `n` whole 64-bit words;
+/// spans must not overlap (except dst == a / dst == b aliasing, which
+/// every kernel tolerates because it reads each word before writing it).
+/// Sub-word masking is the caller's job (Bitset splits ranges into masked
+/// head/tail words and a whole-word middle run).
+struct Kernels {
+  Level level;
+
+  // In-place binary: dst[i] = dst[i] OP a[i].
+  void (*or_words)(uint64_t* dst, const uint64_t* a, size_t n);
+  void (*and_words)(uint64_t* dst, const uint64_t* a, size_t n);
+  void (*andnot_words)(uint64_t* dst, const uint64_t* a, size_t n);  // dst &= ~a
+  void (*xor_words)(uint64_t* dst, const uint64_t* a, size_t n);
+
+  // Unary assign: dst[i] = f(a[i]).
+  void (*copy_words)(uint64_t* dst, const uint64_t* a, size_t n);
+  void (*not_words)(uint64_t* dst, const uint64_t* a, size_t n);  // dst = ~a
+
+  // Fused three-operand assign: dst[i] = a[i] OP b[i]. One pass where the
+  // unfused bytecode forms (copy + in-place op) take two.
+  void (*assign_andnot_words)(uint64_t* dst, const uint64_t* a,
+                              const uint64_t* b, size_t n);  // dst = a & ~b
+  void (*assign_ornot_words)(uint64_t* dst, const uint64_t* a,
+                             const uint64_t* b, size_t n);  // dst = a | ~b
+
+  // Reductions. `any` and `subset` exit at the first deciding block, so a
+  // failing subset check costs O(first differing word), not O(n).
+  int64_t (*popcount_words)(const uint64_t* a, size_t n);
+  bool (*any_words)(const uint64_t* a, size_t n);
+  bool (*subset_words)(const uint64_t* a, const uint64_t* b,
+                       size_t n);  // (a & ~b) == 0 everywhere
+};
+
+/// The active dispatch table (detection + env override, cached after the
+/// first call; also sets the `simd.level` gauge). Hot paths may cache the
+/// reference — the table is immutable and has static storage duration.
+const Kernels& Active();
+
+Level ActiveLevel();
+
+/// True iff `level` was compiled in and the CPU supports it.
+bool LevelAvailable(Level level);
+
+/// The table for a specific available level (CHECK-fails otherwise);
+/// `kGeneric` is always available.
+const Kernels& KernelsFor(Level level);
+
+/// Forces the active level — the scalar-vs-SIMD equivalence tests and the
+/// kernel microbenches switch levels mid-process with this. Requires
+/// `LevelAvailable(level)`. Not thread-safe against concurrent kernel
+/// users; call from single-threaded setup only.
+void SetLevelForTesting(Level level);
+
+/// Reverts `SetLevelForTesting` to detection + env override.
+void ResetLevelForTesting();
+
+/// STL allocator returning `Alignment`-byte aligned storage. `Bitset`
+/// word vectors use 64 bytes — one cache line, and enough for any vector
+/// extension the shim dispatches to — so kernel loads never straddle
+/// lines needlessly.
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, size_t) {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  bool operator==(const AlignedAllocator&) const { return true; }
+  bool operator!=(const AlignedAllocator&) const { return false; }
+};
+
+}  // namespace simd
+}  // namespace xptc
+
+#endif  // XPTC_COMMON_SIMD_H_

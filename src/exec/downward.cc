@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace xptc {
 namespace exec {
@@ -359,6 +360,9 @@ void DownwardProgram::RunWide(const Tree& tree, int words,
   const int n = tree.size();
   agg->assign(static_cast<size_t>(n) * static_cast<size_t>(words), 0);
   std::vector<uint64_t> w(static_cast<size_t>(words));
+  // The per-node child-aggregate OR is the sweep's word-parallel hot loop;
+  // fetch the dispatched kernel once, outside the node loop.
+  const auto or_words = simd::Active().or_words;
   for (NodeId v = n - 1; v >= 0; --v) {
     const uint64_t* adjacent =
         agg->data() + static_cast<size_t>(v) * static_cast<size_t>(words);
@@ -398,7 +402,7 @@ void DownwardProgram::RunWide(const Tree& tree, int words,
     if (parent != kNoNode) {
       uint64_t* pw = agg->data() +
                      static_cast<size_t>(parent) * static_cast<size_t>(words);
-      for (int k = 0; k < words; ++k) pw[k] |= w[k];
+      or_words(pw, w.data(), static_cast<size_t>(words));
     }
   }
 }

@@ -218,8 +218,7 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
         dst.CopyRange(LabelSet(ins.label), 0, n_);
         break;
       case Op::kNot:
-        dst.CopyRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
-        dst.Flip();
+        dst.NotRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
         break;
       case Op::kAnd:
         dst.CopyRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
@@ -228,6 +227,14 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
       case Op::kOr:
         dst.CopyRange(regs_[static_cast<size_t>(ins.a)], 0, n_);
         dst |= regs_[static_cast<size_t>(ins.b)];
+        break;
+      case Op::kAndNot:
+        dst.AndNotRange(regs_[static_cast<size_t>(ins.a)],
+                        regs_[static_cast<size_t>(ins.b)], 0, n_);
+        break;
+      case Op::kOrNot:
+        dst.OrNotRange(regs_[static_cast<size_t>(ins.a)],
+                       regs_[static_cast<size_t>(ins.b)], 0, n_);
         break;
       case Op::kAxis:
         dst.ResetAll();  // the kernels require a clear output window
@@ -257,6 +264,11 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
           ++last_run_.star_rounds_used;
           if (--star_rounds_left_ < 0) return false;
           if (!RunRange(program, ins.body_begin, ins.body_end)) return false;
+          // Fixpoint probe: the final round always produces no new nodes,
+          // and this early-exit subset check detects that in one pass
+          // (stopping at the first new word) instead of the full
+          // subtract / or / copy / any sequence below.
+          if (step.IsSubsetOf(dst)) break;
           step.Subtract(dst);
           dst |= step;
           frontier.CopyRange(step, 0, n_);

@@ -372,17 +372,23 @@ class RegisterAllocator {
 
 }  // namespace
 
-std::shared_ptr<const Program> Program::Compile(const NodePtr& query) {
-  XPTC_CHECK(query != nullptr);
-  std::shared_ptr<Program> program(new Program());
-  program->stats_.ast_nodes = NodeSize(*query);
-  // A private interner: collapses repeated subexpressions of *this* query.
-  // (PlanCache additionally shares canonical plans — and thus programs —
-  // across the whole workload.)
-  ExprInterner interner;
-  program->plan_ = interner.Intern(query);
+Program::Lowered Program::LowerPlan(const NodePtr& plan) {
   Lowerer lowerer;
-  Lowerer::Output lowered = lowerer.Lower(program->plan_);
+  Lowerer::Output out = lowerer.Lower(plan);
+  Lowered lowered;
+  lowered.code = std::move(out.code);
+  lowered.main_end = out.main_end;
+  lowered.result_vreg = out.result_vreg;
+  lowered.num_vregs = out.num_vregs;
+  lowered.dag_hits = out.dag_hits;
+  return lowered;
+}
+
+std::shared_ptr<Program> Program::Finish(NodePtr plan, int ast_nodes,
+                                         Lowered lowered) {
+  std::shared_ptr<Program> program(new Program());
+  program->plan_ = std::move(plan);
+  program->stats_.ast_nodes = ast_nodes;
   program->code_ = std::move(lowered.code);
   program->main_end_ = lowered.main_end;
   RegisterAllocator allocator;
@@ -405,6 +411,17 @@ std::shared_ptr<const Program> Program::Compile(const NodePtr& query) {
   return program;
 }
 
+std::shared_ptr<const Program> Program::Compile(const NodePtr& query) {
+  XPTC_CHECK(query != nullptr);
+  // A private interner: collapses repeated subexpressions of *this* query.
+  // (PlanCache additionally shares canonical plans — and thus programs —
+  // across the whole workload.)
+  ExprInterner interner;
+  NodePtr plan = interner.Intern(query);
+  Lowered lowered = LowerPlan(plan);
+  return Finish(std::move(plan), NodeSize(*query), std::move(lowered));
+}
+
 std::string Program::InstrToString(int i, const Alphabet& alphabet) const {
   const Instr& ins = code_[static_cast<size_t>(i)];
   std::ostringstream os;
@@ -424,6 +441,12 @@ std::string Program::InstrToString(int i, const Alphabet& alphabet) const {
       break;
     case Op::kOr:
       os << "or r" << ins.a << " r" << ins.b;
+      break;
+    case Op::kAndNot:
+      os << "andnot r" << ins.a << " r" << ins.b;
+      break;
+    case Op::kOrNot:
+      os << "ornot r" << ins.a << " r" << ins.b;
       break;
     case Op::kAxis:
       os << "axis " << AxisToString(ins.axis) << " r" << ins.a;

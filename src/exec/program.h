@@ -23,6 +23,9 @@ enum class Op : uint8_t {
   kNot,     // dst := complement(a)
   kAnd,     // dst := a ∩ b
   kOr,      // dst := a ∪ b
+  kAndNot,  // dst := a ∖ b — fused form the superoptimizer produces from
+            //        kAnd(a, kNot(b)); one bitset pass instead of three
+  kOrNot,   // dst := a ∪ complement(b) — fused from kOr(a, kNot(b))
   kAxis,    // dst := axis-image(axis, a)   (axis already inverted: the
             //        lowering of ⟨p⟩ computes backward images)
   kStar,    // dst := reflexive-transitive back-image closure of a; the
@@ -53,6 +56,19 @@ struct CompileStats {
   int dag_hits = 0;    // lowering memo hits — shared subcomputations
   bool downward = false;  // one-pass downward program attached
   int bit_ops = 0;        // downward bit-program length (0 if !downward)
+};
+
+/// What the beam-search superoptimizer (exec/superopt.*) did to a program.
+/// Attached to the optimized Program; all-zero on a never-rewritten one.
+struct SuperoptStats {
+  int rounds = 0;      // beam rounds actually searched
+  int candidates = 0;  // candidate programs scored across all rounds
+  int fused = 0;       // kAnd/kOr + kNot pairs fused into kAndNot/kOrNot
+  int merged = 0;      // duplicate (possibly commuted) instructions merged
+  int hoisted = 0;     // loop-invariant body instructions moved out of stars
+  int dropped = 0;     // dead instructions removed
+  double cost_before = 0;  // weighted cost model, input program
+  double cost_after = 0;   // weighted cost model, winning candidate
 };
 
 /// A compiled query plan: the result of lowering a `NodeExpr` DAG into a
@@ -93,6 +109,18 @@ class Program {
   /// Non-null iff the plan is downward-compilable.
   const DownwardProgram* downward() const { return downward_.get(); }
 
+  /// The program this one was superoptimized from, or null if this program
+  /// came straight out of lowering (i.e. the superoptimizer either never
+  /// ran or found no improving rewrite). EXPLAIN renders the before/after
+  /// bytecode diff from this.
+  const std::shared_ptr<const Program>& pre_superopt() const {
+    return pre_superopt_;
+  }
+
+  /// Search statistics of the rewrite that produced this program (all-zero
+  /// when `pre_superopt()` is null).
+  const SuperoptStats& superopt_stats() const { return superopt_stats_; }
+
   /// Deterministic disassembly (used by lowering-determinism tests).
   std::string ToString(const Alphabet& alphabet) const;
 
@@ -102,6 +130,30 @@ class Program {
   std::string InstrToString(int i, const Alphabet& alphabet) const;
 
  private:
+  friend class Superoptimizer;  // exec/superopt.cc: re-lowers + rewrites
+
+  /// Lowering output before register allocation: SSA virtual registers,
+  /// flat code with star bodies as trailing instruction ranges. This is
+  /// the form the superoptimizer rewrites (regalloc CHECK-fails on gaps in
+  /// the vreg numbering, so rewrites renumber densely before Finish).
+  struct Lowered {
+    std::vector<Instr> code;
+    int main_end = 0;
+    int result_vreg = -1;
+    int num_vregs = 0;
+    int dag_hits = 0;
+  };
+
+  /// Deterministically lowers an interned plan (same plan -> same Lowered,
+  /// instruction for instruction; observed per-instruction execution
+  /// counts for a compiled program therefore align with a re-lowering).
+  static Lowered LowerPlan(const NodePtr& plan);
+
+  /// Register-allocates `lowered`, attaches the downward compilation, and
+  /// fills stats: the back half of Compile, shared with the superoptimizer.
+  static std::shared_ptr<Program> Finish(NodePtr plan, int ast_nodes,
+                                         Lowered lowered);
+
   Program() = default;
 
   std::vector<Instr> code_;
@@ -111,6 +163,8 @@ class Program {
   CompileStats stats_;
   NodePtr plan_;
   std::unique_ptr<const DownwardProgram> downward_;
+  std::shared_ptr<const Program> pre_superopt_;
+  SuperoptStats superopt_stats_;
 };
 
 }  // namespace exec

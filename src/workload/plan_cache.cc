@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "exec/superopt.h"
 #include "obs/trace.h"
 #include "xpath/parser.h"
 #include "xpath/rewrite.h"
@@ -49,6 +50,7 @@ PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
     snap->AddCounter("plan_cache.program_hits", program_hits_.value());
     snap->AddCounter("plan_cache.program_misses", program_misses_.value());
     snap->AddCounter("plan_cache.lowering_ns", lowering_ns_.value());
+    snap->AddCounter("plan_cache.superopt_ns", superopt_ns_.value());
   });
 }
 
@@ -65,6 +67,7 @@ PlanCache::Stats PlanCache::stats() const {
   stats.program_hits = static_cast<size_t>(program_hits_.value());
   stats.program_misses = static_cast<size_t>(program_misses_.value());
   stats.lowering_seconds = static_cast<double>(lowering_ns_.value()) * 1e-9;
+  stats.superopt_seconds = static_cast<double>(superopt_ns_.value()) * 1e-9;
   return stats;
 }
 
@@ -175,19 +178,25 @@ Result<PlanCache::CompiledQuery> PlanCache::ParseCompiled(
       return out;
     }
   }
-  // Lower outside the lock (the expensive part), then re-check: when two
-  // threads race to compile the same root, the first insert wins and the
-  // loser's redundant (but equivalent) program is discarded.
+  // Lower and superoptimize outside the lock (the expensive part), then
+  // re-check: when two threads race to compile the same root, the first
+  // insert wins and the loser's redundant (but equivalent) program is
+  // discarded. Superoptimizing here means the rewrite is paid once per
+  // canonical root and amortized over every later program hit.
   const int64_t lower_start_ns = obs::NowNs();
   std::shared_ptr<const exec::Program> program =
       exec::Program::Compile(out.query->plan());
   const int64_t lower_ns = obs::NowNs() - lower_start_ns;
+  const int64_t superopt_start_ns = obs::NowNs();
+  program = exec::Superoptimize(std::move(program));
+  const int64_t superopt_ns = obs::NowNs() - superopt_start_ns;
 
   std::lock_guard<std::mutex> lock(mu_);
   out.program = ProgramHitLocked(alphabet, root);
   if (out.program == nullptr) {
     program_misses_.Inc();
     lowering_ns_.Add(lower_ns);
+    superopt_ns_.Add(superopt_ns);
     obs::TraceNote("plan_cache: program miss, lowered");
     ProgramMap& per_alphabet = programs_[alphabet];
     // Lazy sweep once the index outgrows the cache capacity: expired slots

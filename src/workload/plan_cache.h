@@ -59,6 +59,7 @@ class PlanCache {
     size_t program_hits = 0;
     size_t program_misses = 0;   // == number of lowering runs
     double lowering_seconds = 0; // total wall time inside Program::Compile
+    double superopt_seconds = 0; // total wall time inside Superoptimize
   };
 
   /// What `ParseCompiled` hands out: the cached plan plus its compiled
@@ -88,9 +89,11 @@ class PlanCache {
   /// `Parse` plus a compiled bytecode program for the plan (the compiled
   /// execution backend's entry point). Programs are cached keyed by the
   /// canonical (hash-consed) plan root, so texts that simplify to the same
-  /// plan compile once; lowering runs outside the cache lock. The strong
-  /// program reference rides on the LRU entry: eviction releases it, but
-  /// handed-out `CompiledQuery`s keep theirs alive (shared_ptr).
+  /// plan compile once; lowering and the beam-search superoptimizer (see
+  /// exec/superopt.h) run outside the cache lock, and the cached program is
+  /// the superoptimized one — every later hit reuses the rewrite. The
+  /// strong program reference rides on the LRU entry: eviction releases
+  /// it, but handed-out `CompiledQuery`s keep theirs alive (shared_ptr).
   Result<CompiledQuery> ParseCompiled(const std::string& text,
                                       Alphabet* alphabet,
                                       bool optimize = true);
@@ -176,6 +179,7 @@ class PlanCache {
   obs::Counter program_hits_;
   obs::Counter program_misses_;
   obs::Counter lowering_ns_;
+  obs::Counter superopt_ns_;
   obs::Registry::CollectorHandle collector_;
 };
 

@@ -339,6 +339,12 @@ Bitset Evaluator::EvalBackTmp(const PathExpr& path, const Bitset& targets) {
       while (frontier.AnyInRange(lo_, hi_)) {
         ++rounds;
         Bitset step = EvalBackTmp(*path.left, frontier);
+        // Fixpoint probe: one early-exit pass instead of the full
+        // subtract / or / copy on the (always-reached) final round.
+        if (step.IsSubsetOfRange(reached, lo_, hi_)) {
+          shared_->Recycle(std::move(step), lo_, hi_);
+          break;
+        }
         step.SubtractRange(reached, lo_, hi_);
         reached.OrRange(step, lo_, hi_);
         shared_->Recycle(std::move(frontier), lo_, hi_);
@@ -388,6 +394,10 @@ Bitset Evaluator::EvalFwdTmp(const PathExpr& path, const Bitset& sources) {
       while (frontier.AnyInRange(lo_, hi_)) {
         ++rounds;
         Bitset step = EvalFwdTmp(*path.left, frontier);
+        if (step.IsSubsetOfRange(reached, lo_, hi_)) {
+          shared_->Recycle(std::move(step), lo_, hi_);
+          break;
+        }
         step.SubtractRange(reached, lo_, hi_);
         reached.OrRange(step, lo_, hi_);
         shared_->Recycle(std::move(frontier), lo_, hi_);

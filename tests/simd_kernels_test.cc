@@ -1,0 +1,335 @@
+// Scalar-vs-SIMD equivalence tests for the runtime kernel dispatch shim
+// (common/simd.h). The generic level is the semantic reference; every
+// level the host can run (AVX2 on x86-64 with CPU support, NEON on
+// aarch64) must be bit-identical on random inputs, including short runs,
+// non-multiple-of-4 word counts, and aliased destinations. The Bitset
+// layer is then re-checked under each forced level so the masked
+// head/tail + whole-word-run split (ForEachRangeRun) is exercised against
+// a per-bit reference with unaligned range endpoints. These tests run in
+// both XPTC_SIMD build modes: with the option OFF only the generic level
+// exists and the cross-level loops collapse to the reference itself.
+
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+
+namespace xptc {
+namespace simd {
+namespace {
+
+/// Restores detection + env override however a test forced the level.
+struct LevelGuard {
+  ~LevelGuard() { ResetLevelForTesting(); }
+};
+
+std::vector<Level> AvailableLevels() {
+  std::vector<Level> levels = {Level::kGeneric};
+  if (LevelAvailable(Level::kAvx2)) levels.push_back(Level::kAvx2);
+  if (LevelAvailable(Level::kNeon)) levels.push_back(Level::kNeon);
+  return levels;
+}
+
+std::vector<uint64_t> RandomWords(size_t n, Rng* rng) {
+  std::vector<uint64_t> out(n);
+  for (uint64_t& w : out) w = rng->Next();
+  return out;
+}
+
+// Word counts chosen to hit every vector-kernel path: empty, below one
+// vector, exact vector multiples, one-off remainders, and a long run.
+const size_t kWordCounts[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 64, 257};
+
+TEST(SimdKernelsTest, GenericIsAlwaysAvailableAndNamed) {
+  EXPECT_TRUE(LevelAvailable(Level::kGeneric));
+  EXPECT_EQ(KernelsFor(Level::kGeneric).level, Level::kGeneric);
+  EXPECT_STREQ(LevelName(Level::kGeneric), "generic");
+  EXPECT_STREQ(LevelName(Level::kAvx2), "avx2");
+  EXPECT_STREQ(LevelName(Level::kNeon), "neon");
+  // The active table is one of the available levels and self-consistent.
+  EXPECT_TRUE(LevelAvailable(ActiveLevel()));
+  EXPECT_EQ(Active().level, ActiveLevel());
+}
+
+TEST(SimdKernelsTest, SetLevelForTestingSwitchesTheActiveTable) {
+  LevelGuard guard;
+  for (Level level : AvailableLevels()) {
+    SetLevelForTesting(level);
+    EXPECT_EQ(ActiveLevel(), level);
+    EXPECT_EQ(Active().level, level);
+  }
+}
+
+TEST(SimdKernelsTest, BinaryKernelsMatchGenericOnRandomWords) {
+  const Kernels& ref = KernelsFor(Level::kGeneric);
+  Rng rng(101);
+  for (Level level : AvailableLevels()) {
+    const Kernels& k = KernelsFor(level);
+    for (size_t n : kWordCounts) {
+      const std::vector<uint64_t> a = RandomWords(n, &rng);
+      const std::vector<uint64_t> b = RandomWords(n, &rng);
+      struct BinCase {
+        const char* name;
+        void (*Kernels::*op)(uint64_t*, const uint64_t*, size_t);
+      };
+      const BinCase cases[] = {{"or", &Kernels::or_words},
+                               {"and", &Kernels::and_words},
+                               {"andnot", &Kernels::andnot_words},
+                               {"xor", &Kernels::xor_words},
+                               {"copy", &Kernels::copy_words},
+                               {"not", &Kernels::not_words}};
+      for (const BinCase& c : cases) {
+        std::vector<uint64_t> expected = a;
+        std::vector<uint64_t> actual = a;
+        (ref.*(c.op))(expected.data(), b.data(), n);
+        (k.*(c.op))(actual.data(), b.data(), n);
+        EXPECT_EQ(actual, expected)
+            << c.name << " level=" << LevelName(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FusedAssignKernelsMatchGenericOnRandomWords) {
+  const Kernels& ref = KernelsFor(Level::kGeneric);
+  Rng rng(202);
+  for (Level level : AvailableLevels()) {
+    const Kernels& k = KernelsFor(level);
+    for (size_t n : kWordCounts) {
+      const std::vector<uint64_t> a = RandomWords(n, &rng);
+      const std::vector<uint64_t> b = RandomWords(n, &rng);
+      std::vector<uint64_t> expected(n, 0xdeadbeefdeadbeefull);
+      std::vector<uint64_t> actual = expected;
+      ref.assign_andnot_words(expected.data(), a.data(), b.data(), n);
+      k.assign_andnot_words(actual.data(), a.data(), b.data(), n);
+      EXPECT_EQ(actual, expected)
+          << "assign_andnot level=" << LevelName(level) << " n=" << n;
+      ref.assign_ornot_words(expected.data(), a.data(), b.data(), n);
+      k.assign_ornot_words(actual.data(), a.data(), b.data(), n);
+      EXPECT_EQ(actual, expected)
+          << "assign_ornot level=" << LevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ReductionKernelsMatchGenericOnRandomWords) {
+  const Kernels& ref = KernelsFor(Level::kGeneric);
+  Rng rng(303);
+  for (Level level : AvailableLevels()) {
+    const Kernels& k = KernelsFor(level);
+    for (size_t n : kWordCounts) {
+      std::vector<uint64_t> a = RandomWords(n, &rng);
+      std::vector<uint64_t> b = a;
+      // Make b a superset of a in half the trials, so subset exercises
+      // both verdicts; flip one bit off otherwise.
+      const bool make_subset = rng.NextBool();
+      if (n > 0) {
+        if (make_subset) {
+          for (size_t i = 0; i < n; ++i) b[i] |= rng.Next();
+        } else {
+          const size_t wi = rng.NextBelow(n);
+          a[wi] |= uint64_t{1} << rng.NextBelow(64);
+          b[wi] &= ~a[wi];
+        }
+      }
+      EXPECT_EQ(k.popcount_words(a.data(), n), ref.popcount_words(a.data(), n))
+          << "popcount level=" << LevelName(level) << " n=" << n;
+      EXPECT_EQ(k.any_words(a.data(), n), ref.any_words(a.data(), n))
+          << "any level=" << LevelName(level) << " n=" << n;
+      EXPECT_EQ(k.subset_words(a.data(), b.data(), n),
+                ref.subset_words(a.data(), b.data(), n))
+          << "subset level=" << LevelName(level) << " n=" << n;
+    }
+  }
+  // Deterministic edge cases: all-zero (any=false, subset both ways) and
+  // all-ones against zero (subset fails).
+  const std::vector<uint64_t> zeros(9, 0);
+  const std::vector<uint64_t> ones(9, ~uint64_t{0});
+  for (Level level : AvailableLevels()) {
+    const Kernels& k = KernelsFor(level);
+    EXPECT_FALSE(k.any_words(zeros.data(), zeros.size()));
+    EXPECT_TRUE(k.any_words(ones.data(), ones.size()));
+    EXPECT_EQ(k.popcount_words(ones.data(), ones.size()), 9 * 64);
+    EXPECT_TRUE(k.subset_words(zeros.data(), ones.data(), 9));
+    EXPECT_FALSE(k.subset_words(ones.data(), zeros.data(), 9));
+  }
+}
+
+TEST(SimdKernelsTest, InPlaceKernelsTolerateAliasedOperands) {
+  // dst == a aliasing: or/and keep dst, xor zeroes it, andnot zeroes it,
+  // not complements in place. Every level must agree with the generic
+  // aliased result (which the Bitset Flip path relies on).
+  Rng rng(404);
+  for (Level level : AvailableLevels()) {
+    const Kernels& k = KernelsFor(level);
+    for (size_t n : {size_t{5}, size_t{8}, size_t{33}}) {
+      const std::vector<uint64_t> a = RandomWords(n, &rng);
+      std::vector<uint64_t> v = a;
+      k.or_words(v.data(), v.data(), n);
+      EXPECT_EQ(v, a) << "or alias level=" << LevelName(level);
+      k.and_words(v.data(), v.data(), n);
+      EXPECT_EQ(v, a) << "and alias level=" << LevelName(level);
+      k.not_words(v.data(), v.data(), n);
+      for (size_t i = 0; i < n; ++i) EXPECT_EQ(v[i], ~a[i]);
+      k.xor_words(v.data(), v.data(), n);
+      EXPECT_EQ(v, std::vector<uint64_t>(n, 0))
+          << "xor alias level=" << LevelName(level);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitset-layer equivalence under each forced level: the ranged kernels
+// split [lo, hi) into masked partial words and a whole-word middle run;
+// forcing the level and comparing against a per-bit reference checks both
+// the split logic and the dispatched kernel together.
+
+Bitset RandomBitset(int size, Rng* rng, double density = 0.4) {
+  Bitset out(size);
+  for (int i = 0; i < size; ++i) {
+    if (rng->NextBool(density)) out.Set(i);
+  }
+  return out;
+}
+
+TEST(SimdKernelsTest, BitsetRangedOpsMatchPerBitReferenceAtEveryLevel) {
+  LevelGuard guard;
+  Rng rng(505);
+  // Sizes around word and 64-byte-line boundaries plus a multi-line one.
+  const int sizes[] = {1, 63, 64, 65, 511, 512, 513, 4096, 5000};
+  for (Level level : AvailableLevels()) {
+    SetLevelForTesting(level);
+    for (int size : sizes) {
+      for (int trial = 0; trial < 8; ++trial) {
+        const Bitset a = RandomBitset(size, &rng);
+        const Bitset b = RandomBitset(size, &rng);
+        const Bitset dst0 = RandomBitset(size, &rng);
+        // Unaligned endpoints on purpose (including empty and full range).
+        const int lo = rng.NextInt(0, size);
+        const int hi = rng.NextInt(lo, size);
+
+        struct Op {
+          const char* name;
+          void (*apply)(Bitset*, const Bitset&, const Bitset&, int, int);
+          bool (*expect)(bool dst, bool a, bool b);
+        };
+        const Op ops[] = {
+            {"or",
+             [](Bitset* d, const Bitset& x, const Bitset&, int l, int h) {
+               d->OrRange(x, l, h);
+             },
+             [](bool dst, bool a, bool) { return dst || a; }},
+            {"and",
+             [](Bitset* d, const Bitset& x, const Bitset&, int l, int h) {
+               d->AndRange(x, l, h);
+             },
+             [](bool dst, bool a, bool) { return dst && a; }},
+            {"subtract",
+             [](Bitset* d, const Bitset& x, const Bitset&, int l, int h) {
+               d->SubtractRange(x, l, h);
+             },
+             [](bool dst, bool a, bool) { return dst && !a; }},
+            {"copy",
+             [](Bitset* d, const Bitset& x, const Bitset&, int l, int h) {
+               d->CopyRange(x, l, h);
+             },
+             [](bool, bool a, bool) { return a; }},
+            {"not",
+             [](Bitset* d, const Bitset& x, const Bitset&, int l, int h) {
+               d->NotRange(x, l, h);
+             },
+             [](bool, bool a, bool) { return !a; }},
+            {"andnot",
+             [](Bitset* d, const Bitset& x, const Bitset& y, int l, int h) {
+               d->AndNotRange(x, y, l, h);
+             },
+             [](bool, bool a, bool b) { return a && !b; }},
+            {"ornot",
+             [](Bitset* d, const Bitset& x, const Bitset& y, int l, int h) {
+               d->OrNotRange(x, y, l, h);
+             },
+             [](bool, bool a, bool b) { return a || !b; }},
+        };
+        for (const Op& op : ops) {
+          Bitset dst = dst0;
+          op.apply(&dst, a, b, lo, hi);
+          for (int i = 0; i < size; ++i) {
+            const bool expected = (i >= lo && i < hi)
+                                      ? op.expect(dst0.Get(i), a.Get(i),
+                                                  b.Get(i))
+                                      : dst0.Get(i);
+            ASSERT_EQ(dst.Get(i), expected)
+                << op.name << " level=" << LevelName(level) << " size=" << size
+                << " [" << lo << "," << hi << ") bit " << i;
+          }
+        }
+
+        // Reductions and the subset probe against the same reference.
+        int expected_count = 0;
+        for (int i = lo; i < hi; ++i) expected_count += a.Get(i);
+        EXPECT_EQ(a.CountRange(lo, hi), expected_count);
+        EXPECT_EQ(a.AnyInRange(lo, hi), expected_count > 0);
+        bool expected_subset = true;
+        for (int i = lo; i < hi; ++i) {
+          if (a.Get(i) && !b.Get(i)) expected_subset = false;
+        }
+        EXPECT_EQ(a.IsSubsetOfRange(b, lo, hi), expected_subset)
+            << "subset level=" << LevelName(level) << " size=" << size;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BitsetWholeSetOpsMatchAtEveryLevel) {
+  LevelGuard guard;
+  Rng rng(606);
+  for (Level level : AvailableLevels()) {
+    SetLevelForTesting(level);
+    for (int size : {65, 1000}) {
+      const Bitset a = RandomBitset(size, &rng);
+      const Bitset b = RandomBitset(size, &rng);
+      Bitset flip = a;
+      flip.Flip();
+      int expected_count = 0;
+      for (int i = 0; i < size; ++i) {
+        EXPECT_EQ(flip.Get(i), !a.Get(i));
+        expected_count += a.Get(i);
+      }
+      // Flip must not leak set bits into tail-word padding: Count reads
+      // live words through the kernels, and equality is word-for-word.
+      EXPECT_EQ(a.Count(), expected_count);
+      EXPECT_EQ(flip.Count(), size - expected_count);
+      Bitset both = a;
+      both |= b;
+      Bitset sub = a;
+      sub.Subtract(b);
+      EXPECT_TRUE(a.IsSubsetOf(both));
+      EXPECT_TRUE(sub.IsSubsetOf(a));
+      EXPECT_EQ(sub.Any(), sub.Count() > 0);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, BitsetWordsAreCacheLineAlignedAndPadded) {
+  for (int size : {1, 64, 65, 512, 513, 100000}) {
+    Bitset bits(size, /*value=*/true);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(bits.words()) % 64, 0u)
+        << "size=" << size;
+    EXPECT_EQ(bits.word_count(), (static_cast<size_t>(size) + 63) / 64);
+    // The tail word carries no bits >= size (SetAll re-masks).
+    EXPECT_EQ(bits.Count(), size);
+    if (size % 64 != 0) {
+      const uint64_t tail = bits.words()[bits.word_count() - 1];
+      EXPECT_EQ(tail >> (size % 64), 0u) << "size=" << size;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace xptc

@@ -1,0 +1,229 @@
+// Tests for the beam-search bytecode superoptimizer (exec/superopt.h):
+// the rewrites it is expected to find (and-not / or-not fusion, dead-code
+// drops), determinism of the search, idempotence (an optimized program is
+// a fixpoint), the structural witness checker, the cost model, and —
+// the load-bearing property — bit-for-bit equivalence of base and
+// optimized programs on random trees across a query corpus covering every
+// bytecode op (the static leg of what the `sexec` differential oracle
+// fuzzes dynamically).
+
+#include "exec/superopt.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "exec/program.h"
+#include "tree/generate.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace xptc {
+namespace exec {
+namespace {
+
+NodePtr Q(const char* text, Alphabet* alphabet) {
+  Result<NodePtr> parsed = ParseNode(text, alphabet);
+  XPTC_CHECK(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).ValueOrDie();
+}
+
+int CountOp(const Program& program, Op op) {
+  int count = 0;
+  for (const Instr& ins : program.code()) {
+    if (ins.op == op) ++count;
+  }
+  return count;
+}
+
+std::vector<std::string> Listing(const Program& program,
+                                 const Alphabet& alphabet) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < program.code().size(); ++i) {
+    out.push_back(program.InstrToString(static_cast<int>(i), alphabet));
+  }
+  return out;
+}
+
+TEST(SuperoptTest, FusesAndNotAndDropsTheDeadNot) {
+  Alphabet alphabet;
+  auto base = Program::Compile(Q("a and not b", &alphabet));
+  auto opt = Superoptimize(base);
+  ASSERT_NE(opt, base);
+  EXPECT_EQ(opt->pre_superopt(), base);
+  EXPECT_EQ(CountOp(*opt, Op::kAndNot), 1);
+  EXPECT_EQ(CountOp(*opt, Op::kNot), 0);  // the feeding not became dead
+  EXPECT_LT(opt->code().size(), base->code().size());
+  const SuperoptStats& stats = opt->superopt_stats();
+  EXPECT_GE(stats.fused, 1);
+  EXPECT_GE(stats.dropped, 1);
+  EXPECT_LT(stats.cost_after, stats.cost_before);
+  EXPECT_TRUE(VerifyProgram(*opt));
+}
+
+TEST(SuperoptTest, FusesOrNot) {
+  Alphabet alphabet;
+  auto opt = Superoptimize(Program::Compile(Q("a or not b", &alphabet)));
+  EXPECT_EQ(CountOp(*opt, Op::kOrNot), 1);
+  EXPECT_EQ(CountOp(*opt, Op::kNot), 0);
+  EXPECT_TRUE(VerifyProgram(*opt));
+}
+
+TEST(SuperoptTest, KeepsANotWithAnotherUse) {
+  // `not a` feeds both the fusion site and the or — only one of its two
+  // uses can fuse, so the kNot must survive as the other operand's source.
+  Alphabet alphabet;
+  auto opt = Superoptimize(
+      Program::Compile(Q("(b and not a) and (c or not a)", &alphabet)));
+  EXPECT_TRUE(VerifyProgram(*opt));
+  if (opt->pre_superopt() != nullptr) {
+    EXPECT_GE(CountOp(*opt, Op::kAndNot) + CountOp(*opt, Op::kOrNot), 1);
+  }
+}
+
+TEST(SuperoptTest, UnimprovableProgramIsReturnedPointerEqual) {
+  Alphabet alphabet;
+  auto base = Program::Compile(Q("<(child)*[a]>", &alphabet));
+  auto same = Superoptimize(base);
+  EXPECT_EQ(same, base);
+  EXPECT_EQ(same->pre_superopt(), nullptr);
+}
+
+TEST(SuperoptTest, SuperoptimizeIsIdempotent) {
+  Alphabet alphabet;
+  auto base = Program::Compile(Q("a and not b", &alphabet));
+  auto once = Superoptimize(base);
+  ASSERT_NE(once, base);
+  // An optimized program is a fixpoint: re-running returns it untouched
+  // (pointer equality), so caching superoptimized programs is safe.
+  EXPECT_EQ(Superoptimize(once), once);
+}
+
+TEST(SuperoptTest, SearchIsDeterministicAcrossIndependentCompiles) {
+  Alphabet alphabet;
+  const char* queries[] = {
+      "a and not b",
+      "(not a and not b) or (c and not <child[a]>)",
+      "<(child)*[not a]> and not <desc[b and not c]>",
+  };
+  for (const char* text : queries) {
+    auto first = Superoptimize(Program::Compile(Q(text, &alphabet)));
+    auto second = Superoptimize(Program::Compile(Q(text, &alphabet)));
+    EXPECT_EQ(Listing(*first, alphabet), Listing(*second, alphabet)) << text;
+    EXPECT_EQ(first->num_regs(), second->num_regs()) << text;
+    EXPECT_EQ(first->result_reg(), second->result_reg()) << text;
+  }
+}
+
+TEST(SuperoptTest, VerifyProgramAcceptsCompilerAndSuperoptOutput) {
+  Alphabet alphabet;
+  const char* queries[] = {
+      "a", "not a", "a and not b", "<(child)*[a]>",
+      "W(<child[a]>) and not b", "<(child[a] | desc)*[not b]>",
+  };
+  for (const char* text : queries) {
+    auto base = Program::Compile(Q(text, &alphabet));
+    std::string error;
+    EXPECT_TRUE(VerifyProgram(*base, &error)) << text << ": " << error;
+    auto opt = Superoptimize(base);
+    EXPECT_TRUE(VerifyProgram(*opt, &error)) << text << ": " << error;
+  }
+}
+
+TEST(SuperoptTest, CostModelPrefersFusedForms) {
+  // The whole enterprise rests on fused ops being cheaper than the pairs
+  // they replace; pin the inequalities the move generator relies on.
+  EXPECT_LT(OpWeight(Op::kAndNot), OpWeight(Op::kAnd) + OpWeight(Op::kNot));
+  EXPECT_LT(OpWeight(Op::kOrNot), OpWeight(Op::kOr) + OpWeight(Op::kNot));
+  EXPECT_GT(OpWeight(Op::kStar), 0.0);
+  EXPECT_GT(OpWeight(Op::kWithin), OpWeight(Op::kAxis));
+}
+
+TEST(SuperoptTest, EstimateInstrCostsAlignsWithCode) {
+  Alphabet alphabet;
+  for (const char* text : {"a and not b", "<(child)*[a and not b]>"}) {
+    auto program = Superoptimize(Program::Compile(Q(text, &alphabet)));
+    const std::vector<double> costs = EstimateInstrCosts(*program);
+    ASSERT_EQ(costs.size(), program->code().size()) << text;
+    double total = 0;
+    for (double c : costs) {
+      EXPECT_GT(c, 0.0) << text;
+      total += c;
+    }
+    if (program->pre_superopt() != nullptr) {
+      // The static estimate over the rewritten code is exactly the cost
+      // the beam reported for its winner.
+      EXPECT_DOUBLE_EQ(total, program->superopt_stats().cost_after) << text;
+    }
+  }
+}
+
+TEST(SuperoptTest, ObservedExecCountsSteerTheCostModelWithoutBreakingIt) {
+  Alphabet alphabet;
+  Rng rng(9);
+  TreeGenOptions gen;
+  gen.num_nodes = 200;
+  const Tree tree = GenerateTree(gen, DefaultLabels(&alphabet, 3), &rng);
+  auto base = Program::Compile(Q("<(child)*[a]> and not b", &alphabet));
+  ExecEngine engine(tree);
+  const Bitset expected = engine.EvalGeneral(*base);
+  SuperoptOptions options;
+  options.observed_execs = &engine.last_run().instr_execs;
+  auto opt = Superoptimize(base, options);
+  EXPECT_TRUE(VerifyProgram(*opt));
+  EXPECT_EQ(engine.EvalGeneral(*opt), expected);
+  // A size-mismatched profile must be ignored, not trusted.
+  const std::vector<int64_t> wrong_size(3, 1);
+  SuperoptOptions mismatched;
+  mismatched.observed_execs = &wrong_size;
+  auto opt2 = Superoptimize(Program::Compile(Q("a and not b", &alphabet)),
+                            mismatched);
+  EXPECT_TRUE(VerifyProgram(*opt2));
+}
+
+TEST(SuperoptTest, OptimizedProgramsAreBitForBitEquivalent) {
+  Alphabet alphabet;
+  const char* queries[] = {
+      "a and not b",
+      "a or not b",
+      "not a and not b",
+      "(b and not a) and (c or not a)",
+      "<(child)*[not a]>",
+      "<(child)*[a]> and not <desc[b]>",
+      "(<child[a]> and not <child[a]>)",
+      "not <parent> and <child[<right>]>",
+      "<(child[a] | desc)*[not b]>",
+      "W(<child[a]>) and not b",
+      "W(W(<child[b]>)) or <anc[a and not c]>",
+      "<(child[not a])*[b or not c]>",
+  };
+  Rng rng(77);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  const TreeShape shapes[] = {TreeShape::kUniformRecursive, TreeShape::kChain,
+                              TreeShape::kCaterpillar, TreeShape::kFullBinary};
+  for (TreeShape shape : shapes) {
+    TreeGenOptions gen;
+    gen.num_nodes = 180;
+    gen.shape = shape;
+    const Tree tree = GenerateTree(gen, labels, &rng);
+    ExecEngine engine(tree);
+    for (const char* text : queries) {
+      auto base = Program::Compile(Q(text, &alphabet));
+      auto opt = Superoptimize(base);
+      const Bitset expected = engine.EvalGeneral(*base);
+      const Bitset actual = engine.EvalGeneral(*opt);
+      ASSERT_EQ(actual, expected)
+          << text << " shape=" << TreeShapeToString(shape);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace xptc
