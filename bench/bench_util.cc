@@ -122,6 +122,11 @@ std::string KernelsJsonPath() {
                                                 : "BENCH_kernels.json";
 }
 
+std::string AxisJsonPath() {
+  const char* value = std::getenv("XPTC_BENCH_AXIS_JSON");
+  return (value != nullptr && value[0] != '\0') ? value : "BENCH_axis.json";
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& text) {

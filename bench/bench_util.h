@@ -110,6 +110,13 @@ std::string CompiledJsonPath();
 /// the host's vector ISA.
 std::string KernelsJsonPath();
 
+/// Path of the axis-streaming benchmark JSON (XPTC_BENCH_AXIS_JSON or
+/// BENCH_axis.json): sparse-vs-dense axis kernel dispatch and the
+/// profile-fed re-superoptimization measurements from
+/// bench/exp14_axis_streaming.cc. Separate file because the dense-path
+/// numbers depend on the host's gather throughput.
+std::string AxisJsonPath();
+
 /// Deterministic tree for benchmarks.
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
                uint64_t seed, int num_labels = 3);

@@ -27,7 +27,8 @@
 //             "ranged_2x_at_64k": bool},
 //    "superopt": {"n": int, "cases": [{"name": str, "instrs_before": int,
 //                 "instrs_after": int, "fused": int, "dropped": int,
-//                 "hoisted": int, "base_us": f, "opt_us": f, "speedup": f,
+//                 "hoisted": int, "sunk": int, "base_us": f, "opt_us": f,
+//                 "speedup": f,
 //                 "rewritten": bool, "match": bool}, ...]},
 //    "superopt_not_slower": bool}
 
@@ -181,6 +182,7 @@ struct SuperoptCase {
   int fused = 0;
   int dropped = 0;
   int hoisted = 0;
+  int sunk = 0;
   double base_seconds = 0;
   double opt_seconds = 0;
   bool rewritten = false;
@@ -218,6 +220,7 @@ std::vector<SuperoptCase> SuperoptReport(int n, bool* all_match) {
       sc.fused = opt->superopt_stats().fused;
       sc.dropped = opt->superopt_stats().dropped;
       sc.hoisted = opt->superopt_stats().hoisted;
+      sc.sunk = opt->superopt_stats().sunk;
     }
     Bitset base_bits(0), opt_bits(0);
     sc.base_seconds = bench::MedianSecondsN(
@@ -275,7 +278,7 @@ std::string SectionJson(const std::vector<KernelRow>& kernels,
        << ", \"instrs_before\": " << sc.instrs_before
        << ", \"instrs_after\": " << sc.instrs_after
        << ", \"fused\": " << sc.fused << ", \"dropped\": " << sc.dropped
-       << ", \"hoisted\": " << sc.hoisted
+       << ", \"hoisted\": " << sc.hoisted << ", \"sunk\": " << sc.sunk
        << ", \"base_us\": " << bench::Fmt(sc.base_seconds * 1e6, 2)
        << ", \"opt_us\": " << bench::Fmt(sc.opt_seconds * 1e6, 2)
        << ", \"speedup\": "

@@ -42,6 +42,12 @@ class Bitset {
   const uint64_t* words() const { return words_.data(); }
   size_t word_count() const { return LiveWords(); }
 
+  /// Raw word storage (mutable): for kernels that assemble whole live
+  /// words in place (the streaming axis kernels write gather results
+  /// directly). Callers must preserve the storage invariants — live words
+  /// only, padding bits stay zero.
+  uint64_t* mutable_words() { return words_.data(); }
+
   bool Get(int i) const {
     XPTC_DCHECK(i >= 0 && i < size_);
     return (words_[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1;
@@ -132,6 +138,82 @@ class Bitset {
       if (wi == wlo) return -1;
       w = words_[--wi];
     }
+  }
+
+  /// How many index slots a decode buffer must have beyond the number of
+  /// set bits actually decoded: `DecodeWord`'s unrolled lanes may write up
+  /// to `kDecodeSlack` garbage entries past the returned count.
+  static constexpr int kDecodeSlack = 3;
+
+  /// Decodes the set bits of `word` into `out[0..count)` as `base + bit`,
+  /// lowest bit first, and returns `count = popcount(word)`. One unrolled
+  /// pass, four bits per iteration, with no per-bit branch: each lane
+  /// isolates the lowest set bit `t = w & -w` and derives its index as
+  /// `popcount(t - 1)` (well defined for every lane — when `w` runs out
+  /// mid-iteration the spent lanes write `base + 64` garbage past the
+  /// count, which is why callers provide `kDecodeSlack` slots of slack;
+  /// `ctz` is avoided because `ctz(0)` is UB).
+  static int DecodeWord(uint64_t word, int base, int32_t* out) {
+    const int count = __builtin_popcountll(word);
+    int n = 0;
+    while (word != 0) {
+      uint64_t t = word & (~word + 1);
+      out[n] = base + __builtin_popcountll(t - 1);
+      word ^= t;
+      t = word & (~word + 1);
+      out[n + 1] = base + __builtin_popcountll(t - 1);
+      word ^= t;
+      t = word & (~word + 1);
+      out[n + 2] = base + __builtin_popcountll(t - 1);
+      word ^= t;
+      t = word & (~word + 1);
+      out[n + 3] = base + __builtin_popcountll(t - 1);
+      word ^= t;
+      n += 4;
+    }
+    return count;
+  }
+
+  /// Invokes `fn(const int32_t* indices, int count)` once per word
+  /// overlapping [lo, hi) that has set bits in the range, with the word's
+  /// set-bit indices batch-decoded (increasing order). The batched
+  /// alternative to `ForEachSetBitInRange` for consumers with per-index
+  /// work small enough that a lambda call per bit dominates: one decode
+  /// pass plus one call per 64 bits instead of per bit.
+  template <typename Fn>
+  void ForEachSetBitBatch(int lo, int hi, Fn&& fn) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    int32_t buf[64 + kDecodeSlack];
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == wlo) w &= HeadMask(lo);
+      if (wi == whi) w &= TailMask(hi);
+      if (w == 0) continue;
+      const int count = DecodeWord(w, static_cast<int>(wi * 64), buf);
+      fn(static_cast<const int32_t*>(buf), count);
+    }
+  }
+
+  /// Decodes every set bit of [lo, hi) into `out` (increasing order) and
+  /// returns the count. `out` must have `CountRange(lo, hi) + kDecodeSlack`
+  /// slots: the words decode straight into the caller's buffer, so the
+  /// final word's spent lanes may spill past the count.
+  int DecodeRange(int lo, int hi, int32_t* out) const {
+    CheckRange(lo, hi);
+    if (lo >= hi) return 0;
+    const size_t wlo = static_cast<size_t>(lo) >> 6;
+    const size_t whi = static_cast<size_t>(hi - 1) >> 6;
+    int n = 0;
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      uint64_t w = words_[wi];
+      if (wi == wlo) w &= HeadMask(lo);
+      if (wi == whi) w &= TailMask(hi);
+      n += DecodeWord(w, static_cast<int>(wi * 64), out + n);
+    }
+    return n;
   }
 
   /// Invokes `fn(int index)` for every set bit, in increasing order, one
@@ -387,11 +469,13 @@ class Bitset {
                                        LiveWords());
   }
 
-  /// Materializes the set as a sorted index vector.
+  /// Materializes the set as a sorted index vector (batch-decoded).
   std::vector<int> ToVector() const {
     std::vector<int> out;
     out.reserve(static_cast<size_t>(Count()));
-    for (int i = FindFirst(); i >= 0; i = FindNext(i)) out.push_back(i);
+    ForEachSetBitBatch(0, size_, [&](const int32_t* idx, int count) {
+      out.insert(out.end(), idx, idx + count);
+    });
     return out;
   }
 

@@ -83,13 +83,29 @@ bool SubsetWordsGeneric(const uint64_t* a, const uint64_t* b, size_t n) {
   }
   return true;
 }
+void GatherWordsGeneric(uint64_t* dst, const uint64_t* src, const int32_t* idx,
+                        size_t n) {
+  // Assemble each output word from 64 gathered bits. The bit extractions
+  // are independent (no loop-carried dependency except the final OR tree),
+  // so the scalar loop still streams: 64 in-order loads per output word
+  // against the per-set-bit pointer chase it replaces.
+  for (size_t w = 0; w < n; ++w) {
+    const int32_t* ix = idx + w * 64;
+    uint64_t out = 0;
+    for (int b = 0; b < 64; ++b) {
+      const uint32_t i = static_cast<uint32_t>(ix[b]);
+      out |= ((src[i >> 6] >> (i & 63)) & uint64_t{1}) << b;
+    }
+    dst[w] = out;
+  }
+}
 
 constexpr Kernels kGenericKernels = {
     Level::kGeneric,        OrWordsGeneric,       AndWordsGeneric,
     AndNotWordsGeneric,     XorWordsGeneric,      CopyWordsGeneric,
     NotWordsGeneric,        AssignAndNotWordsGeneric,
     AssignOrNotWordsGeneric, PopcountWordsGeneric, AnyWordsGeneric,
-    SubsetWordsGeneric,
+    SubsetWordsGeneric,     GatherWordsGeneric,
 };
 
 // ---------------------------------------------------------------------------
@@ -236,6 +252,33 @@ XPTC_AVX2 bool SubsetWordsAvx2(const uint64_t* a, const uint64_t* b,
   return true;
 }
 
+XPTC_AVX2 void GatherWordsAvx2(uint64_t* dst, const uint64_t* src,
+                               const int32_t* idx, size_t n) {
+  // Hardware gather at 32-bit granularity: each lane fetches the 32-bit
+  // half-word holding its bit (word index = idx >> 5), shifts its bit to
+  // position 0, then to the sign position so movemask packs 8 lanes into
+  // 8 output bits. 8 gathers assemble one 64-bit output word.
+  const int* src32 = reinterpret_cast<const int*>(src);
+  const __m256i low5 = _mm256_set1_epi32(31);
+  for (size_t w = 0; w < n; ++w) {
+    const int32_t* ix = idx + w * 64;
+    uint64_t out = 0;
+    for (int g = 0; g < 8; ++g) {
+      const __m256i vidx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ix + g * 8));
+      const __m256i half_idx = _mm256_srli_epi32(vidx, 5);
+      const __m256i bit_idx = _mm256_and_si256(vidx, low5);
+      const __m256i halves = _mm256_i32gather_epi32(src32, half_idx, 4);
+      const __m256i bits = _mm256_srlv_epi32(halves, bit_idx);
+      const int mask = _mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_slli_epi32(bits, 31)));
+      out |= static_cast<uint64_t>(static_cast<uint32_t>(mask) & 0xffu)
+             << (g * 8);
+    }
+    dst[w] = out;
+  }
+}
+
 #undef XPTC_AVX2
 
 constexpr Kernels kAvx2Kernels = {
@@ -243,7 +286,7 @@ constexpr Kernels kAvx2Kernels = {
     AndNotWordsAvx2,      XorWordsAvx2,       CopyWordsAvx2,
     NotWordsAvx2,         AssignAndNotWordsAvx2,
     AssignOrNotWordsAvx2, PopcountWordsGeneric, AnyWordsAvx2,
-    SubsetWordsAvx2,
+    SubsetWordsAvx2,      GatherWordsAvx2,
 };
 
 bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
@@ -340,7 +383,7 @@ constexpr Kernels kNeonKernels = {
     AndNotWordsNeon,      XorWordsNeon,       CopyWordsGeneric,
     NotWordsNeon,         AssignAndNotWordsNeon,
     AssignOrNotWordsNeon, PopcountWordsGeneric, AnyWordsNeon,
-    SubsetWordsNeon,
+    SubsetWordsNeon,      GatherWordsGeneric,  // NEON has no gather
 };
 
 #endif  // XPTC_SIMD_NEON

@@ -68,6 +68,14 @@ struct Kernels {
   bool (*any_words)(const uint64_t* a, size_t n);
   bool (*subset_words)(const uint64_t* a, const uint64_t* b,
                        size_t n);  // (a & ~b) == 0 everywhere
+  // Bit gather: dst[w] bit b = src bit idx[64*w + b], for n output words
+  // (so idx has 64*n entries, each a valid non-negative bit index into
+  // src). The streaming axis kernels run this with idx pointing straight
+  // into a tree's preorder `parent_` column — child-image as one
+  // sequential pass. AVX2 uses hardware 32-bit gathers on the word halves;
+  // NEON has no gather and aliases the generic loop.
+  void (*gather_words)(uint64_t* dst, const uint64_t* src, const int32_t* idx,
+                       size_t n);
 };
 
 /// The active dispatch table (detection + env override, cached after the

@@ -317,9 +317,13 @@ void DownwardProgram::RunNarrow(const Tree& tree, std::vector<uint64_t>* agg,
   uint64_t* aggw = agg->data();
   const BitInstr* code = code_.data();
   const size_t num_instrs = code_.size();
+  // The sweep touches every node once; stream the label/parent columns
+  // directly instead of paying the accessor indexing per node.
+  const Symbol* labels = tree.LabelData();
+  const NodeId* parents = tree.ParentData();
   for (NodeId v = n - 1; v >= 0; --v) {
     const uint64_t adjacent = aggw[v];
-    const Symbol label = tree.Label(v);
+    const Symbol label = labels[v];
     uint64_t w = 0;
     for (size_t i = 0; i < num_instrs; ++i) {
       const BitInstr& ins = code[i];
@@ -350,7 +354,7 @@ void DownwardProgram::RunNarrow(const Tree& tree, std::vector<uint64_t>* agg,
       w |= bit << ins.dst;
     }
     if ((w >> result_bit_) & 1) out->Set(v);
-    const NodeId parent = tree.Parent(v);
+    const NodeId parent = parents[v];
     if (parent != kNoNode) aggw[parent] |= w;
   }
 }
@@ -361,12 +365,15 @@ void DownwardProgram::RunWide(const Tree& tree, int words,
   agg->assign(static_cast<size_t>(n) * static_cast<size_t>(words), 0);
   std::vector<uint64_t> w(static_cast<size_t>(words));
   // The per-node child-aggregate OR is the sweep's word-parallel hot loop;
-  // fetch the dispatched kernel once, outside the node loop.
+  // fetch the dispatched kernel once, outside the node loop, and stream
+  // the label/parent columns raw.
   const auto or_words = simd::Active().or_words;
+  const Symbol* labels = tree.LabelData();
+  const NodeId* parents = tree.ParentData();
   for (NodeId v = n - 1; v >= 0; --v) {
     const uint64_t* adjacent =
         agg->data() + static_cast<size_t>(v) * static_cast<size_t>(words);
-    const Symbol label = tree.Label(v);
+    const Symbol label = labels[v];
     std::fill(w.begin(), w.end(), 0);
     for (const BitInstr& ins : code_) {
       bool bit;
@@ -398,7 +405,7 @@ void DownwardProgram::RunWide(const Tree& tree, int words,
       }
     }
     if (GetBit(w.data(), result_bit_)) out->Set(v);
-    const NodeId parent = tree.Parent(v);
+    const NodeId parent = parents[v];
     if (parent != kNoNode) {
       uint64_t* pw = agg->data() +
                      static_cast<size_t>(parent) * static_cast<size_t>(words);

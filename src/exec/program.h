@@ -66,6 +66,9 @@ struct SuperoptStats {
   int fused = 0;       // kAnd/kOr + kNot pairs fused into kAndNot/kOrNot
   int merged = 0;      // duplicate (possibly commuted) instructions merged
   int hoisted = 0;     // loop-invariant body instructions moved out of stars
+  int sunk = 0;        // instructions moved into a cold star body — only
+                       // proposed when the (profile-fed) round estimate
+                       // falls below one, i.e. the star rarely runs
   int dropped = 0;     // dead instructions removed
   double cost_before = 0;  // weighted cost model, input program
   double cost_after = 0;   // weighted cost model, winning candidate

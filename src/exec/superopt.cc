@@ -87,7 +87,7 @@ class Superoptimizer {
     int result_vreg = -1;
     int num_vregs = 0;  // upper bound on vreg ids (not necessarily dense)
     double cost = 0;
-    int fused = 0, merged = 0, hoisted = 0, dropped = 0;
+    int fused = 0, merged = 0, hoisted = 0, sunk = 0, dropped = 0;
   };
 
   struct DefSite {
@@ -98,6 +98,8 @@ class Superoptimizer {
   struct Analysis {
     std::vector<DefSite> def;      // per vreg
     std::vector<int> uses;         // per vreg read count (+1 for result)
+    std::vector<std::vector<int>> use_seqs;  // per vreg: seq of each use
+                                             // (result counts as main)
     std::vector<int> parent;       // per seq: owning seq, -1 for main/dead
     std::vector<DefSite> star_of;  // per seq: the owning kStar instruction
   };
@@ -166,12 +168,18 @@ class Superoptimizer {
     Analysis a;
     a.def.assign(static_cast<size_t>(c.num_vregs), DefSite{});
     a.uses.assign(static_cast<size_t>(c.num_vregs), 0);
+    a.use_seqs.assign(static_cast<size_t>(c.num_vregs), {});
     a.parent.assign(c.seqs.size(), -1);
     a.star_of.assign(c.seqs.size(), DefSite{});
-    const auto use = [&a](int vreg) {
-      if (vreg >= 0) ++a.uses[static_cast<size_t>(vreg)];
+    int use_seq = 0;
+    const auto use = [&a, &use_seq](int vreg) {
+      if (vreg >= 0) {
+        ++a.uses[static_cast<size_t>(vreg)];
+        a.use_seqs[static_cast<size_t>(vreg)].push_back(use_seq);
+      }
     };
     for (int s = 0; s < static_cast<int>(c.seqs.size()); ++s) {
+      use_seq = s;
       for (int i = 0; i < static_cast<int>(c.seqs[static_cast<size_t>(s)].size());
            ++i) {
         const Instr& ins = c.seqs[static_cast<size_t>(s)][static_cast<size_t>(i)].ins;
@@ -191,6 +199,7 @@ class Superoptimizer {
         }
       }
     }
+    use_seq = 0;  // the result is read after main finishes
     use(c.result_vreg);
     return a;
   }
@@ -320,6 +329,14 @@ class Superoptimizer {
     return false;
   }
 
+  // True iff sequence `s` is `body` or nested (transitively) inside it.
+  static bool InBodySubtree(int s, int body, const Analysis& a) {
+    for (; s >= 0; s = a.parent[static_cast<size_t>(s)]) {
+      if (s == body) return true;
+    }
+    return false;
+  }
+
   // Enumerates every single-move successor of `c`, in deterministic order.
   static void EnumerateMoves(const Candidate& c, std::vector<Candidate>* out) {
     const Analysis a = Analyze(c);
@@ -414,6 +431,52 @@ class Superoptimizer {
         parent_seq.insert(parent_seq.begin() + star.idx, std::move(moved));
         ++nc.hoisted;
         out->push_back(std::move(nc));
+      }
+    }
+
+    // sink: the dual of hoist — an instruction consumed only inside one
+    // star's body subtree moves to the top of that body. Recomputing it
+    // per round is sound (operands are single-assignment and defined
+    // before the star), and the static model never proposes it: body
+    // instructions carry `star_round_estimate >= 1` times the outer
+    // multiplier, so sinking only models as a win when a *measured*
+    // profile shows the star converging in fewer rounds than the setup
+    // work's own execution count — typically a star whose frontier is
+    // empty on the served data, where the sunk setup then never runs.
+    for (int s = 0; s < num_seqs; ++s) {
+      const auto& seq = c.seqs[static_cast<size_t>(s)];
+      for (int i = 0; i < static_cast<int>(seq.size()); ++i) {
+        const SInstr& si = seq[static_cast<size_t>(i)];
+        if (si.ins.op == Op::kStar) continue;  // bodies move only whole
+        if (a.uses[static_cast<size_t>(si.ins.dst)] == 0) continue;
+        for (int j = i + 1; j < static_cast<int>(seq.size()); ++j) {
+          const Instr& star = seq[static_cast<size_t>(j)].ins;
+          if (star.op != Op::kStar) continue;
+          const int body = star.body_begin;
+          bool all_inside = true;
+          for (const int u : a.use_seqs[static_cast<size_t>(si.ins.dst)]) {
+            if (!InBodySubtree(u, body, a)) {
+              all_inside = false;
+              break;
+            }
+          }
+          if (!all_inside) continue;
+          const auto& body_seq = c.seqs[static_cast<size_t>(body)];
+          const double body_execs =
+              body_seq.empty() ? 0.0 : body_seq.front().execs;
+          if (body_execs + kEps >= si.execs) break;  // not an improvement
+          Candidate nc = c;
+          SInstr moved = nc.seqs[static_cast<size_t>(s)]
+                             [static_cast<size_t>(i)];
+          moved.execs = body_execs;
+          auto& src = nc.seqs[static_cast<size_t>(s)];
+          src.erase(src.begin() + i);
+          auto& dst = nc.seqs[static_cast<size_t>(body)];
+          dst.insert(dst.begin(), std::move(moved));
+          ++nc.sunk;
+          out->push_back(std::move(nc));
+          break;  // the first containing star is the sink target
+        }
       }
     }
   }
@@ -575,6 +638,7 @@ std::shared_ptr<const Program> Superoptimizer::Run(
   program->superopt_stats_.fused = best.fused;
   program->superopt_stats_.merged = best.merged;
   program->superopt_stats_.hoisted = best.hoisted;
+  program->superopt_stats_.sunk = best.sunk;
   program->superopt_stats_.dropped = best.dropped;
   program->superopt_stats_.cost_before = initial.cost;
   program->superopt_stats_.cost_after = best.cost;

@@ -27,7 +27,14 @@ namespace exec {
 ///           kStar takes its whole loop body with it);
 ///  - hoist: a star-body instruction whose operands are all defined
 ///           outside the loop moves to just before the owning kStar and
-///           runs once instead of once per round.
+///           runs once instead of once per round;
+///  - sink:  the dual — a main-sequence instruction consumed only inside
+///           one star's body moves to the top of that body. The static
+///           model never proposes it (a body execution count of
+///           `star_round_estimate` >= 1 per round can only lose), but a
+///           measured profile showing the star converges in zero rounds
+///           makes the body strictly cheaper than main: the setup cost of
+///           a star the data never enters disappears.
 ///
 /// Candidates are scored by a node-weighted cost model: each instruction
 /// costs OpWeight(op) × its execution count — observed per-instruction

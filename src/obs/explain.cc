@@ -94,6 +94,7 @@ bool TraceMatchesRegistry(const TraceNode& root, const Snapshot& delta,
       {"plan_cache.program_misses", nullptr, "plan_cache: program miss, lowered"},
       {"superopt.optimized", nullptr, "superopt: program rewritten"},
       {"superopt.unchanged", nullptr, "superopt: no improving rewrite"},
+      {"plan_cache.profile_reopt", nullptr, "plan_cache: profile reopt"},
   };
   bool ok = true;
   for (const Pair& pair : kPairs) {
@@ -122,6 +123,23 @@ bool TraceMatchesRegistry(const TraceNode& root, const Snapshot& delta,
       mismatches->push_back(std::string("exec.dispatch.") + name +
                             ": trace=" + std::to_string(from_trace) +
                             " registry=" + std::to_string(from_registry));
+    }
+  }
+  // Axis density dispatch: every kernel invocation adds 1 to exactly one of
+  // axis.<name>.{sparse,dense}_path on both channels.
+  for (int a = 0; a < kNumAxes; ++a) {
+    const std::string base =
+        std::string("axis.") + AxisToString(static_cast<Axis>(a));
+    for (const char* path : {".sparse_path", ".dense_path"}) {
+      const std::string counter = base + path;
+      const int64_t from_trace = SumAttr(root, counter);
+      const int64_t from_registry = DeltaCounter(delta, counter);
+      if (from_trace != from_registry) {
+        ok = false;
+        mismatches->push_back(counter + ": trace=" +
+                              std::to_string(from_trace) + " registry=" +
+                              std::to_string(from_registry));
+      }
     }
   }
   return ok;
@@ -262,6 +280,7 @@ Result<ExplainOutput> ExplainQuery(const ExplainOptions& options) {
                ", \"fused\": " + std::to_string(so.fused) +
                ", \"merged\": " + std::to_string(so.merged) +
                ", \"hoisted\": " + std::to_string(so.hoisted) +
+               ", \"sunk\": " + std::to_string(so.sunk) +
                ", \"dropped\": " + std::to_string(so.dropped) +
                ", \"cost_before\": " + FmtCost(so.cost_before) +
                ", \"cost_after\": " + FmtCost(so.cost_after) + "}");
@@ -324,7 +343,7 @@ Result<ExplainOutput> ExplainQuery(const ExplainOptions& options) {
     os << "superopt: rewritten in " << so.rounds << " rounds ("
        << so.candidates << " candidates scored): fused=" << so.fused
        << " merged=" << so.merged << " hoisted=" << so.hoisted
-       << " dropped=" << so.dropped << ", est cost "
+       << " sunk=" << so.sunk << " dropped=" << so.dropped << ", est cost "
        << FmtCost(so.cost_before) << " -> " << FmtCost(so.cost_after) << "\n";
     os << "  before superopt: " << before.code().size() << " instrs, "
        << before.num_regs() << " regs\n";

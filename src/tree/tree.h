@@ -42,6 +42,19 @@ class Tree {
   NodeId PrevSibling(NodeId v) const { return prev_sibling_[Index(v)]; }
   int Depth(NodeId v) const { return depth_[Index(v)]; }
 
+  // Read-only preorder column spans (`size()` entries each), for streaming
+  // kernels that scan a whole id window sequentially — the density-adaptive
+  // axis kernels and the downward sweep read these instead of per-node
+  // accessor hops. The spans stay valid and immutable for the tree's
+  // lifetime; entries are exactly what the per-node accessors return
+  // (`kNoNode` sentinels included), so bounds discipline is the caller's.
+  const Symbol* LabelData() const { return label_.data(); }
+  const NodeId* ParentData() const { return parent_.data(); }
+  const NodeId* FirstChildData() const { return first_child_.data(); }
+  const NodeId* NextSiblingData() const { return next_sibling_.data(); }
+  const NodeId* PrevSiblingData() const { return prev_sibling_.data(); }
+  const NodeId* SubtreeEndData() const { return subtree_end_.data(); }
+
   /// One past the last preorder id in the subtree of `v`.
   NodeId SubtreeEnd(NodeId v) const { return subtree_end_[Index(v)]; }
   /// Number of nodes in the subtree rooted at `v` (including `v`).

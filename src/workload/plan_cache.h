@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/alphabet.h"
 #include "common/result.h"
@@ -58,6 +59,8 @@ class PlanCache {
     // program hit even though it was a text miss.
     size_t program_hits = 0;
     size_t program_misses = 0;   // == number of lowering runs
+    size_t profile_reopts = 0;   // warm plans re-cached with a profile-fed
+                                 // superoptimization (see RecordExecution)
     double lowering_seconds = 0; // total wall time inside Program::Compile
     double superopt_seconds = 0; // total wall time inside Superoptimize
   };
@@ -97,6 +100,24 @@ class PlanCache {
   Result<CompiledQuery> ParseCompiled(const std::string& text,
                                       Alphabet* alphabet,
                                       bool optimize = true);
+
+  /// A plan counts as warm — eligible for one profile-fed
+  /// re-superoptimization — after this many recorded executions.
+  static constexpr int kWarmProfiledRuns = 2;
+
+  /// Feeds one execution's per-instruction counts (`RunInfo::instr_execs`
+  /// from the engine that ran `compiled.program`) back into the cache.
+  /// Counts accumulate per canonical plan root; once a root is warm
+  /// (`kWarmProfiledRuns` recorded runs), the next `ParseCompiled` hit for
+  /// it re-runs the superoptimizer with `options.observed_execs` — the
+  /// measured profile instead of the static star-round guess — and
+  /// re-caches the result when its modeled cost improves, bumping
+  /// `plan_cache.profile_reopt` and noting the active trace. Profiles
+  /// against a stale program (recorded across a reopt or an
+  /// eviction+recompile) are dropped; each root reoptimizes at most once
+  /// per cached program generation. Thread-safe.
+  void RecordExecution(const Alphabet* alphabet, const CompiledQuery& compiled,
+                       const std::vector<int64_t>& instr_execs);
 
   /// Drops every cached plan and the interner belonging to `alphabet`.
   /// Call before destroying an alphabet the cache has seen (see class
@@ -143,6 +164,11 @@ class PlanCache {
   struct ProgramSlot {
     NodePtr plan;
     std::weak_ptr<const exec::Program> program;
+    // Accumulated RecordExecution profile, index-aligned with the live
+    // program's code; reset whenever the cached program changes.
+    std::vector<int64_t> observed_execs;
+    int profiled_runs = 0;
+    bool reopt_attempted = false;  // one profile reopt per program generation
   };
   using ProgramMap = std::unordered_map<const NodeExpr*, ProgramSlot>;
 
@@ -154,6 +180,16 @@ class PlanCache {
   /// Looks up a live program for `root` under mu_; also records a hit.
   std::shared_ptr<const exec::Program> ProgramHitLocked(
       const Alphabet* alphabet, const NodeExpr* root);
+  /// The program slot for `root`, or nullptr. Caller holds mu_.
+  ProgramSlot* SlotLocked(const Alphabet* alphabet, const NodeExpr* root);
+  /// Re-runs the superoptimizer on a warm program under its recorded
+  /// profile (`observed` — a snapshot taken under mu_), re-caching and
+  /// rewriting `out->program` on a modeled-cost win. Takes mu_ itself;
+  /// call unlocked. See RecordExecution.
+  void ReoptimizeWarm(const Key& key, const Alphabet* alphabet,
+                      const NodeExpr* root,
+                      const std::vector<int64_t>& observed,
+                      CompiledQuery* out);
   /// Attaches `program` to the LRU entry for `key`, if resident.
   void AttachProgramLocked(const Key& key,
                            std::shared_ptr<const exec::Program> program);
@@ -178,6 +214,7 @@ class PlanCache {
   obs::Counter evictions_;
   obs::Counter program_hits_;
   obs::Counter program_misses_;
+  obs::Counter profile_reopts_;
   obs::Counter lowering_ns_;
   obs::Counter superopt_ns_;
   obs::Registry::CollectorHandle collector_;

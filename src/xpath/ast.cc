@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -127,6 +129,59 @@ std::optional<Axis> AxisFromString(std::string_view name) {
     if (name == AxisToString(axis)) return axis;
   }
   return std::nullopt;
+}
+
+namespace {
+
+// Explicit-stack teardown shared by both expression destructors. Each
+// popped pointer whose refcount we hold exclusively has its children moved
+// onto the worklist first, so its own destructor (which runs as the local
+// shared_ptr drops) finds only null links — constant stack depth however
+// deep the expression. Shared subexpressions (use_count > 1) are left to
+// their last owner, which restarts the same drain.
+struct TeardownQueue {
+  std::vector<PathPtr> paths;
+  std::vector<NodePtr> nodes;
+
+  void TakeFrom(PathExpr* e) {
+    if (e->left) paths.push_back(std::move(e->left));
+    if (e->right) paths.push_back(std::move(e->right));
+    if (e->pred) nodes.push_back(std::move(e->pred));
+  }
+  void TakeFrom(NodeExpr* e) {
+    if (e->left) nodes.push_back(std::move(e->left));
+    if (e->right) nodes.push_back(std::move(e->right));
+    if (e->path) paths.push_back(std::move(e->path));
+  }
+  void Drain() {
+    while (!paths.empty() || !nodes.empty()) {
+      if (!paths.empty()) {
+        PathPtr p = std::move(paths.back());
+        paths.pop_back();
+        // Sole owner: safe to strip children (the object is dying now, and
+        // Make* never produces a const object, so the cast is legal).
+        if (p.use_count() == 1) TakeFrom(const_cast<PathExpr*>(p.get()));
+      } else {
+        NodePtr n = std::move(nodes.back());
+        nodes.pop_back();
+        if (n.use_count() == 1) TakeFrom(const_cast<NodeExpr*>(n.get()));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+PathExpr::~PathExpr() {
+  TeardownQueue q;
+  q.TakeFrom(this);
+  q.Drain();
+}
+
+NodeExpr::~NodeExpr() {
+  TeardownQueue q;
+  q.TakeFrom(this);
+  q.Drain();
 }
 
 PathPtr MakeAxis(Axis axis) {

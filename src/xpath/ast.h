@@ -78,7 +78,13 @@ using PathPtr = std::shared_ptr<const PathExpr>;
 using NodePtr = std::shared_ptr<const NodeExpr>;
 
 /// A path expression: denotes a binary relation over tree nodes.
+///
+/// The destructor tears the ownership graph down iteratively (explicit
+/// worklist, ast.cc): a left-deep chain just under the parser's token cap
+/// is ~10k nodes, which the default recursive shared_ptr teardown turns
+/// into ~10k stack frames — an overflow under sanitizer-sized frames.
 struct PathExpr {
+  ~PathExpr();
   PathOp op;
   Axis axis = Axis::kSelf;  // kAxis
   PathPtr left;             // kSeq, kUnion, kFilter, kStar
@@ -86,8 +92,9 @@ struct PathExpr {
   NodePtr pred;             // kFilter
 };
 
-/// A node expression: denotes a set of tree nodes.
+/// A node expression: denotes a set of tree nodes. Destructor as above.
 struct NodeExpr {
+  ~NodeExpr();
   NodeOp op;
   Symbol label = kInvalidSymbol;  // kLabel
   NodePtr left;                   // kNot, kAnd, kOr, kWithin

@@ -1,90 +1,309 @@
 #include "xpath/axis_kernels.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "common/simd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xptc {
 
-void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
+namespace axis {
+
+namespace {
+
+Mode EnvMode() {
+  static const Mode mode = [] {
+    const char* env = std::getenv("XPTC_AXIS_MODE");
+    if (env == nullptr || env[0] == '\0' || std::strcmp(env, "auto") == 0) {
+      return Mode::kAuto;
+    }
+    if (std::strcmp(env, "sparse") == 0) return Mode::kSparse;
+    if (std::strcmp(env, "dense") == 0) return Mode::kDense;
+    XPTC_CHECK(false) << "unsupported XPTC_AXIS_MODE '" << env
+                      << "' (valid: auto, sparse, dense)";
+    return Mode::kAuto;
+  }();
+  return mode;
+}
+
+std::atomic<int> g_mode_override{-1};
+
+}  // namespace
+
+Mode ActiveMode() {
+  const int forced = g_mode_override.load(std::memory_order_relaxed);
+  return forced < 0 ? EnvMode() : static_cast<Mode>(forced);
+}
+
+void SetModeForTesting(Mode mode) {
+  g_mode_override.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ResetModeForTesting() {
+  g_mode_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace axis
+
+namespace {
+
+// Per-axis dispatch counters, fetched once (registry lookups lock; the
+// kernels pay one relaxed atomic add per image). The same names flow into
+// the active trace so EXPLAIN's trace-vs-registry cross-check covers them.
+struct AxisMetrics {
+  obs::Counter* sparse[kNumAxes];
+  obs::Counter* dense[kNumAxes];
+  std::string sparse_name[kNumAxes];
+  std::string dense_name[kNumAxes];
+  static AxisMetrics& Get() {
+    static AxisMetrics* m = [] {
+      auto* metrics = new AxisMetrics();
+      obs::Registry& reg = obs::Registry::Default();
+      for (int a = 0; a < kNumAxes; ++a) {
+        const std::string name =
+            std::string("axis.") + AxisToString(static_cast<Axis>(a));
+        metrics->sparse_name[a] = name + ".sparse_path";
+        metrics->dense_name[a] = name + ".dense_path";
+        metrics->sparse[a] = &reg.counter(metrics->sparse_name[a]);
+        metrics->dense[a] = &reg.counter(metrics->dense_name[a]);
+      }
+      return metrics;
+    }();
+    return *m;
+  }
+};
+
+void RecordDispatch(Axis axis, bool dense) {
+  AxisMetrics& m = AxisMetrics::Get();
+  const int a = static_cast<int>(axis);
+  (dense ? m.dense : m.sparse)[a]->Inc();
+  if (obs::QueryTrace::Current() != nullptr) {
+    obs::TraceAddCount((dense ? m.dense_name : m.sparse_name)[a].c_str(), 1);
+  }
+}
+
+/// Density gate for the column-streaming child/parent paths: the dense
+/// pass costs O(window) column reads, the sparse pass O(popcount) chases —
+/// so stream once the source set passes 1/kDenseCrossover of the window.
+/// The popcount pre-pass is an O(window/64) SIMD reduction, noise next to
+/// either path above kDenseMinWindow.
+bool UseDense(const Bitset& sources, NodeId lo, NodeId hi) {
+  switch (axis::ActiveMode()) {
+    case axis::Mode::kSparse:
+      return false;
+    case axis::Mode::kDense:
+      return true;
+    case axis::Mode::kAuto:
+      break;
+  }
+  const int window = hi - lo;
+  if (window < axis::kDenseMinWindow) return false;
+  return sources.CountRange(lo, hi) * axis::kDenseCrossover >= window;
+}
+
+// The preorder columns are int32 node ids; the gather kernel indexes with
+// raw int32 spans, so the column pointer is the index vector.
+static_assert(sizeof(NodeId) == sizeof(int32_t),
+              "streaming axis kernels gather through int32 id columns");
+
+// ---------------------------------------------------------------------------
+// Child image. Every node of (lo, hi) has its parent inside [lo, hi) (the
+// window is a subtree), so the dense form is total on the interior:
+// out bit v = sources bit parent_[v].
+
+void ChildImageSparse(const Tree& tree, const Bitset& sources, NodeId lo,
+                      NodeId hi, Bitset* out) {
+  const NodeId* first_child = tree.FirstChildData();
+  const NodeId* next_sibling = tree.NextSiblingData();
+  sources.ForEachSetBitBatch(lo, hi, [&](const int32_t* idx, int count) {
+    for (int k = 0; k < count; ++k) {
+      for (NodeId c = first_child[idx[k]]; c != kNoNode;
+           c = next_sibling[c]) {
+        out->Set(c);
+      }
+    }
+  });
+}
+
+void ChildImageDense(const Tree& tree, const Bitset& sources, NodeId lo,
+                     NodeId hi, Bitset* out) {
+  const NodeId* parent = tree.ParentData();
+  const uint64_t* src = sources.words();
+  const NodeId first = lo + 1;  // the context root has no in-window parent
+  if (first >= hi) return;
+  // Masked head/tail ids scalar, whole 64-id words through the dispatched
+  // bit-gather with the parent column itself as the index vector.
+  const NodeId head_end = std::min(hi, (first + 63) & ~63);
+  for (NodeId v = first; v < head_end; ++v) {
+    if (src[static_cast<uint32_t>(parent[v]) >> 6] >> (parent[v] & 63) & 1) {
+      out->Set(v);
+    }
+  }
+  const NodeId tail_begin = std::max(head_end, hi & ~63);
+  if (head_end < tail_begin) {
+    simd::Active().gather_words(
+        out->mutable_words() + (head_end >> 6), src,
+        reinterpret_cast<const int32_t*>(parent + head_end),
+        static_cast<size_t>(tail_begin - head_end) >> 6);
+  }
+  for (NodeId v = tail_begin; v < hi; ++v) {
+    if (src[static_cast<uint32_t>(parent[v]) >> 6] >> (parent[v] & 63) & 1) {
+      out->Set(v);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parent image. The dense form is the scatter dual: one branch-free
+// sequential pass over the parent column, OR-ing each node's source bit
+// into its parent's output slot.
+
+void ParentImageSparse(const Tree& tree, const Bitset& sources, NodeId lo,
+                       NodeId hi, Bitset* out) {
+  const NodeId* parent = tree.ParentData();
+  sources.ForEachSetBitBatch(lo, hi, [&](const int32_t* idx, int count) {
+    for (int k = 0; k < count; ++k) {
+      if (idx[k] != lo) out->Set(parent[idx[k]]);
+    }
+  });
+}
+
+void ParentImageDense(const Tree& tree, const Bitset& sources, NodeId lo,
+                      NodeId hi, Bitset* out) {
+  const NodeId* parent = tree.ParentData();
+  const uint64_t* src = sources.words();
+  uint64_t* dst = out->mutable_words();
+  for (NodeId v = lo + 1; v < hi; ++v) {
+    const uint64_t bit = src[static_cast<uint32_t>(v) >> 6] >> (v & 63) & 1;
+    const NodeId p = parent[v];  // p in [lo, v): never outside the window
+    dst[static_cast<uint32_t>(p) >> 6] |= bit << (p & 63);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The remaining axes: batch-decoded set-bit iteration over the raw link
+// columns (sparse by nature — their images are link chases or id-range
+// writes that never probe every node of the window).
+
+void AncestorImage(const Tree& tree, const Bitset& sources, NodeId lo,
+                   NodeId hi, Bitset* out) {
+  // Climb parent chains, stopping at the first already-marked ancestor
+  // (everything above it is marked too): O(sources + |image|) total.
+  const NodeId* parent = tree.ParentData();
+  sources.ForEachSetBitBatch(lo, hi, [&](const int32_t* idx, int count) {
+    for (int k = 0; k < count; ++k) {
+      NodeId v = idx[k];
+      while (v != lo) {
+        v = parent[v];
+        if (out->Get(v)) break;
+        out->Set(v);
+      }
+    }
+  });
+}
+
+void DescendantImage(const Tree& tree, const Bitset& sources, NodeId lo,
+                     NodeId hi, Bitset* out) {
+  // The image is a union of preorder intervals [v+1, SubtreeEnd(v)).
+  // Sources inside an already-covered interval are nested subtrees and
+  // contribute nothing new, so jump straight past each interval.
+  for (int v = sources.FindFirstInRange(lo, hi); v >= 0;) {
+    const NodeId end = tree.SubtreeEnd(v);
+    out->SetRange(v + 1, end);
+    v = end >= hi ? -1 : sources.FindFirstInRange(end, hi);
+  }
+}
+
+template <bool kForward>
+void AdjacentSiblingImage(const Tree& tree, const Bitset& sources, NodeId lo,
+                          NodeId hi, Bitset* out) {
+  const NodeId* link =
+      kForward ? tree.NextSiblingData() : tree.PrevSiblingData();
+  sources.ForEachSetBitBatch(lo, hi, [&](const int32_t* idx, int count) {
+    for (int k = 0; k < count; ++k) {
+      if (idx[k] == lo) continue;  // the context root has no siblings
+      const NodeId s = link[idx[k]];
+      if (s != kNoNode) out->Set(s);
+    }
+  });
+}
+
+template <bool kForward>
+void TransitiveSiblingImage(const Tree& tree, const Bitset& sources, NodeId lo,
+                            NodeId hi, Bitset* out) {
+  // Walk each sibling chain, stopping at the first already-marked sibling
+  // (the rest of that chain is already marked).
+  const NodeId* link =
+      kForward ? tree.NextSiblingData() : tree.PrevSiblingData();
+  sources.ForEachSetBitBatch(lo, hi, [&](const int32_t* idx, int count) {
+    for (int k = 0; k < count; ++k) {
+      if (idx[k] == lo) continue;
+      for (NodeId s = link[idx[k]]; s != kNoNode && !out->Get(s);
+           s = link[s]) {
+        out->Set(s);
+      }
+    }
+  });
+}
+
+/// The non-counting implementation body; `AxisImageInto` wraps it with the
+/// dispatch decision and the per-axis counters (counted once per public
+/// call — the or-self axes delegate here, not through the public entry).
+bool AxisImageImpl(const Tree& tree, Axis axis, const Bitset& sources,
                    NodeId lo, NodeId hi, Bitset* out) {
   switch (axis) {
     case Axis::kSelf:
       out->CopyRange(sources, lo, hi);
       break;
     case Axis::kChild:
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        for (NodeId c = tree.FirstChild(v); c != kNoNode;
-             c = tree.NextSibling(c)) {
-          out->Set(c);
-        }
-      });
+      if (UseDense(sources, lo, hi)) {
+        ChildImageDense(tree, sources, lo, hi, out);
+        return true;
+      }
+      ChildImageSparse(tree, sources, lo, hi, out);
       break;
     case Axis::kParent:
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        if (v != lo) out->Set(tree.Parent(v));
-      });
+      if (UseDense(sources, lo, hi)) {
+        ParentImageDense(tree, sources, lo, hi, out);
+        return true;
+      }
+      ParentImageSparse(tree, sources, lo, hi, out);
       break;
     case Axis::kDescendant:
-      // The image is a union of preorder intervals [v+1, SubtreeEnd(v)).
-      // Sources inside an already-covered interval are nested subtrees and
-      // contribute nothing new, so jump straight past each interval.
-      for (int v = sources.FindFirstInRange(lo, hi); v >= 0;) {
-        const NodeId end = tree.SubtreeEnd(v);
-        out->SetRange(v + 1, end);
-        v = end >= hi ? -1 : sources.FindFirstInRange(end, hi);
-      }
+      DescendantImage(tree, sources, lo, hi, out);
       break;
     case Axis::kAncestor:
-      // Climb parent chains, stopping at the first already-marked ancestor
-      // (everything above it is marked too): O(sources + |image|) total.
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        while (v != lo) {
-          v = tree.Parent(v);
-          if (out->Get(v)) break;
-          out->Set(v);
-        }
-      });
+      AncestorImage(tree, sources, lo, hi, out);
       break;
-    case Axis::kDescendantOrSelf:
-      AxisImageInto(tree, Axis::kDescendant, sources, lo, hi, out);
+    case Axis::kDescendantOrSelf: {
+      const bool dense = AxisImageImpl(tree, Axis::kDescendant, sources, lo,
+                                       hi, out);
       out->OrRange(sources, lo, hi);
-      break;
-    case Axis::kAncestorOrSelf:
-      AxisImageInto(tree, Axis::kAncestor, sources, lo, hi, out);
+      return dense;
+    }
+    case Axis::kAncestorOrSelf: {
+      const bool dense =
+          AxisImageImpl(tree, Axis::kAncestor, sources, lo, hi, out);
       out->OrRange(sources, lo, hi);
-      break;
+      return dense;
+    }
     case Axis::kNextSibling:
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        if (v == lo) return;  // the context root has no siblings
-        const NodeId s = tree.NextSibling(v);
-        if (s != kNoNode) out->Set(s);
-      });
+      AdjacentSiblingImage<true>(tree, sources, lo, hi, out);
       break;
     case Axis::kPrevSibling:
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        if (v == lo) return;
-        const NodeId s = tree.PrevSibling(v);
-        if (s != kNoNode) out->Set(s);
-      });
+      AdjacentSiblingImage<false>(tree, sources, lo, hi, out);
       break;
     case Axis::kFollowingSibling:
-      // Walk each sibling chain, stopping at the first already-marked
-      // sibling (the rest of that chain is already marked).
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        if (v == lo) return;
-        for (NodeId s = tree.NextSibling(v); s != kNoNode && !out->Get(s);
-             s = tree.NextSibling(s)) {
-          out->Set(s);
-        }
-      });
+      TransitiveSiblingImage<true>(tree, sources, lo, hi, out);
       break;
     case Axis::kPrecedingSibling:
-      sources.ForEachSetBitInRange(lo, hi, [&](int v) {
-        if (v == lo) return;
-        for (NodeId s = tree.PrevSibling(v); s != kNoNode && !out->Get(s);
-             s = tree.PrevSibling(s)) {
-          out->Set(s);
-        }
-      });
+      TransitiveSiblingImage<false>(tree, sources, lo, hi, out);
       break;
     case Axis::kFollowing: {
       // following(n) = {m : m >= SubtreeEnd(n)} in preorder ids, so the
@@ -114,6 +333,15 @@ void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
       break;
     }
   }
+  return false;
+}
+
+}  // namespace
+
+void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
+                   NodeId lo, NodeId hi, Bitset* out) {
+  const bool dense = AxisImageImpl(tree, axis, sources, lo, hi, out);
+  RecordDispatch(axis, dense);
 }
 
 }  // namespace xptc

@@ -9,10 +9,25 @@ namespace xptc {
 
 /// Word-level axis image kernels, shared by the interpreting `Evaluator`
 /// (xpath/eval.cc) and the compiled execution backend (src/exec/). One
-/// implementation means one set of bugs and one perf contract: every kernel
-/// iterates the *set bits* of `sources` (word-at-a-time ctz) or writes
-/// whole id ranges; none probes every node id of the context. Per-axis
-/// costs are tabulated in DESIGN.md §7.
+/// implementation means one set of bugs and one perf contract. Per-axis
+/// costs are tabulated in DESIGN.md §7; the density model is DESIGN.md §13.
+///
+/// Every kernel is *density-adaptive* where the tree layout allows it:
+///
+///  - sparse path: iterate the set bits of `sources` (batch-decoded a word
+///    at a time — `Bitset::DecodeWord`, no lambda call per bit) and chase
+///    the per-node links. Cost O(|sources| + |image|).
+///  - dense path (child/parent): one sequential pass over the preorder
+///    `parent_` column. Child-image is a bit-gather — out bit v =
+///    sources[parent_[v]], SIMD-gathered through the `gather_words`
+///    dispatch kernel (common/simd.h); parent-image is the branch-free
+///    scatter dual. Cost O(window), bandwidth-bound instead of
+///    latency-bound.
+///
+/// The auto dispatch picks dense when `popcount * kDenseCrossover >=
+/// window` (measured crossover, see DESIGN.md §13) and records the
+/// decision per axis on the `axis.<name>.sparse_path` / `.dense_path`
+/// registry counters plus the active EXPLAIN trace.
 ///
 /// The image is computed within the context subtree [lo, hi) of `tree`
 /// (`hi == tree.SubtreeEnd(lo)`), with `lo` acting as the context root: it
@@ -21,6 +36,43 @@ namespace xptc {
 /// outside [lo, hi) are never written.
 void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
                    NodeId lo, NodeId hi, Bitset* out);
+
+namespace axis {
+
+/// Dispatch policy for the density-adaptive kernels. `kAuto` (the default)
+/// applies the measured popcount-vs-window crossover; `kSparse`/`kDense`
+/// force one path — how the bench measures the ctz baseline and how the
+/// unit tests cover both paths deterministically. The `XPTC_AXIS_MODE`
+/// environment variable (`auto` | `sparse` | `dense`) picks the startup
+/// default.
+enum class Mode : int {
+  kAuto = 0,
+  kSparse = 1,
+  kDense = 2,
+};
+
+Mode ActiveMode();
+
+/// Forces the dispatch mode. Not thread-safe against concurrent kernel
+/// users; call from single-threaded setup only (same contract as
+/// `simd::SetLevelForTesting`).
+void SetModeForTesting(Mode mode);
+
+/// Reverts `SetModeForTesting` to the environment/default policy.
+void ResetModeForTesting();
+
+/// Auto dispatch takes the dense path when `popcount(sources ∩ window) *
+/// kDenseCrossover >= window` — i.e. above 1/kDenseCrossover density. The
+/// constant is the measured crossover of the two paths on uniform random
+/// trees (bench/exp14_axis_streaming.cc re-measures it every run).
+inline constexpr int kDenseCrossover = 8;
+
+/// Windows below this many nodes always take the sparse path: both paths
+/// are a few dozen nanoseconds there and the popcount pre-pass would be
+/// pure overhead.
+inline constexpr int kDenseMinWindow = 256;
+
+}  // namespace axis
 
 }  // namespace xptc
 

@@ -1,0 +1,277 @@
+// Density-dispatch equivalence tests for the shared axis image kernels
+// (xpath/axis_kernels.h). Every axis is checked against a per-node
+// reference — mark the axis image of each source node individually — on
+// several tree shapes, with the dispatch forced to the sparse path, forced
+// to the dense path, and left on auto, over both the full tree and nested
+// subtree windows, with sparse and dense source sets. The sparse and dense
+// paths must be bit-for-bit interchangeable: the bench gates and the fuzz
+// oracles rely on the dispatch being unobservable in results.
+
+#include "xpath/axis_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/alphabet.h"
+#include "common/bitset.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "obs/metrics.h"
+#include "tree/generate.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+namespace xptc {
+namespace {
+
+struct ModeGuard {
+  ~ModeGuard() { axis::ResetModeForTesting(); }
+};
+
+constexpr Axis kAllAxes[] = {
+    Axis::kSelf,           Axis::kChild,
+    Axis::kParent,         Axis::kDescendant,
+    Axis::kAncestor,       Axis::kDescendantOrSelf,
+    Axis::kAncestorOrSelf, Axis::kNextSibling,
+    Axis::kPrevSibling,    Axis::kFollowingSibling,
+    Axis::kPrecedingSibling, Axis::kFollowing,
+    Axis::kPreceding,
+};
+static_assert(sizeof(kAllAxes) / sizeof(kAllAxes[0]) == kNumAxes);
+
+// Marks the axis image of one source node `v` (context [lo, hi), context
+// root `lo`: no parent, no siblings) — the obvious per-node semantics the
+// set-at-a-time kernels must reproduce.
+void MarkNodeImage(const Tree& tree, Axis axis, NodeId v, NodeId lo,
+                   NodeId hi, Bitset* out) {
+  switch (axis) {
+    case Axis::kSelf:
+      out->Set(v);
+      break;
+    case Axis::kChild:
+      for (NodeId c = tree.FirstChild(v); c != kNoNode;
+           c = tree.NextSibling(c)) {
+        out->Set(c);
+      }
+      break;
+    case Axis::kParent:
+      if (v != lo) out->Set(tree.Parent(v));
+      break;
+    case Axis::kDescendant:
+      for (NodeId m = v + 1; m < tree.SubtreeEnd(v); ++m) out->Set(m);
+      break;
+    case Axis::kAncestor:
+      for (NodeId a = v; a != lo;) {
+        a = tree.Parent(a);
+        out->Set(a);
+      }
+      break;
+    case Axis::kDescendantOrSelf:
+      MarkNodeImage(tree, Axis::kDescendant, v, lo, hi, out);
+      out->Set(v);
+      break;
+    case Axis::kAncestorOrSelf:
+      MarkNodeImage(tree, Axis::kAncestor, v, lo, hi, out);
+      out->Set(v);
+      break;
+    case Axis::kNextSibling:
+      if (v != lo && tree.NextSibling(v) != kNoNode) {
+        out->Set(tree.NextSibling(v));
+      }
+      break;
+    case Axis::kPrevSibling:
+      if (v != lo && tree.PrevSibling(v) != kNoNode) {
+        out->Set(tree.PrevSibling(v));
+      }
+      break;
+    case Axis::kFollowingSibling:
+      if (v != lo) {
+        for (NodeId s = tree.NextSibling(v); s != kNoNode;
+             s = tree.NextSibling(s)) {
+          out->Set(s);
+        }
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      if (v != lo) {
+        for (NodeId s = tree.PrevSibling(v); s != kNoNode;
+             s = tree.PrevSibling(s)) {
+          out->Set(s);
+        }
+      }
+      break;
+    case Axis::kFollowing:
+      for (NodeId m = tree.SubtreeEnd(v); m < hi; ++m) out->Set(m);
+      break;
+    case Axis::kPreceding:
+      for (NodeId m = lo; m < v; ++m) {
+        if (tree.SubtreeEnd(m) <= v) out->Set(m);
+      }
+      break;
+  }
+}
+
+Bitset ReferenceImage(const Tree& tree, Axis axis, const Bitset& sources,
+                      NodeId lo, NodeId hi) {
+  Bitset out(tree.size());
+  for (int v = sources.FindFirstInRange(lo, hi); v >= 0 && v < hi;
+       v = sources.FindNext(v)) {
+    MarkNodeImage(tree, axis, v, lo, hi, &out);
+  }
+  return out;
+}
+
+Bitset RandomSources(const Tree& tree, NodeId lo, NodeId hi, double density,
+                     Rng* rng) {
+  Bitset out(tree.size());
+  for (NodeId v = lo; v < hi; ++v) {
+    if (rng->NextBool(density)) out.Set(v);
+  }
+  return out;
+}
+
+// Every axis × {sparse, dense, auto} dispatch × {sparse, dense} sources,
+// on the full tree and on nested subtree windows, must equal the per-node
+// reference bit for bit.
+void CheckTree(const Tree& tree, Rng* rng) {
+  ModeGuard guard;
+  // The full tree plus every subtree window big enough to be interesting
+  // (capped to keep the sweep quick).
+  std::vector<NodeId> roots = {0};
+  for (NodeId v = 1; v < tree.size() && roots.size() < 6; ++v) {
+    if (tree.SubtreeSize(v) >= 8) roots.push_back(v);
+  }
+  for (NodeId lo : roots) {
+    const NodeId hi = tree.SubtreeEnd(lo);
+    for (double density : {0.03, 0.6}) {
+      const Bitset sources = RandomSources(tree, lo, hi, density, rng);
+      for (Axis axis : kAllAxes) {
+        const Bitset expected = ReferenceImage(tree, axis, sources, lo, hi);
+        for (axis::Mode mode : {axis::Mode::kSparse, axis::Mode::kDense,
+                                axis::Mode::kAuto}) {
+          axis::SetModeForTesting(mode);
+          Bitset got(tree.size());
+          AxisImageInto(tree, axis, sources, lo, hi, &got);
+          ASSERT_EQ(got, expected)
+              << AxisToString(axis) << " mode=" << static_cast<int>(mode)
+              << " window=[" << lo << "," << hi << ") density=" << density
+              << " n=" << tree.size();
+        }
+      }
+    }
+  }
+}
+
+TEST(AxisKernelsTest, AllAxesMatchReferenceAcrossShapesAndModes) {
+  Alphabet alphabet;
+  Rng rng(20260807);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 3);
+  for (TreeShape shape :
+       {TreeShape::kUniformRecursive, TreeShape::kChain, TreeShape::kStar,
+        TreeShape::kFullBinary, TreeShape::kCaterpillar}) {
+    for (int n : {1, 5, 63, 64, 65, 300, 1000}) {
+      TreeGenOptions options;
+      options.num_nodes = n;
+      options.shape = shape;
+      const Tree tree = GenerateTree(options, labels, &rng);
+      CheckTree(tree, &rng);
+    }
+  }
+}
+
+// The auto crossover must pick the dense path for saturated windows and
+// the sparse path for near-empty ones (observable via registry counters).
+TEST(AxisKernelsTest, AutoDispatchFollowsDensity) {
+  ModeGuard guard;
+  axis::ResetModeForTesting();
+  Alphabet alphabet;
+  Rng rng(7);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  TreeGenOptions options;
+  options.num_nodes = 4096;
+  const Tree tree = GenerateTree(options, labels, &rng);
+
+  Bitset all(tree.size());
+  all.SetRange(0, tree.size());
+  Bitset one(tree.size());
+  one.Set(0);
+
+  auto& reg = obs::Registry::Default();
+  auto delta = [&](const char* name, auto&& fn) {
+    const int64_t before = reg.counter(name).value();
+    fn();
+    return reg.counter(name).value() - before;
+  };
+
+  Bitset out(tree.size());
+  EXPECT_EQ(delta("axis.child.dense_path",
+                  [&] {
+                    out.ResetAll();
+                    AxisImageInto(tree, Axis::kChild, all, 0, tree.size(),
+                                  &out);
+                  }),
+            1);
+  EXPECT_EQ(delta("axis.parent.dense_path",
+                  [&] {
+                    out.ResetAll();
+                    AxisImageInto(tree, Axis::kParent, all, 0, tree.size(),
+                                  &out);
+                  }),
+            1);
+  EXPECT_EQ(delta("axis.child.sparse_path",
+                  [&] {
+                    out.ResetAll();
+                    AxisImageInto(tree, Axis::kChild, one, 0, tree.size(),
+                                  &out);
+                  }),
+            1);
+}
+
+// Tiny windows always take the sparse path under auto: the popcount
+// pre-pass would dominate there.
+TEST(AxisKernelsTest, AutoDispatchKeepsSmallWindowsSparse) {
+  ModeGuard guard;
+  axis::ResetModeForTesting();
+  Alphabet alphabet;
+  Rng rng(8);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  TreeGenOptions options;
+  options.num_nodes = axis::kDenseMinWindow - 1;
+  const Tree tree = GenerateTree(options, labels, &rng);
+  Bitset all(tree.size());
+  all.SetRange(0, tree.size());
+  auto& reg = obs::Registry::Default();
+  const int64_t before = reg.counter("axis.child.sparse_path").value();
+  Bitset out(tree.size());
+  AxisImageInto(tree, Axis::kChild, all, 0, tree.size(), &out);
+  EXPECT_EQ(reg.counter("axis.child.sparse_path").value() - before, 1);
+}
+
+// Mode forcing helpers round-trip and the SIMD level does not change
+// dispatch results: forced-dense child images agree between the active
+// and generic kernels (the gather has scalar and vector forms).
+TEST(AxisKernelsTest, DenseChildAgreesAcrossSimdLevels) {
+  ModeGuard guard;
+  axis::SetModeForTesting(axis::Mode::kDense);
+  Alphabet alphabet;
+  Rng rng(9);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  TreeGenOptions options;
+  options.num_nodes = 3000;
+  options.shape = TreeShape::kUniformRecursive;
+  const Tree tree = GenerateTree(options, labels, &rng);
+  const Bitset sources = RandomSources(tree, 0, tree.size(), 0.5, &rng);
+
+  Bitset generic_out(tree.size());
+  simd::SetLevelForTesting(simd::Level::kGeneric);
+  AxisImageInto(tree, Axis::kChild, sources, 0, tree.size(), &generic_out);
+  simd::ResetLevelForTesting();
+
+  Bitset active_out(tree.size());
+  AxisImageInto(tree, Axis::kChild, sources, 0, tree.size(), &active_out);
+  EXPECT_EQ(generic_out, active_out);
+}
+
+}  // namespace
+}  // namespace xptc

@@ -219,5 +219,84 @@ TEST(BitsetKernelsTest, CountRangeMatchesPerBitReference) {
   }
 }
 
+TEST(BitsetKernelsTest, DecodeWordMatchesCtzIteration) {
+  Rng rng(505);
+  std::vector<uint64_t> words = {0ull, 1ull, 1ull << 63, ~0ull,
+                                 0x8000000000000001ull, 0xaaaaaaaaaaaaaaaaull,
+                                 0x5555555555555555ull, 0x00000000ffffffffull};
+  for (int i = 0; i < 200; ++i) {
+    words.push_back(rng.Next());
+    // Sparse words too — random masks leave only a few bits.
+    words.push_back(rng.Next() & rng.Next() & rng.Next());
+  }
+  for (const uint64_t word : words) {
+    for (const int base : {0, 64, 640}) {
+      // Poison the slack lanes to check garbage stays confined to
+      // [count, count + kDecodeSlack).
+      int32_t buf[64 + Bitset::kDecodeSlack];
+      for (int32_t& b : buf) b = -7;
+      const int count = Bitset::DecodeWord(word, base, buf);
+      EXPECT_EQ(count, __builtin_popcountll(word));
+      std::vector<int32_t> expected;
+      for (uint64_t w = word; w != 0; w &= w - 1) {
+        expected.push_back(base + __builtin_ctzll(w));
+      }
+      EXPECT_EQ(std::vector<int32_t>(buf, buf + count), expected)
+          << "word=" << word << " base=" << base;
+      for (size_t i = static_cast<size_t>(count) + Bitset::kDecodeSlack;
+           i < sizeof(buf) / sizeof(buf[0]); ++i) {
+        EXPECT_EQ(buf[i], -7) << "lane " << i << " written past the slack";
+      }
+    }
+  }
+}
+
+TEST(BitsetKernelsTest, DecodeRangeMatchesForEachInRange) {
+  Rng rng(606);
+  for (int round = 0; round < 80; ++round) {
+    const int size = rng.NextInt(1, 400);
+    const double density = round % 2 == 0 ? 0.04 : 0.7;
+    const Bitset bits = RandomBitset(size, &rng, density);
+    int lo = rng.NextInt(0, size);
+    int hi = rng.NextInt(0, size);
+    if (lo > hi) std::swap(lo, hi);
+    const std::vector<int> expected = CollectForEachInRange(bits, lo, hi);
+    std::vector<int32_t> buf(
+        static_cast<size_t>(bits.CountRange(lo, hi)) + Bitset::kDecodeSlack);
+    const int count = bits.DecodeRange(lo, hi, buf.data());
+    ASSERT_EQ(count, static_cast<int>(expected.size()))
+        << "size " << size << " range [" << lo << ", " << hi << ")";
+    for (int i = 0; i < count; ++i) {
+      ASSERT_EQ(buf[static_cast<size_t>(i)], expected[static_cast<size_t>(i)])
+          << "index " << i << " size " << size << " range [" << lo << ", "
+          << hi << ")";
+    }
+  }
+}
+
+TEST(BitsetKernelsTest, ForEachSetBitBatchMatchesPerBitIteration) {
+  Rng rng(707);
+  for (int round = 0; round < 80; ++round) {
+    const int size = rng.NextInt(1, 400);
+    const Bitset bits = RandomBitset(size, &rng, round % 2 == 0 ? 0.05 : 0.6);
+    int lo = rng.NextInt(0, size);
+    int hi = rng.NextInt(0, size);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<int> got;
+    bits.ForEachSetBitBatch(lo, hi, [&](const int32_t* idx, int count) {
+      ASSERT_GT(count, 0);  // empty words are skipped, not surfaced
+      ASSERT_LE(count, 64);
+      got.insert(got.end(), idx, idx + count);
+    });
+    EXPECT_EQ(got, CollectForEachInRange(bits, lo, hi))
+        << "size " << size << " range [" << lo << ", " << hi << ")";
+  }
+  // ToVector routes through the batch path; spot-check boundary sizes.
+  for (int size : {1, 63, 64, 65, 129}) {
+    const Bitset bits = RandomBitset(size, &rng);
+    EXPECT_EQ(bits.ToVector(), CollectForEach(bits)) << "size " << size;
+  }
+}
+
 }  // namespace
 }  // namespace xptc

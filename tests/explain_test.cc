@@ -47,11 +47,11 @@ query
     - plan_cache: text miss, parsed + interned
     - superopt: no improving rewrite
     - plan_cache: program miss, lowered
-  exec.eval axis.aos.touches=28 star_rounds_used=0 star_round_budget=72 instrs_executed=4 result_count=28
+  exec.eval axis.aos.sparse_path=1 axis.aos.touches=28 star_rounds_used=0 star_round_budget=72 instrs_executed=4 result_count=28
     - dispatch: register_machine
-  interpreter.select axis.aos.touches=28 result_count=28
+  interpreter.select axis.aos.sparse_path=1 axis.aos.touches=28 result_count=28
 
-registry delta (counters): {"exec.dispatch.register_machine": 1, "exec.evals": 1, "exec.instrs_executed": 4, "plan_cache.misses": 1, "plan_cache.program_misses": 1, "superopt.programs": 1, "superopt.unchanged": 1, "tree_cache.label_builds": 1}
+registry delta (counters): {"axis.aos.sparse_path": 2, "exec.dispatch.register_machine": 1, "exec.evals": 1, "exec.instrs_executed": 4, "plan_cache.misses": 1, "plan_cache.program_misses": 1, "superopt.programs": 1, "superopt.unchanged": 1, "tree_cache.label_builds": 1}
 consistent: true
 )";
 

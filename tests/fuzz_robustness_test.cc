@@ -192,6 +192,27 @@ TEST(FuzzTest, LimitsDoNotRejectReasonableInput) {
   EXPECT_TRUE(Tree::FromTerm(wide_term, &alphabet).ok());
 }
 
+// Regression: a chain just under the token cap is legal input, and its
+// ~10k-node left-deep AST used to be torn down by recursive shared_ptr
+// destructors — a stack overflow under sanitizer-sized frames (the suite
+// previously avoided this size entirely). PathExpr/NodeExpr teardown is
+// now an explicit worklist, so the largest parseable expression destroys
+// in constant stack depth.
+TEST(FuzzTest, MaxSizeChainDestroysWithoutRecursion) {
+  Alphabet alphabet;
+  std::string chain = "self";
+  for (int i = 0; i < 9990; ++i) chain += "/self";
+  Result<PathPtr> parsed = ParsePath(chain, &alphabet);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  parsed->reset();  // the teardown is the test
+
+  std::string nodes = "true";
+  for (int i = 0; i < 4900; ++i) nodes += " and <self>";
+  Result<NodePtr> node_parsed = ParseNode(nodes, &alphabet);
+  ASSERT_TRUE(node_parsed.ok()) << node_parsed.status().ToString();
+  node_parsed->reset();
+}
+
 // Soup that happens to parse as a node expression must also evaluate
 // cleanly — and identically — in every engine-tier pipeline.
 TEST(FuzzTest, ParseableSoupAgreesAcrossOracles) {

@@ -183,6 +183,39 @@ TEST(SimdKernelsTest, InPlaceKernelsTolerateAliasedOperands) {
   }
 }
 
+TEST(SimdKernelsTest, GatherKernelMatchesPerBitReference) {
+  // dst[w] bit b = src bit idx[64*w + b] — checked per bit against a naive
+  // extraction at every level, with indices spanning the whole source
+  // (including repeats, which the streaming child-image relies on: many
+  // nodes share one parent).
+  Rng rng(606);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{5}, size_t{16}, size_t{63}}) {
+    const size_t src_words = 7;
+    const std::vector<uint64_t> src = RandomWords(src_words, &rng);
+    std::vector<int32_t> idx(n * 64);
+    for (int32_t& i : idx) {
+      i = static_cast<int32_t>(rng.NextBelow(src_words * 64));
+    }
+    std::vector<uint64_t> expected(n);
+    for (size_t w = 0; w < n; ++w) {
+      uint64_t word = 0;
+      for (int b = 0; b < 64; ++b) {
+        const int32_t i = idx[w * 64 + static_cast<size_t>(b)];
+        word |= ((src[static_cast<size_t>(i) >> 6] >> (i & 63)) & 1ull)
+                << b;
+      }
+      expected[w] = word;
+    }
+    for (Level level : AvailableLevels()) {
+      std::vector<uint64_t> actual(n, 0xfeedfacefeedfaceull);
+      KernelsFor(level).gather_words(actual.data(), src.data(), idx.data(),
+                                     n);
+      EXPECT_EQ(actual, expected)
+          << "gather level=" << LevelName(level) << " n=" << n;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Bitset-layer equivalence under each forced level: the ranged kernels
 // split [lo, hi) into masked partial words and a whole-word middle run;

@@ -187,6 +187,47 @@ TEST(SuperoptTest, ObservedExecCountsSteerTheCostModelWithoutBreakingIt) {
   EXPECT_TRUE(VerifyProgram(*opt2));
 }
 
+TEST(SuperoptTest, SinkMovesSetupIntoZeroRoundStarBodyOnly) {
+  // The sink rewrite is profile-only: a main-sequence instruction consumed
+  // solely inside one star's body moves to the body top when the measured
+  // profile prices the body below one execution. `<(child[a]/desc)*[c]>`
+  // lowers `label a` into main (the static model keeps it there — the body
+  // runs star_round_estimate times per round under static pricing), so:
+  //  - static call: no sink, program unchanged on this query;
+  //  - zero-round profile: sink fires and the result stays equivalent,
+  //    even on a tree where the star DOES run.
+  Alphabet alphabet;
+  auto base = Program::Compile(Q("<(child[a]/desc)*[c]>", &alphabet));
+  auto statically = Superoptimize(base);
+  if (statically->pre_superopt() != nullptr) {
+    EXPECT_EQ(statically->superopt_stats().sunk, 0);
+  }
+
+  Rng rng(5);
+  TreeGenOptions gen;
+  gen.num_nodes = 300;
+  // Two labels only — `c` never occurs, the star converges in zero rounds.
+  const Tree tree = GenerateTree(gen, DefaultLabels(&alphabet, 2), &rng);
+  ExecEngine engine(tree);
+  const Bitset expected = engine.EvalGeneral(*base);
+  SuperoptOptions options;
+  options.observed_execs = &engine.last_run().instr_execs;
+  options.star_round_estimate = 0.0;  // what MeasuredStarRounds would say
+  auto opt = Superoptimize(base, options);
+  ASSERT_NE(opt, base);
+  EXPECT_GE(opt->superopt_stats().sunk, 1);
+  EXPECT_TRUE(VerifyProgram(*opt));
+  EXPECT_EQ(engine.EvalGeneral(*opt), expected);
+  // Equivalence must hold beyond the profiled tree: with `c` present the
+  // star iterates and the sunk setup recomputes identically every round.
+  Rng rng3(6);
+  TreeGenOptions gen3;
+  gen3.num_nodes = 300;
+  const Tree tree3 = GenerateTree(gen3, DefaultLabels(&alphabet, 3), &rng3);
+  ExecEngine engine3(tree3);
+  EXPECT_EQ(engine3.EvalGeneral(*opt), engine3.EvalGeneral(*base));
+}
+
 TEST(SuperoptTest, OptimizedProgramsAreBitForBitEquivalent) {
   Alphabet alphabet;
   const char* queries[] = {
