@@ -127,6 +127,12 @@ std::string AxisJsonPath() {
   return (value != nullptr && value[0] != '\0') ? value : "BENCH_axis.json";
 }
 
+std::string ServingJsonPath() {
+  const char* value = std::getenv("XPTC_BENCH_SERVING_JSON");
+  return (value != nullptr && value[0] != '\0') ? value
+                                                : "BENCH_serving.json";
+}
+
 namespace {
 
 std::string JsonEscape(const std::string& text) {

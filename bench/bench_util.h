@@ -117,6 +117,12 @@ std::string KernelsJsonPath();
 /// numbers depend on the host's gather throughput.
 std::string AxisJsonPath();
 
+/// Path of the serving benchmark JSON (XPTC_BENCH_SERVING_JSON or
+/// BENCH_serving.json): loopback latency percentiles, saturation QPS, and
+/// the overload shed accounting from bench/exp15_serving.cc. Separate
+/// file because the numbers depend on core count and the loopback stack.
+std::string ServingJsonPath();
+
 /// Deterministic tree for benchmarks.
 Tree BenchTree(Alphabet* alphabet, int num_nodes, TreeShape shape,
                uint64_t seed, int num_labels = 3);

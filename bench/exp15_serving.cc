@@ -1,0 +1,385 @@
+// E15 — Query serving: end-to-end loopback load test of the epoll
+// front-end (src/server/) built over the batch/exec layers.
+//
+// Like E11 this measures no claim from the paper; it measures the
+// serving layer the repo grew around the paper's evaluator. Three
+// sections matter:
+//   1. latency: open-loop paced arrivals (latency measured from the
+//      *intended* send time, so a stalled server cannot hide behind
+//      coordinated omission) → p50/p99/p999;
+//   2. saturation: closed-loop clients at full tilt → QPS;
+//   3. overload: a deliberately starved server (1 worker, tiny admission
+//      queue) under full-tilt load MUST shed (non-zero kOverloaded), MUST
+//      NOT produce a single malformed response frame, and the
+//      server.shed counter must equal the shed responses observed on the
+//      wire — the bench exits non-zero otherwise, so it doubles as the
+//      CI overload gate.
+//
+// JSON section schema ("exp15_serving" in BENCH_serving.json):
+//   {"smoke": bool, "hw_threads": int, "trees": int,
+//    "nodes_per_tree": int, "conns": int,
+//    "latency": {"rate_qps": f, "samples": int, "p50_us": f, "p99_us": f,
+//                "p999_us": f},
+//    "saturation": {"conns": int, "seconds": f, "requests": int, "qps": f},
+//    "overload": {"requests": int, "ok": int, "shed": int,
+//                 "shed_counter": int, "deadline_exceeded": int,
+//                 "protocol_errors": int, "counters_match": bool}}
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/threadpool.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "tree/xml.h"
+
+namespace xptc {
+namespace {
+
+using server::BlockingClient;
+using server::EvalMode;
+using server::QueryServer;
+using server::QueryService;
+using server::RespCode;
+using server::ServerOptions;
+using server::ServiceOptions;
+
+using Clock = std::chrono::steady_clock;
+
+const char* kWorkload[] = {
+    "<child[a]>", "<desc[b]>", "b or c", "<child[<child[c]>]>",
+    "<desc[a]> and <desc[b]>", "<(child)*[a]>", "not a", "leaf",
+};
+constexpr size_t kWorkloadSize = sizeof(kWorkload) / sizeof(kWorkload[0]);
+
+struct Percentiles {
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
+Percentiles ComputePercentiles(std::vector<double>* us) {
+  Percentiles p;
+  if (us->empty()) return p;
+  std::sort(us->begin(), us->end());
+  const auto at = [&](double q) {
+    const size_t i = static_cast<size_t>(q * (us->size() - 1));
+    return (*us)[i];
+  };
+  p.p50_us = at(0.50);
+  p.p99_us = at(0.99);
+  p.p999_us = at(0.999);
+  return p;
+}
+
+std::unique_ptr<QueryService> BuildService(int trees, int nodes_per_tree,
+                                           int workers) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  auto service = std::make_unique<QueryService>(options);
+  Alphabet scratch;  // labels only; the service re-parses into its own
+  for (int t = 0; t < trees; ++t) {
+    const Tree tree = bench::BenchTree(&scratch, nodes_per_tree,
+                                       TreeShape::kUniformRecursive,
+                                       /*seed=*/1000 + t);
+    const std::string xml = WriteXml(tree, scratch);
+    auto id = service->AddTreeXml(xml);
+    if (!id.ok()) {
+      std::fprintf(stderr, "FATAL: AddTreeXml: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return service;
+}
+
+int64_t CounterValue(const char* name) {
+  return obs::Registry::Default().counter(name).value();
+}
+
+/// Closed-loop phase: `conns` clients at full tilt for `seconds`.
+/// Returns total completed requests; every response must be kOk.
+int64_t ClosedLoop(uint16_t port, int conns, double seconds, int trees,
+                   std::atomic<int>* errors) {
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> threads;
+  const auto stop_at = Clock::now() +
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = BlockingClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++*errors;
+        return;
+      }
+      int64_t i = 0;
+      while (Clock::now() < stop_at) {
+        const char* query = kWorkload[(c + i) % kWorkloadSize];
+        const int t = static_cast<int>((c * 31 + i) % trees);
+        auto resp = client->Query(query, {t}, EvalMode::kNodeSet);
+        if (!resp.ok() || resp->code != RespCode::kOk) {
+          ++*errors;
+          return;
+        }
+        ++i;
+      }
+      total += i;
+    });
+  }
+  for (auto& t : threads) t.join();
+  return total.load();
+}
+
+/// Open-loop phase: each client paces arrivals at `rate_per_conn` QPS;
+/// latency is measured from the intended arrival time.
+std::vector<double> OpenLoop(uint16_t port, int conns, double rate_per_conn,
+                             double seconds, int trees,
+                             std::atomic<int>* errors) {
+  std::vector<std::vector<double>> per_thread(conns);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = BlockingClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++*errors;
+        return;
+      }
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / rate_per_conn));
+      const int64_t n = static_cast<int64_t>(seconds * rate_per_conn);
+      const auto start = Clock::now();
+      per_thread[c].reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        const auto intended = start + interval * i;
+        std::this_thread::sleep_until(intended);
+        const char* query = kWorkload[(c + i) % kWorkloadSize];
+        const int t = static_cast<int>((c * 17 + i) % trees);
+        auto resp = client->Query(query, {t}, EvalMode::kNodeSet);
+        if (!resp.ok() || resp->code != RespCode::kOk) {
+          ++*errors;
+          return;
+        }
+        per_thread[c].push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - intended)
+                .count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<double> all;
+  for (auto& v : per_thread) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+struct OverloadReport {
+  int64_t requests = 0;
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t shed_counter = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t protocol_errors = 0;
+  bool counters_match = false;
+};
+
+/// Overload phase: starved server (1 worker, tiny queue), full-tilt
+/// clients. Every response must still be a well-formed frame that is
+/// either kOk or kOverloaded; the wire-observed shed count must equal the
+/// server.shed counter delta.
+OverloadReport Overload(int conns, double seconds, int trees,
+                        int nodes_per_tree) {
+  auto service = BuildService(trees, nodes_per_tree, /*workers=*/1);
+  ServerOptions options;
+  options.queue_capacity = 2;
+  QueryServer server(service.get(), options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", started.ToString().c_str());
+    std::exit(1);
+  }
+  const int64_t shed0 = CounterValue("server.shed");
+  const int64_t expired0 = CounterValue("server.deadline_exceeded");
+
+  std::atomic<int64_t> requests{0}, ok{0}, shed{0}, protocol_errors{0};
+  std::vector<std::thread> threads;
+  const auto stop_at = Clock::now() +
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = BlockingClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) return;  // conn cap refusals are fine under load
+      int64_t i = 0;
+      while (Clock::now() < stop_at) {
+        const char* query = kWorkload[(c + i) % kWorkloadSize];
+        auto resp = client->Query(query, {static_cast<int>(i % trees)});
+        ++requests;
+        if (!resp.ok()) {
+          // A transport error (closed conn) is tolerated under overload;
+          // a *malformed frame* is not — Query distinguishes them via
+          // InvalidArgument from the decoder.
+          if (resp.status().IsInvalidArgument()) ++protocol_errors;
+          return;
+        }
+        if (resp->code == RespCode::kOk) {
+          ++ok;
+        } else if (resp->code == RespCode::kOverloaded) {
+          ++shed;
+        } else if (resp->code != RespCode::kDeadlineExceeded) {
+          ++protocol_errors;  // no other outcome is legal here
+          return;
+        }
+        ++i;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Shutdown();
+
+  OverloadReport report;
+  report.requests = requests.load();
+  report.ok = ok.load();
+  report.shed = shed.load();
+  report.shed_counter = CounterValue("server.shed") - shed0;
+  report.deadline_exceeded = CounterValue("server.deadline_exceeded") -
+                             expired0;
+  report.protocol_errors = protocol_errors.load();
+  report.counters_match = report.shed == report.shed_counter;
+  return report;
+}
+
+}  // namespace
+}  // namespace xptc
+
+int main() {
+  using namespace xptc;
+  bench::PrintHeader(
+      "E15: query serving (epoll front-end + admission control)",
+      "engineering experiment, no paper claim: open-loop latency "
+      "percentiles without coordinated omission; closed-loop saturation "
+      "QPS; overload sheds (429) instead of growing queues, with the "
+      "shed counter matching the wire bit-for-bit",
+      "loopback TCP, binary protocol, generated uniform trees; paced "
+      "arrivals for latency, full tilt for saturation, starved server "
+      "(1 worker, queue=2) for overload");
+
+  const bool smoke = bench::SmokeMode();
+  const int trees = smoke ? 4 : 8;
+  const int nodes_per_tree = smoke ? 128 : 1024;
+  const int conns = smoke ? 2 : 4;
+  const double seconds = smoke ? 0.3 : 3.0;
+  const int hw = ThreadPool::DefaultWorkers();
+
+  auto service = BuildService(trees, nodes_per_tree, hw);
+  QueryServer server(service.get());
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::atomic<int> errors{0};
+
+  // Saturation first: its QPS sets the paced rate for the latency phase.
+  const auto sat_start = Clock::now();
+  const int64_t sat_requests =
+      ClosedLoop(server.port(), conns, seconds, trees, &errors);
+  const double sat_seconds =
+      std::chrono::duration<double>(Clock::now() - sat_start).count();
+  const double sat_qps = sat_requests / sat_seconds;
+  std::printf("saturation: %lld requests, %d conns, %.2fs -> %.0f qps\n",
+              static_cast<long long>(sat_requests), conns, sat_seconds,
+              sat_qps);
+
+  // Latency at ~40% of saturation: below the knee, so the percentiles
+  // describe the server, not the queue.
+  const double rate_per_conn =
+      std::max(20.0, 0.4 * sat_qps / conns);
+  std::vector<double> latencies = OpenLoop(server.port(), conns,
+                                           rate_per_conn, seconds, trees,
+                                           &errors);
+  Percentiles p = ComputePercentiles(&latencies);
+  std::printf("latency: %zu samples at %.0f qps -> p50 %.0fus, p99 %.0fus, "
+              "p999 %.0fus\n",
+              latencies.size(), rate_per_conn * conns, p.p50_us, p.p99_us,
+              p.p999_us);
+  server.Shutdown();
+
+  // Overload: more clients than the starved server can serve.
+  OverloadReport overload =
+      Overload(2 * conns, seconds, trees, nodes_per_tree);
+  std::printf("overload: %lld requests -> %lld ok, %lld shed (counter "
+              "%lld), %lld deadline, %lld protocol errors\n",
+              static_cast<long long>(overload.requests),
+              static_cast<long long>(overload.ok),
+              static_cast<long long>(overload.shed),
+              static_cast<long long>(overload.shed_counter),
+              static_cast<long long>(overload.deadline_exceeded),
+              static_cast<long long>(overload.protocol_errors));
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(2);
+  json << "{\"smoke\": " << (smoke ? "true" : "false")
+       << ", \"hw_threads\": " << hw << ", \"trees\": " << trees
+       << ", \"nodes_per_tree\": " << nodes_per_tree
+       << ", \"conns\": " << conns << ", \"latency\": {\"rate_qps\": "
+       << rate_per_conn * conns << ", \"samples\": " << latencies.size()
+       << ", \"p50_us\": " << p.p50_us << ", \"p99_us\": " << p.p99_us
+       << ", \"p999_us\": " << p.p999_us << "}, \"saturation\": {\"conns\": "
+       << conns << ", \"seconds\": " << sat_seconds
+       << ", \"requests\": " << sat_requests << ", \"qps\": " << sat_qps
+       << "}, \"overload\": {\"requests\": " << overload.requests
+       << ", \"ok\": " << overload.ok << ", \"shed\": " << overload.shed
+       << ", \"shed_counter\": " << overload.shed_counter
+       << ", \"deadline_exceeded\": " << overload.deadline_exceeded
+       << ", \"protocol_errors\": " << overload.protocol_errors
+       << ", \"counters_match\": "
+       << (overload.counters_match ? "true" : "false") << "}}";
+  bench::UpdateBenchJson(bench::ServingJsonPath(), "exp15_serving",
+                         json.str());
+  std::printf("(recorded in %s)\n", bench::ServingJsonPath().c_str());
+
+  // CI gates: non-zero throughput, zero client/protocol errors, real
+  // sheds under overload, counters bit-for-bit.
+  int failures = 0;
+  if (sat_requests <= 0 || sat_qps <= 0) {
+    std::printf("GATE FAILED: saturation produced no throughput\n");
+    ++failures;
+  }
+  if (latencies.empty()) {
+    std::printf("GATE FAILED: latency phase produced no samples\n");
+    ++failures;
+  }
+  if (errors.load() != 0) {
+    std::printf("GATE FAILED: %d client errors in healthy phases\n",
+                errors.load());
+    ++failures;
+  }
+  if (overload.shed == 0) {
+    std::printf("GATE FAILED: overload phase shed nothing\n");
+    ++failures;
+  }
+  if (overload.protocol_errors != 0) {
+    std::printf("GATE FAILED: malformed responses under overload\n");
+    ++failures;
+  }
+  if (!overload.counters_match) {
+    std::printf("GATE FAILED: server.shed counter disagrees with the wire\n");
+    ++failures;
+  }
+  if (failures > 0) return 1;
+  std::printf("all serving gates passed\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "exec/engine.h"
 
+#include <chrono>
 #include <limits>
 #include <string>
 #include <utility>
@@ -45,6 +46,7 @@ struct ExecMetrics {
   obs::Counter& disp_fallback;
   obs::Counter& disp_downward;
   obs::Counter& disp_general;
+  obs::Counter& deadline_expired;
   static ExecMetrics& Get() {
     obs::Registry& reg = obs::Registry::Default();
     static ExecMetrics* m = new ExecMetrics{
@@ -54,7 +56,8 @@ struct ExecMetrics {
         reg.counter("exec.dispatch.register_machine"),
         reg.counter("exec.dispatch.downward_fallback"),
         reg.counter("exec.dispatch.downward_direct"),
-        reg.counter("exec.dispatch.general")};
+        reg.counter("exec.dispatch.general"),
+        reg.counter("exec.deadline_expired")};
     return *m;
   }
 };
@@ -77,12 +80,27 @@ const char* ExecEngine::DispatchName(RunInfo::Dispatch dispatch) {
   return "unknown";
 }
 
+int64_t ExecEngine::SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool ExecEngine::DeadlineExpired() const {
+  if (cancel_flag_ != nullptr &&
+      cancel_flag_->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return deadline_ns_ != 0 && SteadyNowNs() >= deadline_ns_;
+}
+
 void ExecEngine::BeginRun(const Program& program, RunInfo::Dispatch dispatch,
                           int64_t budget) {
   last_run_.dispatch = dispatch;
   last_run_.star_rounds_used = 0;
   last_run_.star_round_budget = budget;
   last_run_.instrs_executed = 0;
+  last_run_.deadline_expired = false;
   // assign() reuses capacity, so steady-state evals stay allocation-free
   // once the vector has grown to the largest program seen.
   last_run_.instr_execs.assign(program.code().size(), 0);
@@ -92,6 +110,7 @@ void ExecEngine::FinishRun(const Bitset* result) {
   ExecMetrics& metrics = ExecMetrics::Get();
   metrics.instrs.Add(last_run_.instrs_executed);
   metrics.star_rounds.Add(last_run_.star_rounds_used);
+  if (last_run_.deadline_expired) metrics.deadline_expired.Inc();
   switch (last_run_.dispatch) {
     case RunInfo::Dispatch::kRegisterMachine:
       metrics.disp_register.Inc();
@@ -110,6 +129,11 @@ void ExecEngine::FinishRun(const Bitset* result) {
   if (cur == nullptr) return;
   cur->notes.push_back(std::string("dispatch: ") +
                        DispatchName(last_run_.dispatch));
+  if (last_run_.deadline_expired) {
+    cur->notes.push_back("deadline expired after " +
+                         std::to_string(last_run_.star_rounds_used) +
+                         " star rounds; run abandoned");
+  }
   if (last_run_.dispatch == RunInfo::Dispatch::kDownwardFallback) {
     cur->notes.push_back(
         "star-round budget blown at " +
@@ -128,11 +152,12 @@ Bitset ExecEngine::Eval(const Program& program) {
   last_used_downward_ = false;
   if (program.downward() == nullptr) {
     BeginRun(program, RunInfo::Dispatch::kGeneral, 0);
+    if (DeadlineExpired()) return AbandonRun();
     while (static_cast<int>(regs_.size()) < program.num_regs()) {
       regs_.emplace_back(n_);
     }
     star_rounds_left_ = std::numeric_limits<int64_t>::max();
-    RunRange(program, 0, program.main_end());
+    if (!RunRange(program, 0, program.main_end())) return AbandonRun();
     Bitset& result = regs_[static_cast<size_t>(program.result_reg())];
     FinishRun(&result);
     return result;
@@ -142,12 +167,16 @@ Bitset ExecEngine::Eval(const Program& program) {
   }
   const int64_t budget = StarRoundBudget(program);
   BeginRun(program, RunInfo::Dispatch::kRegisterMachine, budget);
+  if (DeadlineExpired()) return AbandonRun();
   star_rounds_left_ = budget;
   if (RunRange(program, 0, program.main_end())) {
     Bitset& result = regs_[static_cast<size_t>(program.result_reg())];
     FinishRun(&result);
     return result;
   }
+  // The deadline probe fired mid-run: the request is already late, so the
+  // fallback sweep would only add more late work. Abandon instead.
+  if (last_run_.deadline_expired) return AbandonRun();
   // Budget blown: abandon the register machine (its partial instruction
   // counts stay in last_run_ — the EXPLAIN dump shows the abandoned
   // prefix) and re-run as the unconditionally-linear sweep.
@@ -158,6 +187,12 @@ Bitset ExecEngine::Eval(const Program& program) {
   return result;
 }
 
+Bitset ExecEngine::AbandonRun() {
+  last_run_.deadline_expired = true;
+  FinishRun(nullptr);
+  return Bitset(n_);
+}
+
 Bitset ExecEngine::EvalDownward(const Program& program) {
   XPTC_CHECK(program.downward() != nullptr)
       << "program has no downward compilation";
@@ -166,6 +201,7 @@ Bitset ExecEngine::EvalDownward(const Program& program) {
   BeginRun(program, RunInfo::Dispatch::kDownwardDirect, 0);
   last_run_.instr_execs.clear();
   last_used_downward_ = true;
+  if (DeadlineExpired()) return AbandonRun();
   Bitset result = program.downward()->Run(tree_, &agg_);
   FinishRun(&result);
   return result;
@@ -176,11 +212,12 @@ Bitset ExecEngine::EvalGeneral(const Program& program) {
   ExecMetrics::Get().evals.Inc();
   BeginRun(program, RunInfo::Dispatch::kGeneral, 0);
   last_used_downward_ = false;
+  if (DeadlineExpired()) return AbandonRun();
   while (static_cast<int>(regs_.size()) < program.num_regs()) {
     regs_.emplace_back(n_);
   }
   star_rounds_left_ = std::numeric_limits<int64_t>::max();
-  RunRange(program, 0, program.main_end());
+  if (!RunRange(program, 0, program.main_end())) return AbandonRun();
   Bitset& result = regs_[static_cast<size_t>(program.result_reg())];
   FinishRun(&result);
   return result;
@@ -263,6 +300,13 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
         while (frontier.Any()) {
           ++last_run_.star_rounds_used;
           if (--star_rounds_left_ < 0) return false;
+          // Deadline probe (see SetDeadline): star rounds are the only
+          // statically unbounded work in a run, so one clock read per
+          // round bounds enforcement lag to a single round's work.
+          if (DeadlineExpired()) {
+            last_run_.deadline_expired = true;
+            return false;
+          }
           if (!RunRange(program, ins.body_begin, ins.body_end)) return false;
           // Fixpoint probe: the final round always produces no new nodes,
           // and this early-exit subset check detects that in one pass
@@ -276,6 +320,12 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
         break;
       }
       case Op::kWithin: {
+        // W delegation runs a whole memoised interpreter pass; probe once
+        // before paying for it.
+        if (DeadlineExpired()) {
+          last_run_.deadline_expired = true;
+          return false;
+        }
         if (w_scratch_ == nullptr) {
           w_scratch_ = std::make_unique<EvalScratch>(tree_, tree_cache_);
         }

@@ -1,6 +1,7 @@
 #ifndef XPTC_EXEC_ENGINE_H_
 #define XPTC_EXEC_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -69,12 +70,38 @@ class ExecEngine {
     int64_t star_rounds_used = 0;
     int64_t star_round_budget = 0;  // 0 = unbounded
     int64_t instrs_executed = 0;
+    // True iff this run was abandoned by the deadline/cancel probe (see
+    // SetDeadline). The returned bitset is empty and meaningless; callers
+    // that armed a deadline must check this before using the result.
+    bool deadline_expired = false;
     // Execution count per instruction index; on a fallback these hold the
     // abandoned register-machine prefix. Empty for kDownwardDirect.
     std::vector<int64_t> instr_execs;
   };
   static const char* DispatchName(RunInfo::Dispatch dispatch);
   const RunInfo& last_run() const { return last_run_; }
+
+  /// Per-request deadline hook — the serving layer's admission-control
+  /// contract (see src/server/). `deadline_ns` is an absolute timestamp on
+  /// the `SteadyNowNs` clock; 0 disarms. The deadline is probed
+  /// cooperatively at *star-round boundaries* — the same unit the hybrid
+  /// dispatch already budgets, and the only place a run's work is not
+  /// statically bounded — plus once per `W` delegation and at run entry.
+  /// Enforcement granularity is therefore one star round (O(body·n/64)
+  /// work) or one straight-line pass; an expired run is abandoned, the
+  /// hybrid fallback is skipped, and `last_run().deadline_expired` is set
+  /// (the returned bitset is empty and must be discarded). Sticky across
+  /// runs until re-armed or cleared; `exec.deadline_expired` counts
+  /// abandoned runs.
+  void SetDeadline(int64_t deadline_ns) { deadline_ns_ = deadline_ns; }
+
+  /// Optional external cancel flag, checked at the same probe points as
+  /// the deadline (deterministic tests; reactor-driven cancellation).
+  /// `flag` must outlive the engine or be cleared with nullptr.
+  void SetCancelFlag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
+  /// The monotonic clock deadlines are measured against (nanoseconds).
+  static int64_t SteadyNowNs();
 
   /// Forces the general register machine (differential testing and
   /// benchmarking against the downward engine).
@@ -98,12 +125,21 @@ class ExecEngine {
   void BeginRun(const Program& program, RunInfo::Dispatch dispatch,
                 int64_t budget);
   void FinishRun(const Bitset* result);
+  /// Marks the current run deadline-expired, publishes it, and returns the
+  /// (empty, to-be-discarded) result.
+  Bitset AbandonRun();
+
+  /// True iff the armed deadline/cancel flag has fired. Reads the clock,
+  /// so callers probe it only at star-round granularity.
+  bool DeadlineExpired() const;
 
   const Tree& tree_;
   TreeCache* tree_cache_;
   const int n_;
   std::vector<Bitset> regs_;
   int64_t star_rounds_left_ = 0;  // per-run star-round budget (see Eval)
+  int64_t deadline_ns_ = 0;       // 0 = no deadline armed
+  const std::atomic<bool>* cancel_flag_ = nullptr;
   bool last_used_downward_ = false;
   RunInfo last_run_;
   // Label index: refs into the shared TreeCache when attached (lock-free

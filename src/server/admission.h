@@ -1,0 +1,82 @@
+#ifndef XPTC_SERVER_ADMISSION_H_
+#define XPTC_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xptc {
+namespace server {
+
+/// Bounded MPMC admission queue — the server's single load-shedding point.
+///
+/// `TryPush` never blocks and never grows the queue past its capacity: a
+/// full queue is an immediate `false`, which the reactor turns into a
+/// 429 / overload frame. That makes queue depth the one number that bounds
+/// the server's queued-work memory (each slot is one admitted request), and
+/// it makes shedding *fail-fast*: under overload clients get told within
+/// one reactor iteration instead of timing out.
+///
+/// Workers block in `Pop` until an item or `Close`. Close drains nothing:
+/// items already admitted are still handed out (graceful drain executes
+/// them), and `Pop` returns nullopt only once the queue is closed AND
+/// empty.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admits `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; nullopt once closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission and wakes every blocked `Pop`. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace xptc
+
+#endif  // XPTC_SERVER_ADMISSION_H_

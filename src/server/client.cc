@@ -1,0 +1,221 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace xptc {
+namespace server {
+
+Result<BlockingClient> BlockingClient::Connect(const std::string& host,
+                                               uint16_t port,
+                                               int recv_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect: " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return BlockingClient(fd);
+}
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(other.fd_),
+      buf_(std::move(other.buf_)),
+      next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buf_ = std::move(other.buf_);
+    next_request_id_ = other.next_request_id_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+BlockingClient::~BlockingClient() { Close(); }
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+Status BlockingClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status BlockingClient::Fill() {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  char chunk[64 << 10];
+  const ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+  if (r > 0) {
+    buf_.append(chunk, static_cast<size_t>(r));
+    return Status::OK();
+  }
+  if (r == 0) return Status::Internal("connection closed by server");
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    return Status::Internal("receive timeout");
+  }
+  if (errno == EINTR) return Status::OK();
+  return Status::Internal(std::string("recv: ") + std::strerror(errno));
+}
+
+Result<Frame> BlockingClient::ReadFrame() {
+  for (;;) {
+    Frame frame;
+    size_t consumed = 0;
+    std::string error;
+    const ParseStatus st =
+        DecodeFrame(buf_.data(), buf_.size(),
+                    /*max_payload=*/64 << 20, &frame, &consumed, &error);
+    if (st == ParseStatus::kOk) {
+      buf_.erase(0, consumed);
+      return frame;
+    }
+    if (st == ParseStatus::kError) {
+      return Status::InvalidArgument("malformed frame from server: " + error);
+    }
+    XPTC_RETURN_NOT_OK(Fill());
+  }
+}
+
+Result<ClientHttpResponse> BlockingClient::ReadHttpResponse() {
+  // Head.
+  size_t head_end;
+  while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    if (buf_.size() > (1 << 20)) {
+      return Status::InvalidArgument("unterminated response head");
+    }
+    XPTC_RETURN_NOT_OK(Fill());
+  }
+  ClientHttpResponse resp;
+  const std::string head = buf_.substr(0, head_end);
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  const std::string status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || status_line.compare(0, 5, "HTTP/") != 0) {
+    return Status::InvalidArgument("malformed status line: " + status_line);
+  }
+  resp.status = std::atoi(status_line.c_str() + sp + 1);
+  size_t content_length = 0;
+  size_t pos = line_end;
+  while (pos < head.size()) {
+    pos += 2;  // skip CRLF
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      size_t v = colon + 1;
+      while (v < line.size() && line[v] == ' ') ++v;
+      std::string value = line.substr(v);
+      if (name == "content-length") {
+        content_length = static_cast<size_t>(std::strtoull(
+            value.c_str(), nullptr, 10));
+      }
+      resp.headers.emplace_back(std::move(name), std::move(value));
+    }
+    pos = eol;
+  }
+  const size_t total = head_end + 4 + content_length;
+  while (buf_.size() < total) XPTC_RETURN_NOT_OK(Fill());
+  resp.body = buf_.substr(head_end + 4, content_length);
+  buf_.erase(0, total);
+  return resp;
+}
+
+Result<ClientHttpResponse> BlockingClient::Http(const std::string& method,
+                                                const std::string& target,
+                                                const std::string& body,
+                                                bool keep_alive) {
+  std::string req = method + " " + target + " HTTP/1.1\r\nHost: xptc\r\n";
+  if (!body.empty() || method == "POST") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  if (!keep_alive) req += "Connection: close\r\n";
+  req += "\r\n";
+  req += body;
+  XPTC_RETURN_NOT_OK(SendRaw(req));
+  return ReadHttpResponse();
+}
+
+Result<ServiceResponse> BlockingClient::RoundTrip(FrameType type,
+                                                  std::string payload) {
+  XPTC_RETURN_NOT_OK(SendRaw(EncodeFrame(type, payload)));
+  XPTC_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
+  return DecodeResponseFrame(frame);
+}
+
+Result<ServiceResponse> BlockingClient::Query(
+    const std::string& query, const std::vector<int>& tree_ids, EvalMode mode,
+    uint32_t deadline_ms, uint8_t dialect) {
+  return RoundTrip(FrameType::kQuery,
+                   EncodeQueryPayload(next_request_id_++, dialect, mode,
+                                      deadline_ms, tree_ids, query));
+}
+
+Result<ServiceResponse> BlockingClient::Batch(
+    const std::vector<std::string>& queries, const std::vector<int>& tree_ids,
+    EvalMode mode, uint32_t deadline_ms, uint8_t dialect) {
+  return RoundTrip(FrameType::kBatch,
+                   EncodeBatchPayload(next_request_id_++, dialect, mode,
+                                      deadline_ms, tree_ids, queries));
+}
+
+Result<ServiceResponse> BlockingClient::Ping() {
+  return RoundTrip(FrameType::kPing, EncodePingPayload(next_request_id_++));
+}
+
+}  // namespace server
+}  // namespace xptc

@@ -1,0 +1,167 @@
+#ifndef XPTC_SERVER_SERVER_H_
+#define XPTC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/service.h"
+
+namespace xptc {
+namespace server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back with `port()`.
+  uint16_t port = 0;
+
+  /// Admission-queue capacity: the number of admitted-but-unstarted
+  /// requests the server will hold. The full queue is the shed signal.
+  size_t queue_capacity = 128;
+  /// Open connections past this are accepted and immediately closed.
+  int max_conns = 512;
+
+  HttpLimits http_limits;
+  size_t max_frame_payload = 1 << 20;
+
+  /// Per-connection backpressure: reading stops while more than this many
+  /// unflushed response bytes are pending, or while `max_inflight_per_conn`
+  /// admitted requests are unanswered, and resumes when both drop back.
+  size_t output_watermark = 1 << 20;
+  int max_inflight_per_conn = 32;
+  /// Input-buffer pause threshold (a client that streams without ever
+  /// completing a message stops being read, not served more memory).
+  size_t input_watermark = 4 << 20;
+
+  /// Deadline policy: a request's deadline_ms of 0 takes the default;
+  /// everything is clamped to the max. 0 default = no deadline.
+  uint32_t default_deadline_ms = 10'000;
+  uint32_t max_deadline_ms = 60'000;
+
+  /// Graceful drain gives in-flight work this long to finish and flush
+  /// before remaining connections are force-closed.
+  int drain_timeout_ms = 5'000;
+};
+
+/// The epoll reactor: one thread owning every socket, N worker threads
+/// owning every query. The reactor accepts, reads, parses (protocol.h),
+/// and admits requests into a `BoundedQueue`; workers pop, execute through
+/// `QueryService::Handle`, render the response bytes, and hand them back
+/// via a completion list + eventfd wakeup. Responses flush strictly in
+/// per-connection request order (seq slots), so pipelined HTTP/1.1 and
+/// interleaved binary frames both come back in the order they were sent.
+///
+/// Admission control, spelled out (every arrow is a registry metric):
+///   parse ok → draining?            → kDraining   (server.draining_reject)
+///            → inline op?           → answered on the reactor thread
+///            → queue TryPush fails? → kOverloaded (server.shed)
+///            → admitted             (server.admitted, server.queue_depth)
+///   worker pop → deadline already passed? → kDeadlineExceeded
+///              → execute (deadline armed on the engine's star-round probe)
+/// Memory is bounded by construction: input buffers pause at the
+/// watermark, the queue is bounded, responses pending flush pause reads
+/// past `output_watermark`, and connections past `max_conns` are refused —
+/// overload sheds requests, it never grows buffers.
+class QueryServer {
+ public:
+  /// `service` must outlive the server. Worker count = service workers.
+  QueryServer(QueryService* service, ServerOptions options = ServerOptions{});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens, and starts the reactor + worker threads.
+  Status Start();
+  /// The bound port (valid after Start).
+  uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+
+  /// Graceful drain: stop accepting, answer kDraining to new requests,
+  /// finish and flush everything admitted, then close. Blocks until all
+  /// threads have joined. Idempotent; the destructor calls it.
+  void Shutdown();
+
+  /// Test seam: runs on a worker thread after popping each request,
+  /// *before* executing it. A hook that blocks on a latch turns the worker
+  /// pool off, so tests can fill the admission queue deterministically and
+  /// observe sheds. Set before Start.
+  void SetWorkerHookForTesting(std::function<void()> hook) {
+    worker_hook_ = std::move(hook);
+  }
+
+ private:
+  struct Connection;
+  struct WorkItem;
+  struct Completion;
+  struct Metrics;
+
+  void ReactorLoop();
+  void WorkerLoop(int worker);
+
+  void AcceptAll();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Parses as many complete messages as the buffer holds and dispatches
+  /// each; applies backpressure pauses.
+  void ParseLoop(Connection* conn);
+  void Dispatch(Connection* conn, ServiceRequest req, bool is_http,
+                bool keep_alive);
+  /// Queues `bytes` as the next in-order response slot of `conn`.
+  void RespondInline(Connection* conn, std::string bytes, bool close_after);
+  ServiceResponse InlineError(const ServiceRequest& req, RespCode code,
+                              std::string message);
+  void DrainCompletions();
+  void FlushReady(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  void MaybeResumeReading(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void ReapDead();
+  void WakeReactor();
+  int64_t DeadlineFor(uint32_t deadline_ms) const;
+
+  QueryService* const service_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers → reactor
+  uint16_t port_ = 0;
+  bool running_ = false;
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+  std::unique_ptr<BoundedQueue<WorkItem>> queue_;
+  std::function<void()> worker_hook_;
+
+  // Reactor-owned state (no locks: only the reactor thread touches it).
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+  size_t total_inflight_ = 0;  // admitted requests not yet flushed
+  // Closed-but-not-yet-erased connection ids: CloseConnection defers map
+  // erasure so raw Connection pointers on the stack stay valid until
+  // ReapDead at the end of the reactor iteration.
+  std::vector<uint64_t> dead_conns_;
+
+  // Workers → reactor handoff.
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_called_{false};
+  std::mutex shutdown_mu_;  // serialises Shutdown callers
+};
+
+}  // namespace server
+}  // namespace xptc
+
+#endif  // XPTC_SERVER_SERVER_H_

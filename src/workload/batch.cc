@@ -1,5 +1,6 @@
 #include "workload/batch.h"
 
+#include <atomic>
 #include <utility>
 
 #include "common/check.h"
@@ -148,6 +149,49 @@ std::vector<std::vector<Bitset>> BatchEngine::RunCompiled(
     results[static_cast<size_t>(t)][static_cast<size_t>(q)] =
         EngineFor(worker, t)->Eval(*programs[static_cast<size_t>(q)]);
   });
+  return results;
+}
+
+std::vector<std::vector<Bitset>> BatchEngine::RunCompiledOnTrees(
+    const std::vector<std::shared_ptr<const exec::Program>>& programs,
+    const std::vector<int>& tree_indices, int64_t deadline_ns,
+    bool* deadline_expired) {
+  const int num_t = static_cast<int>(tree_indices.size());
+  const int num_q = static_cast<int>(programs.size());
+  for (int t : tree_indices) XPTC_CHECK(t >= 0 && t < num_trees());
+  for (const auto& program : programs) XPTC_CHECK(program != nullptr);
+  std::vector<std::vector<Bitset>> results(static_cast<size_t>(num_t));
+  for (auto& row : results) row.resize(static_cast<size_t>(num_q));
+  if (num_t == 0 || num_q == 0) return results;
+  runs_.Inc();
+  tasks_.Add(num_t * num_q);
+  EnsureScratchRows();
+  std::atomic<bool> expired{false};
+  pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
+    obs::TraceSpan span("batch.task", &TaskFlame());
+    const int ti = task / num_q;
+    const int q = task % num_q;
+    const int t = tree_indices[static_cast<size_t>(ti)];
+    exec::ExecEngine* engine = EngineFor(worker, t);
+    // Armed per task (engines are shared across concurrent calls; between
+    // tasks they carry no deadline). Once one task has expired, the rest of
+    // this request is already lost — skip straight to empty results.
+    if (expired.load(std::memory_order_relaxed)) {
+      results[static_cast<size_t>(ti)][static_cast<size_t>(q)] =
+          Bitset(engine->tree().size());
+      return;
+    }
+    engine->SetDeadline(deadline_ns);
+    results[static_cast<size_t>(ti)][static_cast<size_t>(q)] =
+        engine->Eval(*programs[static_cast<size_t>(q)]);
+    if (engine->last_run().deadline_expired) {
+      expired.store(true, std::memory_order_relaxed);
+    }
+    engine->SetDeadline(0);
+  });
+  if (deadline_expired != nullptr) {
+    *deadline_expired = expired.load(std::memory_order_relaxed);
+  }
   return results;
 }
 

@@ -91,6 +91,21 @@ class BatchEngine {
   std::vector<std::vector<Bitset>> RunCompiled(
       const std::vector<Query>& queries);
 
+  /// `RunCompiled` restricted to a subset of the registered trees, with an
+  /// optional per-request deadline — the serving layer's batch entry point
+  /// (src/server/). `result[i][q]` is the answer on tree
+  /// `tree_indices[i]`; every index must be in [0, num_trees()).
+  /// `deadline_ns` (absolute, `ExecEngine::SteadyNowNs` clock; 0 = none)
+  /// is armed on each task's engine for the duration of that task only, so
+  /// concurrent calls with different deadlines do not interfere. When any
+  /// task's run is abandoned by the deadline probe, `*deadline_expired`
+  /// (if non-null) is set and the whole result must be discarded — the
+  /// abandoned slots hold empty bitsets.
+  std::vector<std::vector<Bitset>> RunCompiledOnTrees(
+      const std::vector<std::shared_ptr<const exec::Program>>& programs,
+      const std::vector<int>& tree_indices, int64_t deadline_ns,
+      bool* deadline_expired);
+
  private:
   /// Lazily creates the per-(worker, tree) scratch. Only ever called from
   /// worker `worker`'s thread, so no synchronisation is needed.

@@ -1,0 +1,303 @@
+// Deterministic overload and deadline behaviour of the query server's
+// admission control (src/server/server.h). The worker-hook test seam
+// blocks the (single) worker on a latch, which freezes the pipeline:
+// exactly one request is in flight, the bounded queue fills to its exact
+// capacity, and every further request must shed with kOverloaded — no
+// sleeps, no races. The registry counters are then required to match the
+// observed responses bit-for-bit: every shed is counted exactly once,
+// every deadline rejection exactly once.
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+
+namespace xptc {
+namespace {
+
+using server::BlockingClient;
+using server::EvalMode;
+using server::QueryServer;
+using server::QueryService;
+using server::RespCode;
+using server::ServerOptions;
+using server::ServiceOptions;
+
+int64_t CounterValue(const std::string& name) {
+  return obs::Registry::Default().counter(name).value();
+}
+
+/// One worker, held on a latch until `Release`; deterministic pipeline
+/// freeze for queue-fill tests.
+class WorkerLatch {
+ public:
+  void Install(QueryServer* server) {
+    server->SetWorkerHookForTesting([this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lock, [this] { return released_; });
+    });
+  }
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+  void Release() {
+    std::unique_lock<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+std::string QueryFrame(uint32_t id, const char* query,
+                       uint32_t deadline_ms = 0) {
+  return server::EncodeFrame(
+      server::FrameType::kQuery,
+      server::EncodeQueryPayload(id, server::kDialectXPath, EvalMode::kCount,
+                                 deadline_ms, {0}, query));
+}
+
+TEST(ServerOverloadTest, FullQueueShedsExactlyAndCountersMatch) {
+  constexpr size_t kQueueCapacity = 3;
+  constexpr int kExtra = 4;  // requests past (1 executing + queue)
+
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  QueryService service(service_options);
+  ASSERT_TRUE(service.AddTreeXml("<a><b/><c/></a>").ok());
+
+  ServerOptions options;
+  options.queue_capacity = kQueueCapacity;
+  QueryServer server(&service, options);
+  WorkerLatch latch;
+  latch.Install(&server);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int64_t shed0 = CounterValue("server.shed");
+  const int64_t admitted0 = CounterValue("server.admitted");
+
+  auto client = BlockingClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Request 1 is popped by the worker and parks in the hook; requests
+  // 2..(1+capacity) sit admitted in the queue.
+  ASSERT_TRUE(client->SendRaw(QueryFrame(1, "a")).ok());
+  latch.AwaitEntered(1);
+  for (uint32_t id = 2; id <= 1 + kQueueCapacity; ++id) {
+    ASSERT_TRUE(client->SendRaw(QueryFrame(id, "a")).ok());
+  }
+  // The queue is now full. Everything further must shed. Admission runs
+  // on the reactor thread; the shed responses are only *flushed* after
+  // the earlier in-order responses, so observe the counter (not the
+  // socket) to know the sheds happened.
+  for (uint32_t id = 0; id < kExtra; ++id) {
+    ASSERT_TRUE(
+        client->SendRaw(QueryFrame(100 + id, "a")).ok());
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (CounterValue("server.shed") < shed0 + kExtra &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(CounterValue("server.shed"), shed0 + kExtra);
+  EXPECT_EQ(CounterValue("server.admitted"),
+            admitted0 + 1 + static_cast<int64_t>(kQueueCapacity));
+
+  // Inline ops bypass the admission queue: /metrics stays responsive on a
+  // separate connection while the pipeline is frozen solid.
+  auto probe = BlockingClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(probe.ok());
+  auto metrics = probe->Http("GET", "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("xptc_server_shed"), std::string::npos);
+
+  // Unfreeze and read all (1 + capacity + extra) responses, in request
+  // order: admitted ones succeed, shed ones carry kOverloaded — the same
+  // split the counters reported, response for response.
+  latch.Release();
+  int ok = 0;
+  int overloaded = 0;
+  std::vector<uint32_t> order;
+  for (size_t i = 0; i < 1 + kQueueCapacity + kExtra; ++i) {
+    auto frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << i << ": " << frame.status().ToString();
+    auto resp = server::DecodeResponseFrame(*frame);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    order.push_back(resp->request_id);
+    if (resp->code == RespCode::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp->code, RespCode::kOverloaded) << resp->payload;
+      EXPECT_GE(resp->request_id, 100u);  // only the extras shed
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok, 1 + static_cast<int>(kQueueCapacity));
+  EXPECT_EQ(overloaded, kExtra);
+  // Responses flush strictly in request order even across the shed/ok
+  // boundary.
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1], order[i]);
+  }
+  server.Shutdown();
+}
+
+TEST(ServerOverloadTest, QueueExpiredDeadlineIsRejectedAndCounted) {
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  QueryService service(service_options);
+  ASSERT_TRUE(service.AddTreeXml("<a><b/><c/></a>").ok());
+
+  QueryServer server(&service, ServerOptions{});
+  WorkerLatch latch;
+  latch.Install(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const int64_t expired0 = CounterValue("server.deadline_exceeded");
+
+  auto client = BlockingClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // Park a request in the hook, then admit one with a 1ms deadline and
+  // let real time pass: by release, its deadline has long expired in the
+  // queue and the worker must refuse to start it.
+  ASSERT_TRUE(client->SendRaw(QueryFrame(1, "a")).ok());
+  latch.AwaitEntered(1);
+  ASSERT_TRUE(client->SendRaw(QueryFrame(2, "a", /*deadline_ms=*/1)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  latch.Release();
+
+  auto first = client->ReadFrame();
+  ASSERT_TRUE(first.ok());
+  auto r1 = server::DecodeResponseFrame(*first);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->request_id, 1u);
+  EXPECT_EQ(r1->code, RespCode::kOk);
+
+  auto second = client->ReadFrame();
+  ASSERT_TRUE(second.ok());
+  auto r2 = server::DecodeResponseFrame(*second);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->request_id, 2u);
+  EXPECT_EQ(r2->code, RespCode::kDeadlineExceeded) << r2->payload;
+  EXPECT_EQ(CounterValue("server.deadline_exceeded"), expired0 + 1);
+  server.Shutdown();
+}
+
+TEST(ServerOverloadTest, DrainingRejectsNewWorkButFinishesAdmitted) {
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  QueryService service(service_options);
+  ASSERT_TRUE(service.AddTreeXml("<a><b/><c/></a>").ok());
+
+  QueryServer server(&service, ServerOptions{});
+  WorkerLatch latch;
+  latch.Install(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const int64_t draining0 = CounterValue("server.draining_reject");
+
+  auto client = BlockingClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendRaw(QueryFrame(1, "a")).ok());
+  latch.AwaitEntered(1);
+
+  // Drain starts with one request parked in the worker. The reactor
+  // closes the listen socket as its first drain action, so "new connects
+  // are refused" is the deterministic drain-started signal.
+  std::thread shutdown([&] { server.Shutdown(); });
+  const uint16_t port = server.port();
+  const auto wait_deadline = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < wait_deadline) {
+    auto probe = BlockingClient::Connect("127.0.0.1", port);
+    if (!probe.ok()) break;  // listen socket closed: draining is active
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // A request sent on the existing connection while draining must come
+  // back kDraining.
+  ASSERT_TRUE(client->SendRaw(QueryFrame(2, "a")).ok());
+  while (CounterValue("server.draining_reject") < draining0 + 1 &&
+         std::chrono::steady_clock::now() < wait_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(CounterValue("server.draining_reject"), draining0 + 1);
+  latch.Release();
+
+  auto first = client->ReadFrame();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto r1 = server::DecodeResponseFrame(*first);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->request_id, 1u);
+  EXPECT_EQ(r1->code, RespCode::kOk);
+  auto second = client->ReadFrame();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  auto r2 = server::DecodeResponseFrame(*second);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->code, RespCode::kDraining);
+  shutdown.join();
+}
+
+TEST(ServerOverloadTest, PerConnectionInflightCapPausesReading) {
+  // With max_inflight_per_conn=2 and a frozen worker, a burst of 6
+  // requests on one connection is *not* all admitted immediately: the
+  // reactor stops reading the connection past 2 in flight (backpressure)
+  // instead of queueing or shedding — and serves everything once the
+  // worker thaws. server.read_pauses counts the pause.
+  ServiceOptions service_options;
+  service_options.num_workers = 1;
+  QueryService service(service_options);
+  ASSERT_TRUE(service.AddTreeXml("<a><b/><c/></a>").ok());
+
+  ServerOptions options;
+  options.max_inflight_per_conn = 2;
+  QueryServer server(&service, options);
+  WorkerLatch latch;
+  latch.Install(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const int64_t pauses0 = CounterValue("server.read_pauses");
+  const int64_t shed0 = CounterValue("server.shed");
+
+  auto client = BlockingClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  std::string burst;
+  for (uint32_t id = 1; id <= 6; ++id) burst += QueryFrame(id, "a");
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+  latch.AwaitEntered(1);
+  const auto wait_deadline = std::chrono::steady_clock::now() +
+                             std::chrono::seconds(30);
+  while (CounterValue("server.read_pauses") < pauses0 + 1 &&
+         std::chrono::steady_clock::now() < wait_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(CounterValue("server.read_pauses"), pauses0 + 1);
+  latch.Release();
+  for (uint32_t id = 1; id <= 6; ++id) {
+    auto frame = client->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << id << ": " << frame.status().ToString();
+    auto resp = server::DecodeResponseFrame(*frame);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->request_id, id);
+    EXPECT_EQ(resp->code, RespCode::kOk) << resp->payload;
+  }
+  // Backpressure, not shedding: nothing was dropped.
+  EXPECT_EQ(CounterValue("server.shed"), shed0);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace xptc

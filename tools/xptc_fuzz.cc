@@ -6,6 +6,7 @@
 // Exit codes: 0 = clean campaign, 1 = findings (or a failed self-check /
 // stress run), 2 = usage error.
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "common/alphabet.h"
+#include "server/protocol.h"
 #include "testing/corpus.h"
 #include "testing/fuzzer.h"
 #include "testing/oracle.h"
@@ -54,6 +56,10 @@ int Usage(const char* argv0) {
       "                      each to be found and shrunk small\n"
       "  --stress            multi-threaded differential stress of the\n"
       "                      throughput layer (PlanCache/TreeCache/Batch)\n"
+      "  --wire              fuzz the server wire parsers in-process:\n"
+      "                      mutated/truncated binary frames and random\n"
+      "                      HTTP bytes through DecodeFrame/TranslateFrame/\n"
+      "                      ParseHttpRequest (src/server/protocol.h)\n"
       "\n"
       "campaign options\n"
       "  --cases N           stop after N cases\n"
@@ -168,6 +174,454 @@ int RunStressMode(const StressOptions& options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --wire: in-process fuzzing of the server's request parsers.
+//
+// The parsers in src/server/protocol.h are pure functions over byte
+// buffers, so the whole attack surface a remote client can reach —
+// DecodeFrame, TranslateFrame, ParseHttpRequest, TranslateHttp — runs here
+// without a socket. Each case feeds one byte string through the same
+// incremental loop the reactor uses (random chunk boundaries included);
+// the pass criterion is "no crash, no sanitizer report, and the
+// incremental-parsing contract holds". Valid inputs double as oracles:
+// unmutated frames must decode and translate, and response frames must
+// survive an encode→decode round trip bit-for-bit.
+// ---------------------------------------------------------------------------
+
+namespace wire {
+
+using xptc::Bitset;
+using namespace xptc::server;  // NOLINT: the whole surface under test
+
+/// splitmix64 — deterministic, seedable, no global state.
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed) {}
+  uint64_t Next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+};
+
+struct WireStats {
+  int64_t cases = 0;
+  int64_t frames_ok = 0;
+  int64_t frames_rejected = 0;
+  int64_t translate_ok = 0;
+  int64_t translate_rejected = 0;
+  int64_t http_ok = 0;
+  int64_t http_rejected = 0;
+  int64_t roundtrips = 0;
+  int64_t violations = 0;  // incremental-contract / oracle failures
+};
+
+void Violation(WireStats* stats, uint64_t case_seed, const char* what) {
+  std::fprintf(stderr, "WIRE VIOLATION (case seed %" PRIu64 "): %s\n",
+               case_seed, what);
+  ++stats->violations;
+}
+
+std::string RandomQuery(Rng* rng) {
+  // The library's compact algebraic dialect (src/xpath/parser.h).
+  static const char* kQueries[] = {
+      "a", "<child[b]>", "<desc[d]>", "b or c", "not a",
+      "<child[<child[c]>]>", "<child>", "leaf", "root and a",
+      "<(child|right)*[b]>",
+  };
+  if (rng->Chance(1, 8)) {
+    // Garbage query text: the translator must pass it through unharmed
+    // (query *parsing* happens later, in the service layer). Non-empty:
+    // empty queries are a translate-level rejection by design.
+    std::string junk;
+    const size_t n = 1 + rng->Below(23);
+    for (size_t i = 0; i < n; ++i) {
+      junk.push_back(static_cast<char>(rng->Next() & 0xff));
+    }
+    return junk;
+  }
+  return kQueries[rng->Below(sizeof(kQueries) / sizeof(kQueries[0]))];
+}
+
+std::vector<int> RandomTreeIds(Rng* rng) {
+  std::vector<int> ids;
+  const size_t n = rng->Below(4);
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(static_cast<int>(rng->Below(8)));
+  }
+  return ids;
+}
+
+/// A structurally valid request frame from the client-side encoders — the
+/// seed corpus every mutator starts from.
+std::string ValidFrame(Rng* rng) {
+  const uint32_t id = static_cast<uint32_t>(rng->Next());
+  const EvalMode mode = static_cast<EvalMode>(rng->Below(3));
+  const uint32_t deadline = static_cast<uint32_t>(rng->Below(100000));
+  switch (rng->Below(3)) {
+    case 0:
+      return EncodeFrame(FrameType::kQuery,
+                         EncodeQueryPayload(id, kDialectXPath, mode, deadline,
+                                            RandomTreeIds(rng),
+                                            RandomQuery(rng)));
+    case 1: {
+      std::vector<std::string> queries;
+      const size_t n = 1 + rng->Below(4);
+      for (size_t i = 0; i < n; ++i) queries.push_back(RandomQuery(rng));
+      return EncodeFrame(FrameType::kBatch,
+                         EncodeBatchPayload(id, kDialectXPath, mode, deadline,
+                                            RandomTreeIds(rng), queries));
+    }
+    default:
+      return EncodeFrame(FrameType::kPing, EncodePingPayload(id));
+  }
+}
+
+std::string ValidHttp(Rng* rng) {
+  static const char* kTargets[] = {
+      "/", "/healthz", "/metrics", "/query", "/query?trees=0,1&mode=count",
+      "/batch?mode=boolean&deadline_ms=50", "/explain?query=a&json=1",
+      "/explain?query=a%5Bb%5D&nodes=32&shape=chain&seed=7", "/nosuch",
+  };
+  const bool post = rng->Chance(1, 2);
+  std::string body;
+  if (post) {
+    body = RandomQuery(rng);
+    if (rng->Chance(1, 4)) body += "\n" + RandomQuery(rng);
+  }
+  std::string req = std::string(post ? "POST" : "GET") + " " +
+                    kTargets[rng->Below(sizeof(kTargets) / sizeof(char*))] +
+                    " HTTP/1.1\r\nHost: fuzz\r\n";
+  if (post || !body.empty()) {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  if (rng->Chance(1, 4)) req += "Connection: close\r\n";
+  req += "\r\n" + body;
+  return req;
+}
+
+/// Structure-aware mutations: bit flips, truncation, growth, length-field
+/// corruption, and splices — the classic framing-bug provocations.
+void Mutate(Rng* rng, std::string* bytes) {
+  const int rounds = 1 + static_cast<int>(rng->Below(4));
+  for (int i = 0; i < rounds; ++i) {
+    if (bytes->empty()) {
+      bytes->push_back(static_cast<char>(rng->Next() & 0xff));
+      continue;
+    }
+    switch (rng->Below(6)) {
+      case 0: {  // flip one bit
+        const size_t pos = rng->Below(bytes->size());
+        (*bytes)[pos] ^= static_cast<char>(1 << rng->Below(8));
+        break;
+      }
+      case 1:  // truncate
+        bytes->resize(rng->Below(bytes->size() + 1));
+        break;
+      case 2: {  // append junk
+        const size_t n = 1 + rng->Below(16);
+        for (size_t k = 0; k < n; ++k) {
+          bytes->push_back(static_cast<char>(rng->Next() & 0xff));
+        }
+        break;
+      }
+      case 3: {  // corrupt a 32-bit field in place (length fields included)
+        if (bytes->size() < 4) break;
+        const size_t pos = rng->Below(bytes->size() - 3);
+        const uint32_t v = static_cast<uint32_t>(
+            rng->Chance(1, 2) ? rng->Below(1 << 30) : rng->Next());
+        std::memcpy(&(*bytes)[pos], &v, 4);
+        break;
+      }
+      case 4: {  // insert a byte
+        const size_t pos = rng->Below(bytes->size() + 1);
+        bytes->insert(pos, 1, static_cast<char>(rng->Next() & 0xff));
+        break;
+      }
+      default: {  // splice: duplicate a random slice elsewhere
+        const size_t from = rng->Below(bytes->size());
+        const size_t n = rng->Below(bytes->size() - from + 1);
+        const size_t to = rng->Below(bytes->size() + 1);
+        bytes->insert(to, bytes->substr(from, n));
+        break;
+      }
+    }
+  }
+}
+
+/// Drives the binary decoder exactly like the reactor: bytes arrive in
+/// random-sized chunks, complete frames are consumed from the front, and
+/// kError ends the connection. Returns false on kError.
+bool FeedBinary(const std::string& bytes, Rng* rng, WireStats* stats,
+                uint64_t case_seed) {
+  std::string buffer;
+  size_t offset = 0;
+  constexpr size_t kMaxPayload = 1 << 20;
+  while (true) {
+    // Deliver the next chunk (possibly empty only when input is exhausted).
+    if (offset < bytes.size()) {
+      const size_t n = 1 + rng->Below(bytes.size() - offset);
+      buffer.append(bytes, offset, n);
+      offset += n;
+    }
+    for (;;) {
+      Frame frame;
+      size_t consumed = 0;
+      std::string error;
+      const ParseStatus st = DecodeFrame(buffer.data(), buffer.size(),
+                                         kMaxPayload, &frame, &consumed,
+                                         &error);
+      if (st == ParseStatus::kOk) {
+        ++stats->frames_ok;
+        if (consumed == 0 || consumed > buffer.size()) {
+          Violation(stats, case_seed, "DecodeFrame kOk with bad consumed");
+          return false;
+        }
+        buffer.erase(0, consumed);
+        auto req = TranslateFrame(frame);
+        if (req.ok()) {
+          ++stats->translate_ok;
+          const ServiceRequest& r = req.ValueOrDie();
+          const bool shaped =
+              (r.op == RequestOp::kPing && r.queries.empty()) ||
+              ((r.op == RequestOp::kQuery || r.op == RequestOp::kBatch) &&
+               !r.queries.empty());
+          if (!shaped) {
+            Violation(stats, case_seed, "TranslateFrame produced a request "
+                                        "with an impossible shape");
+          }
+        } else {
+          ++stats->translate_rejected;
+        }
+        continue;
+      }
+      if (st == ParseStatus::kError) {
+        ++stats->frames_rejected;
+        if (error.empty()) {
+          Violation(stats, case_seed, "DecodeFrame kError without a message");
+        }
+        return false;
+      }
+      break;  // kNeedMore: deliver another chunk
+    }
+    if (offset >= bytes.size()) return true;  // input exhausted mid-message
+  }
+}
+
+/// Same incremental discipline for the HTTP parser.
+void FeedHttp(const std::string& bytes, Rng* rng, WireStats* stats,
+              uint64_t case_seed) {
+  HttpLimits limits;
+  std::string buffer;
+  size_t offset = 0;
+  while (true) {
+    if (offset < bytes.size()) {
+      const size_t n = 1 + rng->Below(bytes.size() - offset);
+      buffer.append(bytes, offset, n);
+      offset += n;
+    }
+    for (;;) {
+      HttpRequest req;
+      size_t consumed = 0;
+      std::string error;
+      const ParseStatus st = ParseHttpRequest(buffer.data(), buffer.size(),
+                                              limits, &req, &consumed,
+                                              &error);
+      if (st == ParseStatus::kOk) {
+        ++stats->http_ok;
+        if (consumed == 0 || consumed > buffer.size()) {
+          Violation(stats, case_seed,
+                    "ParseHttpRequest kOk with bad consumed");
+          return;
+        }
+        buffer.erase(0, consumed);
+        auto translated = TranslateHttp(req);  // must not crash either way
+        if (translated.ok()) {
+          // Rendering the would-be response exercises the serializer too.
+          ServiceResponse resp;
+          resp.op = translated.ValueOrDie().op;
+          (void)RenderHttpResponse(resp, req.keep_alive);
+        }
+        continue;
+      }
+      if (st == ParseStatus::kError) {
+        ++stats->http_rejected;
+        if (error.empty()) {
+          Violation(stats, case_seed,
+                    "ParseHttpRequest kError without a message");
+        }
+        return;
+      }
+      break;
+    }
+    if (offset >= bytes.size()) return;
+  }
+}
+
+/// Oracle: a response full of random bitsets must survive
+/// EncodeResponseFrame → DecodeFrame → DecodeResponseFrame bit-for-bit.
+void ResponseRoundTrip(Rng* rng, WireStats* stats, uint64_t case_seed) {
+  ServiceResponse resp;
+  const bool batch = rng->Chance(1, 2);
+  resp.op = batch ? RequestOp::kBatch : RequestOp::kQuery;
+  resp.mode = static_cast<EvalMode>(rng->Below(3));
+  resp.request_id = static_cast<uint32_t>(rng->Next());
+  resp.num_queries = batch ? static_cast<int>(1 + rng->Below(3)) : 1;
+  const size_t num_trees = 1 + rng->Below(3);
+  resp.results.resize(static_cast<size_t>(resp.num_queries) * num_trees);
+  for (TreeResult& r : resp.results) {
+    r.tree_id = static_cast<int>(rng->Below(8));
+    const int bits = static_cast<int>(rng->Below(200));
+    Bitset set(bits);
+    for (int b = 0; b < bits; ++b) {
+      if (rng->Chance(1, 3)) set.Set(b);
+    }
+    switch (resp.mode) {
+      case EvalMode::kNodeSet:
+        r.count = set.Count();
+        r.bits = std::move(set);
+        break;
+      case EvalMode::kBoolean:
+        r.boolean = set.Any();
+        break;
+      case EvalMode::kCount:
+        r.count = set.Count();
+        break;
+    }
+  }
+  const std::string encoded = EncodeResponseFrame(resp);
+  Frame frame;
+  size_t consumed = 0;
+  std::string error;
+  if (DecodeFrame(encoded.data(), encoded.size(), 64 << 20, &frame, &consumed,
+                  &error) != ParseStatus::kOk ||
+      consumed != encoded.size()) {
+    Violation(stats, case_seed, "encoded response frame did not decode");
+    return;
+  }
+  auto decoded = DecodeResponseFrame(frame);
+  if (!decoded.ok()) {
+    Violation(stats, case_seed, "DecodeResponseFrame rejected a valid frame");
+    return;
+  }
+  const ServiceResponse& got = decoded.ValueOrDie();
+  bool same = got.request_id == resp.request_id && got.mode == resp.mode &&
+              got.results.size() == resp.results.size();
+  for (size_t i = 0; same && i < got.results.size(); ++i) {
+    const TreeResult& a = resp.results[i];
+    const TreeResult& b = got.results[i];
+    same = a.tree_id == b.tree_id;
+    switch (resp.mode) {
+      case EvalMode::kNodeSet:
+        same = same && a.bits == b.bits && a.count == b.count;
+        break;
+      case EvalMode::kBoolean:
+        same = same && a.boolean == b.boolean;
+        break;
+      case EvalMode::kCount:
+        same = same && a.count == b.count;
+        break;
+    }
+  }
+  if (!same) {
+    Violation(stats, case_seed, "response round trip not bit-for-bit");
+    return;
+  }
+  ++stats->roundtrips;
+}
+
+int Run(uint64_t seed, int64_t max_cases, double max_seconds) {
+  if (max_cases <= 0 && max_seconds <= 0) max_cases = 20000;
+  const auto start = std::chrono::steady_clock::now();
+  const auto out_of_budget = [&](int64_t c) {
+    if (max_cases > 0 && c >= max_cases) return true;
+    if (max_seconds > 0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+                .count() >= max_seconds) {
+      return true;
+    }
+    return false;
+  };
+  Rng campaign(seed);
+  WireStats stats;
+  for (int64_t c = 0; !out_of_budget(c); ++c) {
+    const uint64_t case_seed = campaign.Next();
+    Rng rng(case_seed);
+    ++stats.cases;
+    switch (rng.Below(10)) {
+      case 0:   // unmutated frame: must decode and translate
+      case 1: {
+        const std::string bytes = ValidFrame(&rng);
+        const int64_t ok_before = stats.translate_ok;
+        if (!FeedBinary(bytes, &rng, &stats, case_seed) ||
+            stats.translate_ok != ok_before + 1) {
+          Violation(&stats, case_seed, "valid frame failed to parse");
+        }
+        break;
+      }
+      case 2:
+      case 3:
+      case 4: {  // mutated frame
+        std::string bytes = ValidFrame(&rng);
+        Mutate(&rng, &bytes);
+        FeedBinary(bytes, &rng, &stats, case_seed);
+        break;
+      }
+      case 5: {  // unmutated HTTP: must parse
+        const std::string bytes = ValidHttp(&rng);
+        const int64_t ok_before = stats.http_ok;
+        FeedHttp(bytes, &rng, &stats, case_seed);
+        if (stats.http_ok != ok_before + 1) {
+          Violation(&stats, case_seed, "valid HTTP request failed to parse");
+        }
+        break;
+      }
+      case 6:
+      case 7: {  // mutated HTTP
+        std::string bytes = ValidHttp(&rng);
+        Mutate(&rng, &bytes);
+        FeedHttp(bytes, &rng, &stats, case_seed);
+        break;
+      }
+      case 8: {  // pure noise through both parsers
+        std::string bytes;
+        const size_t n = rng.Below(256);
+        for (size_t i = 0; i < n; ++i) {
+          bytes.push_back(static_cast<char>(rng.Next() & 0xff));
+        }
+        FeedBinary(bytes, &rng, &stats, case_seed);
+        FeedHttp(bytes, &rng, &stats, case_seed);
+        break;
+      }
+      default:  // response-frame encode/decode oracle
+        ResponseRoundTrip(&rng, &stats, case_seed);
+        break;
+    }
+  }
+  std::printf("wire: %" PRId64 " cases, seed %" PRIu64 "\n", stats.cases,
+              seed);
+  std::printf("  frames : %" PRId64 " ok, %" PRId64 " rejected; translate "
+              "%" PRId64 " ok, %" PRId64 " rejected\n",
+              stats.frames_ok, stats.frames_rejected, stats.translate_ok,
+              stats.translate_rejected);
+  std::printf("  http   : %" PRId64 " ok, %" PRId64 " rejected\n",
+              stats.http_ok, stats.http_rejected);
+  std::printf("  oracle : %" PRId64 " response round trips bit-for-bit\n",
+              stats.roundtrips);
+  if (stats.violations > 0) {
+    std::printf("%" PRId64 " VIOLATIONS\n", stats.violations);
+    return 1;
+  }
+  std::printf("no violations\n");
+  return 0;
+}
+
+}  // namespace wire
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +631,7 @@ int main(int argc, char** argv) {
   std::string replay_dir;
   bool self_check = false;
   bool stress = false;
+  bool wire = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -192,6 +647,8 @@ int main(int argc, char** argv) {
       self_check = true;
     } else if (arg == "--stress") {
       stress = true;
+    } else if (arg == "--wire") {
+      wire = true;
     } else if (arg == "--cases") {
       const char* text = next();
       if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
@@ -248,6 +705,9 @@ int main(int argc, char** argv) {
   if (!replay_dir.empty()) return RunReplayMode(replay_dir);
   if (self_check) return RunSelfCheckMode(options.seed);
   if (stress) return RunStressMode(stress_options);
+  if (wire) {
+    return wire::Run(options.seed, options.max_cases, options.max_seconds);
+  }
 
   if (options.max_cases == 0 && options.max_seconds == 0) {
     options.max_cases = 10000;  // a default smoke budget

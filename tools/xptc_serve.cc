@@ -1,0 +1,220 @@
+// Standalone query server: loads (or generates) a tree corpus, starts the
+// epoll reactor (src/server/server.h), and serves until SIGINT/SIGTERM,
+// then drains gracefully. See README "Serving" and DESIGN.md §14.
+//
+// Exit codes: 0 = clean shutdown, 1 = startup failure, 2 = usage error.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "tree/generate.h"
+
+namespace {
+
+using xptc::Alphabet;
+using xptc::GenerateTree;
+using xptc::Rng;
+using xptc::Symbol;
+using xptc::Tree;
+using xptc::TreeGenOptions;
+using xptc::TreeShape;
+using xptc::server::QueryServer;
+using xptc::server::QueryService;
+using xptc::server::ServerOptions;
+using xptc::server::ServiceOptions;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "\n"
+      "corpus (default: --gen 4)\n"
+      "  --xml FILE          add FILE as one tree (repeatable)\n"
+      "  --gen N             add N generated trees\n"
+      "  --nodes N           generated tree size (default 512)\n"
+      "  --shape S           uniform|chain|star|binary|comb|caterpillar\n"
+      "  --seed K            generator seed (default 1)\n"
+      "\n"
+      "server\n"
+      "  --host H            bind address (default 127.0.0.1)\n"
+      "  --port P            bind port (default 7917; 0 = ephemeral)\n"
+      "  --workers N         query worker threads (default: hardware)\n"
+      "  --queue N           admission-queue capacity (default 128)\n"
+      "  --max-conns N       open-connection cap (default 512)\n"
+      "  --deadline-ms N     default per-request deadline (default 10000)\n",
+      argv0);
+  return 2;
+}
+
+bool ParseInt64(const char* text, int64_t* out) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+bool ShapeFromString(const std::string& name, TreeShape* out) {
+  if (name == "uniform") *out = TreeShape::kUniformRecursive;
+  else if (name == "chain") *out = TreeShape::kChain;
+  else if (name == "star") *out = TreeShape::kStar;
+  else if (name == "binary") *out = TreeShape::kFullBinary;
+  else if (name == "comb") *out = TreeShape::kComb;
+  else if (name == "caterpillar") *out = TreeShape::kCaterpillar;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> xml_files;
+  int64_t gen_trees = 0;
+  int64_t gen_nodes = 512;
+  TreeShape gen_shape = TreeShape::kUniformRecursive;
+  uint64_t gen_seed = 1;
+
+  ServerOptions server_options;
+  server_options.port = 7917;
+  ServiceOptions service_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    int64_t value = 0;
+    if (arg == "--xml") {
+      const char* path = next();
+      if (path == nullptr) return Usage(argv[0]);
+      xml_files.push_back(path);
+    } else if (arg == "--gen") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &gen_trees)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--nodes") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &gen_nodes) ||
+          gen_nodes <= 0) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--shape") {
+      const char* text = next();
+      if (text == nullptr || !ShapeFromString(text, &gen_shape)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--seed") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
+      gen_seed = static_cast<uint64_t>(value);
+    } else if (arg == "--host") {
+      const char* text = next();
+      if (text == nullptr) return Usage(argv[0]);
+      server_options.host = text;
+    } else if (arg == "--port") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value > 65535) {
+        return Usage(argv[0]);
+      }
+      server_options.port = static_cast<uint16_t>(value);
+    } else if (arg == "--workers") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value <= 0) {
+        return Usage(argv[0]);
+      }
+      service_options.num_workers = static_cast<int>(value);
+    } else if (arg == "--queue") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value == 0) {
+        return Usage(argv[0]);
+      }
+      server_options.queue_capacity = static_cast<size_t>(value);
+    } else if (arg == "--max-conns") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value) || value == 0) {
+        return Usage(argv[0]);
+      }
+      server_options.max_conns = static_cast<int>(value);
+    } else if (arg == "--deadline-ms") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
+      server_options.default_deadline_ms = static_cast<uint32_t>(value);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (xml_files.empty() && gen_trees == 0) gen_trees = 4;
+
+  QueryService service(service_options);
+  for (const std::string& path : xml_files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto id = service.AddTreeXml(text.str());
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("tree %d: %s (%d nodes)\n", id.ValueOrDie(), path.c_str(),
+                service.tree(id.ValueOrDie()).size());
+  }
+  if (gen_trees > 0) {
+    Rng rng(gen_seed);
+    const std::vector<Symbol> labels =
+        xptc::DefaultLabels(service.alphabet(), 3);
+    TreeGenOptions options;
+    options.num_nodes = static_cast<int>(gen_nodes);
+    options.shape = gen_shape;
+    for (int64_t t = 0; t < gen_trees; ++t) {
+      Tree tree = GenerateTree(options, labels, &rng);
+      const int id = service.AddTree(
+          std::make_shared<const Tree>(std::move(tree)));
+      std::printf("tree %d: generated %s, %lld nodes\n", id,
+                  xptc::TreeShapeToString(gen_shape),
+                  static_cast<long long>(gen_nodes));
+    }
+  }
+
+  QueryServer server(&service, server_options);
+  const xptc::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("xptc_serve: listening on %s:%u (%d trees, %d workers); "
+              "Ctrl-C drains\n",
+              server_options.host.c_str(), server.port(),
+              service.num_trees(), service.num_workers());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("\nxptc_serve: draining...\n");
+  server.Shutdown();
+  std::printf("xptc_serve: bye\n");
+  return 0;
+}
