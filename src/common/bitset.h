@@ -244,10 +244,14 @@ class Bitset {
     }
   }
 
-  /// Sets every bit in [lo, hi); whole middle words are written at once.
+  /// Sets every bit in [lo, hi); dispatched through the `fill_range`
+  /// bit-ranged kernel (masked head/tail handled inside the kernel — the
+  /// interval axis kernels call this once per subtree interval).
   void SetRange(int lo, int hi) {
-    ForEachRangeWord(lo, hi,
-                     [this](size_t wi, uint64_t mask) { words_[wi] |= mask; });
+    CheckRange(lo, hi);
+    if (lo >= hi) return;
+    simd::Active().fill_range(words_.data(), static_cast<size_t>(lo),
+                              static_cast<size_t>(hi));
   }
 
   /// Clears every bit in [lo, hi).
@@ -299,17 +303,13 @@ class Bitset {
   // words are handled with masks inline; the whole-word middle run goes
   // through the simd dispatch table (common/simd.h).
 
-  /// this[lo,hi) |= other[lo,hi).
+  /// this[lo,hi) |= other[lo,hi), via the `or_range` bit-ranged kernel.
   void OrRange(const Bitset& other, int lo, int hi) {
     XPTC_DCHECK(size_ == other.size_);
-    ForEachRangeRun(
-        lo, hi,
-        [this, &other](size_t wi, uint64_t mask) {
-          words_[wi] |= other.words_[wi] & mask;
-        },
-        [this, &other](size_t wi, size_t n) {
-          simd::Active().or_words(&words_[wi], &other.words_[wi], n);
-        });
+    CheckRange(lo, hi);
+    if (lo >= hi) return;
+    simd::Active().or_range(words_.data(), other.words_.data(),
+                            static_cast<size_t>(lo), static_cast<size_t>(hi));
   }
 
   /// this[lo,hi) &= other[lo,hi).

@@ -83,6 +83,40 @@ bool SubsetWordsGeneric(const uint64_t* a, const uint64_t* b, size_t n) {
   }
   return true;
 }
+// Shared head/tail masks for the bit-ranged kernels. `RangeHeadMask(lo)`
+// selects bits >= lo within lo's word; `RangeTailMask(hi)` selects bits
+// < hi within (hi-1)'s word (requires hi > 0).
+inline uint64_t RangeHeadMask(size_t lo) { return ~uint64_t{0} << (lo & 63); }
+inline uint64_t RangeTailMask(size_t hi) {
+  return ~uint64_t{0} >> (63 - ((hi - 1) & 63));
+}
+
+void FillRangeGeneric(uint64_t* words, size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  const size_t wlo = lo >> 6;
+  const size_t whi = (hi - 1) >> 6;
+  if (wlo == whi) {
+    words[wlo] |= RangeHeadMask(lo) & RangeTailMask(hi);
+    return;
+  }
+  words[wlo] |= RangeHeadMask(lo);
+  for (size_t wi = wlo + 1; wi < whi; ++wi) words[wi] = ~uint64_t{0};
+  words[whi] |= RangeTailMask(hi);
+}
+
+void OrRangeGeneric(uint64_t* dst, const uint64_t* src, size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  const size_t wlo = lo >> 6;
+  const size_t whi = (hi - 1) >> 6;
+  if (wlo == whi) {
+    dst[wlo] |= src[wlo] & RangeHeadMask(lo) & RangeTailMask(hi);
+    return;
+  }
+  dst[wlo] |= src[wlo] & RangeHeadMask(lo);
+  for (size_t wi = wlo + 1; wi < whi; ++wi) dst[wi] |= src[wi];
+  dst[whi] |= src[whi] & RangeTailMask(hi);
+}
+
 void GatherWordsGeneric(uint64_t* dst, const uint64_t* src, const int32_t* idx,
                         size_t n) {
   // Assemble each output word from 64 gathered bits. The bit extractions
@@ -105,7 +139,8 @@ constexpr Kernels kGenericKernels = {
     AndNotWordsGeneric,     XorWordsGeneric,      CopyWordsGeneric,
     NotWordsGeneric,        AssignAndNotWordsGeneric,
     AssignOrNotWordsGeneric, PopcountWordsGeneric, AnyWordsGeneric,
-    SubsetWordsGeneric,     GatherWordsGeneric,
+    SubsetWordsGeneric,     GatherWordsGeneric,   FillRangeGeneric,
+    OrRangeGeneric,
 };
 
 // ---------------------------------------------------------------------------
@@ -279,6 +314,47 @@ XPTC_AVX2 void GatherWordsAvx2(uint64_t* dst, const uint64_t* src,
   }
 }
 
+XPTC_AVX2 void FillRangeAvx2(uint64_t* words, size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  const size_t wlo = lo >> 6;
+  const size_t whi = (hi - 1) >> 6;
+  if (wlo == whi) {
+    words[wlo] |= RangeHeadMask(lo) & RangeTailMask(hi);
+    return;
+  }
+  words[wlo] |= RangeHeadMask(lo);
+  size_t wi = wlo + 1;
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (; wi + 4 <= whi; wi += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + wi), ones);
+  }
+  for (; wi < whi; ++wi) words[wi] = ~uint64_t{0};
+  words[whi] |= RangeTailMask(hi);
+}
+
+XPTC_AVX2 void OrRangeAvx2(uint64_t* dst, const uint64_t* src, size_t lo,
+                           size_t hi) {
+  if (lo >= hi) return;
+  const size_t wlo = lo >> 6;
+  const size_t whi = (hi - 1) >> 6;
+  if (wlo == whi) {
+    dst[wlo] |= src[wlo] & RangeHeadMask(lo) & RangeTailMask(hi);
+    return;
+  }
+  dst[wlo] |= src[wlo] & RangeHeadMask(lo);
+  size_t wi = wlo + 1;
+  for (; wi + 4 <= whi; wi += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + wi));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + wi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + wi),
+                        _mm256_or_si256(x, y));
+  }
+  for (; wi < whi; ++wi) dst[wi] |= src[wi];
+  dst[whi] |= src[whi] & RangeTailMask(hi);
+}
+
 #undef XPTC_AVX2
 
 constexpr Kernels kAvx2Kernels = {
@@ -286,7 +362,8 @@ constexpr Kernels kAvx2Kernels = {
     AndNotWordsAvx2,      XorWordsAvx2,       CopyWordsAvx2,
     NotWordsAvx2,         AssignAndNotWordsAvx2,
     AssignOrNotWordsAvx2, PopcountWordsGeneric, AnyWordsAvx2,
-    SubsetWordsAvx2,      GatherWordsAvx2,
+    SubsetWordsAvx2,      GatherWordsAvx2,    FillRangeAvx2,
+    OrRangeAvx2,
 };
 
 bool CpuHasAvx2() { return __builtin_cpu_supports("avx2") != 0; }
@@ -378,12 +455,46 @@ bool SubsetWordsNeon(const uint64_t* a, const uint64_t* b, size_t n) {
   return true;
 }
 
+void FillRangeNeon(uint64_t* words, size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  const size_t wlo = lo >> 6;
+  const size_t whi = (hi - 1) >> 6;
+  if (wlo == whi) {
+    words[wlo] |= RangeHeadMask(lo) & RangeTailMask(hi);
+    return;
+  }
+  words[wlo] |= RangeHeadMask(lo);
+  size_t wi = wlo + 1;
+  const uint64x2_t ones = vdupq_n_u64(~uint64_t{0});
+  for (; wi + 2 <= whi; wi += 2) vst1q_u64(words + wi, ones);
+  for (; wi < whi; ++wi) words[wi] = ~uint64_t{0};
+  words[whi] |= RangeTailMask(hi);
+}
+
+void OrRangeNeon(uint64_t* dst, const uint64_t* src, size_t lo, size_t hi) {
+  if (lo >= hi) return;
+  const size_t wlo = lo >> 6;
+  const size_t whi = (hi - 1) >> 6;
+  if (wlo == whi) {
+    dst[wlo] |= src[wlo] & RangeHeadMask(lo) & RangeTailMask(hi);
+    return;
+  }
+  dst[wlo] |= src[wlo] & RangeHeadMask(lo);
+  size_t wi = wlo + 1;
+  for (; wi + 2 <= whi; wi += 2) {
+    vst1q_u64(dst + wi, vorrq_u64(vld1q_u64(dst + wi), vld1q_u64(src + wi)));
+  }
+  for (; wi < whi; ++wi) dst[wi] |= src[wi];
+  dst[whi] |= src[whi] & RangeTailMask(hi);
+}
+
 constexpr Kernels kNeonKernels = {
     Level::kNeon,         OrWordsNeon,        AndWordsNeon,
     AndNotWordsNeon,      XorWordsNeon,       CopyWordsGeneric,
     NotWordsNeon,         AssignAndNotWordsNeon,
     AssignOrNotWordsNeon, PopcountWordsGeneric, AnyWordsNeon,
     SubsetWordsNeon,      GatherWordsGeneric,  // NEON has no gather
+    FillRangeNeon,        OrRangeNeon,
 };
 
 #endif  // XPTC_SIMD_NEON

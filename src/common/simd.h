@@ -76,6 +76,16 @@ struct Kernels {
   // NEON has no gather and aliases the generic loop.
   void (*gather_words)(uint64_t* dst, const uint64_t* src, const int32_t* idx,
                        size_t n);
+
+  // Ranged kernels over *bit* positions: unlike the word kernels above,
+  // these take a [lo, hi) bit range and handle the masked head/tail words
+  // internally, so callers (Bitset::SetRange/OrRange, the interval axis
+  // kernels' per-subtree range fills) pay no mask bookkeeping per call.
+  // `fill_range` sets every bit of words[lo, hi); `or_range` does
+  // dst[lo, hi) |= src[lo, hi). Bits outside the range are untouched.
+  // Requires lo <= hi; lo == hi is a no-op.
+  void (*fill_range)(uint64_t* words, size_t lo, size_t hi);
+  void (*or_range)(uint64_t* dst, const uint64_t* src, size_t lo, size_t hi);
 };
 
 /// The active dispatch table (detection + env override, cached after the

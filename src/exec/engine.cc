@@ -19,6 +19,7 @@ ExecEngine::ExecEngine(const Tree& tree, TreeCache* tree_cache)
   XPTC_CHECK(!tree.empty());
   XPTC_CHECK(tree_cache == nullptr || &tree_cache->tree() == &tree)
       << "TreeCache bound to a different tree";
+  if (tree_cache != nullptr) calibration_ = tree_cache->calibration();
 }
 
 ExecEngine::~ExecEngine() = default;
@@ -276,7 +277,7 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
       case Op::kAxis:
         dst.ResetAll();  // the kernels require a clear output window
         AxisImageInto(tree_, ins.axis, regs_[static_cast<size_t>(ins.a)], 0,
-                      n_, &dst);
+                      n_, &dst, calibration_);
         // Per-axis-kernel node touches: the size of the produced image,
         // keyed by axis. Only counted (and only paid — CountRange is
         // O(n/64)) when a trace is active on this thread.
@@ -286,6 +287,22 @@ bool ExecEngine::RunRange(const Program& program, int begin, int end) {
                        dst.CountRange(0, n_));
         }
         break;
+      case Op::kDescFill:
+      case Op::kAncMark:
+      case Op::kSibChain: {
+        // Collapsed star: dst := seed ∪ closure-image(seed), one streamed
+        // kernel pass instead of an O(depth)-round fixpoint loop.
+        const Bitset& seed = regs_[static_cast<size_t>(ins.a)];
+        dst.ResetAll();
+        AxisImageInto(tree_, ins.axis, seed, 0, n_, &dst, calibration_);
+        dst.OrRange(seed, 0, n_);
+        if (obs::TraceNode* cur = obs::QueryTrace::Current()) {
+          cur->AddAttr(std::string("axis.") + AxisToString(ins.axis) +
+                           ".touches",
+                       dst.CountRange(0, n_));
+        }
+        break;
+      }
       case Op::kStar: {
         // Semi-naive closure: dst accumulates everything reached, the body
         // maps the newly-reached frontier (`in`) one step to `out`, and

@@ -10,6 +10,7 @@
 #include "common/bitset.h"
 #include "exec/program.h"
 #include "tree/tree.h"
+#include "xpath/axis_kernels.h"
 #include "xpath/eval.h"
 
 namespace xptc {
@@ -136,6 +137,9 @@ class ExecEngine {
   const Tree& tree_;
   TreeCache* tree_cache_;
   const int n_;
+  // Per-tree axis-dispatch calibration, copied from the attached TreeCache
+  // at construction (default constants without one) — see DESIGN.md §15.
+  axis::Calibration calibration_;
   std::vector<Bitset> regs_;
   int64_t star_rounds_left_ = 0;  // per-run star-round budget (see Eval)
   int64_t deadline_ns_ = 0;       // 0 = no deadline armed

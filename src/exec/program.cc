@@ -10,12 +10,26 @@
 #include <vector>
 
 #include "common/check.h"
+#include "xpath/axis_kernels.h"
 #include "xpath/fragment.h"
 #include "xpath/intern.h"
 
 namespace xptc {
 namespace exec {
 namespace {
+
+// Closure-op mnemonic for an axis produced by `TransitiveClosureAxis`
+// (desc → interval fill, anc → backward mark sweep, fsib/psib → chain).
+Op ClosureOpFor(Axis closure) {
+  switch (closure) {
+    case Axis::kDescendant:
+      return Op::kDescFill;
+    case Axis::kAncestor:
+      return Op::kAncMark;
+    default:
+      return Op::kSibChain;
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Lowering: NodeExpr DAG -> flat instruction sequences (SSA virtual regs).
@@ -215,6 +229,25 @@ class Lowerer {
         break;
       }
       case PathOp::kStar: {
+        // Closure collapse: a star whose body is one bare axis step is the
+        // reflexive-transitive closure of that step — when the closure is
+        // itself a one-pass streaming kernel, emit one closure instruction
+        // (dst := targets ∪ closure-image(targets)) instead of the
+        // O(rounds) fixpoint loop below. The body axis is inverted first
+        // because this lowering computes backward images.
+        Axis closure;
+        if (axis::ClosureCollapseEnabled() &&
+            path->left->op == PathOp::kAxis &&
+            TransitiveClosureAxis(InverseAxis(path->left->axis), &closure)) {
+          Instr ins;
+          ins.op = ClosureOpFor(closure);
+          ins.axis = closure;
+          ins.a = targets;
+          ins.dst = NewVreg();
+          Append(seq, ins);
+          reg = ins.dst;
+          break;
+        }
         // Semi-naive closure: the body maps the frontier `in` one p-step
         // back to `out`; the engine accumulates into dst until empty.
         const int body = NewSeq();
@@ -457,6 +490,15 @@ std::string Program::InstrToString(int i, const Alphabet& alphabet) const {
       break;
     case Op::kWithin:
       os << "within " << NodeToString(*ins.within, alphabet);
+      break;
+    case Op::kDescFill:
+      os << "descfill " << AxisToString(ins.axis) << " r" << ins.a;
+      break;
+    case Op::kAncMark:
+      os << "ancmark " << AxisToString(ins.axis) << " r" << ins.a;
+      break;
+    case Op::kSibChain:
+      os << "sibchain " << AxisToString(ins.axis) << " r" << ins.a;
       break;
   }
   return os.str();

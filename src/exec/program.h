@@ -32,6 +32,17 @@ enum class Op : uint8_t {
             //        loop body [body_begin, body_end) maps register `in`
             //        (current frontier) to register `out` (one p-step)
   kWithin,  // dst := {v : W-expression holds at v} via the interpreter
+
+  // Closure kernels: dst := a ∪ axis-image(axis, a), with `axis` one of
+  // the transitive structure axes (desc/anc/fsib/psib). Emitted when a
+  // star loop's body is a single bare axis step whose closure is itself a
+  // one-pass streaming kernel (`TransitiveClosureAxis`): the whole
+  // O(depth)-round fixpoint collapses to one interval/streamed pass. Three
+  // mnemonics so disassembly and the cost model can tell the kernel
+  // families apart; execution is identical modulo the axis operand.
+  kDescFill,  // axis ∈ {desc} — preorder interval range-fill union
+  kAncMark,   // axis ∈ {anc} — interval-stabbing backward sweep
+  kSibChain,  // axis ∈ {fsib, psib} — streamed sibling-chain pass
 };
 
 struct Instr {
@@ -70,6 +81,8 @@ struct SuperoptStats {
                        // proposed when the (profile-fed) round estimate
                        // falls below one, i.e. the star rarely runs
   int dropped = 0;     // dead instructions removed
+  int collapsed = 0;   // star loops collapsed into one-pass closure ops
+                       // (kDescFill/kAncMark/kSibChain)
   double cost_before = 0;  // weighted cost model, input program
   double cost_after = 0;   // weighted cost model, winning candidate
 };

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "xpath/axis_kernels.h"
 
 namespace xptc {
 namespace exec {
@@ -39,6 +40,17 @@ void TraceNote(const char* note) {
   }
 }
 
+Op ClosureOp(Axis closure) {
+  switch (closure) {
+    case Axis::kDescendant:
+      return Op::kDescFill;
+    case Axis::kAncestor:
+      return Op::kAncMark;
+    default:
+      return Op::kSibChain;
+  }
+}
+
 }  // namespace
 
 double OpWeight(Op op) {
@@ -56,6 +68,11 @@ double OpWeight(Op op) {
       return 1.0;  // fused three-operand kernel: one pass
     case Op::kAxis:
       return 4.0;  // clear + scatter/gather image, not word-parallel
+    case Op::kDescFill:
+    case Op::kAncMark:
+    case Op::kSibChain:
+      return 4.0;  // one streamed closure pass — same unit as one kAxis,
+                   // but executes once where a star body runs per round
     case Op::kStar:
       return 2.0;  // per-entry seed copies (round work is billed to the
                    // body instructions, which carry the round multiplier)
@@ -88,6 +105,7 @@ class Superoptimizer {
     int num_vregs = 0;  // upper bound on vreg ids (not necessarily dense)
     double cost = 0;
     int fused = 0, merged = 0, hoisted = 0, sunk = 0, dropped = 0;
+    int collapsed = 0;
   };
 
   struct DefSite {
@@ -238,6 +256,9 @@ class Superoptimizer {
           break;
         case Op::kNot:
         case Op::kAxis:
+        case Op::kDescFill:
+        case Op::kAncMark:
+        case Op::kSibChain:
           if (!is_defined(ins.a)) return false;
           break;
         case Op::kAnd:
@@ -306,6 +327,9 @@ class Superoptimizer {
       case Op::kOrNot:
         return x.a == y.a && x.b == y.b;
       case Op::kAxis:
+      case Op::kDescFill:
+      case Op::kAncMark:
+      case Op::kSibChain:
         return x.axis == y.axis && x.a == y.a;
       case Op::kWithin:
         return x.within.get() == y.within.get();
@@ -479,6 +503,45 @@ class Superoptimizer {
         }
       }
     }
+
+    // collapse: a star whose body is the single bare axis step `out :=
+    // axis-image(in)` IS the reflexive-transitive closure of that axis —
+    // replace the whole loop with the one-pass closure kernel when the
+    // axis has one (TransitiveClosureAxis). This is how *warm* PlanCache
+    // entries (lowered before the closure ops existed, or whose body only
+    // became bare through earlier merges/hoists) pick up the interval
+    // kernels on profile-fed re-superoptimization.
+    if (axis::ClosureCollapseEnabled()) {
+      for (int s = 0; s < num_seqs; ++s) {
+        const auto& seq = c.seqs[static_cast<size_t>(s)];
+        for (int i = 0; i < static_cast<int>(seq.size()); ++i) {
+          const SInstr& si = seq[static_cast<size_t>(i)];
+          const Instr& star = si.ins;
+          if (star.op != Op::kStar) continue;
+          const auto& body = c.seqs[static_cast<size_t>(star.body_begin)];
+          if (body.size() != 1) continue;
+          const Instr& step = body.front().ins;
+          Axis closure;
+          if (step.op != Op::kAxis || step.a != star.in ||
+              step.dst != star.out ||
+              !TransitiveClosureAxis(step.axis, &closure)) {
+            continue;
+          }
+          Candidate nc = c;
+          auto& nbody = nc.seqs[static_cast<size_t>(star.body_begin)];
+          nbody.clear();
+          Instr& target =
+              nc.seqs[static_cast<size_t>(s)][static_cast<size_t>(i)].ins;
+          target = Instr{};
+          target.op = ClosureOp(closure);
+          target.axis = closure;
+          target.dst = star.dst;
+          target.a = star.a;
+          ++nc.collapsed;
+          out->push_back(std::move(nc));
+        }
+      }
+    }
   }
 
   // --- relinearization -----------------------------------------------------
@@ -576,6 +639,24 @@ std::shared_ptr<const Program> Superoptimizer::Run(
             &initial);
   initial.cost = Cost(initial);
 
+  // Cost of the program as it stands. Normally identical to `initial`
+  // (lowering is deterministic), but `base` may predate a lowering
+  // improvement — e.g. it was cached before closure collapse existed, or
+  // with the collapse toggled off — and then the fresh lowering is
+  // already a win with zero moves. Acceptance is therefore judged against
+  // the base program, not against the re-lowering.
+  const std::vector<int64_t>* base_observed = options.observed_execs;
+  if (base_observed != nullptr &&
+      base_observed->size() != base->code_.size()) {
+    base_observed = nullptr;
+  }
+  Candidate existing;
+  existing.result_vreg = base->result_reg_;
+  existing.num_vregs = base->num_regs_;
+  Decompose(base->code_, 0, base->main_end_, 1.0, options, base_observed,
+            &existing);
+  const double base_cost = Cost(existing);
+
   std::vector<std::pair<std::string, Candidate>> beam;
   beam.emplace_back(Serialize(initial), initial);
   Candidate best = initial;
@@ -616,7 +697,7 @@ std::shared_ptr<const Program> Superoptimizer::Run(
     beam = std::move(next);
   }
 
-  if (best.cost >= initial.cost - kEps) {
+  if (best.cost >= base_cost - kEps) {
     metrics.unchanged.Inc();
     TraceNote("superopt: no improving rewrite");
     return base;
@@ -640,7 +721,8 @@ std::shared_ptr<const Program> Superoptimizer::Run(
   program->superopt_stats_.hoisted = best.hoisted;
   program->superopt_stats_.sunk = best.sunk;
   program->superopt_stats_.dropped = best.dropped;
-  program->superopt_stats_.cost_before = initial.cost;
+  program->superopt_stats_.collapsed = best.collapsed;
+  program->superopt_stats_.cost_before = base_cost;
   program->superopt_stats_.cost_after = best.cost;
   program->pre_superopt_ = std::move(base);
   metrics.optimized.Inc();
@@ -689,6 +771,9 @@ bool VerifyWalk(const Program& program, int begin, int end,
         break;
       case Op::kNot:
       case Op::kAxis:
+      case Op::kDescFill:
+      case Op::kAncMark:
+      case Op::kSibChain:
         need_a = true;
         break;
       case Op::kAnd:

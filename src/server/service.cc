@@ -232,6 +232,28 @@ ServiceResponse QueryService::HandleQuery(const ServiceRequest& req,
   resp.request_id = req.request_id;
   resp.num_queries = 1;
   resp.results.resize(tree_ids.size());
+  if (tree_ids.size() > 1) {
+    // Multi-tree queries coalesce through the BatchEngine — the trees fan
+    // out across the batch pool instead of running sequentially on this
+    // worker, and share its per-tree engines/caches with /batch traffic.
+    // Bit-for-bit identical to the per-tree loop below (server_test pins
+    // this); profile feedback is skipped here, as on the /batch path.
+    bool expired = false;
+    const std::vector<std::vector<Bitset>> results = batch_.RunCompiledOnTrees(
+        {compiled->program}, tree_ids, deadline_ns, &expired);
+    if (expired) {
+      Metrics().deadline_exceeded.Inc();
+      return ErrorResponse(req, RespCode::kDeadlineExceeded,
+                           "deadline expired during execution");
+    }
+    for (size_t i = 0; i < tree_ids.size(); ++i) {
+      FillResult(results[i][0], req.mode, tree_ids[i], &resp.results[i]);
+    }
+    return resp;
+  }
+  // Single-tree fast path: inline on this worker's own engine — no pool
+  // hop — and the only path that feeds execution profiles back (warm plans
+  // get a profile-fed re-superoptimization on a later hit, plan_cache.h).
   for (size_t i = 0; i < tree_ids.size(); ++i) {
     const int t = tree_ids[i];
     exec::ExecEngine* engine = EngineFor(worker, t);

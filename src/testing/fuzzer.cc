@@ -110,8 +110,15 @@ FuzzCase Fuzzer::DeriveCase(uint64_t case_seed) const {
   }
 
   TreeGenOptions tree_options;
-  tree_options.num_nodes = rng.NextInt(1, options_.max_tree_nodes);
-  tree_options.shape = static_cast<TreeShape>(rng.NextBelow(7));
+  if (options_.deep_tree_bias && rng.NextBool()) {
+    tree_options.num_nodes =
+        rng.NextInt(options_.max_tree_nodes, options_.max_tree_nodes * 8);
+    tree_options.shape =
+        rng.NextBool() ? TreeShape::kChain : TreeShape::kCaterpillar;
+  } else {
+    tree_options.num_nodes = rng.NextInt(1, options_.max_tree_nodes);
+    tree_options.shape = static_cast<TreeShape>(rng.NextBelow(7));
+  }
   tree_options.arity = rng.NextInt(2, 4);
   Rng tree_rng = rng.Fork();
   out.tree = GenerateTree(tree_options, labels_, &tree_rng);

@@ -51,6 +51,13 @@ struct FuzzOptions {
   int num_labels = 4;
   int max_query_depth = 4;
 
+  /// When true, half of the cases take a deep-tree profile instead: shape
+  /// drawn from {chain, caterpillar} and size from [max_tree_nodes,
+  /// 8 * max_tree_nodes]. Depth ≈ nodes is the closure axis kernels' worst
+  /// regime (one interval/streamed pass vs an O(depth)-round fixpoint),
+  /// and the uniform shape/size draw above under-samples it badly.
+  bool deep_tree_bias = false;
+
   /// Stop the campaign after this many findings (each is shrunk first).
   int max_findings = 8;
 

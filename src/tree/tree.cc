@@ -31,6 +31,7 @@ Tree Tree::ExtractSubtree(NodeId v) const {
   out.prev_sibling_.resize(static_cast<size_t>(n));
   out.depth_.resize(static_cast<size_t>(n));
   out.subtree_end_.resize(static_cast<size_t>(n));
+  out.subtree_size_.resize(static_cast<size_t>(n));
   out.child_count_.resize(static_cast<size_t>(n));
   auto remap = [v](NodeId id) { return id == kNoNode ? kNoNode : id - v; };
   const int base_depth = Depth(v);
@@ -41,6 +42,7 @@ Tree Tree::ExtractSubtree(NodeId v) const {
     out.last_child_[i] = remap(LastChild(w));
     out.depth_[i] = Depth(w) - base_depth;
     out.subtree_end_[i] = SubtreeEnd(w) - v;
+    out.subtree_size_[i] = SubtreeSize(w);
     out.child_count_[i] = ChildCount(w);
     if (w == v) {
       // `v` becomes a root: detach it from its context.
@@ -198,6 +200,7 @@ NodeId TreeBuilder::Begin(Symbol label) {
   tree_.next_sibling_.push_back(kNoNode);
   tree_.prev_sibling_.push_back(kNoNode);
   tree_.subtree_end_.push_back(kNoNode);
+  tree_.subtree_size_.push_back(0);
   tree_.child_count_.push_back(0);
   if (parent == kNoNode) {
     tree_.depth_.push_back(0);
@@ -222,8 +225,9 @@ void TreeBuilder::End() {
   XPTC_CHECK(!open_.empty()) << "TreeBuilder::End with no open node";
   const NodeId id = open_.back();
   open_.pop_back();
-  tree_.subtree_end_[static_cast<size_t>(id)] =
-      static_cast<NodeId>(tree_.label_.size());
+  const NodeId end = static_cast<NodeId>(tree_.label_.size());
+  tree_.subtree_end_[static_cast<size_t>(id)] = end;
+  tree_.subtree_size_[static_cast<size_t>(id)] = end - id;
 }
 
 Result<Tree> TreeBuilder::Finish() && {

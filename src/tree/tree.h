@@ -54,11 +54,14 @@ class Tree {
   const NodeId* NextSiblingData() const { return next_sibling_.data(); }
   const NodeId* PrevSiblingData() const { return prev_sibling_.data(); }
   const NodeId* SubtreeEndData() const { return subtree_end_.data(); }
+  const int* SubtreeSizeData() const { return subtree_size_.data(); }
 
   /// One past the last preorder id in the subtree of `v`.
   NodeId SubtreeEnd(NodeId v) const { return subtree_end_[Index(v)]; }
   /// Number of nodes in the subtree rooted at `v` (including `v`).
-  int SubtreeSize(NodeId v) const { return SubtreeEnd(v) - v; }
+  /// Materialized as its own preorder column (not derived per call) so the
+  /// interval axis kernels can stream it alongside `parent_`/`next_sibling_`.
+  int SubtreeSize(NodeId v) const { return subtree_size_[Index(v)]; }
 
   bool IsRoot(NodeId v) const { return Parent(v) == kNoNode; }
   bool IsLeaf(NodeId v) const { return FirstChild(v) == kNoNode; }
@@ -147,6 +150,7 @@ class Tree {
   std::vector<NodeId> prev_sibling_;
   std::vector<int> depth_;
   std::vector<NodeId> subtree_end_;
+  std::vector<int> subtree_size_;
   std::vector<int> child_count_;
 };
 

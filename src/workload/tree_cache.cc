@@ -33,6 +33,7 @@ struct TreeCacheMetrics {
 TreeCache::TreeCache(std::shared_ptr<const Tree> tree)
     : tree_(std::move(tree)) {
   XPTC_CHECK(tree_ != nullptr);
+  calibration_ = axis::CalibrateCrossover(*tree_);
 }
 
 const Bitset& TreeCache::LabelSet(Symbol label) {

@@ -10,6 +10,7 @@
 #include "common/bitset.h"
 #include "tree/tree.h"
 #include "xpath/ast.h"
+#include "xpath/axis_kernels.h"
 
 namespace xptc {
 
@@ -45,6 +46,13 @@ class TreeCache {
   const Tree& tree() const { return *tree_; }
   const std::shared_ptr<const Tree>& tree_ptr() const { return tree_; }
 
+  /// Per-tree axis-dispatch calibration, measured once at admission
+  /// (`axis::CalibrateCrossover`): the sparse/dense crossover for *this*
+  /// tree's shape on *this* hardware. Engines pass it to the calibrated
+  /// `AxisImageInto` overload so auto dispatch stops relying on the fixed
+  /// compile-time constant.
+  const axis::Calibration& calibration() const { return calibration_; }
+
   /// The node set {v : Label(v) == label}, computed on first use.
   const Bitset& LabelSet(Symbol label);
 
@@ -78,6 +86,7 @@ class TreeCache {
   Shard& ShardFor(size_t hash) { return shards_[hash % kNumShards]; }
 
   std::shared_ptr<const Tree> tree_;
+  axis::Calibration calibration_;
   Shard shards_[kNumShards];
 };
 

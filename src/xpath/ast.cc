@@ -85,6 +85,31 @@ bool IsTransitiveAxis(Axis axis) {
   }
 }
 
+bool TransitiveClosureAxis(Axis axis, Axis* closure) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+      *closure = Axis::kDescendant;
+      return true;
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      *closure = Axis::kAncestor;
+      return true;
+    case Axis::kNextSibling:
+    case Axis::kFollowingSibling:
+      *closure = Axis::kFollowingSibling;
+      return true;
+    case Axis::kPrevSibling:
+    case Axis::kPrecedingSibling:
+      *closure = Axis::kPrecedingSibling;
+      return true;
+    default:
+      return false;
+  }
+}
+
 const char* AxisToString(Axis axis) {
   switch (axis) {
     case Axis::kSelf:

@@ -46,6 +46,17 @@ bool IsForwardAxis(Axis axis);
 /// or-self closures, following/preceding-sibling, following, preceding).
 bool IsTransitiveAxis(Axis axis);
 
+/// If the reflexive-transitive closure of `axis` is expressible as a single
+/// axis image plus the reflexive seed — i.e. [[axis*]] = id ∪ [[t]] for
+/// some structure axis `t` with a one-pass streaming kernel — stores `t`
+/// and returns true. This is what lets a star loop over a bare axis step
+/// collapse to one closure kernel: child*/desc*/dos* → descendant,
+/// parent*/anc*/aos* → ancestor, right*/fsib* → fsib, left*/psib* → psib.
+/// False for self (trivial: self* = self) and for following/preceding
+/// (no dedicated closure kernel — their one-shot images are already O(1)
+/// range writes and their stars are folded at plan level).
+bool TransitiveClosureAxis(Axis axis, Axis* closure);
+
 /// Short stable name used by the parser and printer:
 /// self child parent desc anc dos aos right left fsib psib foll prec.
 const char* AxisToString(Axis axis);

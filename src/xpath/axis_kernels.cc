@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "common/check.h"
@@ -25,14 +28,17 @@ Mode EnvMode() {
     }
     if (std::strcmp(env, "sparse") == 0) return Mode::kSparse;
     if (std::strcmp(env, "dense") == 0) return Mode::kDense;
+    if (std::strcmp(env, "interval") == 0) return Mode::kInterval;
     XPTC_CHECK(false) << "unsupported XPTC_AXIS_MODE '" << env
-                      << "' (valid: auto, sparse, dense)";
+                      << "' (valid: auto, sparse, dense, interval)";
     return Mode::kAuto;
   }();
   return mode;
 }
 
 std::atomic<int> g_mode_override{-1};
+
+std::atomic<bool> g_closure_collapse{true};
 
 }  // namespace
 
@@ -47,6 +53,18 @@ void SetModeForTesting(Mode mode) {
 
 void ResetModeForTesting() {
   g_mode_override.store(-1, std::memory_order_relaxed);
+}
+
+bool ClosureCollapseEnabled() {
+  return g_closure_collapse.load(std::memory_order_relaxed);
+}
+
+void SetClosureCollapseForTesting(bool enabled) {
+  g_closure_collapse.store(enabled, std::memory_order_relaxed);
+}
+
+void ResetClosureCollapseForTesting() {
+  g_closure_collapse.store(true, std::memory_order_relaxed);
 }
 
 }  // namespace axis
@@ -88,14 +106,50 @@ void RecordDispatch(Axis axis, bool dense) {
   }
 }
 
+/// Sampled density estimate: `popcount(sources ∩ window) * crossover >=
+/// window`, with the popcount *estimated* from a strided probe of at most
+/// kDensityProbeWords words instead of a full CountRange pass — the full
+/// O(window/64) pre-scan was a measurable regression on sparse frontiers
+/// (it cost a whole extra pass over the very words the sparse chase was
+/// about to decode). Deterministic: same sources → same probe words →
+/// same decision. Sources are a subset of the window by the kernel
+/// contract, so partial head/tail words need no masking.
+bool DensityAboveCrossover(const Bitset& sources, NodeId lo, NodeId hi,
+                           int crossover) {
+  const int window = hi - lo;
+  const uint64_t* words = sources.words();
+  const size_t wlo = static_cast<size_t>(lo) >> 6;
+  const size_t whi = static_cast<size_t>(hi - 1) >> 6;  // inclusive
+  const size_t nwords = whi - wlo + 1;
+  constexpr size_t kProbe = static_cast<size_t>(axis::kDensityProbeWords);
+  if (nwords <= kProbe) {
+    int64_t count = 0;
+    for (size_t wi = wlo; wi <= whi; ++wi) {
+      count += __builtin_popcountll(words[wi]);
+    }
+    return count * crossover >= window;
+  }
+  const size_t stride = nwords / kProbe;
+  int64_t sampled = 0;
+  for (size_t i = 0; i < kProbe; ++i) {
+    sampled += __builtin_popcountll(words[wlo + i * stride]);
+  }
+  // Scale the sample back up to the window; integer math, overflow-safe
+  // (sampled <= 64*64 bits, nwords and crossover are small).
+  const int64_t estimated = sampled * static_cast<int64_t>(nwords) /
+                            static_cast<int64_t>(kProbe);
+  return estimated * crossover >= window;
+}
+
 /// Density gate for the column-streaming child/parent paths: the dense
 /// pass costs O(window) column reads, the sparse pass O(popcount) chases —
-/// so stream once the source set passes 1/kDenseCrossover of the window.
-/// The popcount pre-pass is an O(window/64) SIMD reduction, noise next to
-/// either path above kDenseMinWindow.
-bool UseDense(const Bitset& sources, NodeId lo, NodeId hi) {
+/// so stream once the (estimated) source count passes 1/crossover of the
+/// window. `kInterval` keeps child/parent on the sparse chase: it forces
+/// only the closure-axis streamed kernels.
+bool UseDense(const Bitset& sources, NodeId lo, NodeId hi, int crossover) {
   switch (axis::ActiveMode()) {
     case axis::Mode::kSparse:
+    case axis::Mode::kInterval:
       return false;
     case axis::Mode::kDense:
       return true;
@@ -104,7 +158,26 @@ bool UseDense(const Bitset& sources, NodeId lo, NodeId hi) {
   }
   const int window = hi - lo;
   if (window < axis::kDenseMinWindow) return false;
-  return sources.CountRange(lo, hi) * axis::kDenseCrossover >= window;
+  return DensityAboveCrossover(sources, lo, hi, crossover);
+}
+
+/// Dispatch gate for the streamed closure kernels (ancestor backward
+/// sweep, sibling chain passes): forced on by kDense *and* kInterval,
+/// density-gated under kAuto — the streamed pass costs O(window) column
+/// reads like the dense child/parent paths, so the same crossover applies.
+bool UseStreamed(const Bitset& sources, NodeId lo, NodeId hi, int crossover) {
+  switch (axis::ActiveMode()) {
+    case axis::Mode::kSparse:
+      return false;
+    case axis::Mode::kDense:
+    case axis::Mode::kInterval:
+      return true;
+    case axis::Mode::kAuto:
+      break;
+  }
+  const int window = hi - lo;
+  if (window < axis::kDenseMinWindow) return false;
+  return DensityAboveCrossover(sources, lo, hi, crossover);
 }
 
 // The preorder columns are int32 node ids; the gather kernel indexes with
@@ -208,15 +281,97 @@ void AncestorImage(const Tree& tree, const Bitset& sources, NodeId lo,
   });
 }
 
+void AncestorImageSweep(const Tree& tree, const Bitset& sources, NodeId lo,
+                        NodeId hi, Bitset* out) {
+  // Interval stabbing, streamed: v is a strict ancestor of some source iff
+  // the *nearest* source strictly after v (in preorder) still falls inside
+  // v's subtree interval — sources past SubtreeEnd(v) are past every
+  // earlier source too. One backward pass over the `subtree_end_` column
+  // carrying that nearest-later-source id; branch-free in the loop body
+  // (the conditional compiles to a cmov), O(window) column reads total
+  // versus the O(sources × depth) parent chase.
+  const NodeId* subtree_end = tree.SubtreeEndData();
+  const uint64_t* src = sources.words();
+  uint64_t* dst = out->mutable_words();
+  NodeId nearest = hi;  // sentinel: no source after v (subtree_end <= hi)
+  for (NodeId v = hi - 1; v >= lo; --v) {
+    const uint64_t is_anc = static_cast<uint64_t>(nearest < subtree_end[v]);
+    dst[static_cast<uint32_t>(v) >> 6] |= is_anc << (v & 63);
+    const bool is_src =
+        (src[static_cast<uint32_t>(v) >> 6] >> (v & 63)) & 1;
+    nearest = is_src ? v : nearest;
+  }
+}
+
 void DescendantImage(const Tree& tree, const Bitset& sources, NodeId lo,
                      NodeId hi, Bitset* out) {
-  // The image is a union of preorder intervals [v+1, SubtreeEnd(v)).
-  // Sources inside an already-covered interval are nested subtrees and
-  // contribute nothing new, so jump straight past each interval.
+  // The image is a union of preorder intervals [v+1, SubtreeEnd(v)),
+  // each one `fill_range` write. Sources inside an already-covered
+  // interval are nested subtrees and contribute nothing new, so jump
+  // straight past each interval — near-optimal at both density extremes
+  // (sparse: O(|S|) interval writes; dense: the first source's interval
+  // covers almost everything and the scan ends in O(1) hops).
   for (int v = sources.FindFirstInRange(lo, hi); v >= 0;) {
     const NodeId end = tree.SubtreeEnd(v);
     out->SetRange(v + 1, end);
     v = end >= hi ? -1 : sources.FindFirstInRange(end, hi);
+  }
+}
+
+void DescendantImageDense(const Tree& tree, const Bitset& sources, NodeId lo,
+                          NodeId hi, Bitset* out) {
+  // Forward propagation over the parent column: v is in the image iff its
+  // parent is a source or in the image, and parent[v] < v in preorder so
+  // the parent's output bit is final when v is reached. Kept as the
+  // forced-kDense cross-check of the interval form above (which auto
+  // always prefers — see UseStreamed).
+  const NodeId* parent = tree.ParentData();
+  const uint64_t* src = sources.words();
+  uint64_t* dst = out->mutable_words();
+  for (NodeId v = lo + 1; v < hi; ++v) {
+    const NodeId p = parent[v];
+    const uint64_t bit = ((src[static_cast<uint32_t>(p) >> 6] |
+                           dst[static_cast<uint32_t>(p) >> 6]) >>
+                          (p & 63)) &
+                         1;
+    dst[static_cast<uint32_t>(v) >> 6] |= bit << (v & 63);
+  }
+}
+
+template <bool kForward>
+void SiblingChainStream(const Tree& tree, const Bitset& sources, NodeId lo,
+                        NodeId hi, Bitset* out) {
+  // Streamed transitive sibling chains: v is in the fsib-image iff its
+  // previous sibling is a source or in the image (dually psib over next
+  // siblings, swept backward). Siblings of interior window nodes are
+  // interior themselves and previous siblings have smaller preorder ids,
+  // so one ordered pass over the link column settles every chain — no
+  // chain walking, no marked-stop probes. Branch-free body: missing links
+  // (kNoNode) read slot 0 and mask the bit to zero.
+  const NodeId* link =
+      kForward ? tree.PrevSiblingData() : tree.NextSiblingData();
+  const uint64_t* src = sources.words();
+  uint64_t* dst = out->mutable_words();
+  if (kForward) {
+    for (NodeId v = lo + 1; v < hi; ++v) {
+      const NodeId m = link[v];
+      const NodeId mm = m >= 0 ? m : 0;
+      const uint64_t ok = static_cast<uint64_t>(m >= 0);
+      const uint64_t bit = ok & ((src[static_cast<uint32_t>(mm) >> 6] |
+                                  dst[static_cast<uint32_t>(mm) >> 6]) >>
+                                 (mm & 63));
+      dst[static_cast<uint32_t>(v) >> 6] |= (bit & 1) << (v & 63);
+    }
+  } else {
+    for (NodeId v = hi - 1; v > lo; --v) {
+      const NodeId m = link[v];
+      const NodeId mm = m >= 0 ? m : 0;
+      const uint64_t ok = static_cast<uint64_t>(m >= 0);
+      const uint64_t bit = ok & ((src[static_cast<uint32_t>(mm) >> 6] |
+                                  dst[static_cast<uint32_t>(mm) >> 6]) >>
+                                 (mm & 63));
+      dst[static_cast<uint32_t>(v) >> 6] |= (bit & 1) << (v & 63);
+    }
   }
 }
 
@@ -255,41 +410,57 @@ void TransitiveSiblingImage(const Tree& tree, const Bitset& sources, NodeId lo,
 /// The non-counting implementation body; `AxisImageInto` wraps it with the
 /// dispatch decision and the per-axis counters (counted once per public
 /// call — the or-self axes delegate here, not through the public entry).
+/// Returns true when the streamed/dense column path ran (the `.dense_path`
+/// counter), false on the per-set-bit paths.
 bool AxisImageImpl(const Tree& tree, Axis axis, const Bitset& sources,
-                   NodeId lo, NodeId hi, Bitset* out) {
+                   NodeId lo, NodeId hi, Bitset* out,
+                   const axis::Calibration& cal) {
   switch (axis) {
     case Axis::kSelf:
       out->CopyRange(sources, lo, hi);
       break;
     case Axis::kChild:
-      if (UseDense(sources, lo, hi)) {
+      if (UseDense(sources, lo, hi, cal.child_dense_crossover)) {
         ChildImageDense(tree, sources, lo, hi, out);
         return true;
       }
       ChildImageSparse(tree, sources, lo, hi, out);
       break;
     case Axis::kParent:
-      if (UseDense(sources, lo, hi)) {
+      if (UseDense(sources, lo, hi, cal.parent_dense_crossover)) {
         ParentImageDense(tree, sources, lo, hi, out);
         return true;
       }
       ParentImageSparse(tree, sources, lo, hi, out);
       break;
     case Axis::kDescendant:
+      // The interval-union form is near-optimal at both density extremes,
+      // so auto (and kInterval) always takes it; forced kDense runs the
+      // parent-column propagation pass as an independent cross-check.
+      if (axis::ActiveMode() == axis::Mode::kDense) {
+        DescendantImageDense(tree, sources, lo, hi, out);
+        return true;
+      }
       DescendantImage(tree, sources, lo, hi, out);
       break;
     case Axis::kAncestor:
+      // The streamed sweep and sibling chains read sequential link columns
+      // the way the parent scatter does, so they share its crossover.
+      if (UseStreamed(sources, lo, hi, cal.parent_dense_crossover)) {
+        AncestorImageSweep(tree, sources, lo, hi, out);
+        return true;
+      }
       AncestorImage(tree, sources, lo, hi, out);
       break;
     case Axis::kDescendantOrSelf: {
-      const bool dense = AxisImageImpl(tree, Axis::kDescendant, sources, lo,
-                                       hi, out);
+      const bool dense =
+          AxisImageImpl(tree, Axis::kDescendant, sources, lo, hi, out, cal);
       out->OrRange(sources, lo, hi);
       return dense;
     }
     case Axis::kAncestorOrSelf: {
       const bool dense =
-          AxisImageImpl(tree, Axis::kAncestor, sources, lo, hi, out);
+          AxisImageImpl(tree, Axis::kAncestor, sources, lo, hi, out, cal);
       out->OrRange(sources, lo, hi);
       return dense;
     }
@@ -300,9 +471,17 @@ bool AxisImageImpl(const Tree& tree, Axis axis, const Bitset& sources,
       AdjacentSiblingImage<false>(tree, sources, lo, hi, out);
       break;
     case Axis::kFollowingSibling:
+      if (UseStreamed(sources, lo, hi, cal.parent_dense_crossover)) {
+        SiblingChainStream<true>(tree, sources, lo, hi, out);
+        return true;
+      }
       TransitiveSiblingImage<true>(tree, sources, lo, hi, out);
       break;
     case Axis::kPrecedingSibling:
+      if (UseStreamed(sources, lo, hi, cal.parent_dense_crossover)) {
+        SiblingChainStream<false>(tree, sources, lo, hi, out);
+        return true;
+      }
       TransitiveSiblingImage<false>(tree, sources, lo, hi, out);
       break;
     case Axis::kFollowing: {
@@ -340,8 +519,81 @@ bool AxisImageImpl(const Tree& tree, Axis axis, const Bitset& sources,
 
 void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
                    NodeId lo, NodeId hi, Bitset* out) {
-  const bool dense = AxisImageImpl(tree, axis, sources, lo, hi, out);
+  const bool dense =
+      AxisImageImpl(tree, axis, sources, lo, hi, out, axis::Calibration{});
   RecordDispatch(axis, dense);
 }
+
+void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
+                   NodeId lo, NodeId hi, Bitset* out,
+                   const axis::Calibration& calibration) {
+  const bool dense =
+      AxisImageImpl(tree, axis, sources, lo, hi, out, calibration);
+  RecordDispatch(axis, dense);
+}
+
+namespace axis {
+
+namespace {
+
+/// Trees below this size skip the microprobe: the kernels are noise-level
+/// there (and the unit/EXPLAIN fixtures stay byte-identical in behavior).
+constexpr int kCalibrateMinNodes = 4096;
+
+}  // namespace
+
+Calibration CalibrateCrossover(const Tree& tree) {
+  Calibration cal;
+  const int n = tree.size();
+  if (n < kCalibrateMinNodes) return cal;
+  // Sparse probe at 1/64 density, dense probe saturated; both full-window.
+  // The kernel bodies are called directly — no RecordDispatch, so the
+  // probe never shows up in axis.* counters or EXPLAIN traces.
+  Bitset sparse_src(n);
+  for (NodeId v = 0; v < n; v += 64) sparse_src.Set(v);
+  const int sparse_count = sparse_src.Count();
+  Bitset dense_src(n, true);
+  Bitset out(n);
+  const auto time_ns = [&out](auto&& fn) {
+    int64_t best = std::numeric_limits<int64_t>::max();
+    for (int rep = 0; rep < 3; ++rep) {
+      out.ResetAll();
+      const auto t0 = std::chrono::steady_clock::now();
+      fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min<int64_t>(
+          best,
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count());
+    }
+    return best;
+  };
+  // Each vertical kernel pair is probed separately: the child dense
+  // gather streams several times faster per node than the parent dense
+  // scatter on wide-gather hardware, and the chase costs drift apart as
+  // the tree outgrows cache — one shared ratio routes one axis's sparse
+  // frontiers dense (or dense frontiers sparse) and loses that whole win.
+  const auto ratio_of = [&](auto&& sparse_fn, auto&& dense_fn) {
+    const int64_t sparse_ns = time_ns(sparse_fn);
+    const int64_t dense_ns = time_ns(dense_fn);
+    const double per_chase =
+        static_cast<double>(sparse_ns) / std::max(sparse_count, 1);
+    const double per_node = static_cast<double>(dense_ns) / n;
+    const double ratio = per_node > 0
+                             ? per_chase / per_node
+                             : static_cast<double>(kDenseCrossover);
+    return static_cast<int>(
+        std::clamp(std::lround(ratio), long{2}, long{64}));
+  };
+  cal.child_dense_crossover =
+      ratio_of([&] { ChildImageSparse(tree, sparse_src, 0, n, &out); },
+               [&] { ChildImageDense(tree, dense_src, 0, n, &out); });
+  cal.parent_dense_crossover =
+      ratio_of([&] { ParentImageSparse(tree, sparse_src, 0, n, &out); },
+               [&] { ParentImageDense(tree, dense_src, 0, n, &out); });
+  return cal;
+}
+
+}  // namespace axis
 
 }  // namespace xptc

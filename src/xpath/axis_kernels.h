@@ -23,11 +23,21 @@ namespace xptc {
 ///    dispatch kernel (common/simd.h); parent-image is the branch-free
 ///    scatter dual. Cost O(window), bandwidth-bound instead of
 ///    latency-bound.
+///  - interval/streamed path (the closure axes, DESIGN.md §15):
+///    descendant is a union of `fill_range` writes over preorder subtree
+///    intervals [v+1, SubtreeEnd(v)) with covered intervals skipped;
+///    ancestor is interval stabbing — one branch-free *backward* sweep
+///    tracking the nearest later source against the `subtree_end_` column;
+///    following/preceding-sibling chains are one branch-free pass over the
+///    `prev_sibling_`/`next_sibling_` link columns propagating along
+///    chains. All are O(window/64 + |sources|) single passes, no
+///    O(depth)-round fixpoint anywhere.
 ///
-/// The auto dispatch picks dense when `popcount * kDenseCrossover >=
-/// window` (measured crossover, see DESIGN.md §13) and records the
-/// decision per axis on the `axis.<name>.sparse_path` / `.dense_path`
-/// registry counters plus the active EXPLAIN trace.
+/// The auto dispatch picks the streamed path when `est_popcount *
+/// dense_crossover >= window` (sampled estimate — a strided probe of at
+/// most kDensityProbeWords words, not a full popcount pass) and records
+/// the decision per axis on the `axis.<name>.sparse_path` /
+/// `.dense_path` registry counters plus the active EXPLAIN trace.
 ///
 /// The image is computed within the context subtree [lo, hi) of `tree`
 /// (`hi == tree.SubtreeEnd(lo)`), with `lo` acting as the context root: it
@@ -42,13 +52,16 @@ namespace axis {
 /// Dispatch policy for the density-adaptive kernels. `kAuto` (the default)
 /// applies the measured popcount-vs-window crossover; `kSparse`/`kDense`
 /// force one path — how the bench measures the ctz baseline and how the
-/// unit tests cover both paths deterministically. The `XPTC_AXIS_MODE`
-/// environment variable (`auto` | `sparse` | `dense`) picks the startup
-/// default.
+/// unit tests cover both paths deterministically. `kInterval` forces the
+/// interval/streamed closure kernels (descendant range-union, ancestor
+/// backward sweep, sibling chain passes) while keeping child/parent on the
+/// sparse chase. The `XPTC_AXIS_MODE` environment variable
+/// (`auto` | `sparse` | `dense` | `interval`) picks the startup default.
 enum class Mode : int {
   kAuto = 0,
   kSparse = 1,
   kDense = 2,
+  kInterval = 3,
 };
 
 Mode ActiveMode();
@@ -61,18 +74,69 @@ void SetModeForTesting(Mode mode);
 /// Reverts `SetModeForTesting` to the environment/default policy.
 void ResetModeForTesting();
 
-/// Auto dispatch takes the dense path when `popcount(sources ∩ window) *
-/// kDenseCrossover >= window` — i.e. above 1/kDenseCrossover density. The
-/// constant is the measured crossover of the two paths on uniform random
-/// trees (bench/exp14_axis_streaming.cc re-measures it every run).
+/// Default crossover: auto dispatch takes the dense path when
+/// `est_popcount * crossover >= window` — i.e. above 1/crossover density.
+/// This constant is the fallback for trees without a calibrated value
+/// (see `CalibrateCrossover`); bench/exp14_axis_streaming.cc re-measures
+/// it every run.
 inline constexpr int kDenseCrossover = 8;
 
 /// Windows below this many nodes always take the sparse path: both paths
-/// are a few dozen nanoseconds there and the popcount pre-pass would be
+/// are a few dozen nanoseconds there and any density estimate would be
 /// pure overhead.
 inline constexpr int kDenseMinWindow = 256;
 
+/// The density gate estimates the source popcount from a strided sample of
+/// at most this many words instead of a full CountRange pass — the full
+/// pre-scan was measurably regressing auto dispatch on sparse frontiers
+/// (an O(window/64) extra pass per image).
+inline constexpr int kDensityProbeWords = 64;
+
+/// Per-tree dispatch calibration. The sparse/dense crossover is a ratio of
+/// a pointer-chase cost to a streamed column-read cost, which varies with
+/// tree shape (cache locality of the chase) and hardware; `TreeCache`
+/// measures it once at admission and every evaluation on that tree
+/// consults it through the calibrated `AxisImageInto` overload. The two
+/// vertical axes get independent crossovers because their dense paths
+/// amortize very differently — the child image is a sequential gather,
+/// the parent image a scatter, and the measured per-node costs sit an
+/// order of magnitude apart on wide-gather hardware (a single shared
+/// ratio mispredicts whichever axis it was not measured on, by up to the
+/// same factor). The parent crossover also gates the streamed closure
+/// sweeps (ancestor, sibling chains), whose cost model is the same
+/// sequential-column-scan-vs-chase trade. A default-constructed
+/// Calibration reproduces the fixed-constant policy.
+struct Calibration {
+  int child_dense_crossover = kDenseCrossover;
+  int parent_dense_crossover = kDenseCrossover;
+};
+
+/// One-time microprobe: times the sparse chase at 1/64 density and the
+/// dense column stream at full density for each vertical axis on `tree`,
+/// and returns each measured per-chase / per-node cost ratio clamped to
+/// [2, 64]. Trees below ~4k nodes return the default (both paths are
+/// noise-level there and the probe would cost more than it saves). Calls
+/// the kernel bodies directly — no dispatch counters or traces are
+/// touched, so calibration never pollutes EXPLAIN output.
+Calibration CalibrateCrossover(const Tree& tree);
+
+/// Global toggle for collapsing `(axis)*` star loops into one-pass closure
+/// kernels (lowering, the superoptimizer move, and the interpreter star
+/// fast paths all consult it). Default on; exp16 turns it off to measure
+/// the semi-naive fixpoint baseline. Same single-threaded-setup contract
+/// as `SetModeForTesting`.
+bool ClosureCollapseEnabled();
+void SetClosureCollapseForTesting(bool enabled);
+void ResetClosureCollapseForTesting();
+
 }  // namespace axis
+
+/// Calibrated overload: identical semantics, but the auto-dispatch density
+/// gates use the per-axis calibrated crossovers instead of the fixed
+/// default.
+void AxisImageInto(const Tree& tree, Axis axis, const Bitset& sources,
+                   NodeId lo, NodeId hi, Bitset* out,
+                   const axis::Calibration& calibration);
 
 }  // namespace xptc
 

@@ -173,7 +173,12 @@ void Evaluator::Rebind(NodeId context_root) {
 
 void Evaluator::AxisImageInto(Axis axis, const Bitset& sources,
                               Bitset* out) const {
-  xptc::AxisImageInto(tree_, axis, sources, lo_, hi_, out);
+  // With a TreeCache attached, use its per-tree dispatch calibration; a
+  // standalone evaluation falls back to the default constants.
+  xptc::AxisImageInto(tree_, axis, sources, lo_, hi_, out,
+                      shared_->tree_cache != nullptr
+                          ? shared_->tree_cache->calibration()
+                          : axis::Calibration{});
   // Per-axis-kernel node touches (image size), keyed by axis. The count is
   // O(window/64) and only paid while a trace is active on this thread.
   if (obs::TraceNode* cur = obs::QueryTrace::Current()) {
@@ -327,6 +332,17 @@ Bitset Evaluator::EvalBackTmp(const PathExpr& path, const Bitset& targets) {
       return out;
     }
     case PathOp::kStar: {
+      // Closure fast path: when the body is a single bare axis step whose
+      // transitive closure is itself a one-pass kernel, p* = id ∪ closure
+      // — one interval/streamed pass instead of an O(depth)-round fixpoint.
+      Axis closure;
+      if (axis::ClosureCollapseEnabled() && path.left->op == PathOp::kAxis &&
+          TransitiveClosureAxis(InverseAxis(path.left->axis), &closure)) {
+        Bitset out = shared_->Acquire();
+        AxisImageInto(closure, targets, &out);
+        out.OrRange(targets, lo_, hi_);
+        return out;
+      }
       // Semi-naive least fixpoint of R = targets ∪ EvalBack(p, R): each
       // round expands only the *delta* (newly reached nodes). Backward
       // images distribute over union, so expanding frontiers one at a time
@@ -386,6 +402,15 @@ Bitset Evaluator::EvalFwdTmp(const PathExpr& path, const Bitset& sources) {
       return out;
     }
     case PathOp::kStar: {
+      // Closure fast path — the forward mirror of EvalBackTmp's.
+      Axis closure;
+      if (axis::ClosureCollapseEnabled() && path.left->op == PathOp::kAxis &&
+          TransitiveClosureAxis(path.left->axis, &closure)) {
+        Bitset out = shared_->Acquire();
+        AxisImageInto(closure, sources, &out);
+        out.OrRange(sources, lo_, hi_);
+        return out;
+      }
       Bitset reached = shared_->Acquire();
       reached.CopyRange(sources, lo_, hi_);
       Bitset frontier = shared_->Acquire();

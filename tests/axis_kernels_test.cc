@@ -149,7 +149,7 @@ void CheckTree(const Tree& tree, Rng* rng) {
       for (Axis axis : kAllAxes) {
         const Bitset expected = ReferenceImage(tree, axis, sources, lo, hi);
         for (axis::Mode mode : {axis::Mode::kSparse, axis::Mode::kDense,
-                                axis::Mode::kAuto}) {
+                                axis::Mode::kAuto, axis::Mode::kInterval}) {
           axis::SetModeForTesting(mode);
           Bitset got(tree.size());
           AxisImageInto(tree, axis, sources, lo, hi, &got);
@@ -176,6 +176,87 @@ TEST(AxisKernelsTest, AllAxesMatchReferenceAcrossShapesAndModes) {
       options.shape = shape;
       const Tree tree = GenerateTree(options, labels, &rng);
       CheckTree(tree, &rng);
+    }
+  }
+}
+
+// Deep chains (the vertical closure kernels' worst fixpoint shape: one
+// interval / one backward sweep replaces ~depth rounds) and a wide star
+// (the sibling-chain kernels' worst shape) at 10k+ nodes, with sparse
+// source sets so the per-node reference stays near-linear. Covers the
+// interval descendant union, the ancestor stabbing sweep, and both
+// sibling chain directions on full-tree and subtree windows.
+TEST(AxisKernelsTest, DeepChainAndWideStarClosureKernels) {
+  ModeGuard guard;
+  Alphabet alphabet;
+  Rng rng(20260808);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  for (TreeShape shape : {TreeShape::kChain, TreeShape::kStar}) {
+    TreeGenOptions options;
+    options.num_nodes = 12289;  // odd: exercises the tail-word masking
+    options.shape = shape;
+    const Tree tree = GenerateTree(options, labels, &rng);
+    // Full tree plus one interior subtree window (chain: a deep suffix;
+    // star: degenerate one-node subtrees, so the window is the leaf case).
+    std::vector<NodeId> roots = {0};
+    if (tree.SubtreeSize(tree.size() / 3) >= 2) {
+      roots.push_back(tree.size() / 3);
+    }
+    for (NodeId lo : roots) {
+      const NodeId hi = tree.SubtreeEnd(lo);
+      Bitset sources(tree.size());
+      for (int i = 0; i < 32; ++i) sources.Set(rng.NextInt(lo, hi - 1));
+      for (Axis axis : kAllAxes) {
+        const Bitset expected = ReferenceImage(tree, axis, sources, lo, hi);
+        for (axis::Mode mode : {axis::Mode::kSparse, axis::Mode::kDense,
+                                axis::Mode::kAuto, axis::Mode::kInterval}) {
+          axis::SetModeForTesting(mode);
+          Bitset got(tree.size());
+          AxisImageInto(tree, axis, sources, lo, hi, &got);
+          ASSERT_EQ(got, expected)
+              << AxisToString(axis) << " mode=" << static_cast<int>(mode)
+              << " shape=" << static_cast<int>(shape) << " window=[" << lo
+              << "," << hi << ")";
+        }
+      }
+    }
+  }
+}
+
+// Per-tree calibration: trees below the probe threshold keep the default
+// constant; large trees produce a crossover inside the clamp range, and
+// calibrated dispatch stays bit-for-bit identical to the default.
+TEST(AxisKernelsTest, CalibratedCrossoverStaysExact) {
+  ModeGuard guard;
+  Alphabet alphabet;
+  Rng rng(20260809);
+  const std::vector<Symbol> labels = DefaultLabels(&alphabet, 2);
+  TreeGenOptions small_options;
+  small_options.num_nodes = 256;
+  const Tree small = GenerateTree(small_options, labels, &rng);
+  const axis::Calibration small_cal = axis::CalibrateCrossover(small);
+  EXPECT_EQ(small_cal.child_dense_crossover, axis::kDenseCrossover);
+  EXPECT_EQ(small_cal.parent_dense_crossover, axis::kDenseCrossover);
+
+  TreeGenOptions options;
+  options.num_nodes = 16384;
+  const Tree tree = GenerateTree(options, labels, &rng);
+  const axis::Calibration calibration = axis::CalibrateCrossover(tree);
+  EXPECT_GE(calibration.child_dense_crossover, 2);
+  EXPECT_LE(calibration.child_dense_crossover, 64);
+  EXPECT_GE(calibration.parent_dense_crossover, 2);
+  EXPECT_LE(calibration.parent_dense_crossover, 64);
+
+  for (double density : {0.02, 0.5}) {
+    const Bitset sources = RandomSources(tree, 0, tree.size(), density, &rng);
+    for (Axis axis : kAllAxes) {
+      Bitset default_out(tree.size());
+      AxisImageInto(tree, axis, sources, 0, tree.size(), &default_out);
+      Bitset calibrated_out(tree.size());
+      AxisImageInto(tree, axis, sources, 0, tree.size(), &calibrated_out,
+                    calibration);
+      ASSERT_EQ(default_out, calibrated_out)
+          << AxisToString(axis) << " density=" << density;
     }
   }
 }

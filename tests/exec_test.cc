@@ -23,6 +23,7 @@
 #include "tree/generate.h"
 #include "workload/batch.h"
 #include "workload/plan_cache.h"
+#include "xpath/axis_kernels.h"
 #include "xpath/eval.h"
 #include "xpath/fragment.h"
 #include "xpath/generator.h"
@@ -230,6 +231,11 @@ TEST(ExecEngineTest, HybridDispatchFallsBackOnDeepSparseStars) {
   // bottom forces ~depth rounds — the quadratic regime — so the engine
   // must abandon the run and re-execute as the one-pass sweep, with the
   // identical answer. A shallow tree stays on the register machine.
+  //
+  // A bare-axis star now lowers to a one-pass closure op (kAncMark here),
+  // which never loops, so the fixpoint-budget machinery is exercised with
+  // closure collapse disabled.
+  axis::SetClosureCollapseForTesting(false);
   Alphabet alphabet;
   const Symbol a = alphabet.Intern("a");
   const Symbol b = alphabet.Intern("b");
@@ -251,6 +257,16 @@ TEST(ExecEngineTest, HybridDispatchFallsBackOnDeepSparseStars) {
   ExecEngine shallow_engine(shallow);
   EXPECT_EQ(shallow_engine.Eval(*program), Interpret(shallow, query));
   EXPECT_FALSE(shallow_engine.last_used_downward());
+  axis::ResetClosureCollapseForTesting();
+
+  // With closure collapse on (the default), the same deep-chain star is a
+  // single closure instruction: the register machine finishes with no
+  // fixpoint rounds and no fallback, bit-for-bit identical.
+  auto collapsed = Program::Compile(query);
+  ExecEngine collapsed_engine(chain);
+  EXPECT_EQ(collapsed_engine.Eval(*collapsed), answer);
+  EXPECT_FALSE(collapsed_engine.last_used_downward());
+  EXPECT_EQ(collapsed_engine.last_run().star_rounds_used, 0);
 }
 
 // ------------------------------------------------------------- integration

@@ -125,6 +125,57 @@ TEST(ServerTest, WholeCorpusAndModes) {
   }
 }
 
+TEST(ServerTest, CoalescedMultiTreeQueryMatchesPerTreeRequests) {
+  // A multi-tree /query is served through the BatchEngine (cross-tree
+  // coalescing, service.cc); a single-tree /query runs inline on the
+  // calling worker's own engine. The two paths must agree bit-for-bit.
+  Loopback loop;
+  BlockingClient client = loop.Connect();
+  for (const char* query : kQueries) {
+    auto multi = client.Query(query, {0, 1, 2});
+    ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+    ASSERT_EQ(multi->code, RespCode::kOk) << query << ": " << multi->payload;
+    ASSERT_EQ(multi->results.size(), 3u);
+    for (int t = 0; t < 3; ++t) {
+      auto single = client.Query(query, {t});
+      ASSERT_TRUE(single.ok()) << single.status().ToString();
+      ASSERT_EQ(single->code, RespCode::kOk) << query << ": "
+                                             << single->payload;
+      EXPECT_EQ(multi->results[static_cast<size_t>(t)].tree_id, t);
+      EXPECT_TRUE(multi->results[static_cast<size_t>(t)].bits ==
+                  single->results[0].bits)
+          << query << " on tree " << t
+          << ": coalesced path differs from inline path";
+      EXPECT_EQ(multi->results[static_cast<size_t>(t)].count,
+                single->results[0].count);
+    }
+  }
+}
+
+TEST(ServerTest, BatchMatchesPerRequestQueries) {
+  // /batch (one BatchEngine::RunCompiledOnTrees call) must equal the same
+  // queries issued as separate single-tree /query requests, bit-for-bit.
+  Loopback loop;
+  BlockingClient client = loop.Connect();
+  std::vector<std::string> queries(std::begin(kQueries), std::end(kQueries));
+  auto batch = client.Batch(queries, {0, 1, 2});
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->code, RespCode::kOk) << batch->payload;
+  ASSERT_EQ(batch->results.size(), queries.size() * 3);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (int t = 0; t < 3; ++t) {
+      auto single = client.Query(queries[q], {t});
+      ASSERT_TRUE(single.ok()) << single.status().ToString();
+      const server::TreeResult& r =
+          batch->results[q * 3 + static_cast<size_t>(t)];
+      EXPECT_EQ(r.tree_id, t);
+      EXPECT_TRUE(r.bits == single->results[0].bits)
+          << queries[q] << " on tree " << t
+          << ": batch path differs from per-request path";
+    }
+  }
+}
+
 TEST(ServerTest, BinaryBatchMatchesLibraryQueryMajor) {
   Loopback loop;
   BlockingClient client = loop.Connect();

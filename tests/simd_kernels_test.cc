@@ -348,6 +348,58 @@ TEST(SimdKernelsTest, BitsetWholeSetOpsMatchAtEveryLevel) {
   }
 }
 
+// fill_range/or_range take *bit* positions and mask the head and tail
+// words internally — every level must agree with a per-bit reference on
+// ranges that start/end mid-word, span one word, and cover long runs.
+TEST(SimdKernelsTest, RangedKernelsMatchPerBitReferenceAtEveryLevel) {
+  Rng rng(707);
+  const size_t kBits[] = {1,  63,  64,  65,  127, 128,
+                          129, 640, 1000, 4096, 4099};
+  for (Level level : AvailableLevels()) {
+    const Kernels& k = KernelsFor(level);
+    for (const size_t nbits : kBits) {
+      const size_t nwords = (nbits + 63) / 64;
+      // A deterministic spread of [lo, hi) windows incl. empty and full.
+      std::vector<std::pair<size_t, size_t>> ranges = {
+          {0, 0}, {0, nbits}, {nbits / 2, nbits / 2}};
+      for (int i = 0; i < 12; ++i) {
+        size_t lo = rng.NextBelow(nbits + 1);
+        size_t hi = rng.NextBelow(nbits + 1);
+        if (lo > hi) std::swap(lo, hi);
+        ranges.emplace_back(lo, hi);
+      }
+      for (const auto& range : ranges) {
+        const size_t lo = range.first, hi = range.second;
+        // fill_range: set bits [lo, hi), leave everything else alone.
+        const std::vector<uint64_t> base = RandomWords(nwords, &rng);
+        std::vector<uint64_t> got = base;
+        k.fill_range(got.data(), lo, hi);
+        for (size_t bit = 0; bit < nbits; ++bit) {
+          const bool in = bit >= lo && bit < hi;
+          const bool before = (base[bit >> 6] >> (bit & 63)) & 1;
+          const bool after = (got[bit >> 6] >> (bit & 63)) & 1;
+          ASSERT_EQ(after, in || before)
+              << "fill_range level=" << LevelName(level) << " n=" << nbits
+              << " [" << lo << "," << hi << ") bit=" << bit;
+        }
+        // or_range: dst |= src over [lo, hi) only.
+        const std::vector<uint64_t> src = RandomWords(nwords, &rng);
+        std::vector<uint64_t> dst = base;
+        k.or_range(dst.data(), src.data(), lo, hi);
+        for (size_t bit = 0; bit < nbits; ++bit) {
+          const bool in = bit >= lo && bit < hi;
+          const bool before = (base[bit >> 6] >> (bit & 63)) & 1;
+          const bool from_src = (src[bit >> 6] >> (bit & 63)) & 1;
+          const bool after = (dst[bit >> 6] >> (bit & 63)) & 1;
+          ASSERT_EQ(after, before || (in && from_src))
+              << "or_range level=" << LevelName(level) << " n=" << nbits
+              << " [" << lo << "," << hi << ") bit=" << bit;
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdKernelsTest, BitsetWordsAreCacheLineAlignedAndPadded) {
   for (int size : {1, 64, 65, 512, 513, 100000}) {
     Bitset bits(size, /*value=*/true);

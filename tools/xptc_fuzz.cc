@@ -68,6 +68,9 @@ int Usage(const char* argv0) {
       "  --fragment F        core|regular|regularw|downward|compilable|all\n"
       "                      (default all)\n"
       "  --max-tree-nodes N  per-case tree size cap (default 24)\n"
+      "  --deep-trees        bias half the cases to chain/caterpillar\n"
+      "                      shapes at up to 8x the size cap (worst shapes\n"
+      "                      for the closure axis kernels)\n"
       "  --corpus DIR        write shrunk findings to DIR as .case files\n"
       "  --no-heavy          drop the FO/NTWA/DFTA oracles (fast smoke)\n"
       "  --oracle NAME       targeted mode: run only NAME as candidate\n"
@@ -675,6 +678,8 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
       options.max_tree_nodes = static_cast<int>(value);
+    } else if (arg == "--deep-trees") {
+      options.deep_tree_bias = true;
     } else if (arg == "--corpus") {
       const char* dir = next();
       if (dir == nullptr) return Usage(argv[0]);
