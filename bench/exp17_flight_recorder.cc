@@ -1,0 +1,593 @@
+// E17 — Serving-path flight recorder: the cost and the coverage of the
+// tracing/journal layer (src/obs/recorder.h, src/obs/journal.h) on the
+// live serving path. Like E15 this measures no claim from the paper; it
+// gates the observability the repo grew around the paper's evaluator.
+// Three sections, all hard CI gates:
+//   1. crash dump: a forked child installs the crash handler, writes
+//      known marker events from three concurrent threads, and abort()s;
+//      the parent decodes the dump and requires every thread's events
+//      back, in per-thread program order, plus the handler's kCrash
+//      record — the post-mortem path must survive an actual SIGABRT;
+//   2. overhead: closed-loop saturation with the recorder ON (1-in-64
+//      sampling + journal) vs OFF, interleaved best-of-N; the ON
+//      configuration must cost <= 2% QPS (always-on means always on);
+//   3. slow latch: a deliberately slow batch request (closure-heavy
+//      queries, workload doubled until it clears 5 ms on the wire) must
+//      appear in /debug/slow under its client-supplied id, with its
+//      phase attribution summing to the wire-observed latency within
+//      tolerance.
+//
+// JSON section schema ("exp17_flight_recorder" in BENCH_serving.json):
+//   {"smoke": bool, "hw_threads": int, "trees": int,
+//    "nodes_per_tree": int, "conns": int,
+//    "crash": {"threads": int, "records": int, "ordered": bool},
+//    "overhead": {"pairs": int, "seconds": f, "qps_on": f, "qps_off": f,
+//                 "overhead_pct": f},
+//    "slow": {"wire_us": f, "total_us": f, "phase_sum_us": f,
+//             "exec_us": f, "spans": int}}
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/threadpool.h"
+#include "obs/journal.h"
+#include "obs/recorder.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "tree/xml.h"
+
+namespace xptc {
+namespace {
+
+using server::BlockingClient;
+using server::EvalMode;
+using server::QueryServer;
+using server::QueryService;
+using server::RespCode;
+using server::ServerOptions;
+using server::ServiceOptions;
+
+using Clock = std::chrono::steady_clock;
+
+const char* kWorkload[] = {
+    "<child[a]>", "<desc[b]>", "b or c", "<child[<child[c]>]>",
+    "<desc[a]> and <desc[b]>", "<(child)*[a]>", "not a", "leaf",
+};
+constexpr size_t kWorkloadSize = sizeof(kWorkload) / sizeof(kWorkload[0]);
+
+std::unique_ptr<QueryService> BuildService(int trees, int nodes_per_tree,
+                                           int workers) {
+  ServiceOptions options;
+  options.num_workers = workers;
+  auto service = std::make_unique<QueryService>(options);
+  Alphabet scratch;  // labels only; the service re-parses into its own
+  for (int t = 0; t < trees; ++t) {
+    const Tree tree = bench::BenchTree(&scratch, nodes_per_tree,
+                                       TreeShape::kUniformRecursive,
+                                       /*seed=*/1700 + t);
+    const std::string xml = WriteXml(tree, scratch);
+    auto id = service->AddTreeXml(xml);
+    if (!id.ok()) {
+      std::fprintf(stderr, "FATAL: AddTreeXml: %s\n",
+                   id.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return service;
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: crash-dump round trip.
+
+constexpr int kCrashWriters = 3;   // main + 2 spawned
+constexpr int kMarksPerWriter = 16;
+
+/// The forked child's whole life: reset the journal, install the crash
+/// handler, write marker events from `kCrashWriters` concurrent threads
+/// (held alive together so each keeps its own ring), then abort(). Never
+/// returns; failure paths _exit with a distinct code.
+[[noreturn]] void CrashChild(const char* dump_path) {
+  obs::Journal::ResetForTesting();
+  obs::Journal::SetEnabled(true);
+  obs::Journal::InstallCrashHandler(dump_path);
+  std::atomic<int> done{0};
+  const auto writer = [&](int w) {
+    obs::Journal::ScopedRequestId id(0xE1700u + static_cast<uint64_t>(w));
+    for (int i = 0; i < kMarksPerWriter; ++i) {
+      obs::Journal::Record(obs::JournalCode::kMark,
+                           static_cast<uint64_t>(w) * 1000 +
+                               static_cast<uint64_t>(i));
+    }
+    // Hold every writer's ring live until all have written: a thread that
+    // exits releases its ring for reuse, which would merge the writers.
+    done.fetch_add(1);
+    while (done.load() < kCrashWriters) std::this_thread::yield();
+  };
+  std::thread t1(writer, 1), t2(writer, 2);
+  writer(0);
+  t1.join();
+  t2.join();
+  std::abort();  // SIGABRT -> handler: kCrash record, dump, re-raise
+}
+
+struct CrashReport {
+  bool ok = false;
+  int threads = 0;
+  int records = 0;
+  bool ordered = false;
+  std::string error;
+};
+
+CrashReport CrashDumpRoundTrip() {
+  const char* dump_path = "exp17_journal.dump";
+  std::remove(dump_path);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return {false, 0, 0, false, std::string("fork: ") + std::strerror(errno)};
+  }
+  if (pid == 0) CrashChild(dump_path);
+
+  int wstatus = 0;
+  if (waitpid(pid, &wstatus, 0) != pid) {
+    return {false, 0, 0, false, "waitpid failed"};
+  }
+  if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGABRT) {
+    return {false, 0, 0, false,
+            "child did not die by SIGABRT (wstatus=" +
+                std::to_string(wstatus) + ")"};
+  }
+  std::ifstream in(dump_path, std::ios::binary);
+  if (!in) return {false, 0, 0, false, "crash handler wrote no dump"};
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  const Result<obs::JournalDump> dump = obs::ParseJournalDump(bytes.str());
+  if (!dump.ok()) {
+    return {false, 0, 0, false, "decode: " + dump.status().ToString()};
+  }
+
+  CrashReport report;
+  report.threads = static_cast<int>(dump->threads.size());
+  report.ordered = true;
+  // Per-thread program order: seq strictly increasing within each ring,
+  // and each writer's markers intact, in order, in exactly one ring.
+  std::vector<std::vector<uint64_t>> marks(kCrashWriters);
+  std::vector<int> home_ring(kCrashWriters, -1);
+  bool saw_crash_record = false;
+  for (size_t r = 0; r < dump->threads.size(); ++r) {
+    uint32_t prev_seq = 0;
+    bool first = true;
+    for (const obs::JournalRecord& rec : dump->threads[r]) {
+      ++report.records;
+      if (!first && rec.seq <= prev_seq) report.ordered = false;
+      prev_seq = rec.seq;
+      first = false;
+      if (rec.code == static_cast<uint32_t>(obs::JournalCode::kCrash)) {
+        saw_crash_record = true;
+        if (rec.arg != static_cast<uint64_t>(SIGABRT)) {
+          return {false, report.threads, report.records, false,
+                  "kCrash record carries the wrong signal"};
+        }
+      }
+      if (rec.code == static_cast<uint32_t>(obs::JournalCode::kMark)) {
+        const int w = static_cast<int>(rec.arg / 1000);
+        if (w < 0 || w >= kCrashWriters) {
+          return {false, report.threads, report.records, false,
+                  "unexpected marker arg"};
+        }
+        if (home_ring[w] == -1) home_ring[w] = static_cast<int>(r);
+        if (home_ring[w] != static_cast<int>(r)) {
+          return {false, report.threads, report.records, false,
+                  "one writer's markers span two rings"};
+        }
+        marks[w].push_back(rec.arg % 1000);
+      }
+    }
+  }
+  for (int w = 0; w < kCrashWriters; ++w) {
+    if (static_cast<int>(marks[w].size()) != kMarksPerWriter) {
+      return {false, report.threads, report.records, report.ordered,
+              "writer " + std::to_string(w) + " lost markers (" +
+                  std::to_string(marks[w].size()) + "/" +
+                  std::to_string(kMarksPerWriter) + ")"};
+    }
+    for (int i = 0; i < kMarksPerWriter; ++i) {
+      if (marks[w][i] != static_cast<uint64_t>(i)) {
+        return {false, report.threads, report.records, false,
+                "writer " + std::to_string(w) +
+                    " markers out of program order"};
+      }
+    }
+  }
+  if (!saw_crash_record) {
+    return {false, report.threads, report.records, report.ordered,
+            "no kCrash record in the dump"};
+  }
+  if (!report.ordered) {
+    return {false, report.threads, report.records, false,
+            "per-thread seq not strictly increasing"};
+  }
+  std::remove(dump_path);
+  report.ok = true;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: recorder overhead at saturation.
+
+/// Closed-loop phase: `conns` clients at full tilt for `seconds`; every
+/// response must be kOk. Returns completed requests.
+int64_t ClosedLoop(uint16_t port, int conns, double seconds, int trees,
+                   std::atomic<int>* errors) {
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> threads;
+  const auto stop_at = Clock::now() +
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = BlockingClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++*errors;
+        return;
+      }
+      int64_t i = 0;
+      while (Clock::now() < stop_at) {
+        const char* query = kWorkload[(c + i) % kWorkloadSize];
+        const int t = static_cast<int>((c * 31 + i) % trees);
+        auto resp = client->Query(query, {t}, EvalMode::kNodeSet);
+        if (!resp.ok() || resp->code != RespCode::kOk) {
+          ++*errors;
+          return;
+        }
+        ++i;
+      }
+      total += i;
+    });
+  }
+  for (auto& t : threads) t.join();
+  return total.load();
+}
+
+struct OverheadReport {
+  double qps_on = 0;
+  double qps_off = 0;
+  double overhead_pct = 0;
+};
+
+/// Drift-immune A/B at full tilt. Loopback saturation on a shared box
+/// drifts by several percent over tens of seconds — far more than the
+/// recorder costs — so a long ON run against a long OFF run measures the
+/// machine, not the recorder. Instead: many short windows in ABBA order
+/// (ON,OFF / OFF,ON per pair, cancelling linear drift), totals aggregated
+/// per config across all windows.
+OverheadReport MeasureOverhead(uint16_t port, int conns, double seconds,
+                               int pairs, int trees,
+                               std::atomic<int>* errors) {
+  int64_t total_on = 0, total_off = 0;
+  double seconds_on = 0, seconds_off = 0;
+  const auto window = [&](bool on) {
+    obs::FlightRecorder::Get().SetSampleEveryN(on ? 64 : 0);
+    obs::Journal::SetEnabled(on);
+    const auto start = Clock::now();
+    const int64_t n = ClosedLoop(port, conns, seconds, trees, errors);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    (on ? total_on : total_off) += n;
+    (on ? seconds_on : seconds_off) += elapsed;
+  };
+  // Warm-up window (discarded): connections, caches, frequency governor.
+  ClosedLoop(port, conns, seconds, trees, errors);
+  for (int pair = 0; pair < pairs; ++pair) {
+    const bool on_first = (pair % 2) == 0;
+    window(on_first);
+    window(!on_first);
+  }
+  obs::Journal::SetEnabled(true);
+
+  OverheadReport report;
+  report.qps_on = seconds_on > 0 ? total_on / seconds_on : 0;
+  report.qps_off = seconds_off > 0 ? total_off / seconds_off : 0;
+  report.overhead_pct =
+      report.qps_off > 0
+          ? 100.0 * (report.qps_off - report.qps_on) / report.qps_off
+          : 0.0;
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: slow-request latch.
+
+/// Finds `"key":<int>` after `from` in a JSON string. False if absent.
+bool FindJsonInt(const std::string& json, const std::string& key,
+                 size_t from, int64_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle, from);
+  if (at == std::string::npos) return false;
+  *out = std::strtoll(json.c_str() + at + needle.size(), nullptr, 10);
+  return true;
+}
+
+struct SlowReport {
+  bool ok = false;
+  double wire_us = 0;
+  double total_us = 0;
+  double phase_sum_us = 0;
+  double exec_us = 0;
+  int64_t spans = 0;
+  std::string error;
+};
+
+SlowReport SlowRequestLatch(uint16_t port, int trees) {
+  obs::FlightRecorder::Get().Reset();
+  obs::FlightRecorder::Get().SetSampleEveryN(1);
+  obs::Journal::SetEnabled(true);
+
+  auto client = BlockingClient::Connect("127.0.0.1", port);
+  if (!client.ok()) return {false, 0, 0, 0, 0, 0, "connect failed"};
+  auto warm = client->Query("b", {0});
+  if (!warm.ok() || warm->code != RespCode::kOk) {
+    return {false, 0, 0, 0, 0, 0, "warm query failed"};
+  }
+
+  // Double the batch until the request is unambiguously slow on the wire
+  // (>= 5 ms): the latch must be deterministic, not scheduler luck. Each
+  // attempt gets a distinct trace id so the final lookup is unambiguous.
+  uint64_t trace_id = 0;
+  double wire_us = 0;
+  int64_t batch_queries = 8;
+  for (int attempt = 0;; ++attempt) {
+    trace_id = 0xE1710u + static_cast<uint64_t>(attempt);
+    std::vector<std::string> queries(
+        static_cast<size_t>(batch_queries),
+        "<(child|right)*[a]> and <desc[b]>");
+    const auto start = Clock::now();
+    auto resp = client->Batch(queries, {}, EvalMode::kNodeSet, 0,
+                              server::kDialectXPath, trace_id);
+    wire_us = std::chrono::duration<double, std::micro>(Clock::now() - start)
+                  .count();
+    if (!resp.ok() || resp->code != RespCode::kOk) {
+      return {false, 0, 0, 0, 0, 0, "slow batch failed"};
+    }
+    if (resp->trace_id != trace_id) {
+      return {false, 0, 0, 0, 0, 0, "trace id not echoed on the wire"};
+    }
+    if (wire_us >= 5000.0 || batch_queries >= 4096) break;
+    batch_queries *= 4;
+  }
+
+  // The latch: the request must be in /debug/slow under its id. The GET
+  // rides the same connection, so the slow response's flush (and trace
+  // record) happened before this request was even parsed.
+  const std::string id_hex = obs::FormatFlightId(trace_id);
+  auto slow = client->Http("GET", "/debug/slow");
+  if (!slow.ok() || slow->status != 200) {
+    return {false, wire_us, 0, 0, 0, 0, "/debug/slow not served"};
+  }
+  if (slow->body.find(id_hex) == std::string::npos) {
+    return {false, wire_us, 0, 0, 0, 0,
+            "slow request " + id_hex + " not latched in /debug/slow"};
+  }
+
+  auto lookup = client->Http("GET", "/debug/trace/" + id_hex);
+  if (!lookup.ok() || lookup->status != 200) {
+    return {false, wire_us, 0, 0, 0, 0, "/debug/trace lookup failed"};
+  }
+  const std::string& body = lookup->body;
+  int64_t total_ns = 0;
+  if (!FindJsonInt(body, "total_ns", 0, &total_ns)) {
+    return {false, wire_us, 0, 0, 0, 0, "trace JSON lacks total_ns"};
+  }
+  static const char* kPhaseKeys[] = {"accept_ns", "parse_ns",  "queue_ns",
+                                     "exec_ns",   "encode_ns", "flush_ns"};
+  int64_t phase_sum_ns = 0, exec_ns = 0;
+  for (const char* key : kPhaseKeys) {
+    int64_t ns = 0;
+    if (!FindJsonInt(body, key, 0, &ns)) {
+      return {false, wire_us, 0, 0, 0, 0,
+              std::string("trace JSON lacks ") + key};
+    }
+    phase_sum_ns += ns;
+    if (std::strcmp(key, "exec_ns") == 0) exec_ns = ns;
+  }
+  int64_t spans = 0;
+  {
+    size_t count = 0;
+    for (size_t at = body.find("\"worker\":"); at != std::string::npos;
+         at = body.find("\"worker\":", at + 1)) {
+      ++count;
+    }
+    spans = static_cast<int64_t>(count);
+  }
+
+  SlowReport report;
+  report.wire_us = wire_us;
+  report.total_us = total_ns / 1000.0;
+  report.phase_sum_us = phase_sum_ns / 1000.0;
+  report.exec_us = exec_ns / 1000.0;
+  report.spans = spans;
+  const double wire_ns = wire_us * 1000.0;
+  // Attribution tolerance: the trace clock starts at the first byte seen
+  // and stops at the last byte flushed, so total <= wire up to scheduler
+  // jitter — the kFlushEnd stamp is read by the reactor *after* the final
+  // write() returns, and on a loaded (or single-core) host the client can
+  // read the response and stop its wire clock before the reactor gets
+  // scheduled again, so the trace may overshoot the wire by a descheduling
+  // quantum. 2 ms bounds that without admitting a real attribution bug
+  // (a mis-stitched span would be off by whole phases, not a timeslice).
+  // The gap below wire is client-side send/recv plus the reactor hop —
+  // bounded, not load-dependent. The phases in turn partition total minus
+  // handoff gaps.
+  if (total_ns > static_cast<int64_t>(wire_ns) + 2'000'000) {
+    report.error = "trace total exceeds wire latency";
+    return report;
+  }
+  if (wire_ns - total_ns > std::max(10e6, 0.5 * wire_ns)) {
+    report.error = "trace total too far below wire latency";
+    return report;
+  }
+  if (phase_sum_ns > total_ns + 1000000) {
+    report.error = "phase sum exceeds trace total";
+    return report;
+  }
+  if (phase_sum_ns < total_ns / 2) {
+    report.error = "phases attribute less than half the trace total";
+    return report;
+  }
+  if (exec_ns <= 0) {
+    report.error = "exec phase empty for an exec-bound request";
+    return report;
+  }
+  if (spans != static_cast<int64_t>(batch_queries) * trees) {
+    report.error = "span count != trees x queries (" +
+                   std::to_string(spans) + " vs " +
+                   std::to_string(batch_queries * trees) + ")";
+    return report;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace
+}  // namespace xptc
+
+int main() {
+  using namespace xptc;
+  bench::PrintHeader(
+      "E17: serving-path flight recorder (tracing, sampling, journal)",
+      "engineering experiment, no paper claim: the always-on recorder "
+      "costs <= 2% saturation QPS; a deterministically slow request is "
+      "latched in /debug/slow with phase attribution matching the wire; "
+      "the crash-handler journal dump decodes with per-thread order "
+      "intact after a real SIGABRT",
+      "fork+abort for the crash dump; loopback TCP closed-loop A/B "
+      "(interleaved best-of-N) for overhead; closure-heavy batch for the "
+      "slow latch");
+
+  const bool smoke = bench::SmokeMode();
+  const int trees = smoke ? 4 : 8;
+  const int nodes_per_tree = smoke ? 128 : 1024;
+  const int conns = smoke ? 2 : 4;
+  const double seconds = smoke ? 0.1 : 0.4;
+  const int pairs = smoke ? 3 : 16;
+  // Short smoke windows are scheduler-noise-dominated; the real 2% gate
+  // runs in the full configuration.
+  const double overhead_gate_pct = smoke ? 35.0 : 2.0;
+  const int hw = ThreadPool::DefaultWorkers();
+  const uint32_t saved_sample_n =
+      obs::FlightRecorder::Get().sample_every_n();
+
+  // Crash dump first, while this process is still single-threaded: fork
+  // from a threaded parent would constrain what the child may do.
+  const CrashReport crash = CrashDumpRoundTrip();
+  std::printf("crash dump: %d rings, %d records, ordered=%s%s%s\n",
+              crash.threads, crash.records, crash.ordered ? "yes" : "no",
+              crash.ok ? "" : " — ", crash.ok ? "" : crash.error.c_str());
+
+  auto service = BuildService(trees, nodes_per_tree, hw);
+  QueryServer server(service.get());
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::atomic<int> errors{0};
+
+  // Up to 3 measurement attempts keeping the best (exp16's calibration
+  // idiom): ABBA pairing cancels *linear* drift inside one attempt, but
+  // frequency-governor and neighbour-load state changes between windows
+  // leave ±1-2% residual noise on a shared box — the same order as the
+  // gate. A systematically over-budget recorder fails all three attempts;
+  // a scheduler blip does not.
+  OverheadReport overhead;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const OverheadReport measured =
+        MeasureOverhead(server.port(), conns, seconds, pairs, trees, &errors);
+    if (attempt == 0 || measured.overhead_pct < overhead.overhead_pct) {
+      overhead = measured;
+    }
+    std::printf("overhead[%d]: on %.0f qps vs off %.0f qps -> %.2f%% "
+                "(%d ABBA pairs x %.2fs, gate %.0f%%)\n",
+                attempt, measured.qps_on, measured.qps_off,
+                measured.overhead_pct, pairs, seconds, overhead_gate_pct);
+    if (overhead.overhead_pct <= overhead_gate_pct) break;
+  }
+
+  const SlowReport slow = SlowRequestLatch(server.port(), trees);
+  std::printf("slow latch: wire %.0fus, trace total %.0fus, phase sum "
+              "%.0fus (exec %.0fus), %lld spans%s%s\n",
+              slow.wire_us, slow.total_us, slow.phase_sum_us, slow.exec_us,
+              static_cast<long long>(slow.spans), slow.ok ? "" : " — ",
+              slow.ok ? "" : slow.error.c_str());
+
+  server.Shutdown();
+  obs::FlightRecorder::Get().SetSampleEveryN(saved_sample_n);
+  obs::FlightRecorder::Get().Reset();
+  obs::Journal::SetEnabled(true);
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(2);
+  json << "{\"smoke\": " << (smoke ? "true" : "false")
+       << ", \"hw_threads\": " << hw << ", \"trees\": " << trees
+       << ", \"nodes_per_tree\": " << nodes_per_tree
+       << ", \"conns\": " << conns << ", \"crash\": {\"threads\": "
+       << crash.threads << ", \"records\": " << crash.records
+       << ", \"ordered\": " << (crash.ordered ? "true" : "false")
+       << "}, \"overhead\": {\"pairs\": " << pairs << ", \"seconds\": "
+       << seconds << ", \"qps_on\": " << overhead.qps_on
+       << ", \"qps_off\": " << overhead.qps_off << ", \"overhead_pct\": "
+       << overhead.overhead_pct << "}, \"slow\": {\"wire_us\": "
+       << slow.wire_us << ", \"total_us\": " << slow.total_us
+       << ", \"phase_sum_us\": " << slow.phase_sum_us << ", \"exec_us\": "
+       << slow.exec_us << ", \"spans\": " << slow.spans << "}}";
+  bench::UpdateBenchJson(bench::ServingJsonPath(), "exp17_flight_recorder",
+                         json.str());
+  std::printf("(recorded in %s)\n", bench::ServingJsonPath().c_str());
+
+  int failures = 0;
+  if (!crash.ok) {
+    std::printf("GATE FAILED: crash dump round trip: %s\n",
+                crash.error.c_str());
+    ++failures;
+  }
+  if (errors.load() != 0) {
+    std::printf("GATE FAILED: %d client errors during overhead phases\n",
+                errors.load());
+    ++failures;
+  }
+  if (overhead.qps_on <= 0 || overhead.qps_off <= 0) {
+    std::printf("GATE FAILED: overhead phase produced no throughput\n");
+    ++failures;
+  }
+  if (overhead.overhead_pct > overhead_gate_pct) {
+    std::printf("GATE FAILED: recorder overhead %.2f%% > %.0f%%\n",
+                overhead.overhead_pct, overhead_gate_pct);
+    ++failures;
+  }
+  if (!slow.ok) {
+    std::printf("GATE FAILED: slow-request latch: %s\n", slow.error.c_str());
+    ++failures;
+  }
+  if (failures > 0) return 1;
+  std::printf("all flight-recorder gates passed\n");
+  return 0;
+}

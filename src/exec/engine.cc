@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "workload/tree_cache.h"
 #include "xpath/ast.h"
@@ -111,7 +112,14 @@ void ExecEngine::FinishRun(const Bitset* result) {
   ExecMetrics& metrics = ExecMetrics::Get();
   metrics.instrs.Add(last_run_.instrs_executed);
   metrics.star_rounds.Add(last_run_.star_rounds_used);
-  if (last_run_.deadline_expired) metrics.deadline_expired.Inc();
+  if (last_run_.deadline_expired) {
+    metrics.deadline_expired.Inc();
+    // Flight-recorder post-mortem breadcrumb: which request blew its
+    // deadline mid-execution, and how far it got. Attribution comes from
+    // the thread's ScopedRequestId (set by the server worker / batch task).
+    obs::Journal::Record(obs::JournalCode::kDeadlineExec,
+                         static_cast<uint64_t>(last_run_.star_rounds_used));
+  }
   switch (last_run_.dispatch) {
     case RunInfo::Dispatch::kRegisterMachine:
       metrics.disp_register.Inc();

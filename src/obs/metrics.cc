@@ -128,9 +128,19 @@ std::string Snapshot::ToJson() const {
 }
 
 std::string Snapshot::ToPrometheusText() const {
+  // Exposition-format contract (text format 0.0.4, promtool-lint clean):
+  // counter sample names carry the `_total` suffix, every family gets a
+  // HELP line before its TYPE line, families are contiguous, histogram
+  // buckets are cumulative with `le` boundaries that really bound their
+  // bucket's values (inclusive integer upper bounds; the top bucket uses
+  // INT64_MAX so no counted value exceeds its own `le`), `+Inf` equals
+  // `_count`, and the output ends with a newline. tests/obs_test.cc pins
+  // this with a golden file and a promtool-style line validator.
   std::string out;
   for (const auto& [name, v] : counters) {
-    std::string p = PromName(name);
+    std::string p = PromName(name) + "_total";
+    out.append("# HELP ").append(p).append(" Monotonic counter ")
+        .append(name).append("\n");
     out.append("# TYPE ").append(p).append(" counter\n");
     out.append(p).append(" ");
     AppendInt(&out, v);
@@ -138,6 +148,8 @@ std::string Snapshot::ToPrometheusText() const {
   }
   for (const auto& [name, v] : gauges) {
     std::string p = PromName(name);
+    out.append("# HELP ").append(p).append(" Gauge ").append(name)
+        .append("\n");
     out.append("# TYPE ").append(p).append(" gauge\n");
     out.append(p).append(" ");
     AppendInt(&out, v);
@@ -145,12 +157,17 @@ std::string Snapshot::ToPrometheusText() const {
   }
   for (const auto& [name, h] : histograms) {
     std::string p = PromName(name);
+    out.append("# HELP ").append(p).append(" Log2-bucketed histogram ")
+        .append(name).append("\n");
     out.append("# TYPE ").append(p).append(" histogram\n");
     int64_t cumulative = 0;
     for (const auto& [k, b] : h.buckets) {
       cumulative += b;
       out.append(p).append("_bucket{le=\"");
-      AppendInt(&out, Histogram::BucketUpperBound(k) - 1);
+      // Inclusive upper bound of bucket k; bucket 63 holds values up to
+      // INT64_MAX itself, so its boundary must not be UpperBound - 1.
+      AppendInt(&out, k >= 63 ? INT64_MAX
+                              : Histogram::BucketUpperBound(k) - 1);
       out.append("\"} ");
       AppendInt(&out, cumulative);
       out.push_back('\n');

@@ -175,15 +175,16 @@ Result<ClientHttpResponse> BlockingClient::ReadHttpResponse() {
   return resp;
 }
 
-Result<ClientHttpResponse> BlockingClient::Http(const std::string& method,
-                                                const std::string& target,
-                                                const std::string& body,
-                                                bool keep_alive) {
+Result<ClientHttpResponse> BlockingClient::Http(
+    const std::string& method, const std::string& target,
+    const std::string& body, bool keep_alive,
+    const std::string& extra_headers) {
   std::string req = method + " " + target + " HTTP/1.1\r\nHost: xptc\r\n";
   if (!body.empty() || method == "POST") {
     req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
   if (!keep_alive) req += "Connection: close\r\n";
+  req += extra_headers;
   req += "\r\n";
   req += body;
   XPTC_RETURN_NOT_OK(SendRaw(req));
@@ -199,18 +200,20 @@ Result<ServiceResponse> BlockingClient::RoundTrip(FrameType type,
 
 Result<ServiceResponse> BlockingClient::Query(
     const std::string& query, const std::vector<int>& tree_ids, EvalMode mode,
-    uint32_t deadline_ms, uint8_t dialect) {
+    uint32_t deadline_ms, uint8_t dialect, uint64_t trace_id) {
   return RoundTrip(FrameType::kQuery,
                    EncodeQueryPayload(next_request_id_++, dialect, mode,
-                                      deadline_ms, tree_ids, query));
+                                      deadline_ms, tree_ids, query,
+                                      trace_id));
 }
 
 Result<ServiceResponse> BlockingClient::Batch(
     const std::vector<std::string>& queries, const std::vector<int>& tree_ids,
-    EvalMode mode, uint32_t deadline_ms, uint8_t dialect) {
+    EvalMode mode, uint32_t deadline_ms, uint8_t dialect, uint64_t trace_id) {
   return RoundTrip(FrameType::kBatch,
                    EncodeBatchPayload(next_request_id_++, dialect, mode,
-                                      deadline_ms, tree_ids, queries));
+                                      deadline_ms, tree_ids, queries,
+                                      trace_id));
 }
 
 Result<ServiceResponse> BlockingClient::Ping() {

@@ -40,25 +40,32 @@ class BlockingClient {
   ~BlockingClient();
 
   /// One kQuery frame round-trip. Empty `tree_ids` = whole corpus.
+  /// `trace_id` != 0 rides the flags-gated trace field and comes back in
+  /// `ServiceResponse::trace_id` (the flight-recorder correlation handle).
   Result<ServiceResponse> Query(const std::string& query,
                                 const std::vector<int>& tree_ids = {},
                                 EvalMode mode = EvalMode::kNodeSet,
                                 uint32_t deadline_ms = 0,
-                                uint8_t dialect = kDialectXPath);
+                                uint8_t dialect = kDialectXPath,
+                                uint64_t trace_id = 0);
   /// One kBatch frame round-trip.
   Result<ServiceResponse> Batch(const std::vector<std::string>& queries,
                                 const std::vector<int>& tree_ids = {},
                                 EvalMode mode = EvalMode::kNodeSet,
                                 uint32_t deadline_ms = 0,
-                                uint8_t dialect = kDialectXPath);
+                                uint8_t dialect = kDialectXPath,
+                                uint64_t trace_id = 0);
   /// kPing → kPong round-trip.
   Result<ServiceResponse> Ping();
 
   /// One HTTP/1.1 request/response exchange on the connection.
+  /// `extra_headers` entries are complete "Name: value\r\n" lines inserted
+  /// verbatim (e.g. "X-Request-Id: deadbeef\r\n").
   Result<ClientHttpResponse> Http(const std::string& method,
                                   const std::string& target,
                                   const std::string& body = "",
-                                  bool keep_alive = true);
+                                  bool keep_alive = true,
+                                  const std::string& extra_headers = "");
 
   /// Raw access for malformed-input tests.
   Status SendRaw(const std::string& bytes);

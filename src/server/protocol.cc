@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/recorder.h"
+
 namespace xptc {
 namespace server {
 
@@ -262,7 +264,8 @@ ParseStatus ParseHttpRequest(const char* data, size_t len,
 }
 
 std::string BuildHttpResponse(int status, const std::string& content_type,
-                              const std::string& body, bool keep_alive) {
+                              const std::string& body, bool keep_alive,
+                              const std::string& extra_headers) {
   const char* reason = "OK";
   switch (status) {
     case 200: reason = "OK"; break;
@@ -278,7 +281,8 @@ std::string BuildHttpResponse(int status, const std::string& content_type,
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
                     "\r\nConnection: " +
-                    (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
+                    (keep_alive ? "keep-alive" : "close") + "\r\n" +
+                    extra_headers + "\r\n";
   out += body;
   return out;
 }
@@ -389,6 +393,35 @@ Result<ServiceRequest> TranslateHttp(const HttpRequest& req) {
   const Params params = ParseQueryParams(req.target, &path);
   ServiceRequest out;
 
+  // Optional end-to-end trace header: a strict 16-hex-digit id is taken
+  // verbatim; any other (bounded) value hashes to a stable flight id so
+  // foreign request-id formats still correlate. Absent/oversized → the
+  // admission layer mints one.
+  for (const auto& [name, value] : req.headers) {
+    if (name == "x-request-id" && value.size() <= 128) {
+      out.trace_id = obs::DeriveFlightId(value);
+      break;
+    }
+  }
+
+  if (path == "/debug/slow") {
+    out.op = RequestOp::kDebugSlow;
+    return out;
+  }
+  if (path == "/debug/journal") {
+    out.op = RequestOp::kDebugJournal;
+    return out;
+  }
+  if (path.rfind("/debug/trace/", 0) == 0) {
+    const std::string id_text = path.substr(std::strlen("/debug/trace/"));
+    uint64_t id = 0;
+    if (!obs::ParseFlightId(id_text, &id)) {
+      return Status::InvalidArgument("/debug/trace/<id>: id must be hex");
+    }
+    out.op = RequestOp::kDebugTrace;
+    out.trace_id = id;
+    return out;
+  }
   if (path == "/healthz") {
     out.op = RequestOp::kHealth;
     return out;
@@ -492,23 +525,33 @@ void AppendTreeResultJson(const TreeResult& r, EvalMode mode,
 
 std::string RenderHttpResponse(const ServiceResponse& resp, bool keep_alive) {
   const int status = HttpStatusFor(resp.code);
+  // Echo the flight id so clients can quote it at /debug/trace/<id>.
+  const std::string extra =
+      resp.trace_id != 0
+          ? "X-Request-Id: " + obs::FormatFlightId(resp.trace_id) + "\r\n"
+          : std::string();
   if (resp.code != RespCode::kOk) {
     const std::string body = "{\"error\":{\"code\":\"" +
                              std::string(RespCodeName(resp.code)) +
                              "\",\"message\":\"" + JsonEscape(resp.payload) +
                              "\"}}\n";
-    return BuildHttpResponse(status, "application/json", body, keep_alive);
+    return BuildHttpResponse(status, "application/json", body, keep_alive,
+                             extra);
   }
   switch (resp.op) {
     case RequestOp::kMetrics:
     case RequestOp::kHealth:
     case RequestOp::kIndex:
-    case RequestOp::kExplain: {
+    case RequestOp::kExplain:
+    case RequestOp::kDebugSlow:
+    case RequestOp::kDebugTrace:
+    case RequestOp::kDebugJournal: {
       const std::string type =
           !resp.content_type.empty()
               ? resp.content_type
               : std::string("text/plain; charset=utf-8");
-      return BuildHttpResponse(status, type, resp.payload, keep_alive);
+      return BuildHttpResponse(status, type, resp.payload, keep_alive,
+                               extra);
     }
     case RequestOp::kQuery:
     case RequestOp::kBatch: {
@@ -531,14 +574,15 @@ std::string RenderHttpResponse(const ServiceResponse& resp, bool keep_alive) {
         body += "]}";
       }
       body += "]}\n";
-      return BuildHttpResponse(status, "application/json", body, keep_alive);
+      return BuildHttpResponse(status, "application/json", body, keep_alive,
+                               extra);
     }
     case RequestOp::kPing:
       break;  // binary-only; unreachable over HTTP
   }
   return BuildHttpResponse(500, "application/json",
                            "{\"error\":{\"code\":\"internal\"}}\n",
-                           keep_alive);
+                           keep_alive, extra);
 }
 
 // ---------------------------------------------------------------------------
@@ -596,15 +640,23 @@ namespace {
 
 Status ReadRequestPrefix(Reader* r, ServiceRequest* out) {
   uint8_t dialect, mode;
-  uint16_t reserved;
+  uint16_t flags;
   uint32_t deadline_ms, num_trees;
   if (!r->ReadU32(&out->request_id) || !r->ReadU8(&dialect) ||
-      !r->ReadU8(&mode) || !r->ReadU16(&reserved) ||
-      !r->ReadU32(&deadline_ms) || !r->ReadU32(&num_trees)) {
+      !r->ReadU8(&mode) || !r->ReadU16(&flags) ||
+      !r->ReadU32(&deadline_ms)) {
     return Status::InvalidArgument("truncated request payload");
   }
-  if (reserved != 0) {
-    return Status::InvalidArgument("reserved request bits set");
+  // Bit 0 of the former reserved word gates the flight-recorder trace id;
+  // every other bit stays reserved-must-be-zero so it is still claimable.
+  if ((flags & ~uint16_t{1}) != 0) {
+    return Status::InvalidArgument("unknown request flag bits set");
+  }
+  if ((flags & 1) != 0 && !r->ReadU64(&out->trace_id)) {
+    return Status::InvalidArgument("truncated trace id");
+  }
+  if (!r->ReadU32(&num_trees)) {
+    return Status::InvalidArgument("truncated request payload");
   }
   if (mode > 2) {
     return Status::InvalidArgument("unknown eval mode " +
@@ -771,10 +823,14 @@ Status ReadTreeResultWire(Reader* r, EvalMode mode, TreeResult* out) {
 
 std::string EncodeResponseFrame(const ServiceResponse& resp) {
   std::string payload;
+  // Result/batch-result/error frames echo the flight id behind flags
+  // bit 0 (the former pad byte / reserved word); pong stays minimal.
+  const uint64_t trace_id = resp.trace_id;
   if (resp.code != RespCode::kOk) {
     PutU32(&payload, resp.request_id);
     PutU16(&payload, static_cast<uint16_t>(resp.code));
-    PutU16(&payload, 0);
+    PutU16(&payload, trace_id != 0 ? 1 : 0);
+    if (trace_id != 0) PutU64(&payload, trace_id);
     PutU32(&payload, static_cast<uint32_t>(resp.payload.size()));
     payload += resp.payload;
     return EncodeFrame(FrameType::kError, payload);
@@ -786,8 +842,9 @@ std::string EncodeResponseFrame(const ServiceResponse& resp) {
     case RequestOp::kQuery: {
       PutU32(&payload, resp.request_id);
       PutU8(&payload, static_cast<uint8_t>(resp.mode));
-      PutU8(&payload, 0);
+      PutU8(&payload, trace_id != 0 ? 1 : 0);
       PutU16(&payload, 0);
+      if (trace_id != 0) PutU64(&payload, trace_id);
       PutU32(&payload, static_cast<uint32_t>(resp.results.size()));
       for (const TreeResult& r : resp.results) {
         AppendTreeResultWire(r, resp.mode, &payload);
@@ -797,8 +854,9 @@ std::string EncodeResponseFrame(const ServiceResponse& resp) {
     case RequestOp::kBatch: {
       PutU32(&payload, resp.request_id);
       PutU8(&payload, static_cast<uint8_t>(resp.mode));
-      PutU8(&payload, 0);
+      PutU8(&payload, trace_id != 0 ? 1 : 0);
       PutU16(&payload, 0);
+      if (trace_id != 0) PutU64(&payload, trace_id);
       const uint32_t per_query =
           resp.num_queries > 0
               ? static_cast<uint32_t>(resp.results.size() /
@@ -834,13 +892,19 @@ Result<ServiceResponse> DecodeResponseFrame(const Frame& frame) {
       return resp;
     }
     case FrameType::kError: {
-      uint16_t code, reserved;
+      uint16_t code, flags;
       if (!r.ReadU32(&resp.request_id) || !r.ReadU16(&code) ||
-          !r.ReadU16(&reserved)) {
+          !r.ReadU16(&flags)) {
         return Status::InvalidArgument("truncated error frame");
       }
       if (code > 8 || code == 0) {
         return Status::InvalidArgument("bad error code");
+      }
+      if ((flags & ~uint16_t{1}) != 0) {
+        return Status::InvalidArgument("unknown error flag bits set");
+      }
+      if ((flags & 1) != 0 && !r.ReadU64(&resp.trace_id)) {
+        return Status::InvalidArgument("truncated trace id");
       }
       resp.code = static_cast<RespCode>(code);
       XPTC_RETURN_NOT_OK(ReadLengthPrefixedString(&r, &resp.payload));
@@ -848,13 +912,19 @@ Result<ServiceResponse> DecodeResponseFrame(const Frame& frame) {
     }
     case FrameType::kResult:
     case FrameType::kBatchResult: {
-      uint8_t mode, pad;
+      uint8_t mode, flags;
       uint16_t pad2;
       if (!r.ReadU32(&resp.request_id) || !r.ReadU8(&mode) ||
-          !r.ReadU8(&pad) || !r.ReadU16(&pad2)) {
+          !r.ReadU8(&flags) || !r.ReadU16(&pad2)) {
         return Status::InvalidArgument("truncated result frame");
       }
       if (mode > 2) return Status::InvalidArgument("bad result mode");
+      if ((flags & ~uint8_t{1}) != 0 || pad2 != 0) {
+        return Status::InvalidArgument("unknown result flag bits set");
+      }
+      if ((flags & 1) != 0 && !r.ReadU64(&resp.trace_id)) {
+        return Status::InvalidArgument("truncated trace id");
+      }
       resp.mode = static_cast<EvalMode>(mode);
       uint32_t num_results;
       if (frame.type == FrameType::kResult) {
@@ -896,13 +966,15 @@ Result<ServiceResponse> DecodeResponseFrame(const Frame& frame) {
 std::string EncodeQueryPayload(uint32_t request_id, uint8_t dialect,
                                EvalMode mode, uint32_t deadline_ms,
                                const std::vector<int>& tree_ids,
-                               const std::string& query) {
+                               const std::string& query,
+                               uint64_t trace_id) {
   std::string payload;
   PutU32(&payload, request_id);
   PutU8(&payload, dialect);
   PutU8(&payload, static_cast<uint8_t>(mode));
-  PutU16(&payload, 0);
+  PutU16(&payload, trace_id != 0 ? 1 : 0);
   PutU32(&payload, deadline_ms);
+  if (trace_id != 0) PutU64(&payload, trace_id);
   PutU32(&payload, static_cast<uint32_t>(tree_ids.size()));
   for (int id : tree_ids) PutU32(&payload, static_cast<uint32_t>(id));
   PutU32(&payload, static_cast<uint32_t>(query.size()));
@@ -913,13 +985,15 @@ std::string EncodeQueryPayload(uint32_t request_id, uint8_t dialect,
 std::string EncodeBatchPayload(uint32_t request_id, uint8_t dialect,
                                EvalMode mode, uint32_t deadline_ms,
                                const std::vector<int>& tree_ids,
-                               const std::vector<std::string>& queries) {
+                               const std::vector<std::string>& queries,
+                               uint64_t trace_id) {
   std::string payload;
   PutU32(&payload, request_id);
   PutU8(&payload, dialect);
   PutU8(&payload, static_cast<uint8_t>(mode));
-  PutU16(&payload, 0);
+  PutU16(&payload, trace_id != 0 ? 1 : 0);
   PutU32(&payload, deadline_ms);
+  if (trace_id != 0) PutU64(&payload, trace_id);
   PutU32(&payload, static_cast<uint32_t>(tree_ids.size()));
   for (int id : tree_ids) PutU32(&payload, static_cast<uint32_t>(id));
   PutU32(&payload, static_cast<uint32_t>(queries.size()));

@@ -43,6 +43,11 @@ enum class RequestOp : uint8_t {
   kHealth,   // liveness + drain state (HTTP only; served inline)
   kIndex,    // endpoint listing (HTTP only; served inline)
   kPing,     // binary liveness frame (served inline)
+  // Flight-recorder debug surface (HTTP only; served inline so they stay
+  // responsive exactly when the serving path is in trouble):
+  kDebugSlow,     // /debug/slow — sampled slow-query log (top-K)
+  kDebugTrace,    // /debug/trace/<id> — one RequestTrace by flight id
+  kDebugJournal,  // /debug/journal — event-journal dump as JSON
 };
 
 /// What to return per (query, tree) pair. kNodeSet is the full bitset;
@@ -79,6 +84,11 @@ const char* RespCodeName(RespCode code);
 struct ServiceRequest {
   RequestOp op = RequestOp::kQuery;
   uint32_t request_id = 0;  // binary-protocol correlation id; 0 over HTTP
+  /// Flight id for the request's RequestTrace (obs/recorder.h). Carried by
+  /// an optional `X-Request-Id` header over HTTP and the flags-gated trace
+  /// field of binary request payloads; 0 = none supplied, the admission
+  /// layer mints one. Also the lookup key of kDebugTrace.
+  uint64_t trace_id = 0;
   uint8_t dialect = kDialectXPath;
   EvalMode mode = EvalMode::kNodeSet;
   uint32_t deadline_ms = 0;         // 0 = server default
@@ -104,6 +114,10 @@ struct ServiceResponse {
   RequestOp op = RequestOp::kQuery;
   EvalMode mode = EvalMode::kNodeSet;
   uint32_t request_id = 0;
+  /// Flight id echoed back to the client: the `X-Request-Id` response
+  /// header over HTTP, the flags-gated trace field on result/error frames.
+  /// 0 = not echoed (e.g. a parse error before admission minted one).
+  uint64_t trace_id = 0;
   int num_queries = 1;
   /// Row-major, query-major: entry [q * num_trees + t]. For kQuery,
   /// num_queries == 1 and this is just the per-tree row.
@@ -142,9 +156,11 @@ ParseStatus ParseHttpRequest(const char* data, size_t len,
                              size_t* consumed, std::string* error);
 
 /// Serialises one HTTP/1.1 response (status line, Content-Length,
-/// Connection header, body).
+/// Connection header, body). `extra_headers` is inserted verbatim before
+/// the blank line; each entry must be a complete "Name: value\r\n" line.
 std::string BuildHttpResponse(int status, const std::string& content_type,
-                              const std::string& body, bool keep_alive);
+                              const std::string& body, bool keep_alive,
+                              const std::string& extra_headers = "");
 
 /// Maps a parsed HTTP request onto the service model. Errors are client
 /// errors (unknown endpoint, bad parameters) — the transport framing is
@@ -173,26 +189,35 @@ std::string UrlDecode(const std::string& text);
 //   u8  payload[payload_len]
 //
 // Payloads:
-//   kQuery:  u32 request_id, u8 dialect, u8 mode, u16 reserved,
-//            u32 deadline_ms, u32 num_trees, u32 tree_id × num_trees
+//   kQuery:  u32 request_id, u8 dialect, u8 mode, u16 flags,
+//            u32 deadline_ms, [u64 trace_id iff flags & 1],
+//            u32 num_trees, u32 tree_id × num_trees
 //            (num_trees == 0 ⇒ whole corpus), u32 query_len, query bytes.
-//   kBatch:  u32 request_id, u8 dialect, u8 mode, u16 reserved,
-//            u32 deadline_ms, u32 num_trees, u32 tree_id × num_trees,
+//   kBatch:  u32 request_id, u8 dialect, u8 mode, u16 flags,
+//            u32 deadline_ms, [u64 trace_id iff flags & 1],
+//            u32 num_trees, u32 tree_id × num_trees,
 //            u32 num_queries, (u32 len, bytes) × num_queries.
 //   kPing:   u32 request_id.
-//   kResult: u32 request_id, u8 mode, u8 reserved ×3, u32 num_results,
+//   kResult: u32 request_id, u8 mode, u8 flags, u16 reserved,
+//            [u64 trace_id iff flags & 1], u32 num_results,
 //            then per result: u32 tree_id, then by mode —
 //              kNodeSet: u32 num_bits, u32 num_words, u64 × num_words
 //                        (the Bitset's live words, bit-exact),
 //              kBoolean: u8,
 //              kCount:   u64.
-//   kBatchResult: u32 request_id, u8 mode, u8 reserved ×3,
+//   kBatchResult: u32 request_id, u8 mode, u8 flags, u16 reserved,
+//            [u64 trace_id iff flags & 1],
 //            u32 num_queries, u32 results_per_query, then
 //            num_queries × results_per_query results as in kResult
 //            (query-major).
-//   kError:  u32 request_id, u16 code (RespCode), u16 reserved,
-//            u32 msg_len, msg bytes.
+//   kError:  u32 request_id, u16 code (RespCode), u16 flags,
+//            [u64 trace_id iff flags & 1], u32 msg_len, msg bytes.
 //   kPong:   u32 request_id.
+//
+// The former `reserved` u16 of request payloads (and the pad byte / u16 of
+// responses) became `flags`; bit 0 gates the flight-recorder trace id and
+// every other bit must be zero (rejected, so the space stays reserved).
+// Old encoders wrote zeros there, so pre-flags frames decode unchanged.
 
 inline constexpr uint8_t kFrameMagic = 0xB7;
 inline constexpr size_t kFrameHeaderBytes = 8;
@@ -239,11 +264,13 @@ Result<ServiceResponse> DecodeResponseFrame(const Frame& frame);
 std::string EncodeQueryPayload(uint32_t request_id, uint8_t dialect,
                                EvalMode mode, uint32_t deadline_ms,
                                const std::vector<int>& tree_ids,
-                               const std::string& query);
+                               const std::string& query,
+                               uint64_t trace_id = 0);
 std::string EncodeBatchPayload(uint32_t request_id, uint8_t dialect,
                                EvalMode mode, uint32_t deadline_ms,
                                const std::vector<int>& tree_ids,
-                               const std::vector<std::string>& queries);
+                               const std::vector<std::string>& queries,
+                               uint64_t trace_id = 0);
 std::string EncodePingPayload(uint32_t request_id);
 
 }  // namespace server

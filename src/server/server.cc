@@ -14,7 +14,9 @@
 
 #include "common/check.h"
 #include "exec/engine.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace xptc {
 namespace server {
@@ -27,6 +29,27 @@ constexpr uint64_t kListenKey = ~uint64_t{0};
 constexpr uint64_t kWakeKey = ~uint64_t{0} - 1;
 
 int64_t NowNs() { return exec::ExecEngine::SteadyNowNs(); }
+
+// Trace spelling of a queued op ("query"/"batch"/"explain"/"metrics").
+const char* OpName(RequestOp op) {
+  switch (op) {
+    case RequestOp::kQuery: return "query";
+    case RequestOp::kBatch: return "batch";
+    case RequestOp::kMetrics: return "metrics";
+    case RequestOp::kExplain: return "explain";
+    case RequestOp::kHealth: return "health";
+    case RequestOp::kIndex: return "index";
+    case RequestOp::kPing: return "ping";
+    case RequestOp::kDebugSlow: return "debug_slow";
+    case RequestOp::kDebugTrace: return "debug_trace";
+    case RequestOp::kDebugJournal: return "debug_journal";
+  }
+  return "unknown";
+}
+
+// Query texts kept on a RequestTrace are truncated so the slow log's
+// memory stays bounded no matter what clients send.
+constexpr size_t kTraceQueryBytes = 256;
 
 }  // namespace
 
@@ -74,9 +97,15 @@ struct QueryServer::Connection {
   enum class Proto { kUnknown, kHttp, kBinary };
   Proto proto = Proto::kUnknown;
 
+  std::string peer;  // "ip:port", captured at accept for trace attribution
+
   std::string input;
   std::string output;
   size_t output_off = 0;
+
+  // Flight-recorder accept-phase stamp: when the first unparsed byte of
+  // the next message became readable (0 = nothing buffered).
+  int64_t read_start_ns = 0;
 
   // Pipelined-response ordering: every request (inline or queued) claims
   // the next seq slot at dispatch; responses park in `ready` until every
@@ -85,10 +114,30 @@ struct QueryServer::Connection {
   struct Slot {
     std::string bytes;
     bool close_after = false;
+    // Flight-recorder handoff for worker-path responses (flight_id == 0
+    // on inline replies, which are not phase-attributed).
+    uint64_t flight_id = 0;
+    std::unique_ptr<obs::RequestTrace> trace;
   };
   uint64_t next_seq = 0;
   uint64_t flush_seq = 0;
   std::map<uint64_t, Slot> ready;
+
+  // Flush-phase attribution: monotonic byte counters over the life of the
+  // connection (queued = appended to `output`, flushed = written to the
+  // socket) plus the FIFO of responses whose last byte has not reached the
+  // socket yet. A response is fully flushed exactly when `total_flushed`
+  // passes the `total_queued` value observed as it was appended — no
+  // per-byte bookkeeping, immune to the output buffer's compactions.
+  uint64_t total_queued = 0;
+  uint64_t total_flushed = 0;
+  struct PendingFlush {
+    uint64_t flush_target = 0;    // total_queued after this response
+    int64_t flush_start_ns = 0;
+    uint64_t flight_id = 0;
+    std::unique_ptr<obs::RequestTrace> trace;  // null for untraced requests
+  };
+  std::vector<PendingFlush> pending_flush;  // FIFO (bounded by inflight cap)
 
   int inflight = 0;  // admitted to the queue, response not yet flushed
   uint32_t armed = 0;  // epoll interest currently registered
@@ -105,6 +154,9 @@ struct QueryServer::WorkItem {
   int64_t admit_ns = 0;
   bool is_http = false;
   bool keep_alive = true;
+  // Non-null iff the request is sampled or a completion log is installed;
+  // accept/parse phases are already filled in by Dispatch.
+  std::unique_ptr<obs::RequestTrace> trace;
 };
 
 struct QueryServer::Completion {
@@ -112,6 +164,8 @@ struct QueryServer::Completion {
   uint64_t seq = 0;
   std::string bytes;
   bool close_after = false;
+  uint64_t flight_id = 0;
+  std::unique_ptr<obs::RequestTrace> trace;
 };
 
 QueryServer::QueryServer(QueryService* service, ServerOptions options)
@@ -222,22 +276,64 @@ int64_t QueryServer::DeadlineFor(uint32_t deadline_ms) const {
 // ---------------------------------------------------------------------------
 
 void QueryServer::WorkerLoop(int worker) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
   for (;;) {
     std::optional<WorkItem> item = queue_->Pop();
     if (!item.has_value()) return;  // closed and drained
     if (worker_hook_) worker_hook_();
     Metrics::Get().queue_depth.Set(static_cast<int64_t>(queue_->size()));
+    const uint64_t flight_id = item->req.trace_id;
     const int64_t start_ns = NowNs();
-    Metrics::Get().queue_wait_ns.Observe(start_ns - item->admit_ns);
-    const ServiceResponse resp =
-        service_->Handle(item->req, worker, item->deadline_ns);
+    const int64_t queue_ns = start_ns - item->admit_ns;
+    Metrics::Get().queue_wait_ns.Observe(queue_ns);
+    recorder.ObservePhase(obs::Phase::kQueue, queue_ns);
+    obs::RequestTrace* trace = item->trace.get();
+    if (trace != nullptr) {
+      trace->phase_ns[static_cast<int>(obs::Phase::kQueue)] = queue_ns;
+    }
+    ServiceResponse resp;
+    int64_t exec_end_ns;
+    {
+      // TLS plumbing for the duration of Handle: the service layer picks
+      // the trace up for batch fan-out spans and dispatch notes, and every
+      // journal record inside (deadline probes, batch tasks) attributes to
+      // this flight id without widening any signature.
+      obs::ScopedRequestTrace scoped_trace(trace);
+      obs::Journal::ScopedRequestId scoped_id(flight_id);
+      obs::Journal::Record(obs::JournalCode::kWorkerPop,
+                           static_cast<uint64_t>(queue_ns), 0, start_ns);
+      obs::Journal::Record(obs::JournalCode::kExecStart,
+                           static_cast<uint64_t>(worker), 0, start_ns);
+      resp = service_->Handle(item->req, worker, item->deadline_ns);
+      exec_end_ns = NowNs();
+      obs::Journal::Record(obs::JournalCode::kExecEnd,
+                           static_cast<uint64_t>(exec_end_ns - start_ns), 0,
+                           exec_end_ns);
+    }
+    const int64_t exec_ns = exec_end_ns - start_ns;
+    recorder.ObservePhase(obs::Phase::kExec, exec_ns);
+    // Echo the flight id to the client (X-Request-Id header / flags-gated
+    // trace field) unless the service already set one.
+    if (resp.trace_id == 0) resp.trace_id = flight_id;
     Completion c;
     c.conn_id = item->conn_id;
     c.seq = item->seq;
     c.close_after = item->is_http && !item->keep_alive;
+    c.flight_id = flight_id;
     c.bytes = item->is_http ? RenderHttpResponse(resp, item->keep_alive)
                             : EncodeResponseFrame(resp);
-    Metrics::Get().request_ns.Observe(NowNs() - item->admit_ns);
+    const int64_t encode_end_ns = NowNs();
+    const int64_t encode_ns = encode_end_ns - exec_end_ns;
+    recorder.ObservePhase(obs::Phase::kEncode, encode_ns);
+    obs::Journal::Record(obs::JournalCode::kEncode, c.bytes.size(),
+                         flight_id, encode_end_ns);
+    if (trace != nullptr) {
+      trace->phase_ns[static_cast<int>(obs::Phase::kExec)] = exec_ns;
+      trace->phase_ns[static_cast<int>(obs::Phase::kEncode)] = encode_ns;
+      trace->code = static_cast<uint8_t>(resp.code);
+      c.trace = std::move(item->trace);
+    }
+    Metrics::Get().request_ns.Observe(encode_end_ns - item->admit_ns);
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(std::move(c));
@@ -331,8 +427,10 @@ void QueryServer::ReactorLoop() {
 
 void QueryServer::AcceptAll() {
   for (;;) {
-    const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or transient accept error: try again on next event
@@ -350,6 +448,11 @@ void QueryServer::AcceptAll() {
     conn->id = next_conn_id_++;
     conn->fd = fd;
     conn->armed = EPOLLIN;
+    char ip[INET_ADDRSTRLEN] = "?";
+    if (peer.sin_family == AF_INET) {
+      ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    }
+    conn->peer = std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = conn->id;
@@ -357,6 +460,7 @@ void QueryServer::AcceptAll() {
       ::close(fd);
       continue;
     }
+    obs::Journal::Record(obs::JournalCode::kAccept, conn->id);
     conns_[conn->id] = std::move(conn);
     Metrics::Get().accepted.Inc();
     Metrics::Get().conns.Set(static_cast<int64_t>(conns_.size()));
@@ -368,6 +472,28 @@ void QueryServer::CloseConnection(Connection* conn) {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   conn->fd = -1;
+  obs::Journal::Record(obs::JournalCode::kConnClose, conn->id);
+  // Responses that never finished flushing still get their traces
+  // recorded (flush phase truncated at close time) — a trace of a request
+  // whose client hung up is exactly what the slow log is for.
+  if (!conn->pending_flush.empty()) {
+    const int64_t now = NowNs();
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+    for (auto& p : conn->pending_flush) {
+      const int64_t flush_ns = now - p.flush_start_ns;
+      recorder.ObservePhase(obs::Phase::kFlush, flush_ns);
+      obs::Journal::Record(obs::JournalCode::kFlushEnd,
+                           static_cast<uint64_t>(flush_ns), p.flight_id,
+                           now);
+      if (p.trace != nullptr) {
+        p.trace->phase_ns[static_cast<int>(obs::Phase::kFlush)] = flush_ns;
+        p.trace->total_ns = now - p.trace->start_ns;
+        p.trace->notes.push_back("connection closed before flush completed");
+        recorder.Record(std::move(*p.trace));
+      }
+    }
+    conn->pending_flush.clear();
+  }
   // Orphaned in-flight work still executes; its completions decrement
   // total_inflight_ and are then dropped (no connection to write to).
   dead_conns_.push_back(conn->id);
@@ -379,6 +505,8 @@ void QueryServer::HandleReadable(Connection* conn) {
     if (conn->input.size() >= options_.input_watermark) break;
     const ssize_t r = ::read(conn->fd, buf, sizeof(buf));
     if (r > 0) {
+      // Accept-phase stamp: first byte of a fresh message became readable.
+      if (conn->input.empty()) conn->read_start_ns = NowNs();
       conn->input.append(buf, static_cast<size_t>(r));
       continue;
     }
@@ -409,6 +537,7 @@ void QueryServer::HandleWritable(Connection* conn) {
                 conn->output.size() - conn->output_off);
     if (w > 0) {
       conn->output_off += static_cast<size_t>(w);
+      conn->total_flushed += static_cast<uint64_t>(w);
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -416,6 +545,7 @@ void QueryServer::HandleWritable(Connection* conn) {
     CloseConnection(conn);  // EPIPE/ECONNRESET and friends
     return;
   }
+  FinalizeFlushed(conn);
   if (conn->output_off >= conn->output.size()) {
     conn->output.clear();
     conn->output_off = 0;
@@ -443,6 +573,13 @@ void QueryServer::ParseLoop(Connection* conn) {
       return;
     }
     if (conn->input.empty()) return;
+    // Accept phase ends (and parse begins) the moment a parse of the
+    // buffered bytes is attempted; on kNeedMore the stamp survives, so the
+    // phase keeps accumulating until the message completes.
+    const int64_t parse_start_ns = NowNs();
+    const int64_t accept_ns = conn->read_start_ns != 0
+                                  ? parse_start_ns - conn->read_start_ns
+                                  : 0;
     // Protocol detection is per *message*, not per connection: the frame
     // magic 0xB7 can never begin an HTTP request line, so one connection
     // may freely interleave binary frames and HTTP requests.
@@ -459,6 +596,7 @@ void QueryServer::ParseLoop(Connection* conn) {
       if (st == ParseStatus::kNeedMore) return;
       if (st == ParseStatus::kError) {
         Metrics::Get().parse_error.Inc();
+        obs::Journal::Record(obs::JournalCode::kParseError, conn->id);
         ServiceResponse resp;
         resp.code = RespCode::kBadRequest;
         resp.payload = error;
@@ -467,9 +605,14 @@ void QueryServer::ParseLoop(Connection* conn) {
         return;
       }
       conn->input.erase(0, consumed);
+      // A pipelined follow-up already buffered starts its accept phase
+      // now (it only became parseable now); an empty buffer clears the
+      // stamp so keep-alive idle time never counts as accept.
+      conn->read_start_ns = conn->input.empty() ? 0 : parse_start_ns;
       Result<ServiceRequest> req = TranslateHttp(hreq);
       if (!req.ok()) {
         Metrics::Get().parse_error.Inc();
+        obs::Journal::Record(obs::JournalCode::kParseError, conn->id);
         ServiceResponse resp;
         resp.code = req.status().IsOutOfRange() ? RespCode::kNotFound
                                                 : RespCode::kBadRequest;
@@ -478,7 +621,8 @@ void QueryServer::ParseLoop(Connection* conn) {
                       !hreq.keep_alive);
         continue;
       }
-      Dispatch(conn, std::move(*req), /*is_http=*/true, hreq.keep_alive);
+      Dispatch(conn, std::move(*req), /*is_http=*/true, hreq.keep_alive,
+               accept_ns, parse_start_ns);
     } else {
       Frame frame;
       size_t consumed = 0;
@@ -490,6 +634,7 @@ void QueryServer::ParseLoop(Connection* conn) {
       if (st == ParseStatus::kError) {
         // Framing is lost: answer once, then close.
         Metrics::Get().parse_error.Inc();
+        obs::Journal::Record(obs::JournalCode::kParseError, conn->id);
         ServiceResponse resp;
         resp.code = RespCode::kBadRequest;
         resp.payload = error;
@@ -497,31 +642,70 @@ void QueryServer::ParseLoop(Connection* conn) {
         return;
       }
       conn->input.erase(0, consumed);
+      conn->read_start_ns = conn->input.empty() ? 0 : parse_start_ns;
       Result<ServiceRequest> req = TranslateFrame(frame);
       if (!req.ok()) {
         // Malformed payload inside an intact frame: error frame, keep the
         // connection.
         Metrics::Get().parse_error.Inc();
+        obs::Journal::Record(obs::JournalCode::kParseError, conn->id);
         ServiceResponse resp;
         resp.code = RespCode::kBadRequest;
         resp.payload = req.status().ToString();
         RespondInline(conn, EncodeResponseFrame(resp), false);
         continue;
       }
-      Dispatch(conn, std::move(*req), /*is_http=*/false, true);
+      Dispatch(conn, std::move(*req), /*is_http=*/false, true, accept_ns,
+               parse_start_ns);
     }
   }
 }
 
 void QueryServer::Dispatch(Connection* conn, ServiceRequest req, bool is_http,
-                           bool keep_alive) {
+                           bool keep_alive, int64_t accept_ns,
+                           int64_t parse_start_ns) {
+  if (QueryService::IsInline(req.op)) {
+    // Health, index, metrics, ping, /debug/*: answered on the reactor
+    // thread so they stay responsive when the queue is full — these ops
+    // touch only thread-safe state (the registry, the recorder's bounded
+    // logs, the journal rings), never the engines. Worker id 0 is a
+    // formality for the Handle contract. Not phase-attributed (they never
+    // queue), but a client-supplied flight id is still echoed.
+    obs::Journal::Record(obs::JournalCode::kInlineReply,
+                         static_cast<uint64_t>(req.op), req.trace_id);
+    ServiceResponse resp = service_->Handle(req, 0, 0);
+    if (resp.trace_id == 0) resp.trace_id = req.trace_id;
+    RespondInline(conn,
+                  is_http ? RenderHttpResponse(resp, keep_alive)
+                          : EncodeResponseFrame(resp),
+                  is_http && !keep_alive);
+    return;
+  }
+
+  // Admission mints the flight id when the client did not supply one
+  // (X-Request-Id / binary trace field); from here on every journal
+  // record, phase sample, and response echo carries it.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  if (req.trace_id == 0) req.trace_id = recorder.MintId();
+  // One clock read serves the parse phase, the admission stamp, and every
+  // journal record below.
+  const int64_t admit_ns = NowNs();
+  const int64_t parse_ns = admit_ns - parse_start_ns;
+  recorder.ObservePhase(obs::Phase::kAccept, accept_ns);
+  recorder.ObservePhase(obs::Phase::kParse, parse_ns);
+  obs::Journal::Record(obs::JournalCode::kParse,
+                       static_cast<uint64_t>(parse_ns), req.trace_id,
+                       admit_ns);
+
   ServiceResponse err;
   err.op = req.op;
   err.mode = req.mode;
   err.request_id = req.request_id;
-  if (draining_.load(std::memory_order_acquire) &&
-      !QueryService::IsInline(req.op)) {
+  err.trace_id = req.trace_id;
+  if (draining_.load(std::memory_order_acquire)) {
     Metrics::Get().draining_reject.Inc();
+    obs::Journal::Record(obs::JournalCode::kDrainingReject, 0, req.trace_id,
+                         admit_ns);
     err.code = RespCode::kDraining;
     err.payload = "server is draining";
     RespondInline(conn,
@@ -530,29 +714,37 @@ void QueryServer::Dispatch(Connection* conn, ServiceRequest req, bool is_http,
                   is_http);
     return;
   }
-  if (QueryService::IsInline(req.op)) {
-    // Health, index, metrics, ping: answered on the reactor thread so they
-    // stay responsive when the queue is full — these ops touch only
-    // thread-safe state (the registry), never the engines. Worker id 0 is
-    // a formality for the Handle contract.
-    const ServiceResponse resp = service_->Handle(req, 0, 0);
-    RespondInline(conn,
-                  is_http ? RenderHttpResponse(resp, keep_alive)
-                          : EncodeResponseFrame(resp),
-                  is_http && !keep_alive);
-    return;
-  }
 
   WorkItem item;
   item.conn_id = conn->id;
   item.seq = conn->next_seq;  // claimed only if admission succeeds
   item.deadline_ns = DeadlineFor(req.deadline_ms);
-  item.admit_ns = NowNs();
+  item.admit_ns = admit_ns;
   item.is_http = is_http;
   item.keep_alive = keep_alive;
+  const bool sampled = recorder.Sampled(req.trace_id);
+  if (sampled || recorder.completion_log_installed()) {
+    auto trace = std::make_unique<obs::RequestTrace>();
+    trace->id = req.trace_id;
+    trace->wire_request_id = req.request_id;
+    trace->sampled = sampled;
+    trace->is_http = is_http;
+    trace->op = OpName(req.op);
+    trace->peer = conn->peer;
+    if (!req.queries.empty()) {
+      trace->query = req.queries[0].substr(0, kTraceQueryBytes);
+    }
+    trace->start_ns = item.admit_ns - accept_ns - parse_ns;
+    trace->phase_ns[static_cast<int>(obs::Phase::kAccept)] = accept_ns;
+    trace->phase_ns[static_cast<int>(obs::Phase::kParse)] = parse_ns;
+    item.trace = std::move(trace);
+  }
+  const uint64_t flight_id = req.trace_id;
   item.req = std::move(req);
   if (!queue_->TryPush(std::move(item))) {
     Metrics::Get().shed.Inc();
+    obs::Journal::Record(obs::JournalCode::kShed, queue_->size(), flight_id,
+                         admit_ns);
     err.code = RespCode::kOverloaded;
     err.payload = "admission queue full";
     RespondInline(conn,
@@ -564,6 +756,8 @@ void QueryServer::Dispatch(Connection* conn, ServiceRequest req, bool is_http,
   conn->next_seq++;
   conn->inflight++;
   total_inflight_++;
+  obs::Journal::Record(obs::JournalCode::kAdmit, queue_->size(), flight_id,
+                       admit_ns);
   Metrics::Get().admitted.Inc();
   Metrics::Get().queue_depth.Set(static_cast<int64_t>(queue_->size()));
 }
@@ -586,10 +780,25 @@ void QueryServer::DrainCompletions() {
     XPTC_CHECK(total_inflight_ > 0);
     total_inflight_--;
     auto it = conns_.find(c.conn_id);
-    if (it == conns_.end() || it->second->fd < 0) continue;  // conn died
+    if (it == conns_.end() || it->second->fd < 0) {
+      // Connection died before the response could be written. The trace is
+      // still worth keeping (it explains the work the server did for a
+      // client that gave up) — finalise it without a flush phase.
+      if (c.trace != nullptr) {
+        c.trace->total_ns = NowNs() - c.trace->start_ns;
+        c.trace->notes.push_back("connection died before response flush");
+        obs::FlightRecorder::Get().Record(std::move(*c.trace));
+      }
+      continue;
+    }
     Connection* conn = it->second.get();
     conn->inflight--;
-    conn->ready[c.seq] = Connection::Slot{std::move(c.bytes), c.close_after};
+    Connection::Slot slot;
+    slot.bytes = std::move(c.bytes);
+    slot.close_after = c.close_after;
+    slot.flight_id = c.flight_id;
+    slot.trace = std::move(c.trace);
+    conn->ready[c.seq] = std::move(slot);
     FlushReady(conn);
   }
 }
@@ -599,12 +808,54 @@ void QueryServer::FlushReady(Connection* conn) {
     auto it = conn->ready.find(conn->flush_seq);
     if (it == conn->ready.end()) break;
     conn->output += it->second.bytes;
+    conn->total_queued += it->second.bytes.size();
+    if (it->second.flight_id != 0) {
+      // Flush phase opens as the response enters the output buffer and
+      // closes when total_flushed catches up to this target.
+      const int64_t flush_start_ns = NowNs();
+      obs::Journal::Record(obs::JournalCode::kFlushStart,
+                           it->second.bytes.size(), it->second.flight_id,
+                           flush_start_ns);
+      Connection::PendingFlush pending;
+      pending.flush_target = conn->total_queued;
+      pending.flush_start_ns = flush_start_ns;
+      pending.flight_id = it->second.flight_id;
+      pending.trace = std::move(it->second.trace);
+      conn->pending_flush.push_back(std::move(pending));
+    }
     if (it->second.close_after) conn->want_close = true;
     conn->ready.erase(it);
     conn->flush_seq++;
   }
   HandleWritable(conn);  // opportunistic synchronous write
   if (conn->fd >= 0) UpdateInterest(conn);
+}
+
+void QueryServer::FinalizeFlushed(Connection* conn) {
+  if (conn->pending_flush.empty()) return;
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Get();
+  size_t done = 0;
+  int64_t now = 0;
+  while (done < conn->pending_flush.size() &&
+         conn->total_flushed >= conn->pending_flush[done].flush_target) {
+    Connection::PendingFlush& p = conn->pending_flush[done];
+    if (now == 0) now = NowNs();
+    const int64_t flush_ns = now - p.flush_start_ns;
+    recorder.ObservePhase(obs::Phase::kFlush, flush_ns);
+    obs::Journal::Record(obs::JournalCode::kFlushEnd,
+                         static_cast<uint64_t>(flush_ns), p.flight_id, now);
+    if (p.trace != nullptr) {
+      p.trace->phase_ns[static_cast<int>(obs::Phase::kFlush)] = flush_ns;
+      p.trace->total_ns = now - p.trace->start_ns;
+      recorder.Record(std::move(*p.trace));
+    }
+    ++done;
+  }
+  if (done > 0) {
+    conn->pending_flush.erase(conn->pending_flush.begin(),
+                              conn->pending_flush.begin() +
+                                  static_cast<long>(done));
+  }
 }
 
 void QueryServer::UpdateInterest(Connection* conn) {

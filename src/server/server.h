@@ -114,8 +114,18 @@ class QueryServer {
   /// Parses as many complete messages as the buffer holds and dispatches
   /// each; applies backpressure pauses.
   void ParseLoop(Connection* conn);
+  /// `accept_ns` is the request's first flight-recorder phase
+  /// (bytes-readable → parse-start), measured by the parse loop;
+  /// `parse_start_ns` is when that parse began — Dispatch reads the clock
+  /// once for admission and derives the parse phase from it, so the hot
+  /// path pays one clock read here, not two.
   void Dispatch(Connection* conn, ServiceRequest req, bool is_http,
-                bool keep_alive);
+                bool keep_alive, int64_t accept_ns, int64_t parse_start_ns);
+  /// Finalises flush-phase attribution for every response whose last byte
+  /// has reached the socket (`total_flushed` passed its flush target):
+  /// observes `server.phase.flush_ns`, completes and records the
+  /// RequestTrace, journals kFlushEnd.
+  void FinalizeFlushed(Connection* conn);
   /// Queues `bytes` as the next in-order response slot of `conn`.
   void RespondInline(Connection* conn, std::string bytes, bool close_after);
   ServiceResponse InlineError(const ServiceRequest& req, RespCode code,

@@ -5,7 +5,10 @@
 #include "common/check.h"
 #include "common/threadpool.h"
 #include "obs/explain.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
 #include "testing/corpus.h"
 #include "tree/xml.h"
 
@@ -171,6 +174,37 @@ ServiceResponse QueryService::Handle(const ServiceRequest& req, int worker,
       resp.request_id = req.request_id;
       return resp;
     }
+    case RequestOp::kDebugSlow: {
+      resp.op = RequestOp::kDebugSlow;
+      resp.payload = obs::FlightRecorder::Get().SlowJson();
+      resp.content_type = "application/json";
+      return resp;
+    }
+    case RequestOp::kDebugTrace: {
+      resp.op = RequestOp::kDebugTrace;
+      obs::RequestTrace trace;
+      if (!obs::FlightRecorder::Get().Lookup(req.trace_id, &trace)) {
+        return ErrorResponse(req, RespCode::kNotFound,
+                             "no trace for id " +
+                                 obs::FormatFlightId(req.trace_id) +
+                                 " (evicted, unsampled, or never seen)");
+      }
+      resp.payload = obs::RequestTraceJson(trace) + "\n";
+      resp.content_type = "application/json";
+      return resp;
+    }
+    case RequestOp::kDebugJournal: {
+      resp.op = RequestOp::kDebugJournal;
+      const Result<obs::JournalDump> dump =
+          obs::ParseJournalDump(obs::Journal::DumpBinary());
+      if (!dump.ok()) {
+        return ErrorResponse(req, RespCode::kInternal,
+                             dump.status().ToString());
+      }
+      resp.payload = obs::JournalDumpToJson(*dump);
+      resp.content_type = "application/json";
+      return resp;
+    }
     case RequestOp::kQuery:
     case RequestOp::kBatch:
     case RequestOp::kExplain:
@@ -190,6 +224,12 @@ ServiceResponse QueryService::Handle(const ServiceRequest& req, int worker,
   if (deadline_ns != 0 &&
       exec::ExecEngine::SteadyNowNs() >= deadline_ns) {
     Metrics().deadline_exceeded.Inc();
+    obs::Journal::Record(
+        obs::JournalCode::kDeadlineQueue,
+        static_cast<uint64_t>(exec::ExecEngine::SteadyNowNs() - deadline_ns));
+    if (obs::RequestTrace* trace = obs::CurrentRequestTrace()) {
+      trace->notes.push_back("deadline expired while queued");
+    }
     return ErrorResponse(req, RespCode::kDeadlineExceeded,
                          "deadline expired while queued");
   }
@@ -238,9 +278,18 @@ ServiceResponse QueryService::HandleQuery(const ServiceRequest& req,
     // worker, and share its per-tree engines/caches with /batch traffic.
     // Bit-for-bit identical to the per-tree loop below (server_test pins
     // this); profile feedback is skipped here, as on the /batch path.
+    // A traced request hands the engine a per-worker span sink, so the
+    // merged RequestTrace accounts for every fan-out task exactly once.
+    obs::RequestTrace* trace = obs::CurrentRequestTrace();
+    std::unique_ptr<obs::BatchTraceSink> sink;
+    if (trace != nullptr) {
+      sink = std::make_unique<obs::BatchTraceSink>(trace->id,
+                                                   batch_.num_workers());
+    }
     bool expired = false;
     const std::vector<std::vector<Bitset>> results = batch_.RunCompiledOnTrees(
-        {compiled->program}, tree_ids, deadline_ns, &expired);
+        {compiled->program}, tree_ids, deadline_ns, &expired, sink.get());
+    if (sink != nullptr) sink->MergeInto(&trace->spans);
     if (expired) {
       Metrics().deadline_exceeded.Inc();
       return ErrorResponse(req, RespCode::kDeadlineExceeded,
@@ -258,8 +307,19 @@ ServiceResponse QueryService::HandleQuery(const ServiceRequest& req,
     const int t = tree_ids[i];
     exec::ExecEngine* engine = EngineFor(worker, t);
     engine->SetDeadline(deadline_ns);
+    const int64_t eval_start_ns = obs::NowNs();
     const Bitset bits = engine->Eval(*compiled->program);
     engine->SetDeadline(0);
+    if (obs::RequestTrace* trace = obs::CurrentRequestTrace()) {
+      trace->spans.push_back(obs::WorkerSpan{
+          worker, t, 0, eval_start_ns, obs::NowNs() - eval_start_ns});
+      trace->notes.push_back(
+          std::string("dispatch: ") +
+          exec::ExecEngine::DispatchName(engine->last_run().dispatch) +
+          ", star_rounds " +
+          std::to_string(engine->last_run().star_rounds_used) + ", instrs " +
+          std::to_string(engine->last_run().instrs_executed));
+    }
     if (engine->last_run().deadline_expired) {
       Metrics().deadline_exceeded.Inc();
       return ErrorResponse(req, RespCode::kDeadlineExceeded,
@@ -296,10 +356,17 @@ ServiceResponse QueryService::HandleBatch(const ServiceRequest& req,
     }
     programs.push_back(compiled->program);
   }
+  obs::RequestTrace* trace = obs::CurrentRequestTrace();
+  std::unique_ptr<obs::BatchTraceSink> sink;
+  if (trace != nullptr) {
+    sink = std::make_unique<obs::BatchTraceSink>(trace->id,
+                                                 batch_.num_workers());
+  }
   bool expired = false;
   // result[i][q]: tree-major from the batch engine.
-  const std::vector<std::vector<Bitset>> results =
-      batch_.RunCompiledOnTrees(programs, tree_ids, deadline_ns, &expired);
+  const std::vector<std::vector<Bitset>> results = batch_.RunCompiledOnTrees(
+      programs, tree_ids, deadline_ns, &expired, sink.get());
+  if (sink != nullptr) sink->MergeInto(&trace->spans);
   if (expired) {
     Metrics().deadline_exceeded.Inc();
     return ErrorResponse(req, RespCode::kDeadlineExceeded,
@@ -349,6 +416,17 @@ ServiceResponse QueryService::HandleExplain(const ServiceRequest& req) {
   resp.op = RequestOp::kExplain;
   resp.request_id = req.request_id;
   resp.payload = out->rendered;
+  // Served over the flight-recorded path, EXPLAIN also renders the
+  // request's own RequestTrace — the phases known at this point (accept,
+  // parse, queue) plus the flight id the /debug endpoints key on. Text
+  // output only: the JSON dump must stay a single valid object.
+  if (!req.explain_json) {
+    if (const obs::RequestTrace* trace = obs::CurrentRequestTrace()) {
+      resp.payload +=
+          "\n== request trace (exec/encode/flush pending) ==\n" +
+          obs::RequestTraceText(*trace);
+    }
+  }
   resp.content_type = req.explain_json ? "application/json"
                                        : "text/plain; charset=utf-8";
   return resp;

@@ -78,12 +78,17 @@ class QueryService {
                          int64_t deadline_ns);
 
   /// True iff `req.op` is cheap enough to answer on the reactor thread
-  /// (health, index, metrics, ping) — these bypass the admission queue so
-  /// that /metrics and /healthz stay responsive under overload, which is
-  /// exactly when they matter.
+  /// (health, index, metrics, ping, and the flight-recorder /debug
+  /// surface) — these bypass the admission queue so that /metrics,
+  /// /healthz, and /debug/* stay responsive under overload, which is
+  /// exactly when they matter. They touch only thread-safe state (the
+  /// registry, the recorder's bounded logs, the journal rings), never the
+  /// engines.
   static bool IsInline(RequestOp op) {
     return op == RequestOp::kHealth || op == RequestOp::kIndex ||
-           op == RequestOp::kMetrics || op == RequestOp::kPing;
+           op == RequestOp::kMetrics || op == RequestOp::kPing ||
+           op == RequestOp::kDebugSlow || op == RequestOp::kDebugTrace ||
+           op == RequestOp::kDebugJournal;
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 #include "xpath/eval.h"
 
@@ -155,7 +156,7 @@ std::vector<std::vector<Bitset>> BatchEngine::RunCompiled(
 std::vector<std::vector<Bitset>> BatchEngine::RunCompiledOnTrees(
     const std::vector<std::shared_ptr<const exec::Program>>& programs,
     const std::vector<int>& tree_indices, int64_t deadline_ns,
-    bool* deadline_expired) {
+    bool* deadline_expired, obs::BatchTraceSink* trace_sink) {
   const int num_t = static_cast<int>(tree_indices.size());
   const int num_q = static_cast<int>(programs.size());
   for (int t : tree_indices) XPTC_CHECK(t >= 0 && t < num_trees());
@@ -169,6 +170,10 @@ std::vector<std::vector<Bitset>> BatchEngine::RunCompiledOnTrees(
   std::atomic<bool> expired{false};
   pool_->ParallelFor(num_t * num_q, [&](int task, int worker) {
     obs::TraceSpan span("batch.task", &TaskFlame());
+    // Attributes journal events fired inside the engine (deadline probes)
+    // to the request this fan-out belongs to, across pool threads.
+    obs::Journal::ScopedRequestId journal_id(
+        trace_sink != nullptr ? trace_sink->request_id() : 0);
     const int ti = task / num_q;
     const int q = task % num_q;
     const int t = tree_indices[static_cast<size_t>(ti)];
@@ -179,11 +184,29 @@ std::vector<std::vector<Bitset>> BatchEngine::RunCompiledOnTrees(
     if (expired.load(std::memory_order_relaxed)) {
       results[static_cast<size_t>(ti)][static_cast<size_t>(q)] =
           Bitset(engine->tree().size());
+      if (trace_sink != nullptr) {
+        // Record the skip with zero elapsed so the merged trace still
+        // accounts for every (tree, query) task exactly once.
+        trace_sink->Add(worker,
+                        obs::WorkerSpan{worker, t, q, obs::NowNs(), 0});
+      }
       return;
     }
     engine->SetDeadline(deadline_ns);
+    const int64_t eval_start_ns =
+        trace_sink != nullptr ? obs::NowNs() : 0;
     results[static_cast<size_t>(ti)][static_cast<size_t>(q)] =
         engine->Eval(*programs[static_cast<size_t>(q)]);
+    if (trace_sink != nullptr) {
+      const int64_t eval_end_ns = obs::NowNs();
+      trace_sink->Add(worker,
+                      obs::WorkerSpan{worker, t, q, eval_start_ns,
+                                      eval_end_ns - eval_start_ns});
+      obs::Journal::Record(
+          obs::JournalCode::kBatchTask,
+          (static_cast<uint64_t>(t) << 16) | static_cast<uint64_t>(q), 0,
+          eval_end_ns);
+    }
     if (engine->last_run().deadline_expired) {
       expired.store(true, std::memory_order_relaxed);
     }

@@ -10,6 +10,7 @@
 #include "exec/engine.h"
 #include "exec/program.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "tree/tree.h"
 #include "xpath/engine.h"
 #include "workload/tree_cache.h"
@@ -101,10 +102,17 @@ class BatchEngine {
   /// task's run is abandoned by the deadline probe, `*deadline_expired`
   /// (if non-null) is set and the whole result must be discarded — the
   /// abandoned slots hold empty bitsets.
+  ///
+  /// `trace_sink` (optional) is the flight recorder's fan-out bridge
+  /// (obs/recorder.h): each task appends one WorkerSpan — (tree, query,
+  /// pool worker, start, elapsed) — into the sink's per-worker buffer,
+  /// lock-free, and the caller merges them into the request's trace after
+  /// this call returns. nullptr (the default, and every untraced request)
+  /// costs nothing on the task path beyond one branch.
   std::vector<std::vector<Bitset>> RunCompiledOnTrees(
       const std::vector<std::shared_ptr<const exec::Program>>& programs,
       const std::vector<int>& tree_indices, int64_t deadline_ns,
-      bool* deadline_expired);
+      bool* deadline_expired, obs::BatchTraceSink* trace_sink = nullptr);
 
  private:
   /// Lazily creates the per-(worker, tree) scratch. Only ever called from

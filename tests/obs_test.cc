@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -256,7 +259,11 @@ TEST(SnapshotTest, PrometheusTextEmitsCumulativeBuckets) {
   h.Observe(3);
   h.Observe(3);
   const std::string text = registry.PrometheusText();
-  EXPECT_NE(text.find("# TYPE xptc_plan_hits counter\nxptc_plan_hits 4\n"),
+  // Counters carry the `_total` sample suffix scrapers expect, with a HELP
+  // line ahead of the TYPE line.
+  EXPECT_NE(text.find("# HELP xptc_plan_hits_total Monotonic counter "
+                      "plan.hits\n# TYPE xptc_plan_hits_total counter\n"
+                      "xptc_plan_hits_total 4\n"),
             std::string::npos);
   // Buckets are cumulative and le-labelled with inclusive upper bounds.
   EXPECT_NE(text.find("xptc_run_ns_bucket{le=\"1\"} 1\n"), std::string::npos);
@@ -265,6 +272,199 @@ TEST(SnapshotTest, PrometheusTextEmitsCumulativeBuckets) {
             std::string::npos);
   EXPECT_NE(text.find("xptc_run_ns_sum 7\n"), std::string::npos);
   EXPECT_NE(text.find("xptc_run_ns_count 3\n"), std::string::npos);
+}
+
+TEST(SnapshotTest, PrometheusTextMatchesGolden) {
+  // Full-text golden for a small registry: any drift in the exposition
+  // format (suffixes, HELP/TYPE ordering, le boundaries) fails loudly
+  // here before a scraper ever sees it.
+  Registry registry;
+  registry.counter("plan.hits").Add(4);
+  registry.gauge("queue.depth").Set(2);
+  Histogram& h = registry.histogram("run.ns");
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(3);
+  const std::string kGolden =
+      "# HELP xptc_plan_hits_total Monotonic counter plan.hits\n"
+      "# TYPE xptc_plan_hits_total counter\n"
+      "xptc_plan_hits_total 4\n"
+      "# HELP xptc_queue_depth Gauge queue.depth\n"
+      "# TYPE xptc_queue_depth gauge\n"
+      "xptc_queue_depth 2\n"
+      "# HELP xptc_run_ns Log2-bucketed histogram run.ns\n"
+      "# TYPE xptc_run_ns histogram\n"
+      "xptc_run_ns_bucket{le=\"1\"} 1\n"
+      "xptc_run_ns_bucket{le=\"3\"} 3\n"
+      "xptc_run_ns_bucket{le=\"+Inf\"} 3\n"
+      "xptc_run_ns_sum 7\n"
+      "xptc_run_ns_count 3\n";
+  EXPECT_EQ(registry.PrometheusText(), kGolden);
+}
+
+// Promtool-style line validator for text format 0.0.4: HELP before TYPE,
+// contiguous families, counter samples suffixed `_total`, histogram
+// buckets cumulative with strictly increasing `le` bounds, `+Inf` equal to
+// `_count`, trailing newline. Returns every violation found.
+std::vector<std::string> LintPrometheusText(const std::string& text) {
+  std::vector<std::string> errors;
+  if (!text.empty() && text.back() != '\n') {
+    errors.push_back("output does not end with a newline");
+  }
+  auto base_family = [](const std::string& sample) {
+    // Strip histogram sample suffixes so bucket/sum/count group with their
+    // family; `_total` stays (it is the counter family's sample name).
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = std::string(suffix).size();
+      if (sample.size() > n &&
+          sample.compare(sample.size() - n, n, suffix) == 0) {
+        return sample.substr(0, sample.size() - n);
+      }
+    }
+    return sample;
+  };
+  std::vector<std::string> seen_families;
+  std::string cur_family, cur_type;
+  bool cur_has_help = false;
+  int64_t last_bucket_cumulative = -1;
+  int64_t inf_value = -1;
+  int64_t count_value = -1;
+  long double last_le = -1;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? eol : eol - pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    auto start_family = [&](const std::string& family) {
+      if (family == cur_family) return;
+      for (const auto& f : seen_families) {
+        if (f == family) {
+          errors.push_back("family not contiguous: " + family);
+        }
+      }
+      seen_families.push_back(family);
+      cur_family = family;
+      cur_type.clear();
+      cur_has_help = false;
+      last_bucket_cumulative = -1;
+      inf_value = -1;
+      count_value = -1;
+      last_le = -1;
+    };
+    if (line.rfind("# HELP ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      if (sp == std::string::npos) {
+        errors.push_back("HELP without text: " + line);
+        continue;
+      }
+      start_family(line.substr(7, sp - 7));
+      cur_has_help = true;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      const std::string family = line.substr(7, sp - 7);
+      start_family(family);
+      if (!cur_has_help) {
+        errors.push_back("TYPE before HELP for " + family);
+      }
+      cur_type = line.substr(sp + 1);
+      if (cur_type == "counter" && family.size() >= 6 &&
+          family.compare(family.size() - 6, 6, "_total") != 0) {
+        errors.push_back("counter family lacks _total suffix: " + family);
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    const size_t brace = line.find('{');
+    const size_t sp = line.find(' ', brace == std::string::npos ? 0 : brace);
+    if (sp == std::string::npos) {
+      errors.push_back("sample line without value: " + line);
+      continue;
+    }
+    const std::string sample =
+        line.substr(0, brace == std::string::npos ? sp : brace);
+    for (char c : sample) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+          c != ':') {
+        errors.push_back("bad metric name character in: " + sample);
+        break;
+      }
+    }
+    const std::string family = base_family(sample);
+    if (family != cur_family) {
+      errors.push_back("sample " + sample + " outside its family block");
+      start_family(family);
+    }
+    if (cur_type.empty()) {
+      errors.push_back("sample before TYPE: " + sample);
+    }
+    const int64_t value = std::strtoll(line.c_str() + sp + 1, nullptr, 10);
+    if (cur_type == "histogram" && brace != std::string::npos &&
+        sample.size() > 7 &&
+        sample.compare(sample.size() - 7, 7, "_bucket") == 0) {
+      const size_t le_pos = line.find("le=\"");
+      if (le_pos == std::string::npos) {
+        errors.push_back("bucket without le label: " + line);
+        continue;
+      }
+      const std::string le =
+          line.substr(le_pos + 4, line.find('"', le_pos + 4) - le_pos - 4);
+      const long double bound =
+          le == "+Inf" ? std::numeric_limits<long double>::infinity()
+                       : std::strtold(le.c_str(), nullptr);
+      if (bound <= last_le) {
+        errors.push_back("le bounds not increasing at " + line);
+      }
+      last_le = bound;
+      if (value < last_bucket_cumulative) {
+        errors.push_back("buckets not cumulative at " + line);
+      }
+      last_bucket_cumulative = value;
+      if (le == "+Inf") inf_value = value;
+      continue;
+    }
+    if (sample.size() > 6 &&
+        sample.compare(sample.size() - 6, 6, "_count") == 0 &&
+        cur_type == "histogram") {
+      count_value = value;
+      if (inf_value < 0) {
+        errors.push_back("histogram " + family + " missing +Inf bucket");
+      } else if (inf_value != count_value) {
+        errors.push_back("histogram " + family + " +Inf != _count");
+      }
+    }
+  }
+  return errors;
+}
+
+TEST(SnapshotTest, PrometheusTextPassesLint) {
+  Registry registry;
+  registry.counter("server.admitted").Add(12);
+  registry.counter("exec.evals").Add(7);
+  registry.gauge("server.conns").Set(3);
+  Histogram& h = registry.histogram("server.phase.exec_ns");
+  h.Observe(0);
+  h.Observe(5);
+  h.Observe(1'000'000);
+  h.Observe(INT64_MAX);  // top bucket: le must still bound the value
+  Histogram& empty = registry.histogram("server.phase.flush_ns");
+  (void)empty;
+  const std::string text = registry.PrometheusText();
+  const std::vector<std::string> errors = LintPrometheusText(text);
+  EXPECT_TRUE(errors.empty()) << "lint errors in:\n" << text << "\n--\n"
+                              << ::testing::PrintToString(errors);
+}
+
+TEST(SnapshotTest, DefaultRegistryExportPassesLint) {
+  // The real process-wide registry (every subsystem's metrics, whatever
+  // this test binary has touched so far) must also lint clean — this is
+  // the closest in-tree stand-in for pointing promtool at /metrics.
+  const std::vector<std::string> errors =
+      LintPrometheusText(Registry::Default().PrometheusText());
+  EXPECT_TRUE(errors.empty()) << ::testing::PrintToString(errors);
 }
 
 // ---------------------------------------------------------------------------

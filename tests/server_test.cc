@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -20,6 +21,8 @@
 #include "common/alphabet.h"
 #include "common/bitset.h"
 #include "exec/engine.h"
+#include "obs/journal.h"
+#include "obs/recorder.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "server/service.h"
@@ -455,6 +458,188 @@ TEST(ServerTest, ConcurrentClientsAgreeWithLibrary) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+/// Saves and restores the process-global FlightRecorder so the tracing
+/// tests below cannot leak sampling config or a completion log into their
+/// neighbours (the recorder is a singleton shared by every Loopback).
+struct RecorderGuard {
+  RecorderGuard() : saved_n(obs::FlightRecorder::Get().sample_every_n()) {
+    obs::FlightRecorder::Get().Reset();
+  }
+  ~RecorderGuard() {
+    obs::FlightRecorder::Get().SetCompletionLog(nullptr);
+    obs::FlightRecorder::Get().SetSampleEveryN(saved_n);
+    obs::FlightRecorder::Get().Reset();
+  }
+  uint32_t saved_n;
+};
+
+std::string HeaderValue(const server::ClientHttpResponse& resp,
+                        const std::string& name) {
+  for (const auto& kv : resp.headers) {
+    if (kv.first == name) return kv.second;
+  }
+  return "";
+}
+
+TEST(ServerTest, HttpXRequestIdEchoesAndResolvesAtDebugTrace) {
+  RecorderGuard guard;
+  obs::FlightRecorder::Get().SetSampleEveryN(1);
+  Loopback loop;
+  BlockingClient client = loop.Connect();
+
+  // A client-supplied hex id is honoured verbatim and echoed back.
+  auto resp = client.Http("POST", "/query?trees=0&mode=count", "<desc[c]>",
+                          true, "X-Request-Id: deadbeef\r\n");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(HeaderValue(*resp, "x-request-id"), "00000000deadbeef");
+
+  // The connection is pipelined, so by the time the server parses this
+  // request the previous response has fully flushed and its trace is
+  // recorded — no sleep needed.
+  auto trace = client.Http("GET", "/debug/trace/deadbeef");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->status, 200);
+  EXPECT_NE(trace->body.find("\"id\":\"00000000deadbeef\""),
+            std::string::npos)
+      << trace->body;
+  EXPECT_NE(trace->body.find("\"phases\""), std::string::npos);
+  EXPECT_NE(trace->body.find("<desc[c]>"), std::string::npos);
+
+  // A request without the header gets a minted nonzero id.
+  auto minted = client.Http("POST", "/query?trees=1&mode=count", "b");
+  ASSERT_TRUE(minted.ok()) << minted.status().ToString();
+  const std::string minted_id = HeaderValue(*minted, "x-request-id");
+  ASSERT_EQ(minted_id.size(), 16u);
+  EXPECT_NE(minted_id, "0000000000000000");
+
+  // An unknown (but well-formed) id is a 404, not a parse error.
+  auto missing = client.Http("GET", "/debug/trace/ffffffffffffffff");
+  ASSERT_TRUE(missing.ok()) << missing.status().ToString();
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(ServerTest, BinaryTraceFieldRoundTrips) {
+  RecorderGuard guard;
+  obs::FlightRecorder::Get().SetSampleEveryN(1);
+  Loopback loop;
+  BlockingClient client = loop.Connect();
+
+  // Client-supplied trace id rides the flags-gated field and is echoed.
+  auto resp = client.Query("b", {0}, EvalMode::kNodeSet, 0,
+                           server::kDialectXPath, 0xabcdefULL);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->code, RespCode::kOk);
+  EXPECT_EQ(resp->trace_id, 0xabcdefULL);
+  EXPECT_TRUE(resp->results[0].bits == LibraryEval(kXmls[0], "b"));
+
+  // Without one, the server mints a nonzero id and still echoes it.
+  auto minted = client.Query("b", {0});
+  ASSERT_TRUE(minted.ok()) << minted.status().ToString();
+  ASSERT_EQ(minted->code, RespCode::kOk);
+  EXPECT_NE(minted->trace_id, 0u);
+
+  // Batch frames carry the field too.
+  auto batch = client.Batch({"b", "<desc[c]>"}, {}, EvalMode::kNodeSet, 0,
+                            server::kDialectXPath, 0x7177ULL);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->code, RespCode::kOk);
+  EXPECT_EQ(batch->trace_id, 0x7177ULL);
+
+  // The client-supplied binary id resolves at /debug/trace like the HTTP
+  // header does (cross-protocol correlation).
+  auto lookup = client.Http("GET", "/debug/trace/abcdef");
+  ASSERT_TRUE(lookup.ok()) << lookup.status().ToString();
+  EXPECT_EQ(lookup->status, 200);
+  EXPECT_NE(lookup->body.find("\"proto\":\"binary\""), std::string::npos)
+      << lookup->body;
+}
+
+TEST(ServerTest, DebugSlowAndJournalEndpointsServeJson) {
+  RecorderGuard guard;
+  obs::FlightRecorder::Get().SetSampleEveryN(1);
+  Loopback loop;
+  BlockingClient client = loop.Connect();
+
+  auto warm = client.Query("<desc[c]>");
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->code, RespCode::kOk);
+
+  auto slow = client.Http("GET", "/debug/slow");
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(slow->status, 200);
+  EXPECT_EQ(HeaderValue(*slow, "content-type"), "application/json");
+  EXPECT_NE(slow->body.find("\"sample_every_n\":1"), std::string::npos)
+      << slow->body;
+  EXPECT_NE(slow->body.find("\"slow\":["), std::string::npos);
+  EXPECT_NE(slow->body.find("<desc[c]>"), std::string::npos)
+      << "the just-completed sampled query should be in the slow log";
+
+  auto journal = client.Http("GET", "/debug/journal");
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_EQ(journal->status, 200);
+  EXPECT_NE(journal->body.find("\"ring_capacity\""), std::string::npos)
+      << journal->body.substr(0, 200);
+  // The warm query's life cycle is in the journal: admitted, executed.
+  EXPECT_NE(journal->body.find("\"admit\""), std::string::npos);
+  EXPECT_NE(journal->body.find("\"exec_start\""), std::string::npos);
+}
+
+TEST(ServerTest, CompletionLogAttributesPhasesAndSpans) {
+  RecorderGuard guard;
+  // Sampling off: the completion log must still see every request.
+  obs::FlightRecorder::Get().SetSampleEveryN(0);
+  std::mutex log_mu;
+  std::vector<obs::RequestTrace> logged;
+  obs::FlightRecorder::Get().SetCompletionLog(
+      [&](const obs::RequestTrace& trace) {
+        std::lock_guard<std::mutex> lock(log_mu);
+        logged.push_back(trace);
+      });
+
+  Loopback loop;
+  BlockingClient client = loop.Connect();
+  // Whole corpus (3 trees) so the batch pool fans out.
+  auto resp = client.Query("<desc[c]>", {}, EvalMode::kNodeSet, 0,
+                           server::kDialectXPath, 0x51ULL);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->code, RespCode::kOk);
+  // Pipelining fence: once this inline round-trip completes, the query's
+  // flush has been finalised and the completion log has fired.
+  ASSERT_TRUE(client.Ping().ok());
+
+  std::lock_guard<std::mutex> lock(log_mu);
+  ASSERT_EQ(logged.size(), 1u);
+  const obs::RequestTrace& trace = logged[0];
+  EXPECT_EQ(trace.id, 0x51ULL);
+  EXPECT_FALSE(trace.sampled);
+  EXPECT_FALSE(trace.is_http);
+  EXPECT_EQ(trace.op, "query");
+  EXPECT_NE(trace.query.find("<desc[c]>"), std::string::npos);
+  EXPECT_FALSE(trace.peer.empty());
+  EXPECT_EQ(trace.code, static_cast<uint8_t>(RespCode::kOk));
+
+  // Phase attribution: exec did real work, and the phases never claim
+  // more time than the request's wall clock.
+  EXPECT_GT(trace.total_ns, 0);
+  EXPECT_GT(trace.phase_ns[static_cast<int>(obs::Phase::kExec)], 0);
+  int64_t phase_sum = 0;
+  for (int p = 0; p < obs::kNumPhases; ++p) {
+    EXPECT_GE(trace.phase_ns[p], 0) << "phase " << p;
+    phase_sum += trace.phase_ns[p];
+  }
+  EXPECT_LE(phase_sum, trace.total_ns);
+
+  // The batch fan-out is stitched in: one span per (tree, query) cell.
+  ASSERT_EQ(trace.spans.size(), 3u);
+  for (const obs::WorkerSpan& span : trace.spans) {
+    EXPECT_EQ(span.query_index, 0);
+    EXPECT_GE(span.tree_id, 0);
+    EXPECT_LT(span.tree_id, 3);
+    EXPECT_GE(span.elapsed_ns, 0);
+  }
 }
 
 }  // namespace

@@ -264,23 +264,50 @@ std::string ValidFrame(Rng* rng) {
   const uint32_t id = static_cast<uint32_t>(rng->Next());
   const EvalMode mode = static_cast<EvalMode>(rng->Below(3));
   const uint32_t deadline = static_cast<uint32_t>(rng->Below(100000));
+  // Half the seeds carry the flags-gated flight-recorder trace field, so
+  // mutations hit the flags word, the optional u64, and the code that
+  // skips it when absent.
+  const uint64_t trace_id = rng->Chance(1, 2) ? rng->Next() : 0;
   switch (rng->Below(3)) {
     case 0:
       return EncodeFrame(FrameType::kQuery,
                          EncodeQueryPayload(id, kDialectXPath, mode, deadline,
                                             RandomTreeIds(rng),
-                                            RandomQuery(rng)));
+                                            RandomQuery(rng), trace_id));
     case 1: {
       std::vector<std::string> queries;
       const size_t n = 1 + rng->Below(4);
       for (size_t i = 0; i < n; ++i) queries.push_back(RandomQuery(rng));
       return EncodeFrame(FrameType::kBatch,
                          EncodeBatchPayload(id, kDialectXPath, mode, deadline,
-                                            RandomTreeIds(rng), queries));
+                                            RandomTreeIds(rng), queries,
+                                            trace_id));
     }
     default:
       return EncodeFrame(FrameType::kPing, EncodePingPayload(id));
   }
+}
+
+/// A structurally valid query/batch frame whose payload `flags` word has a
+/// bit other than bit 0 (the trace-field gate) set. The frame must decode
+/// (the header is intact) and TranslateFrame must reject it — unknown
+/// flags are a forward-compat error, never silently ignored.
+std::string UnknownFlagsFrame(Rng* rng) {
+  std::string bytes = ValidFrame(rng);
+  while (static_cast<uint8_t>(bytes[1]) ==
+         static_cast<uint8_t>(FrameType::kPing)) {
+    bytes = ValidFrame(rng);  // ping payloads carry no flags word
+  }
+  // Frame header is 8 bytes; the request prefix is u32 request_id,
+  // u8 dialect, u8 mode, u16 flags — so flags live at bytes 14..15
+  // (little-endian).
+  const uint16_t mask =
+      static_cast<uint16_t>(1u << (1 + rng->Below(15)));  // never bit 0
+  bytes[14] = static_cast<char>(static_cast<uint8_t>(bytes[14]) |
+                                static_cast<uint8_t>(mask & 0xff));
+  bytes[15] = static_cast<char>(static_cast<uint8_t>(bytes[15]) |
+                                static_cast<uint8_t>(mask >> 8));
+  return bytes;
 }
 
 std::string ValidHttp(Rng* rng) {
@@ -302,6 +329,34 @@ std::string ValidHttp(Rng* rng) {
     req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
   if (rng->Chance(1, 4)) req += "Connection: close\r\n";
+  if (rng->Chance(1, 2)) {
+    // X-Request-Id in all three wire shapes the server must absorb: a
+    // strict hex flight id (parsed verbatim), an arbitrary opaque token
+    // (hashed to a stable id), and an oversized one (ignored past the
+    // server's length cap). All are legal HTTP; none may break parsing
+    // or translation.
+    std::string id;
+    switch (rng->Below(3)) {
+      case 0: {
+        const size_t n = 1 + rng->Below(16);
+        for (size_t i = 0; i < n; ++i) {
+          id.push_back("0123456789abcdef"[rng->Below(16)]);
+        }
+        break;
+      }
+      case 1: {
+        const size_t n = 1 + rng->Below(32);
+        for (size_t i = 0; i < n; ++i) {
+          id.push_back(static_cast<char>('!' + rng->Below(94)));  // printable
+        }
+        break;
+      }
+      default:
+        id.assign(150 + rng->Below(100), 'x');
+        break;
+    }
+    req += "X-Request-Id: " + id + "\r\n";
+  }
   req += "\r\n" + body;
   return req;
 }
@@ -472,6 +527,7 @@ void ResponseRoundTrip(Rng* rng, WireStats* stats, uint64_t case_seed) {
   resp.op = batch ? RequestOp::kBatch : RequestOp::kQuery;
   resp.mode = static_cast<EvalMode>(rng->Below(3));
   resp.request_id = static_cast<uint32_t>(rng->Next());
+  resp.trace_id = rng->Chance(1, 2) ? rng->Next() : 0;
   resp.num_queries = batch ? static_cast<int>(1 + rng->Below(3)) : 1;
   const size_t num_trees = 1 + rng->Below(3);
   resp.results.resize(static_cast<size_t>(resp.num_queries) * num_trees);
@@ -512,6 +568,7 @@ void ResponseRoundTrip(Rng* rng, WireStats* stats, uint64_t case_seed) {
   }
   const ServiceResponse& got = decoded.ValueOrDie();
   bool same = got.request_id == resp.request_id && got.mode == resp.mode &&
+              got.trace_id == resp.trace_id &&
               got.results.size() == resp.results.size();
   for (size_t i = 0; same && i < got.results.size(); ++i) {
     const TreeResult& a = resp.results[i];
@@ -555,7 +612,7 @@ int Run(uint64_t seed, int64_t max_cases, double max_seconds) {
     const uint64_t case_seed = campaign.Next();
     Rng rng(case_seed);
     ++stats.cases;
-    switch (rng.Below(10)) {
+    switch (rng.Below(11)) {
       case 0:   // unmutated frame: must decode and translate
       case 1: {
         const std::string bytes = ValidFrame(&rng);
@@ -598,6 +655,19 @@ int Run(uint64_t seed, int64_t max_cases, double max_seconds) {
         }
         FeedBinary(bytes, &rng, &stats, case_seed);
         FeedHttp(bytes, &rng, &stats, case_seed);
+        break;
+      }
+      case 9: {  // unknown flag bits: frame decodes, translate must reject
+        const std::string bytes = UnknownFlagsFrame(&rng);
+        const int64_t ok_before = stats.translate_ok;
+        const int64_t rejected_before = stats.translate_rejected;
+        FeedBinary(bytes, &rng, &stats, case_seed);
+        if (stats.translate_ok != ok_before ||
+            stats.translate_rejected != rejected_before + 1) {
+          Violation(&stats, case_seed,
+                    "frame with unknown flag bits was not rejected at "
+                    "translate");
+        }
         break;
       }
       default:  // response-frame encode/decode oracle

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/journal.h"
+#include "obs/recorder.h"
 #include "server/server.h"
 #include "server/service.h"
 #include "tree/generate.h"
@@ -56,7 +58,17 @@ int Usage(const char* argv0) {
       "  --workers N         query worker threads (default: hardware)\n"
       "  --queue N           admission-queue capacity (default 128)\n"
       "  --max-conns N       open-connection cap (default 512)\n"
-      "  --deadline-ms N     default per-request deadline (default 10000)\n",
+      "  --deadline-ms N     default per-request deadline (default 10000)\n"
+      "\n"
+      "flight recorder\n"
+      "  --trace-sample N    sample 1-in-N requests into /debug/slow\n"
+      "                      (default: XPTC_TRACE_SAMPLE or 64; 0 = off,\n"
+      "                      1 = every request)\n"
+      "  --log-format FMT    text|json; json emits one JSON line per\n"
+      "                      completed request on stdout (default text)\n"
+      "  --journal-dump PATH write the event journal here on SIGSEGV/\n"
+      "                      SIGBUS/SIGABRT (decode: /debug/journal or\n"
+      "                      bench/exp17's decoder)\n",
       argv0);
   return 2;
 }
@@ -92,6 +104,9 @@ int main(int argc, char** argv) {
   ServerOptions server_options;
   server_options.port = 7917;
   ServiceOptions service_options;
+  int64_t trace_sample = -1;  // -1 = keep the env/default setting
+  bool log_json = false;
+  std::string journal_dump_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -155,6 +170,21 @@ int main(int argc, char** argv) {
       const char* text = next();
       if (text == nullptr || !ParseInt64(text, &value)) return Usage(argv[0]);
       server_options.default_deadline_ms = static_cast<uint32_t>(value);
+    } else if (arg == "--trace-sample") {
+      const char* text = next();
+      if (text == nullptr || !ParseInt64(text, &trace_sample)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--log-format") {
+      const char* text = next();
+      if (text == nullptr) return Usage(argv[0]);
+      if (std::strcmp(text, "json") == 0) log_json = true;
+      else if (std::strcmp(text, "text") == 0) log_json = false;
+      else return Usage(argv[0]);
+    } else if (arg == "--journal-dump") {
+      const char* text = next();
+      if (text == nullptr) return Usage(argv[0]);
+      journal_dump_path = text;
     } else {
       return Usage(argv[0]);
     }
@@ -194,6 +224,27 @@ int main(int argc, char** argv) {
                   xptc::TreeShapeToString(gen_shape),
                   static_cast<long long>(gen_nodes));
     }
+  }
+
+  // Flight-recorder wiring, all before Start so the first request is
+  // already covered: sampling rate (CLI beats XPTC_TRACE_SAMPLE beats the
+  // 1-in-64 default), the structured completion log, and the post-mortem
+  // journal dump.
+  if (trace_sample >= 0) {
+    xptc::obs::FlightRecorder::Get().SetSampleEveryN(
+        static_cast<uint32_t>(trace_sample));
+  }
+  if (log_json) {
+    xptc::obs::FlightRecorder::Get().SetCompletionLog(
+        [](const xptc::obs::RequestTrace& trace) {
+          const std::string line = xptc::obs::RequestTraceJson(trace);
+          std::fwrite(line.data(), 1, line.size(), stdout);
+          std::fputc('\n', stdout);
+          std::fflush(stdout);
+        });
+  }
+  if (!journal_dump_path.empty()) {
+    xptc::obs::Journal::InstallCrashHandler(journal_dump_path);
   }
 
   QueryServer server(&service, server_options);
